@@ -1,0 +1,375 @@
+// Benchmarks: one testing.B entry per table and figure of the paper's
+// evaluation (Figures 1, 3, 9-13; Tables 5, 6), each exercising the same
+// pipeline as the full regeneration in cmd/dopia-bench on a reduced
+// workload census, plus micro-benchmarks of the load-bearing components
+// (interpreter, simulator, analyzer, transformer, ML inference).
+package dopia_test
+
+import (
+	"sync"
+	"testing"
+
+	"dopia/internal/analysis"
+	"dopia/internal/clc"
+	"dopia/internal/core"
+	"dopia/internal/experiments"
+	"dopia/internal/interp"
+	"dopia/internal/ml"
+	"dopia/internal/sched"
+	"dopia/internal/sim"
+	"dopia/internal/transform"
+	"dopia/internal/workloads"
+)
+
+// ---------------------------------------------------------------------------
+// Shared fixtures
+
+var fixtures struct {
+	once  sync.Once
+	err   error
+	evals []*core.WorkloadEval // 40-workload synthetic slice on Kaveri
+	ds    *ml.Dataset
+	dt    ml.Model
+}
+
+func benchEvals(b *testing.B) ([]*core.WorkloadEval, *ml.Dataset, ml.Model) {
+	b.Helper()
+	fixtures.once.Do(func() {
+		grid, err := workloads.SyntheticGrid()
+		if err != nil {
+			fixtures.err = err
+			return
+		}
+		var sub []*workloads.Workload
+		for i := 0; i < len(grid) && len(sub) < 40; i += len(grid) / 40 {
+			sub = append(sub, grid[i])
+		}
+		fixtures.evals, fixtures.err = core.EvaluateAll(sim.Kaveri(), sub, 0)
+		if fixtures.err != nil {
+			return
+		}
+		fixtures.ds = core.BuildDataset(sim.Kaveri(), fixtures.evals)
+		fixtures.dt, fixtures.err = ml.TreeTrainer{}.Fit(fixtures.ds)
+	})
+	if fixtures.err != nil {
+		b.Fatal(fixtures.err)
+	}
+	return fixtures.evals, fixtures.ds, fixtures.dt
+}
+
+func gesummvExecutor(b *testing.B, n int) *sched.Executor {
+	b.Helper()
+	ws, err := workloads.RealWorkloads(n, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := ws[8] // GESUMMV
+	k, err := w.CompileKernel()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := sched.NewExecutor(sim.Kaveri(), k, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex.AssumeMalleable = true
+	inst, err := w.Setup()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := ex.Bind(inst.Args...); err != nil {
+		b.Fatal(err)
+	}
+	if err := ex.Launch(inst.ND); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := ex.Model(); err != nil {
+		b.Fatal(err)
+	}
+	return ex
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1: the full 44-configuration DoP sweep of Gesummv on Kaveri.
+
+func BenchmarkFig1Heatmap(b *testing.B) {
+	ex := gesummvExecutor(b, 512)
+	m := sim.Kaveri()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range m.Configs() {
+			if _, err := ex.Run(cfg, sched.RunOptions{Dist: sim.Dynamic}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Figure 3: the GPU-utilization sweep at four CPU threads.
+
+func BenchmarkFig3GPUUtil(b *testing.B) {
+	ex := gesummvExecutor(b, 512)
+	m := sim.Kaveri()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, g := range m.GPUSteps {
+			cfg := sim.Config{CPUCores: m.CPU.Cores, GPUFrac: g}
+			if _, err := ex.Run(cfg, sched.RunOptions{Dist: sim.Dynamic}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Figure 9: dynamic distribution vs the 19-split static sweep.
+
+func BenchmarkFig9Distribution(b *testing.B) {
+	ex := gesummvExecutor(b, 512)
+	all := sim.Kaveri().AllResources()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ex.BestStatic(all); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ex.Run(all, sched.RunOptions{Dist: sim.Dynamic}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Figure 10: cross-validated model comparison on the synthetic slice.
+
+func BenchmarkFig10Models(b *testing.B) {
+	evals, _, _ := benchEvals(b)
+	m := sim.Kaveri()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, tr := range core.Trainers() {
+			if _, err := experiments.CrossValSelections(m, evals, tr, 4, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// Table 5: exact-classification counting (Dopia DT cross-validation plus
+// the fixed baselines).
+
+func BenchmarkTable5Classification(b *testing.B) {
+	evals, _, _ := benchEvals(b)
+	m := sim.Kaveri()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel, err := experiments.CrossValSelections(m, evals, ml.TreeTrainer{}, 4, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = experiments.ExactCount(sel)
+		_ = experiments.ExactCount(experiments.FixedSelections(m, evals, m.CPUOnly()))
+		_ = experiments.ExactCount(experiments.FixedSelections(m, evals, m.GPUOnly()))
+		_ = experiments.ExactCount(experiments.FixedSelections(m, evals, m.AllResources()))
+	}
+}
+
+// Figure 11: distance-error and normalized-performance distributions.
+
+func BenchmarkFig11CrossVal(b *testing.B) {
+	evals, _, _ := benchEvals(b)
+	m := sim.Kaveri()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sel, err := experiments.CrossValSelections(m, evals, ml.TreeTrainer{}, 4, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = experiments.Dists(sel)
+		_ = experiments.Perfs(sel)
+	}
+}
+
+// Figure 12 / Table 6: the constant-configuration performance table.
+
+func BenchmarkFig12ConstantConfigs(b *testing.B) {
+	evals, _, _ := benchEvals(b)
+	m := sim.Kaveri()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range m.Configs() {
+			_ = experiments.Perfs(experiments.FixedSelections(m, evals, cfg))
+		}
+	}
+}
+
+func BenchmarkTable6BestConstant(b *testing.B) {
+	evals, _, _ := benchEvals(b)
+	m := sim.Kaveri()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bestV := -1.0
+		for _, cfg := range m.Configs() {
+			var s float64
+			sel := experiments.FixedSelections(m, evals, cfg)
+			for _, x := range experiments.Perfs(sel) {
+				s += x
+			}
+			if s > bestV {
+				bestV = s
+			}
+		}
+	}
+}
+
+// Figure 13: leave-one-out selection for one real kernel with the
+// deployed DT model.
+
+func BenchmarkFig13RealWorld(b *testing.B) {
+	evals, _, _ := benchEvals(b)
+	m := sim.Kaveri()
+	ws, err := workloads.RealWorkloads(256, 256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := core.EvaluateWorkload(m, ws[8])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := experiments.LeaveOneOutSelection(m, evals, target,
+			func(string) bool { return false }, ml.TreeTrainer{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Component micro-benchmarks
+
+// BenchmarkInterpreter measures functional execution throughput
+// (work-items per op are reported via bytes: 1 item = 1 "byte").
+
+func BenchmarkInterpreterGesummv(b *testing.B) {
+	prog, err := clc.Compile(`__kernel void gesummv(__global float* A, __global float* B,
+        __global float* x, __global float* y, float alpha, float beta, int N) {
+        int i = get_global_id(0);
+        if (i < N) {
+            float tmp = 0.0f;
+            float yv = 0.0f;
+            for (int j = 0; j < N; j++) {
+                tmp += A[i * N + j] * x[j];
+                yv += B[i * N + j] * x[j];
+            }
+            y[i] = alpha * tmp + beta * yv;
+        }
+    }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 256
+	ex, err := interp.NewExec(prog.Kernels[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	A := interp.NewFloatBuffer(n * n)
+	B := interp.NewFloatBuffer(n * n)
+	x := interp.NewFloatBuffer(n)
+	y := interp.NewFloatBuffer(n)
+	if err := ex.Bind(interp.BufArg(A), interp.BufArg(B), interp.BufArg(x), interp.BufArg(y),
+		interp.FloatArg(1), interp.FloatArg(1), interp.IntArg(int64(n))); err != nil {
+		b.Fatal(err)
+	}
+	if err := ex.Launch(interp.ND1(n, 64)); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(n) * int64(n) * 2 * 4) // bytes touched per run
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ex.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFluidEngine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := sim.NewFluid(20e9)
+		for t := 0; t < 64; t++ {
+			f.Add(t, sim.TaskCost{Compute: 1e-4, MemBytes: 1e6, PeakBW: 5e9})
+		}
+		for {
+			if _, ok := f.Step(); !ok {
+				break
+			}
+		}
+	}
+}
+
+func BenchmarkStaticAnalysis(b *testing.B) {
+	prog, err := clc.Compile(`__kernel void ex(__global float* A, __global float* B,
+        __global float* C, __global float* D, __global int* Bi, int c1, int N, int M) {
+        for (int i = 0; i < N; i++) {
+            for (int j = 0; j < M; j++) {
+                D[i * M + j] = A[i * M + j] + B[j * N + i] + C[c1] + C[Bi[j * N + i]];
+            }
+        }
+    }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analysis.Analyze(prog.Kernels[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMalleableTransform(b *testing.B) {
+	prog, err := clc.Compile(`__kernel void sum3(__global float* A, __global float* B,
+        __global float* C, int n) {
+        int i = get_global_id(0);
+        if (i < n) { C[i] = A[i] + B[i] + C[i]; }
+    }`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transform.MalleableGPU(prog.Kernels[0], 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkModelInference44Configs(b *testing.B) {
+	_, _, dt := benchEvals(b)
+	m := sim.Kaveri()
+	var base ml.Features
+	base[ml.FGlobalSize] = 16384
+	base[ml.FLocalSize] = 256
+	base[ml.FMemContinuous] = 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range m.Configs() {
+			_ = dt.Predict(core.WithConfig(base, m, cfg))
+		}
+	}
+}
+
+func BenchmarkFrontEndCompile(b *testing.B) {
+	src := `__kernel void conv2d(__global float* A, __global float* B, int NI, int NJ) {
+        int j = get_global_id(0);
+        int i = get_global_id(1);
+        if (i > 0 && i < NI - 1 && j > 0 && j < NJ - 1) {
+            B[i * NJ + j] = 0.2f * A[(i - 1) * NJ + j] + 0.5f * A[i * NJ + j]
+                          + 0.3f * A[(i + 1) * NJ + j];
+        }
+    }`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := clc.Compile(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,181 @@
+// Command dopia-run executes one of the evaluation kernels under Dopia
+// management and prints the framework's decision process: the extracted
+// Table 1 features, the generated malleable GPU kernel, the model's
+// configuration choice, and the resulting co-execution statistics compared
+// to the CPU-only / GPU-only / ALL baselines and the exhaustive oracle.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dopia/internal/core"
+	"dopia/internal/ml"
+	"dopia/internal/sched"
+	"dopia/internal/sim"
+	"dopia/internal/stats"
+	"dopia/internal/workloads"
+)
+
+func main() {
+	var (
+		machineName = flag.String("machine", "Kaveri", "machine model: Kaveri or Skylake")
+		kernelName  = flag.String("kernel", "GESUMMV", "kernel: one of the 14 real workloads")
+		n           = flag.Int("n", workloads.DefaultRealSize, "problem size")
+		wg          = flag.Int("wg", 256, "work-group size (64 or 256)")
+		trainLimit  = flag.Int("train", 120, "synthetic workloads used to train the model")
+		modelName   = flag.String("model", "DT", "model family: LIN, SVR, DT, RF")
+		showCode    = flag.Bool("show-malleable", false, "print the generated malleable GPU kernel")
+		evalsPath   = flag.String("evals", "", "load a saved characterization instead of training fresh")
+		modelFile   = flag.String("model-file", "", "load a model saved by dopia-train -save-model")
+	)
+	flag.Parse()
+
+	var m *sim.Machine
+	switch *machineName {
+	case "Kaveri", "kaveri":
+		m = sim.Kaveri()
+	case "Skylake", "skylake":
+		m = sim.Skylake()
+	default:
+		fail("unknown machine %q", *machineName)
+	}
+
+	// Locate the requested workload.
+	ws, err := workloads.RealWorkloads(*n, *wg)
+	check(err)
+	var w *workloads.Workload
+	for i, d := range workloads.RealDescs() {
+		if d.Name == *kernelName {
+			w = ws[i]
+		}
+	}
+	if w == nil {
+		fail("unknown kernel %q; available: %v", *kernelName, kernelNames())
+	}
+
+	// Train (or load) the model.
+	trainer, err := core.TrainerByName(*modelName)
+	check(err)
+	var model ml.Model
+	var evals []*core.WorkloadEval
+	if *modelFile != "" {
+		model, err = ml.LoadModelFile(*modelFile)
+		check(err)
+		fmt.Printf("loaded %s model from %s\n", model.Name(), *modelFile)
+	} else if *evalsPath != "" {
+		evals, err = core.LoadEvals(*evalsPath, m.Name)
+		check(err)
+		fmt.Printf("loaded %d workload characterizations from %s\n", len(evals), *evalsPath)
+	} else {
+		grid, err := workloads.SyntheticGrid()
+		check(err)
+		if *trainLimit > 0 && *trainLimit < len(grid) {
+			stride := len(grid) / *trainLimit
+			var sub []*workloads.Workload
+			for i := 0; i < len(grid) && len(sub) < *trainLimit; i += stride {
+				sub = append(sub, grid[i])
+			}
+			grid = sub
+		}
+		fmt.Printf("training %s on %d synthetic workloads...\n", trainer.Name(), len(grid))
+		t0 := time.Now()
+		evals, err = core.EvaluateAll(m, grid, 0)
+		check(err)
+		fmt.Printf("characterization took %v\n", time.Since(t0).Round(time.Millisecond))
+	}
+	if model == nil {
+		model, err = trainer.Fit(core.BuildDataset(m, evals))
+		check(err)
+	}
+
+	fw := core.New(m, model)
+	k, err := w.CompileKernel()
+	check(err)
+
+	// Compile-time stage.
+	res, err := fw.Analysis(k)
+	check(err)
+	fmt.Printf("\nkernel %s on %s:\n", w.Name, m.Name)
+	fmt.Printf("  static features: const=%d cont=%d stride=%d random=%d arith_int=%d arith_float=%d\n",
+		res.MemConstant, res.MemContinuous, res.MemStride, res.MemRandom,
+		res.ArithInt, res.ArithFloat)
+	mall, err := fw.Malleable(k, w.WorkDim)
+	check(err)
+	if *showCode {
+		fmt.Printf("\nmalleable GPU kernel:\n%s\n", mall.Source)
+	}
+
+	// Dopia-managed execution.
+	inst, err := w.Setup()
+	check(err)
+	exec, err := fw.Execute(k, inst.Args, inst.ND)
+	check(err)
+	d := exec.Decision
+	fmt.Printf("\nDopia decision: CPU %d cores, GPU %.1f%% (%d PEs/CU); model scored %d configs in %v\n",
+		d.Config.CPUCores, d.Config.GPUFrac*100, m.ActivePEs(d.Config), d.Evaluated, d.InferTime)
+	fmt.Printf("simulated execution: %.4g ms (CPU %d WGs, GPU %d WGs in %d chunks)\n",
+		exec.Result.Time*1e3, exec.Result.WGsCPU, exec.Result.WGsGPU, exec.Result.GPUChunks)
+
+	// Baselines and the oracle.
+	ex, err := sched.NewExecutor(m, k, mall.Kernel)
+	check(err)
+	inst2, err := w.Setup()
+	check(err)
+	check(ex.Bind(inst2.Args...))
+	check(ex.Launch(inst2.ND))
+	bestTime := 0.0
+	var best sim.Config
+	for _, cfg := range m.Configs() {
+		r, err := ex.Run(cfg, sched.RunOptions{Dist: sim.Dynamic})
+		check(err)
+		if bestTime == 0 || r.Time < bestTime {
+			bestTime, best = r.Time, cfg
+		}
+	}
+	var rows [][]string
+	for _, row := range []struct {
+		name string
+		cfg  sim.Config
+	}{
+		{"CPU only", m.CPUOnly()},
+		{"GPU only", m.GPUOnly()},
+		{"ALL", m.AllResources()},
+		{"Dopia", d.Config},
+		{"Exhaustive", best},
+	} {
+		r, err := ex.Run(row.cfg, sched.RunOptions{Dist: sim.Dynamic})
+		check(err)
+		rows = append(rows, []string{
+			row.name,
+			fmt.Sprintf("cpu=%d gpu=%.0f%%", row.cfg.CPUCores, row.cfg.GPUFrac*100),
+			stats.Fmt(r.Time * 1e3),
+			stats.Fmt(bestTime / r.Time),
+		})
+	}
+	fmt.Println()
+	stats.RenderTable(os.Stdout,
+		[]string{"configuration", "DoP", "time (ms)", "perf vs oracle"}, rows)
+}
+
+func kernelNames() []string {
+	var out []string
+	for _, d := range workloads.RealDescs() {
+		out = append(out, d.Name)
+	}
+	return out
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,101 @@
+package dopia_test
+
+import (
+	"testing"
+
+	"dopia"
+)
+
+// TestPublicAPIFlow exercises the documented end-to-end flow of the
+// public facade: train, attach, build, enqueue, verify.
+func TestPublicAPIFlow(t *testing.T) {
+	machine := dopia.Kaveri()
+	platform := dopia.NewPlatform(machine)
+	ctx := platform.CreateContext()
+
+	grid, err := dopia.SyntheticWorkloads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != 1224 {
+		t.Fatalf("synthetic grid has %d workloads, want 1224", len(grid))
+	}
+	var train []*dopia.Workload
+	for i := 0; i < len(grid); i += len(grid) / 30 {
+		train = append(train, grid[i])
+	}
+	model, err := dopia.TrainDefaultModel(machine, train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw := dopia.NewFramework(machine, model)
+	fw.Attach(ctx)
+
+	prog := ctx.CreateProgramWithSource(`
+__kernel void scale(__global float* a, __global float* b, float f, int n) {
+    int i = get_global_id(0);
+    if (i < n) { b[i] = a[i] * f; }
+}`)
+	if err := prog.Build(); err != nil {
+		t.Fatal(err)
+	}
+	kern, err := prog.CreateKernel("scale")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 512
+	a := ctx.CreateFloatBuffer(n)
+	b := ctx.CreateFloatBuffer(n)
+	for i := range a.Float32() {
+		a.Float32()[i] = float32(i)
+	}
+	for i, v := range []any{a, b, float32(2.5), n} {
+		if err := kern.SetArg(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := ctx.CreateCommandQueue(platform.Device(dopia.DeviceCPU))
+	if err := q.EnqueueNDRangeKernel(kern, dopia.ND1(n, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if q.SimTime <= 0 || q.LastResult == nil {
+		t.Fatal("launch not accounted by Dopia")
+	}
+	for i := 0; i < n; i++ {
+		if b.Float32()[i] != float32(i)*2.5 {
+			t.Fatalf("b[%d] = %v", i, b.Float32()[i])
+		}
+	}
+}
+
+// TestPublicCharacterize exercises the oracle helper.
+func TestPublicCharacterize(t *testing.T) {
+	machine := dopia.Skylake()
+	ws, err := dopia.RealWorkloads(256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := dopia.Characterize(machine, ws[8])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ch.Times) != 44 || ch.BestTime <= 0 {
+		t.Fatalf("characterization incomplete: %d times", len(ch.Times))
+	}
+	if p := ch.Perf(machine.CPUOnly()); p <= 0 || p > 1 {
+		t.Errorf("CPU-only perf %v out of range", p)
+	}
+}
+
+func TestMachinePresets(t *testing.T) {
+	k, s := dopia.Kaveri(), dopia.Skylake()
+	if k.TotalPEs() != 512 {
+		t.Errorf("Kaveri PEs = %d, want 512", k.TotalPEs())
+	}
+	if s.TotalPEs() != 768 {
+		t.Errorf("Skylake PEs = %d, want 768", s.TotalPEs())
+	}
+	if len(k.Configs()) != 44 || len(s.Configs()) != 44 {
+		t.Error("DoP spaces must have 44 configurations (Table 3)")
+	}
+}

@@ -1,0 +1,77 @@
+// Heatmap: reproduce the paper's Figure 1 view for any of the fourteen
+// real-world kernels — the normalized throughput of every (CPU cores x
+// GPU allocation) configuration on a chosen machine.
+//
+//	go run ./examples/heatmap -kernel GESUMMV -machine Kaveri -n 1024
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"dopia"
+)
+
+func main() {
+	var (
+		machineName = flag.String("machine", "Kaveri", "Kaveri or Skylake")
+		kernel      = flag.String("kernel", "GESUMMV", "kernel name")
+		n           = flag.Int("n", 1024, "problem size")
+		wg          = flag.Int("wg", 256, "work-group size")
+	)
+	flag.Parse()
+
+	machine := dopia.Kaveri()
+	if strings.EqualFold(*machineName, "skylake") {
+		machine = dopia.Skylake()
+	}
+	ws, err := dopia.RealWorkloads(*n, *wg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var target *dopia.Workload
+	for _, w := range ws {
+		if strings.HasPrefix(w.Name, *kernel+".") {
+			target = w
+		}
+	}
+	if target == nil {
+		log.Fatalf("unknown kernel %q", *kernel)
+	}
+
+	fmt.Printf("characterizing %s on %s (%d configurations)...\n",
+		target.Name, machine.Name, len(machine.Configs()))
+	ch, err := dopia.Characterize(machine, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Render: GPU allocation on rows (descending), CPU cores on columns,
+	// each cell the throughput normalized to the best configuration.
+	gpuSteps := append([]float64(nil), machine.GPUSteps...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(gpuSteps)))
+	fmt.Printf("\n%8s", "")
+	for _, c := range machine.CPUSteps {
+		fmt.Printf("  cpu=%d", c)
+	}
+	fmt.Println()
+	for _, g := range gpuSteps {
+		fmt.Printf("gpu=%3.0f%%", g*100)
+		for _, c := range machine.CPUSteps {
+			cfg := dopia.Config{CPUCores: c, GPUFrac: g}
+			if !cfg.Valid() {
+				fmt.Printf("  %5s", "-")
+				continue
+			}
+			fmt.Printf("  %5.2f", ch.Perf(cfg))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\nbest: CPU %d cores + %.1f%% GPU -> %.4g ms\n",
+		ch.Best.CPUCores, ch.Best.GPUFrac*100, ch.BestTime*1e3)
+	fmt.Printf("CPU-only %.2f, GPU-only %.2f, ALL %.2f of best\n",
+		ch.Perf(machine.CPUOnly()), ch.Perf(machine.GPUOnly()), ch.Perf(machine.AllResources()))
+}

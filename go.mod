@@ -1,0 +1,3 @@
+module dopia
+
+go 1.22

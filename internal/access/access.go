@@ -1,0 +1,104 @@
+// Package access defines the memory-access-pattern vocabulary shared by
+// the static analyzer, the functional interpreter, and the performance
+// simulator: every memory operation is classified as constant, continuous,
+// strided, or random, following Section 5.1 of the Dopia paper.
+package access
+
+import "fmt"
+
+// Pattern classifies the address sequence of a memory operation.
+type Pattern int
+
+// Pattern classes, ordered from most to least memory-system friendly.
+const (
+	// Unknown means the classifier has not seen enough evidence.
+	Unknown Pattern = iota
+	// Constant: the operation repeatedly accesses one address.
+	Constant
+	// Continuous: consecutive executions access consecutive elements.
+	Continuous
+	// Strided: consecutive executions advance by a fixed stride > 1 element.
+	Strided
+	// Random: no fixed relation between consecutive addresses (e.g.
+	// indirect accesses such as C[B[i]]).
+	Random
+)
+
+func (p Pattern) String() string {
+	switch p {
+	case Unknown:
+		return "unknown"
+	case Constant:
+		return "constant"
+	case Continuous:
+		return "continuous"
+	case Strided:
+		return "strided"
+	case Random:
+		return "random"
+	}
+	return fmt.Sprintf("pattern(%d)", int(p))
+}
+
+// Classifier incrementally classifies a single operation's address stream
+// (element-granularity deltas). It tolerates a small fraction of outliers
+// (loop-boundary jumps) before declaring a stream random.
+type Classifier struct {
+	n          int64 // deltas observed
+	constN     int64
+	contN      int64
+	strideN    int64
+	randomN    int64
+	strideElem int64 // the stride that strideN counts
+}
+
+// Observe records a delta, in elements, between two consecutive accesses.
+func (c *Classifier) Observe(deltaElems int64) {
+	c.n++
+	switch {
+	case deltaElems == 0:
+		c.constN++
+	case deltaElems == 1:
+		c.contN++
+	default:
+		if c.strideN == 0 {
+			c.strideElem = deltaElems
+			c.strideN++
+		} else if deltaElems == c.strideElem {
+			c.strideN++
+		} else {
+			c.randomN++
+		}
+	}
+}
+
+// Observations returns the number of deltas observed.
+func (c *Classifier) Observations() int64 { return c.n }
+
+// Pattern returns the majority classification of the stream so far.
+// A stream needs at least one delta to be classified; single-execution
+// sites report Unknown and callers fall back to static classification.
+func (c *Classifier) Pattern() (Pattern, int64) {
+	if c.n == 0 {
+		return Unknown, 0
+	}
+	// Outlier tolerance: a strided row-major walk sees one irregular jump
+	// per row; accept up to 10% irregularity before calling it random.
+	if c.randomN*10 > c.n {
+		return Random, 0
+	}
+	best, bestN := Constant, c.constN
+	if c.contN > bestN {
+		best, bestN = Continuous, c.contN
+	}
+	if c.strideN > bestN {
+		best, bestN = Strided, c.strideN
+	}
+	if c.randomN > bestN {
+		best = Random
+	}
+	if best == Strided {
+		return Strided, c.strideElem
+	}
+	return best, 0
+}

@@ -1,0 +1,76 @@
+package access
+
+import "testing"
+
+func TestPatternString(t *testing.T) {
+	want := map[Pattern]string{
+		Unknown: "unknown", Constant: "constant", Continuous: "continuous",
+		Strided: "strided", Random: "random", Pattern(99): "pattern(99)",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), s)
+		}
+	}
+}
+
+func TestClassifierBasics(t *testing.T) {
+	cases := []struct {
+		name   string
+		deltas []int64
+		want   Pattern
+		stride int64
+	}{
+		{"constant", []int64{0, 0, 0, 0}, Constant, 0},
+		{"continuous", []int64{1, 1, 1, 1}, Continuous, 0},
+		{"strided", []int64{8, 8, 8, 8}, Strided, 8},
+		{"negative stride", []int64{-4, -4, -4}, Strided, -4},
+		{"random", []int64{3, -7, 12, 5, -2, 9, 1, -8, 15, 4}, Random, 0},
+	}
+	for _, c := range cases {
+		var cl Classifier
+		for _, d := range c.deltas {
+			cl.Observe(d)
+		}
+		p, s := cl.Pattern()
+		if p != c.want {
+			t.Errorf("%s: pattern = %v, want %v", c.name, p, c.want)
+		}
+		if c.want == Strided && s != c.stride {
+			t.Errorf("%s: stride = %d, want %d", c.name, s, c.stride)
+		}
+		if cl.Observations() != int64(len(c.deltas)) {
+			t.Errorf("%s: observations = %d", c.name, cl.Observations())
+		}
+	}
+}
+
+func TestClassifierEmpty(t *testing.T) {
+	var cl Classifier
+	if p, _ := cl.Pattern(); p != Unknown {
+		t.Errorf("empty classifier = %v, want unknown", p)
+	}
+}
+
+func TestClassifierOutlierTolerance(t *testing.T) {
+	// A row-major walk: 63 continuous steps then one big jump per row.
+	var cl Classifier
+	for row := 0; row < 4; row++ {
+		for i := 0; i < 63; i++ {
+			cl.Observe(1)
+		}
+		cl.Observe(1000) // row boundary: the first becomes the "stride"
+	}
+	if p, _ := cl.Pattern(); p != Continuous {
+		t.Errorf("mostly-continuous walk classified as %v", p)
+	}
+	// But when irregularity exceeds 10%, the stream is random.
+	var cl2 Classifier
+	for i := 0; i < 10; i++ {
+		cl2.Observe(1)
+		cl2.Observe(int64(37 * (i + 1))) // a different jump every time
+	}
+	if p, _ := cl2.Pattern(); p != Random {
+		t.Errorf("half-irregular stream classified as %v, want random", p)
+	}
+}

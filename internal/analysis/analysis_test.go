@@ -1,0 +1,272 @@
+package analysis
+
+import (
+	"testing"
+
+	"dopia/internal/access"
+	"dopia/internal/clc"
+)
+
+func analyze(t *testing.T, src, name string) *Result {
+	t.Helper()
+	prog, err := clc.Compile(src)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	k := prog.Kernel(name)
+	if k == nil {
+		t.Fatalf("kernel %q not found", name)
+	}
+	res, err := Analyze(k)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return res
+}
+
+// TestPaperExample reproduces the classification example from Section 5.1
+// of the paper:
+//
+//	for (i) for (j)
+//	  D[i][j] = A[i][j] + B[j][i] + C[c1] + C[B[j][i]];
+//
+// expected: #mem_constant=1, #mem_continuous=2, #mem_stride=2, #mem_random=1.
+func TestPaperExample(t *testing.T) {
+	src := `__kernel void ex(__global float* A, __global float* B,
+                         __global float* C, __global float* D,
+                         __global int* Bi, int c1, int N, int M) {
+        for (int i = 0; i < N; i++) {
+            for (int j = 0; j < M; j++) {
+                D[i * M + j] = A[i * M + j] + B[j * N + i] + C[c1] + C[Bi[j * N + i]];
+            }
+        }
+    }`
+	res := analyze(t, src, "ex")
+	if res.MemConstant != 1 {
+		t.Errorf("mem_constant = %d, want 1", res.MemConstant)
+	}
+	if res.MemContinuous != 2 {
+		t.Errorf("mem_continuous = %d, want 2 (A load, D store)", res.MemContinuous)
+	}
+	if res.MemStride != 2 {
+		t.Errorf("mem_stride = %d, want 2 (B and index load)", res.MemStride)
+	}
+	if res.MemRandom != 1 {
+		t.Errorf("mem_random = %d, want 1 (C[Bi[..]])", res.MemRandom)
+	}
+	if res.MaxLoopDepth != 2 {
+		t.Errorf("loop depth = %d, want 2", res.MaxLoopDepth)
+	}
+}
+
+func TestGesummvClassification(t *testing.T) {
+	src := `__kernel void gesummv(__global float* A, __global float* B,
+                         __global float* x, __global float* y,
+                         float alpha, float beta, int N) {
+        int i = get_global_id(0);
+        if (i < N) {
+            float tmp = 0.0f;
+            float yv = 0.0f;
+            for (int j = 0; j < N; j++) {
+                tmp += A[i * N + j] * x[j];
+                yv += B[i * N + j] * x[j];
+            }
+            y[i] = alpha * tmp + beta * yv;
+        }
+    }`
+	res := analyze(t, src, "gesummv")
+	// Per iteration: A, x, B, x continuous; y[i] outside the loop is
+	// continuous along the work-item stream.
+	if res.MemContinuous != 5 {
+		t.Errorf("mem_continuous = %d, want 5", res.MemContinuous)
+	}
+	if res.MemRandom != 0 || res.MemConstant != 0 || res.MemStride != 0 {
+		t.Errorf("unexpected classes: const=%d stride=%d random=%d",
+			res.MemConstant, res.MemStride, res.MemRandom)
+	}
+	// Lane view: A[i*N+j] has lane stride N (symbolic); x[j] is a lane
+	// broadcast; y[i] is lane-continuous.
+	siteA := res.Site(0)
+	if siteA == nil || siteA.Lane != access.Strided {
+		t.Fatalf("site A lane = %+v, want strided", siteA)
+	}
+	siteX := res.Site(1)
+	if siteX == nil || siteX.Lane != access.Constant {
+		t.Fatalf("site x lane = %+v, want constant", siteX)
+	}
+	siteY := res.Site(4)
+	if siteY == nil || siteY.Lane != access.Continuous || !siteY.Write {
+		t.Fatalf("site y = %+v, want continuous write", siteY)
+	}
+}
+
+func TestStrideConstantKnown(t *testing.T) {
+	src := `__kernel void st(__global float* a, __global float* b, int n) {
+        int i = get_global_id(0);
+        for (int j = 0; j < n; j++) {
+            b[i] += a[j * 8];
+        }
+    }`
+	res := analyze(t, src, "st")
+	// Site 0 is the b[i] target (checked first); site 1 is a[j*8].
+	siteA := res.Site(1)
+	if siteA == nil || siteA.Iter != access.Strided || siteA.IterStride != 8 {
+		t.Fatalf("a[j*8] = %+v, want strided stride 8", siteA)
+	}
+	if res.MemStride != 1 {
+		t.Errorf("mem_stride = %d, want 1", res.MemStride)
+	}
+}
+
+func TestLoopInvariantIsConstant(t *testing.T) {
+	src := `__kernel void lc(__global float* a, __global float* b, int n, int k) {
+        int i = get_global_id(0);
+        float s = 0.0f;
+        for (int j = 0; j < n; j++) {
+            s += a[k] + b[i];
+        }
+        b[i] = s;
+    }`
+	res := analyze(t, src, "lc")
+	// a[k] and b[i] are constant within the j loop.
+	if res.MemConstant != 2 {
+		t.Errorf("mem_constant = %d, want 2", res.MemConstant)
+	}
+	// b[i] store outside the loop: continuous over work-items.
+	if res.MemContinuous != 1 {
+		t.Errorf("mem_continuous = %d, want 1", res.MemContinuous)
+	}
+}
+
+func TestLoopCarriedVariableIsRandom(t *testing.T) {
+	src := `__kernel void lcv(__global float* a, __global int* next, int n) {
+        int p = 0;
+        for (int j = 0; j < n; j++) {
+            a[p] = 1.0f;
+            p = next[p];
+        }
+    }`
+	res := analyze(t, src, "lcv")
+	// a[p]: p is loop-carried through a data load -> random.
+	siteA := res.Site(0)
+	if siteA == nil || siteA.Iter != access.Random {
+		t.Fatalf("a[p] = %+v, want random", siteA)
+	}
+}
+
+func TestReverseLoopContinuous(t *testing.T) {
+	src := `__kernel void rv(__global float* a, int n) {
+        for (int j = n - 1; j >= 0; j--) {
+            a[j] = 0.0f;
+        }
+    }`
+	res := analyze(t, src, "rv")
+	site := res.Site(0)
+	if site == nil || site.Iter != access.Continuous {
+		t.Fatalf("a[j] with j-- = %+v, want continuous", site)
+	}
+}
+
+func TestArithCounts(t *testing.T) {
+	src := `__kernel void ar(__global float* a, __global int* b, int n, float c) {
+        int i = get_global_id(0);
+        if (i < n) {
+            a[i] = a[i] * c + c / 2.0f - 1.0f;
+            b[i] = i * 3 + (i >> 1);
+        }
+    }`
+	res := analyze(t, src, "ar")
+	// Float ops: * c, + , / , -  => 4.
+	if res.ArithFloat != 4 {
+		t.Errorf("arith_float = %d, want 4", res.ArithFloat)
+	}
+	// Int ops: i*3, +, i>>1 => 3 (comparisons excluded).
+	if res.ArithInt != 3 {
+		t.Errorf("arith_int = %d, want 3", res.ArithInt)
+	}
+}
+
+func TestTwoDimensionalKernel(t *testing.T) {
+	src := `__kernel void t2(__global float* in, __global float* out, int n) {
+        int i = get_global_id(0);
+        int j = get_global_id(1);
+        if (i < n && j < n) {
+            out[j * n + i] = in[i * n + j];
+        }
+    }`
+	res := analyze(t, src, "t2")
+	// Site 0 is the out[j*n+i] store (LHS checked first): lane-continuous.
+	siteOut := res.Site(0)
+	if siteOut == nil || siteOut.Lane != access.Continuous || !siteOut.Write {
+		t.Fatalf("out lane = %+v, want continuous write", siteOut)
+	}
+	// Site 1 is in[i*n+j]: lane (dim 0 = i) stride n -> strided; the
+	// iteration view (no loop) falls back to the lane view.
+	siteIn := res.Site(1)
+	if siteIn == nil || siteIn.Lane != access.Strided {
+		t.Fatalf("in lane = %+v, want strided", siteIn)
+	}
+}
+
+func TestBranchMergeWidens(t *testing.T) {
+	src := `__kernel void bm(__global float* a, int n, int flag) {
+        int i = get_global_id(0);
+        int idx = i;
+        if (flag > 0) { idx = i * 2; }
+        a[idx] = 1.0f;
+        int idx2 = i;
+        if (flag > 0) { idx2 = i; }
+        a[idx2] = 2.0f;
+    }`
+	res := analyze(t, src, "bm")
+	// idx differs across branches -> random (conservative).
+	if s := res.Site(0); s == nil || s.Lane != access.Random {
+		t.Fatalf("divergent idx = %+v, want random", s)
+	}
+	// idx2 is the same on both paths -> continuous.
+	if s := res.Site(1); s == nil || s.Lane != access.Continuous {
+		t.Fatalf("convergent idx2 = %+v, want continuous", s)
+	}
+}
+
+func TestLocalAccessesExcluded(t *testing.T) {
+	src := `__kernel void ll(__global int* out) {
+        __local int wl[1];
+        if (get_local_id(0) == 0) wl[0] = 0;
+        barrier(CLK_LOCAL_MEM_FENCE);
+        int w = atomic_inc(wl);
+        out[get_global_id(0)] = w;
+    }`
+	res := analyze(t, src, "ll")
+	if res.MemTotal() != 1 {
+		t.Errorf("mem total = %d, want 1 (only the global store)", res.MemTotal())
+	}
+	for _, s := range res.Sites {
+		if s.Local && s.ArgIndex != -1 {
+			t.Errorf("local site has arg index %d", s.ArgIndex)
+		}
+	}
+}
+
+func TestCompoundAssignCountsReadAndWrite(t *testing.T) {
+	src := `__kernel void ca(__global float* a, int n) {
+        int i = get_global_id(0);
+        if (i < n) { a[i] += 1.0f; }
+    }`
+	res := analyze(t, src, "ca")
+	// a[i] += x is one read + one write, both continuous.
+	if res.MemContinuous != 2 {
+		t.Errorf("mem_continuous = %d, want 2", res.MemContinuous)
+	}
+	var reads, writes int
+	for _, s := range res.Sites {
+		if s.Write {
+			writes++
+		} else {
+			reads++
+		}
+	}
+	if reads != 1 || writes != 1 {
+		t.Errorf("reads=%d writes=%d, want 1/1", reads, writes)
+	}
+}

@@ -1,0 +1,67 @@
+package clc
+
+// BuiltinKind classifies the builtin functions of the subset.
+type BuiltinKind int
+
+// Builtin categories. The interpreter and the analyses dispatch on these.
+const (
+	BuiltinWorkItem  BuiltinKind = iota // get_global_id(dim) and friends
+	BuiltinMath                         // sqrt, exp, ... float -> float
+	BuiltinMath2                        // pow, fmin, ... (float,float) -> float
+	BuiltinIntMinMax                    // min/max over integers (polymorphic)
+	BuiltinAtomic                       // atomic_inc/dec (ptr) -> old value
+	BuiltinAtomic2                      // atomic_add/sub/... (ptr, val) -> old
+	BuiltinAbs                          // abs(int) -> int
+)
+
+// Builtin describes one builtin function.
+type Builtin struct {
+	Name string
+	Kind BuiltinKind
+}
+
+// builtinTable lists every builtin the front-end recognises. Work-item
+// query functions return size_t in OpenCL; the subset types them as int,
+// which is what all evaluated kernels assign them to.
+var builtinTable = map[string]*Builtin{
+	"get_global_id":     {Name: "get_global_id", Kind: BuiltinWorkItem},
+	"get_local_id":      {Name: "get_local_id", Kind: BuiltinWorkItem},
+	"get_group_id":      {Name: "get_group_id", Kind: BuiltinWorkItem},
+	"get_global_size":   {Name: "get_global_size", Kind: BuiltinWorkItem},
+	"get_local_size":    {Name: "get_local_size", Kind: BuiltinWorkItem},
+	"get_num_groups":    {Name: "get_num_groups", Kind: BuiltinWorkItem},
+	"get_global_offset": {Name: "get_global_offset", Kind: BuiltinWorkItem},
+	"get_work_dim":      {Name: "get_work_dim", Kind: BuiltinWorkItem},
+
+	"sqrt":  {Name: "sqrt", Kind: BuiltinMath},
+	"rsqrt": {Name: "rsqrt", Kind: BuiltinMath},
+	"exp":   {Name: "exp", Kind: BuiltinMath},
+	"log":   {Name: "log", Kind: BuiltinMath},
+	"sin":   {Name: "sin", Kind: BuiltinMath},
+	"cos":   {Name: "cos", Kind: BuiltinMath},
+	"tan":   {Name: "tan", Kind: BuiltinMath},
+	"fabs":  {Name: "fabs", Kind: BuiltinMath},
+	"floor": {Name: "floor", Kind: BuiltinMath},
+	"ceil":  {Name: "ceil", Kind: BuiltinMath},
+
+	"pow":   {Name: "pow", Kind: BuiltinMath2},
+	"fmin":  {Name: "fmin", Kind: BuiltinMath2},
+	"fmax":  {Name: "fmax", Kind: BuiltinMath2},
+	"hypot": {Name: "hypot", Kind: BuiltinMath2},
+	"fmod":  {Name: "fmod", Kind: BuiltinMath2},
+
+	"min": {Name: "min", Kind: BuiltinIntMinMax},
+	"max": {Name: "max", Kind: BuiltinIntMinMax},
+	"abs": {Name: "abs", Kind: BuiltinAbs},
+
+	"atomic_inc":  {Name: "atomic_inc", Kind: BuiltinAtomic},
+	"atomic_dec":  {Name: "atomic_dec", Kind: BuiltinAtomic},
+	"atomic_add":  {Name: "atomic_add", Kind: BuiltinAtomic2},
+	"atomic_sub":  {Name: "atomic_sub", Kind: BuiltinAtomic2},
+	"atomic_min":  {Name: "atomic_min", Kind: BuiltinAtomic2},
+	"atomic_max":  {Name: "atomic_max", Kind: BuiltinAtomic2},
+	"atomic_xchg": {Name: "atomic_xchg", Kind: BuiltinAtomic2},
+}
+
+// LookupBuiltin returns the builtin with the given name, or nil.
+func LookupBuiltin(name string) *Builtin { return builtinTable[name] }

@@ -1,0 +1,319 @@
+package clc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Error is a front-end diagnostic carrying a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// ErrorList collects diagnostics so callers see every problem in one pass.
+type ErrorList []*Error
+
+func (l ErrorList) Error() string {
+	if len(l) == 0 {
+		return "no errors"
+	}
+	parts := make([]string, 0, len(l))
+	for _, e := range l {
+		parts = append(parts, e.Error())
+	}
+	return strings.Join(parts, "\n")
+}
+
+// Err returns the list as an error, or nil when it is empty.
+func (l ErrorList) Err() error {
+	if len(l) == 0 {
+		return nil
+	}
+	return l
+}
+
+// Lexer turns OpenCL C source text into a token stream. Line comments,
+// block comments, and line continuations are skipped. The lexer is
+// separate from the parser so tests can verify tokenization directly.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+	errs ErrorList
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Errors returns the diagnostics accumulated so far.
+func (lx *Lexer) Errors() ErrorList { return lx.errs }
+
+func (lx *Lexer) errorf(pos Pos, format string, args ...any) {
+	lx.errs = append(lx.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func (lx *Lexer) skipSpaceAndComments() {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '\\' && lx.peek2() == '\n':
+			lx.advance()
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				lx.errorf(start, "unterminated block comment")
+			}
+		case c == '#':
+			// Preprocessor directives are not supported; kernels in this
+			// repository are generated without them. Skip the line so a
+			// stray #pragma does not cascade into parse errors.
+			start := lx.pos()
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+			lx.errorf(start, "preprocessor directives are not supported")
+		default:
+			return
+		}
+	}
+}
+
+// Next returns the next token in the stream.
+func (lx *Lexer) Next() Token {
+	lx.skipSpaceAndComments()
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}
+	}
+	c := lx.peek()
+	switch {
+	case isIdentStart(c):
+		start := lx.off
+		for lx.off < len(lx.src) && isIdentPart(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		if keywords[text] {
+			return Token{Kind: TokKeyword, Text: text, Pos: pos}
+		}
+		return Token{Kind: TokIdent, Text: text, Pos: pos}
+	case isDigit(c) || (c == '.' && isDigit(lx.peek2())):
+		return lx.lexNumber(pos)
+	}
+	lx.advance()
+	two := func(next byte, yes, no TokenKind) Token {
+		if lx.peek() == next {
+			lx.advance()
+			return Token{Kind: yes, Text: tokenText[yes], Pos: pos}
+		}
+		return Token{Kind: no, Text: tokenText[no], Pos: pos}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Text: "(", Pos: pos}
+	case ')':
+		return Token{Kind: TokRParen, Text: ")", Pos: pos}
+	case '{':
+		return Token{Kind: TokLBrace, Text: "{", Pos: pos}
+	case '}':
+		return Token{Kind: TokRBrace, Text: "}", Pos: pos}
+	case '[':
+		return Token{Kind: TokLBracket, Text: "[", Pos: pos}
+	case ']':
+		return Token{Kind: TokRBracket, Text: "]", Pos: pos}
+	case ',':
+		return Token{Kind: TokComma, Text: ",", Pos: pos}
+	case ';':
+		return Token{Kind: TokSemi, Text: ";", Pos: pos}
+	case ':':
+		return Token{Kind: TokColon, Text: ":", Pos: pos}
+	case '?':
+		return Token{Kind: TokQuestion, Text: "?", Pos: pos}
+	case '~':
+		return Token{Kind: TokTilde, Text: "~", Pos: pos}
+	case '+':
+		if lx.peek() == '+' {
+			lx.advance()
+			return Token{Kind: TokInc, Text: "++", Pos: pos}
+		}
+		return two('=', TokPlusAssign, TokPlus)
+	case '-':
+		if lx.peek() == '-' {
+			lx.advance()
+			return Token{Kind: TokDec, Text: "--", Pos: pos}
+		}
+		return two('=', TokMinusAssign, TokMinus)
+	case '*':
+		return two('=', TokStarAssign, TokStar)
+	case '/':
+		return two('=', TokSlashAssign, TokSlash)
+	case '%':
+		return two('=', TokPercentAssign, TokPercent)
+	case '=':
+		return two('=', TokEq, TokAssign)
+	case '!':
+		return two('=', TokNe, TokNot)
+	case '<':
+		if lx.peek() == '<' {
+			lx.advance()
+			return two('=', TokShlAssign, TokShl)
+		}
+		return two('=', TokLe, TokLt)
+	case '>':
+		if lx.peek() == '>' {
+			lx.advance()
+			return two('=', TokShrAssign, TokShr)
+		}
+		return two('=', TokGe, TokGt)
+	case '&':
+		if lx.peek() == '&' {
+			lx.advance()
+			return Token{Kind: TokAndAnd, Text: "&&", Pos: pos}
+		}
+		return two('=', TokAmpAssign, TokAmp)
+	case '|':
+		if lx.peek() == '|' {
+			lx.advance()
+			return Token{Kind: TokOrOr, Text: "||", Pos: pos}
+		}
+		return two('=', TokPipeAssign, TokPipe)
+	case '^':
+		return two('=', TokCaretAssign, TokCaret)
+	}
+	lx.errorf(pos, "unexpected character %q", string(c))
+	return lx.Next()
+}
+
+func (lx *Lexer) lexNumber(pos Pos) Token {
+	start := lx.off
+	isFloat := false
+	if lx.peek() == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+		lx.advance()
+		lx.advance()
+		for lx.off < len(lx.src) && isHexDigit(lx.peek()) {
+			lx.advance()
+		}
+	} else {
+		for lx.off < len(lx.src) && isDigit(lx.peek()) {
+			lx.advance()
+		}
+		if lx.peek() == '.' {
+			isFloat = true
+			lx.advance()
+			for lx.off < len(lx.src) && isDigit(lx.peek()) {
+				lx.advance()
+			}
+		}
+		if lx.peek() == 'e' || lx.peek() == 'E' {
+			save := lx.off
+			lx.advance()
+			if lx.peek() == '+' || lx.peek() == '-' {
+				lx.advance()
+			}
+			if isDigit(lx.peek()) {
+				isFloat = true
+				for lx.off < len(lx.src) && isDigit(lx.peek()) {
+					lx.advance()
+				}
+			} else {
+				lx.off = save
+			}
+		}
+	}
+	text := lx.src[start:lx.off]
+	// Suffixes: f/F marks float; u/U and l/L are integer suffixes.
+	switch lx.peek() {
+	case 'f', 'F':
+		isFloat = true
+		lx.advance()
+	case 'u', 'U', 'l', 'L':
+		lx.advance()
+		if lx.peek() == 'l' || lx.peek() == 'L' || lx.peek() == 'u' || lx.peek() == 'U' {
+			lx.advance()
+		}
+	}
+	kind := TokIntLit
+	if isFloat {
+		kind = TokFloatLit
+	}
+	return Token{Kind: kind, Text: text, Pos: pos}
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+// Tokenize lexes the whole input and returns the tokens plus diagnostics.
+func Tokenize(src string) ([]Token, ErrorList) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t := lx.Next()
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			break
+		}
+	}
+	return toks, lx.Errors()
+}

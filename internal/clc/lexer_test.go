@@ -1,0 +1,141 @@
+package clc
+
+import "testing"
+
+func kinds(toks []Token) []TokenKind {
+	out := make([]TokenKind, len(toks))
+	for i, t := range toks {
+		out[i] = t.Kind
+	}
+	return out
+}
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, errs := Tokenize("int x = a[i] + 3.5f;")
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	want := []TokenKind{
+		TokKeyword, TokIdent, TokAssign, TokIdent, TokLBracket, TokIdent,
+		TokRBracket, TokPlus, TokFloatLit, TokSemi, TokEOF,
+	}
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("token %d: got %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	cases := map[string]TokenKind{
+		"+": TokPlus, "-": TokMinus, "*": TokStar, "/": TokSlash, "%": TokPercent,
+		"++": TokInc, "--": TokDec,
+		"==": TokEq, "!=": TokNe, "<": TokLt, ">": TokGt, "<=": TokLe, ">=": TokGe,
+		"&&": TokAndAnd, "||": TokOrOr, "!": TokNot,
+		"&": TokAmp, "|": TokPipe, "^": TokCaret, "~": TokTilde,
+		"<<": TokShl, ">>": TokShr,
+		"=": TokAssign, "+=": TokPlusAssign, "-=": TokMinusAssign,
+		"*=": TokStarAssign, "/=": TokSlashAssign, "%=": TokPercentAssign,
+		"&=": TokAmpAssign, "|=": TokPipeAssign, "^=": TokCaretAssign,
+		"<<=": TokShlAssign, ">>=": TokShrAssign,
+		"?": TokQuestion, ":": TokColon,
+	}
+	for src, want := range cases {
+		toks, errs := Tokenize(src)
+		if errs.Err() != nil {
+			t.Fatalf("%q: unexpected errors: %v", src, errs)
+		}
+		if toks[0].Kind != want {
+			t.Errorf("%q: got %v, want %v", src, toks[0].Kind, want)
+		}
+		if len(toks) != 2 {
+			t.Errorf("%q: tokenized into %d tokens, want 2", src, len(toks))
+		}
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind TokenKind
+	}{
+		{"0", TokIntLit},
+		{"42", TokIntLit},
+		{"0x1F", TokIntLit},
+		{"7u", TokIntLit},
+		{"7UL", TokIntLit},
+		{"1.5", TokFloatLit},
+		{"1.5f", TokFloatLit},
+		{"2f", TokFloatLit},
+		{".5", TokFloatLit},
+		{"1e10", TokFloatLit},
+		{"1.5e-3", TokFloatLit},
+		{"3E+2", TokFloatLit},
+	}
+	for _, c := range cases {
+		toks, errs := Tokenize(c.src)
+		if errs.Err() != nil {
+			t.Fatalf("%q: unexpected errors: %v", c.src, errs)
+		}
+		if toks[0].Kind != c.kind {
+			t.Errorf("%q: got %v, want %v", c.src, toks[0].Kind, c.kind)
+		}
+	}
+}
+
+func TestTokenizeComments(t *testing.T) {
+	src := `
+// line comment with code int x = 0;
+a /* block
+   spanning lines */ b
+`
+	toks, errs := Tokenize(src)
+	if errs.Err() != nil {
+		t.Fatalf("unexpected errors: %v", errs)
+	}
+	if len(toks) != 3 || toks[0].Text != "a" || toks[1].Text != "b" {
+		t.Fatalf("comments not skipped, got %v", toks)
+	}
+}
+
+func TestTokenizePositions(t *testing.T) {
+	toks, _ := Tokenize("a\n  b")
+	if toks[0].Pos != (Pos{Line: 1, Col: 1}) {
+		t.Errorf("first token pos = %v, want 1:1", toks[0].Pos)
+	}
+	if toks[1].Pos != (Pos{Line: 2, Col: 3}) {
+		t.Errorf("second token pos = %v, want 2:3", toks[1].Pos)
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	_, errs := Tokenize("a @ b")
+	if errs.Err() == nil {
+		t.Error("expected error for '@'")
+	}
+	_, errs = Tokenize("/* unterminated")
+	if errs.Err() == nil {
+		t.Error("expected error for unterminated comment")
+	}
+	_, errs = Tokenize("#define N 10\nint x;")
+	if errs.Err() == nil {
+		t.Error("expected error for preprocessor directive")
+	}
+}
+
+func TestKeywordRecognition(t *testing.T) {
+	for _, kw := range []string{"__kernel", "kernel", "__global", "float", "for", "if"} {
+		toks, _ := Tokenize(kw)
+		if toks[0].Kind != TokKeyword {
+			t.Errorf("%q not recognized as keyword", kw)
+		}
+	}
+	toks, _ := Tokenize("kernelx global_size")
+	if toks[0].Kind != TokIdent || toks[1].Kind != TokIdent {
+		t.Error("identifiers with keyword prefixes misclassified")
+	}
+}

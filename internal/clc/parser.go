@@ -1,0 +1,699 @@
+package clc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parser is a recursive-descent parser for the OpenCL C subset. It produces
+// an untyped AST; Check performs name resolution and type checking.
+type Parser struct {
+	toks []Token
+	pos  int
+	errs ErrorList
+}
+
+// Parse tokenizes and parses src, returning the program AST. The AST is
+// not yet type-checked; use Compile for the full front-end pipeline.
+func Parse(src string) (*Program, error) {
+	toks, lerrs := Tokenize(src)
+	p := &Parser{toks: toks, errs: lerrs}
+	prog := p.parseProgram()
+	prog.Source = src
+	if err := p.errs.Err(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// Compile runs the full front-end: parse then type-check. This is the
+// entry point used by the runtime when a program is created from source.
+func Compile(src string) (*Program, error) {
+	prog, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func (p *Parser) cur() Token { return p.toks[p.pos] }
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != TokEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) peekKind() TokenKind { return p.toks[p.pos].Kind }
+
+func (p *Parser) at(k TokenKind) bool { return p.toks[p.pos].Kind == k }
+
+func (p *Parser) atKeyword(words ...string) bool {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		return false
+	}
+	for _, w := range words {
+		if t.Text == w {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Parser) errorf(pos Pos, format string, args ...any) {
+	p.errs = append(p.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (p *Parser) expect(k TokenKind) Token {
+	t := p.cur()
+	if t.Kind != k {
+		p.errorf(t.Pos, "expected %s, found %s %q", k, t.Kind, t.Text)
+		return t
+	}
+	return p.next()
+}
+
+func (p *Parser) expectKeyword(word string) Token {
+	t := p.cur()
+	if t.Kind != TokKeyword || t.Text != word {
+		p.errorf(t.Pos, "expected %q, found %q", word, t.Text)
+		return t
+	}
+	return p.next()
+}
+
+// sync skips tokens until a likely statement boundary after an error, to
+// avoid error cascades.
+func (p *Parser) sync() {
+	for !p.at(TokEOF) {
+		if p.at(TokSemi) {
+			p.next()
+			return
+		}
+		if p.at(TokRBrace) {
+			return
+		}
+		p.next()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Program and kernels
+
+func (p *Parser) parseProgram() *Program {
+	prog := &Program{}
+	for !p.at(TokEOF) {
+		if p.atKeyword("__kernel", "kernel") {
+			if k := p.parseKernel(); k != nil {
+				prog.Kernels = append(prog.Kernels, k)
+			}
+			continue
+		}
+		t := p.cur()
+		p.errorf(t.Pos, "expected __kernel function definition, found %q", t.Text)
+		p.next()
+		p.sync()
+	}
+	if len(prog.Kernels) == 0 && len(p.errs) == 0 {
+		p.errorf(Pos{Line: 1, Col: 1}, "no __kernel function in program")
+	}
+	return prog
+}
+
+func (p *Parser) parseKernel() *Kernel {
+	p.next() // __kernel
+	p.expectKeyword("void")
+	name := p.cur()
+	if name.Kind != TokIdent {
+		p.errorf(name.Pos, "expected kernel name, found %q", name.Text)
+		p.sync()
+		return nil
+	}
+	p.next()
+	k := &Kernel{Name: name.Text, NamePos: name.Pos}
+	p.expect(TokLParen)
+	if !p.at(TokRParen) {
+		for {
+			if prm := p.parseParam(); prm != nil {
+				k.Params = append(k.Params, prm)
+			}
+			if !p.at(TokComma) {
+				break
+			}
+			p.next()
+		}
+	}
+	p.expect(TokRParen)
+	if !p.at(TokLBrace) {
+		p.errorf(p.cur().Pos, "expected kernel body, found %q", p.cur().Text)
+		p.sync()
+		return k
+	}
+	k.Body = p.parseBlock()
+	return k
+}
+
+// parseTypeSpec parses [qualifiers] base-type [*...]; returns the type and
+// whether a __local qualifier was present.
+func (p *Parser) parseTypeSpec() (Type, bool, bool) {
+	space := SpacePrivate
+	isLocal := false
+	seenSpace := false
+	for {
+		switch {
+		case p.atKeyword("__global", "global"):
+			space, seenSpace = SpaceGlobal, true
+			p.next()
+		case p.atKeyword("__local", "local"):
+			space, seenSpace = SpaceLocal, true
+			isLocal = true
+			p.next()
+		case p.atKeyword("__constant", "constant"):
+			space, seenSpace = SpaceConstant, true
+			p.next()
+		case p.atKeyword("__private", "private"):
+			space, seenSpace = SpacePrivate, true
+			p.next()
+		case p.atKeyword("const", "restrict", "volatile"):
+			p.next() // accepted and ignored
+		default:
+			goto base
+		}
+	}
+base:
+	kind, ok := p.parseBaseType()
+	if !ok {
+		return TypeVoid, false, false
+	}
+	t := Type{Kind: kind}
+	for p.at(TokStar) {
+		p.next()
+		if t.Ptr {
+			p.errorf(p.cur().Pos, "multi-level pointers are not supported")
+		}
+		t.Ptr = true
+		t.Space = space
+		for p.atKeyword("const", "restrict", "volatile") {
+			p.next()
+		}
+	}
+	if !t.Ptr && seenSpace && space != SpaceLocal {
+		// Non-pointer with __global/__constant is invalid in the subset;
+		// __local scalars/arrays are allowed.
+		p.errorf(p.cur().Pos, "%s requires a pointer or __local declaration", space)
+	}
+	return t, isLocal, true
+}
+
+func (p *Parser) parseBaseType() (Kind, bool) {
+	t := p.cur()
+	if t.Kind != TokKeyword {
+		p.errorf(t.Pos, "expected type, found %q", t.Text)
+		return KindVoid, false
+	}
+	switch t.Text {
+	case "void":
+		p.next()
+		return KindVoid, true
+	case "bool":
+		p.next()
+		return KindBool, true
+	case "char", "short", "int":
+		p.next()
+		return KindInt, true
+	case "uchar", "ushort", "uint", "size_t":
+		p.next()
+		return KindUInt, true
+	case "long":
+		p.next()
+		return KindLong, true
+	case "ulong":
+		p.next()
+		return KindULong, true
+	case "float":
+		p.next()
+		return KindFloat, true
+	case "double":
+		p.next()
+		return KindDouble, true
+	case "unsigned":
+		p.next()
+		if p.atKeyword("int", "char", "short", "long") {
+			long := p.cur().Text == "long"
+			p.next()
+			if long {
+				return KindULong, true
+			}
+		}
+		return KindUInt, true
+	case "signed":
+		p.next()
+		if p.atKeyword("int", "char", "short", "long") {
+			long := p.cur().Text == "long"
+			p.next()
+			if long {
+				return KindLong, true
+			}
+		}
+		return KindInt, true
+	}
+	p.errorf(t.Pos, "expected type, found %q", t.Text)
+	return KindVoid, false
+}
+
+// startsType reports whether the current token can begin a type specifier.
+func (p *Parser) startsType() bool {
+	return p.atKeyword(
+		"void", "bool", "char", "uchar", "short", "ushort", "int", "uint",
+		"long", "ulong", "float", "double", "size_t", "unsigned", "signed",
+		"const", "restrict", "volatile",
+		"__global", "global", "__local", "local",
+		"__constant", "constant", "__private", "private",
+	)
+}
+
+func (p *Parser) parseParam() *Param {
+	t, _, ok := p.parseTypeSpec()
+	if !ok {
+		p.sync()
+		return nil
+	}
+	name := p.cur()
+	if name.Kind != TokIdent {
+		p.errorf(name.Pos, "expected parameter name, found %q", name.Text)
+		return nil
+	}
+	p.next()
+	return &Param{Name: name.Text, Type: t, NamePos: name.Pos}
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+
+func (p *Parser) parseBlock() *Block {
+	lb := p.expect(TokLBrace)
+	b := &Block{stmtBase: stmtBase{P: lb.Pos}}
+	for !p.at(TokRBrace) && !p.at(TokEOF) {
+		if s := p.parseStmt(); s != nil {
+			b.Stmts = append(b.Stmts, s)
+		}
+	}
+	p.expect(TokRBrace)
+	return b
+}
+
+func (p *Parser) parseStmt() Stmt {
+	t := p.cur()
+	switch {
+	case p.at(TokLBrace):
+		return p.parseBlock()
+	case p.at(TokSemi):
+		p.next()
+		return nil
+	case p.startsType():
+		return p.parseDeclStmt()
+	case p.atKeyword("if"):
+		return p.parseIf()
+	case p.atKeyword("for"):
+		return p.parseFor()
+	case p.atKeyword("while"):
+		return p.parseWhile()
+	case p.atKeyword("do"):
+		return p.parseDoWhile()
+	case p.atKeyword("return"):
+		p.next()
+		if !p.at(TokSemi) {
+			p.errorf(p.cur().Pos, "kernels return void; return must have no value")
+			p.sync()
+		} else {
+			p.next()
+		}
+		return &ReturnStmt{stmtBase: stmtBase{P: t.Pos}}
+	case p.atKeyword("break"):
+		p.next()
+		p.expect(TokSemi)
+		return &BreakStmt{stmtBase: stmtBase{P: t.Pos}}
+	case p.atKeyword("continue"):
+		p.next()
+		p.expect(TokSemi)
+		return &ContinueStmt{stmtBase: stmtBase{P: t.Pos}}
+	case t.Kind == TokIdent && t.Text == "barrier":
+		return p.parseBarrier()
+	case t.Kind == TokKeyword:
+		p.errorf(t.Pos, "unexpected keyword %q", t.Text)
+		p.next()
+		p.sync()
+		return nil
+	default:
+		x := p.parseExpr()
+		p.expect(TokSemi)
+		if x == nil {
+			return nil
+		}
+		return &ExprStmt{stmtBase: stmtBase{P: t.Pos}, X: x}
+	}
+}
+
+func (p *Parser) parseBarrier() Stmt {
+	t := p.next() // barrier
+	p.expect(TokLParen)
+	var flags []string
+	for !p.at(TokRParen) && !p.at(TokEOF) {
+		tok := p.next()
+		flags = append(flags, tok.Text)
+	}
+	p.expect(TokRParen)
+	p.expect(TokSemi)
+	return &BarrierStmt{stmtBase: stmtBase{P: t.Pos}, Flags: strings.Join(flags, "")}
+}
+
+func (p *Parser) parseDeclStmt() Stmt {
+	pos := p.cur().Pos
+	t, isLocal, ok := p.parseTypeSpec()
+	if !ok {
+		p.sync()
+		return nil
+	}
+	if t.Kind == KindVoid && !t.Ptr {
+		p.errorf(pos, "cannot declare variable of type void")
+		p.sync()
+		return nil
+	}
+	ds := &DeclStmt{stmtBase: stmtBase{P: pos}}
+	for {
+		name := p.cur()
+		if name.Kind != TokIdent {
+			p.errorf(name.Pos, "expected variable name, found %q", name.Text)
+			p.sync()
+			return ds
+		}
+		p.next()
+		d := &VarDecl{Name: name.Text, Type: t, IsLocal: isLocal, NamePos: name.Pos}
+		if p.at(TokLBracket) {
+			p.next()
+			sz := p.cur()
+			if sz.Kind != TokIntLit {
+				p.errorf(sz.Pos, "array length must be an integer literal")
+			} else {
+				n, err := strconv.ParseInt(sz.Text, 0, 32)
+				if err != nil || n <= 0 {
+					p.errorf(sz.Pos, "invalid array length %q", sz.Text)
+				} else {
+					d.ArrayLen = int(n)
+				}
+				p.next()
+			}
+			p.expect(TokRBracket)
+		}
+		if p.at(TokAssign) {
+			p.next()
+			d.Init = p.parseAssignExpr()
+		}
+		ds.Decls = append(ds.Decls, d)
+		if !p.at(TokComma) {
+			break
+		}
+		p.next()
+	}
+	p.expect(TokSemi)
+	return ds
+}
+
+func (p *Parser) parseIf() Stmt {
+	t := p.next() // if
+	p.expect(TokLParen)
+	cond := p.parseExpr()
+	p.expect(TokRParen)
+	then := p.parseStmt()
+	var els Stmt
+	if p.atKeyword("else") {
+		p.next()
+		els = p.parseStmt()
+	}
+	return &IfStmt{stmtBase: stmtBase{P: t.Pos}, Cond: cond, Then: then, Else: els}
+}
+
+func (p *Parser) parseFor() Stmt {
+	t := p.next() // for
+	p.expect(TokLParen)
+	f := &ForStmt{stmtBase: stmtBase{P: t.Pos}}
+	if !p.at(TokSemi) {
+		if p.startsType() {
+			f.Init = p.parseDeclStmt() // consumes ';'
+		} else {
+			x := p.parseExpr()
+			p.expect(TokSemi)
+			f.Init = &ExprStmt{stmtBase: stmtBase{P: t.Pos}, X: x}
+		}
+	} else {
+		p.next()
+	}
+	if !p.at(TokSemi) {
+		f.Cond = p.parseExpr()
+	}
+	p.expect(TokSemi)
+	if !p.at(TokRParen) {
+		f.Post = p.parseExpr()
+	}
+	p.expect(TokRParen)
+	f.Body = p.parseStmt()
+	return f
+}
+
+func (p *Parser) parseWhile() Stmt {
+	t := p.next() // while
+	p.expect(TokLParen)
+	cond := p.parseExpr()
+	p.expect(TokRParen)
+	body := p.parseStmt()
+	return &WhileStmt{stmtBase: stmtBase{P: t.Pos}, Cond: cond, Body: body}
+}
+
+func (p *Parser) parseDoWhile() Stmt {
+	t := p.next() // do
+	body := p.parseStmt()
+	p.expectKeyword("while")
+	p.expect(TokLParen)
+	cond := p.parseExpr()
+	p.expect(TokRParen)
+	p.expect(TokSemi)
+	return &DoWhileStmt{stmtBase: stmtBase{P: t.Pos}, Body: body, Cond: cond}
+}
+
+// ---------------------------------------------------------------------------
+// Expressions (precedence climbing)
+
+func (p *Parser) parseExpr() Expr { return p.parseAssignExpr() }
+
+var assignOps = map[TokenKind]AssignOp{
+	TokAssign:        AssignPlain,
+	TokPlusAssign:    AssignAdd,
+	TokMinusAssign:   AssignSub,
+	TokStarAssign:    AssignMul,
+	TokSlashAssign:   AssignDiv,
+	TokPercentAssign: AssignRem,
+	TokAmpAssign:     AssignAnd,
+	TokPipeAssign:    AssignOr,
+	TokCaretAssign:   AssignXor,
+	TokShlAssign:     AssignShl,
+	TokShrAssign:     AssignShr,
+}
+
+func (p *Parser) parseAssignExpr() Expr {
+	lhs := p.parseCondExpr()
+	if op, ok := assignOps[p.peekKind()]; ok {
+		t := p.next()
+		rhs := p.parseAssignExpr()
+		return &Assign{exprBase: exprBase{P: t.Pos}, Op: op, LHS: lhs, RHS: rhs}
+	}
+	return lhs
+}
+
+func (p *Parser) parseCondExpr() Expr {
+	c := p.parseBinaryExpr(0)
+	if p.at(TokQuestion) {
+		t := p.next()
+		then := p.parseAssignExpr()
+		p.expect(TokColon)
+		els := p.parseCondExpr()
+		return &Cond{exprBase: exprBase{P: t.Pos}, C: c, Then: then, Else: els}
+	}
+	return c
+}
+
+// binPrec maps binary operator tokens to precedence levels (higher binds
+// tighter) following C.
+var binPrec = map[TokenKind]int{
+	TokOrOr:   1,
+	TokAndAnd: 2,
+	TokPipe:   3,
+	TokCaret:  4,
+	TokAmp:    5,
+	TokEq:     6, TokNe: 6,
+	TokLt: 7, TokGt: 7, TokLe: 7, TokGe: 7,
+	TokShl: 8, TokShr: 8,
+	TokPlus: 9, TokMinus: 9,
+	TokStar: 10, TokSlash: 10, TokPercent: 10,
+}
+
+var binOps = map[TokenKind]BinaryOp{
+	TokOrOr: BinLOr, TokAndAnd: BinLAnd,
+	TokPipe: BinOr, TokCaret: BinXor, TokAmp: BinAnd,
+	TokEq: BinEq, TokNe: BinNe,
+	TokLt: BinLt, TokGt: BinGt, TokLe: BinLe, TokGe: BinGe,
+	TokShl: BinShl, TokShr: BinShr,
+	TokPlus: BinAdd, TokMinus: BinSub,
+	TokStar: BinMul, TokSlash: BinDiv, TokPercent: BinRem,
+}
+
+func (p *Parser) parseBinaryExpr(minPrec int) Expr {
+	lhs := p.parseUnaryExpr()
+	for {
+		prec, ok := binPrec[p.peekKind()]
+		if !ok || prec < minPrec {
+			return lhs
+		}
+		t := p.next()
+		rhs := p.parseBinaryExpr(prec + 1)
+		lhs = &Binary{exprBase: exprBase{P: t.Pos}, Op: binOps[t.Kind], L: lhs, R: rhs}
+	}
+}
+
+func (p *Parser) parseUnaryExpr() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case TokMinus:
+		p.next()
+		return &Unary{exprBase: exprBase{P: t.Pos}, Op: UnaryNeg, X: p.parseUnaryExpr()}
+	case TokPlus:
+		p.next()
+		return &Unary{exprBase: exprBase{P: t.Pos}, Op: UnaryPlus, X: p.parseUnaryExpr()}
+	case TokNot:
+		p.next()
+		return &Unary{exprBase: exprBase{P: t.Pos}, Op: UnaryNot, X: p.parseUnaryExpr()}
+	case TokTilde:
+		p.next()
+		return &Unary{exprBase: exprBase{P: t.Pos}, Op: UnaryBitNot, X: p.parseUnaryExpr()}
+	case TokInc, TokDec:
+		p.next()
+		x := p.parseUnaryExpr()
+		return &IncDec{exprBase: exprBase{P: t.Pos}, X: x, Decr: t.Kind == TokDec, Post: false}
+	case TokLParen:
+		// Either a cast or a parenthesized expression.
+		if p.isCastAhead() {
+			p.next() // (
+			ct, _, _ := p.parseTypeSpec()
+			p.expect(TokRParen)
+			x := p.parseUnaryExpr()
+			return &Cast{exprBase: exprBase{P: t.Pos}, To: ct, X: x}
+		}
+	}
+	return p.parsePostfixExpr()
+}
+
+// isCastAhead reports whether the tokens after the current '(' spell a
+// type name followed by ')'.
+func (p *Parser) isCastAhead() bool {
+	if !p.at(TokLParen) {
+		return false
+	}
+	i := p.pos + 1
+	sawType := false
+	for i < len(p.toks) {
+		t := p.toks[i]
+		if t.Kind == TokKeyword && keywords[t.Text] {
+			switch t.Text {
+			case "if", "else", "for", "while", "do", "return", "break", "continue":
+				return false
+			}
+			sawType = true
+			i++
+			continue
+		}
+		if t.Kind == TokStar && sawType {
+			i++
+			continue
+		}
+		break
+	}
+	return sawType && i < len(p.toks) && p.toks[i].Kind == TokRParen
+}
+
+func (p *Parser) parsePostfixExpr() Expr {
+	x := p.parsePrimaryExpr()
+	for {
+		switch p.peekKind() {
+		case TokLBracket:
+			t := p.next()
+			idx := p.parseExpr()
+			p.expect(TokRBracket)
+			x = &Index{exprBase: exprBase{P: t.Pos}, Base: x, Idx: idx}
+		case TokInc, TokDec:
+			t := p.next()
+			x = &IncDec{exprBase: exprBase{P: t.Pos}, X: x, Decr: t.Kind == TokDec, Post: true}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parsePrimaryExpr() Expr {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 0, 64)
+		if err != nil {
+			// Very large literals saturate; report once.
+			uv, uerr := strconv.ParseUint(t.Text, 0, 64)
+			if uerr != nil {
+				p.errorf(t.Pos, "invalid integer literal %q", t.Text)
+			}
+			v = int64(uv)
+		}
+		return &IntLit{exprBase: exprBase{P: t.Pos}, Value: v, Text: t.Text}
+	case TokFloatLit:
+		p.next()
+		v, err := strconv.ParseFloat(strings.TrimRight(t.Text, "fF"), 64)
+		if err != nil {
+			p.errorf(t.Pos, "invalid float literal %q", t.Text)
+		}
+		return &FloatLit{exprBase: exprBase{P: t.Pos}, Value: v, Text: t.Text}
+	case TokIdent:
+		p.next()
+		if p.at(TokLParen) {
+			return p.parseCall(t)
+		}
+		return &Ident{exprBase: exprBase{P: t.Pos}, Name: t.Text}
+	case TokLParen:
+		p.next()
+		x := p.parseExpr()
+		p.expect(TokRParen)
+		return x
+	}
+	p.errorf(t.Pos, "expected expression, found %s %q", t.Kind, t.Text)
+	p.next()
+	return &IntLit{exprBase: exprBase{P: t.Pos}, Value: 0, Text: "0"}
+}
+
+func (p *Parser) parseCall(name Token) Expr {
+	p.expect(TokLParen)
+	c := &Call{exprBase: exprBase{P: name.Pos}, Name: name.Text}
+	if !p.at(TokRParen) {
+		for {
+			c.Args = append(c.Args, p.parseAssignExpr())
+			if !p.at(TokComma) {
+				break
+			}
+			p.next()
+		}
+	}
+	p.expect(TokRParen)
+	return c
+}

@@ -1,0 +1,66 @@
+package clc_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dopia/internal/clc"
+	"dopia/internal/workloads"
+)
+
+// TestPropertyPrinterRoundTrip: for random synthetic-workload kernels,
+// print(compile(src)) recompiles, and printing is a fixed point.
+func TestPropertyPrinterRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(3))}
+	prop := func(alphaRaw, dimsRaw, gammaRaw, tRaw, rRaw, cRaw, wdRaw, dtRaw uint8) bool {
+		dtype := clc.KindFloat
+		if dtRaw%2 == 1 {
+			dtype = clc.KindInt
+		}
+		spec := workloads.SynthSpec{
+			Alpha:      1 + int(alphaRaw)%3,
+			MatDims:    3 + int(dimsRaw)%2,
+			Gamma:      int(gammaRaw) % 5,
+			WorkDim:    1 + int(wdRaw)%2,
+			DType:      dtype,
+			Size:       16384,
+			WGSize:     64,
+			Transposed: int(tRaw) % 3,
+			Random:     int(rRaw) % 3,
+			Constant:   int(cRaw) % 3,
+		}
+		// Some modifier counts exceed what the spec allows; skip those.
+		w, err := spec.Generate()
+		if err != nil {
+			return true
+		}
+		p1, err := clc.Compile(w.Source)
+		if err != nil {
+			t.Logf("%s: %v", w.Name, err)
+			return false
+		}
+		out1 := clc.PrintProgram(p1)
+		p2, err := clc.Compile(out1)
+		if err != nil {
+			t.Logf("%s: printed source does not recompile: %v", w.Name, err)
+			return false
+		}
+		out2 := clc.PrintProgram(p2)
+		if out1 != out2 {
+			t.Logf("%s: printer not a fixed point", w.Name)
+			return false
+		}
+		// Structural invariants survive the round trip.
+		k1, k2 := p1.Kernels[0], p2.Kernels[0]
+		if k1.Name != k2.Name || len(k1.Params) != len(k2.Params) ||
+			k1.NumSlots != k2.NumSlots || len(k1.Locals) != len(k2.Locals) {
+			t.Logf("%s: structure changed across round trip", w.Name)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dopia/internal/analysis"
+	"dopia/internal/clc"
+	"dopia/internal/interp"
+	"dopia/internal/ml"
+	"dopia/internal/sched"
+	"dopia/internal/sim"
+	"dopia/internal/transform"
+)
+
+// Framework is a Dopia instance for one machine: it caches per-kernel
+// compile-time artifacts (static analysis, malleable code) and drives
+// enqueue-time configuration selection and dynamic co-execution.
+type Framework struct {
+	Machine *sim.Machine
+	// Model predicts normalized performance from Table 1 features. When
+	// nil, Decide falls back to using all resources (the ALL baseline).
+	Model ml.Model
+
+	kernels map[*clc.Kernel]*kernelInfo
+}
+
+type kernelInfo struct {
+	analysis  *analysis.Result
+	malleable map[int]*transform.GPUResult // by work dimension
+	malErr    map[int]error
+}
+
+// New creates a framework for a machine with a trained model (may be nil).
+func New(m *sim.Machine, model ml.Model) *Framework {
+	return &Framework{
+		Machine: m,
+		Model:   model,
+		kernels: map[*clc.Kernel]*kernelInfo{},
+	}
+}
+
+// AnalyzeProgram performs Dopia's compile-time stage on every kernel of a
+// program: static feature extraction. Malleable code is generated lazily
+// per (kernel, work-dim) at first launch, since the rewrite depends on the
+// launch dimensionality.
+func (f *Framework) AnalyzeProgram(prog *clc.Program) error {
+	for _, k := range prog.Kernels {
+		if _, err := f.kernelInfo(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Framework) kernelInfo(k *clc.Kernel) (*kernelInfo, error) {
+	if ki, ok := f.kernels[k]; ok {
+		return ki, nil
+	}
+	res, err := analysis.Analyze(k)
+	if err != nil {
+		return nil, fmt.Errorf("core: analysis of %s: %w", k.Name, err)
+	}
+	ki := &kernelInfo{
+		analysis:  res,
+		malleable: map[int]*transform.GPUResult{},
+		malErr:    map[int]error{},
+	}
+	f.kernels[k] = ki
+	return ki, nil
+}
+
+// Malleable returns the malleable GPU form of a kernel for a launch
+// dimensionality, generating and caching it on first use.
+func (f *Framework) Malleable(k *clc.Kernel, workDim int) (*transform.GPUResult, error) {
+	ki, err := f.kernelInfo(k)
+	if err != nil {
+		return nil, err
+	}
+	if r, ok := ki.malleable[workDim]; ok {
+		return r, nil
+	}
+	if e, ok := ki.malErr[workDim]; ok {
+		return nil, e
+	}
+	r, err := transform.MalleableGPU(k, workDim)
+	if err != nil {
+		ki.malErr[workDim] = err
+		return nil, err
+	}
+	ki.malleable[workDim] = r
+	return r, nil
+}
+
+// Analysis returns the cached static analysis of a kernel.
+func (f *Framework) Analysis(k *clc.Kernel) (*analysis.Result, error) {
+	ki, err := f.kernelInfo(k)
+	if err != nil {
+		return nil, err
+	}
+	return ki.analysis, nil
+}
+
+// Decision is the outcome of Dopia's configuration selection.
+type Decision struct {
+	Config sim.Config
+	// Predicted is the model's normalized-performance estimate for the
+	// chosen configuration.
+	Predicted float64
+	// InferTime is the wall-clock cost of evaluating the model over all
+	// configurations; it is charged to the simulated clock.
+	InferTime time.Duration
+	// Evaluated is the number of configurations scored.
+	Evaluated int
+}
+
+// Decide evaluates the model for every DoP configuration of the machine
+// and returns the predicted-best one (paper Algorithm 1, lines 2-4).
+func (f *Framework) Decide(res *analysis.Result, nd interp.NDRange) Decision {
+	if f.Model == nil {
+		return Decision{Config: f.Machine.AllResources()}
+	}
+	base := BaseFeatures(res, nd)
+	start := time.Now()
+	var best sim.Config
+	bestV := 0.0
+	n := 0
+	for _, cfg := range f.Machine.Configs() {
+		v := f.Model.Predict(WithConfig(base, f.Machine, cfg))
+		n++
+		if n == 1 || v > bestV {
+			best, bestV = cfg, v
+		}
+	}
+	return Decision{
+		Config:    best,
+		Predicted: bestV,
+		InferTime: time.Since(start),
+		Evaluated: n,
+	}
+}
+
+// Execution is the result of one Dopia-managed kernel execution.
+type Execution struct {
+	Decision Decision
+	Result   *sim.Result
+	// Kernel/launch identification for reporting.
+	KernelName string
+}
+
+// Execute runs one kernel launch under Dopia management: select the DoP
+// with the model, then co-execute with dynamic workload distribution. The
+// kernel's output buffers hold the true results afterwards, and the
+// returned simulated time includes the model-inference overhead.
+func (f *Framework) Execute(k *clc.Kernel, args []interp.Arg, nd interp.NDRange) (*Execution, error) {
+	ki, err := f.kernelInfo(k)
+	if err != nil {
+		return nil, err
+	}
+	mall, err := f.Malleable(k, nd.Dims)
+	if err != nil {
+		return nil, err
+	}
+	ex, err := sched.NewExecutor(f.Machine, k, mall.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	if err := ex.Bind(args...); err != nil {
+		return nil, err
+	}
+	if err := ex.Launch(nd); err != nil {
+		return nil, err
+	}
+	dec := f.Decide(ki.analysis, nd)
+	res, err := ex.Run(dec.Config, sched.RunOptions{
+		Dist:            sim.Dynamic,
+		Functional:      true,
+		ExtraStartupSec: dec.InferTime.Seconds(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Execution{Decision: dec, Result: res, KernelName: k.Name}, nil
+}

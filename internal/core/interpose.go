@@ -1,0 +1,39 @@
+package core
+
+import (
+	"dopia/internal/interp"
+	"dopia/internal/ocl"
+)
+
+// interposer adapts a Framework to the ocl.Interposer interface, so that
+// attaching Dopia to an OpenCL context transparently reroutes program
+// builds and kernel launches through the framework — the library-
+// interpositioning deployment described in §4 of the paper.
+type interposer struct {
+	fw *Framework
+}
+
+// Attach installs the framework as the context's interposer.
+func (f *Framework) Attach(ctx *ocl.Context) {
+	ctx.SetInterposer(&interposer{fw: f})
+}
+
+// ProgramBuilt runs Dopia's compile-time stage.
+func (ip *interposer) ProgramBuilt(prog *ocl.Program) error {
+	return ip.fw.AnalyzeProgram(prog.Compiled())
+}
+
+// Enqueue takes over every kernel launch: DoP selection plus dynamic
+// co-execution. The launch is never forwarded to the plain runtime.
+func (ip *interposer) Enqueue(q *ocl.CommandQueue, k *ocl.Kernel, nd interp.NDRange) (bool, float64, error) {
+	args, err := k.Args()
+	if err != nil {
+		return false, 0, err
+	}
+	exec, err := ip.fw.Execute(k.Compiled(), args, nd)
+	if err != nil {
+		return false, 0, err
+	}
+	q.LastResult = exec.Result
+	return true, exec.Result.Time, nil
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"dopia/internal/core"
+	"dopia/internal/sim"
+	"dopia/internal/stats"
+	"dopia/internal/workloads"
+)
+
+// Fig1 reproduces Figure 1: the normalized-throughput heatmap of the
+// Gesummv kernel on Kaveri for every (CPU threads x GPU threads)
+// configuration. The paper's headline numbers: the best configuration is
+// 4 CPU threads + 192 GPU threads (37.5%); CPU-only, GPU-only, and ALL
+// reach 78%, 13%, and 61% of it.
+func Fig1(s *Suite) error {
+	m := sim.Kaveri()
+	ws, err := workloads.RealWorkloads(s.RealN, 256)
+	if err != nil {
+		return err
+	}
+	var gesummv *workloads.Workload
+	for _, w := range ws {
+		if w.Kernel == "gesummv" {
+			gesummv = w
+		}
+	}
+	we, err := core.EvaluateWorkload(m, gesummv)
+	if err != nil {
+		return err
+	}
+	s.printf("Figure 1: normalized Gesummv throughput on %s (N=%d, wg=256)\n", m.Name, s.RealN)
+	renderConfigHeatmap(s, m, func(cfg sim.Config) float64 { return we.Perf(cfg) })
+
+	best := we.Best
+	s.printf("best: CPU %d, GPU %.0f threads (%.1f%%) -> %.4g ms\n",
+		best.CPUCores, best.GPUFrac*float64(m.TotalPEs()), best.GPUFrac*100, we.BestTime*1e3)
+	for _, row := range []struct {
+		name string
+		cfg  sim.Config
+	}{
+		{"CPU only", m.CPUOnly()},
+		{"GPU only", m.GPUOnly()},
+		{"CPU+GPU (ALL)", m.AllResources()},
+	} {
+		s.printf("%-14s perf = %.2f of best (paper: %s)\n",
+			row.name, we.Perf(row.cfg), map[string]string{
+				"CPU only": "0.78", "GPU only": "0.13", "CPU+GPU (ALL)": "0.61",
+			}[row.name])
+	}
+	return nil
+}
+
+// renderConfigHeatmap draws the 5x9 DoP grid with GPU allocation on rows
+// (descending, as in the paper) and CPU allocation on columns.
+func renderConfigHeatmap(s *Suite, m *sim.Machine, perf func(sim.Config) float64) {
+	gpuSteps := append([]float64(nil), m.GPUSteps...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(gpuSteps)))
+	rows := make([][]float64, len(gpuSteps))
+	rowLabels := make([]string, len(gpuSteps))
+	colLabels := make([]string, len(m.CPUSteps))
+	for j, c := range m.CPUSteps {
+		colLabels[j] = fmt.Sprintf("cpu%d", c)
+	}
+	for i, g := range gpuSteps {
+		rowLabels[i] = fmt.Sprintf("gpu%.0f%%", g*100)
+		rows[i] = make([]float64, len(m.CPUSteps))
+		for j, c := range m.CPUSteps {
+			cfg := sim.Config{CPUCores: c, GPUFrac: g}
+			if !cfg.Valid() {
+				rows[i][j] = 0
+				continue
+			}
+			rows[i][j] = perf(cfg)
+		}
+	}
+	stats.RenderHeatmap(s.Out, "", rowLabels, colLabels, rows)
+}

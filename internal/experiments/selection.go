@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"dopia/internal/core"
+	"dopia/internal/ml"
+	"dopia/internal/sim"
+)
+
+// Selection records the outcome of choosing a configuration for one
+// workload: what was chosen, how it performed against the exhaustive
+// oracle, how far it was from the best configuration in the (CPU, GPU)
+// allocation plane, and how long the choice took.
+type Selection struct {
+	Workload string
+	Chosen   sim.Config
+	// Perf is the achieved normalized performance (best time / chosen
+	// time), ignoring selection overhead.
+	Perf float64
+	// PerfWithOverhead divides by chosen time plus inference time.
+	PerfWithOverhead float64
+	// Dist is the Euclidean distance from the chosen to the best
+	// configuration in normalized (CPU_util, GPU_util) space, divided by
+	// sqrt(2) (the paper's metric).
+	Dist float64
+	// Exact marks chosen == best.
+	Exact bool
+	// InferSec is the wall-clock cost of scoring all 44 configurations.
+	InferSec float64
+}
+
+// distError computes the paper's normalized Euclidean distance metric.
+func distError(m *sim.Machine, chosen, best sim.Config) float64 {
+	dc := m.CPUUtil(chosen) - m.CPUUtil(best)
+	dg := chosen.GPUFrac - best.GPUFrac
+	return math.Sqrt(dc*dc+dg*dg) / math.Sqrt2
+}
+
+// FixedSelections evaluates a fixed configuration against every workload.
+func FixedSelections(m *sim.Machine, evals []*core.WorkloadEval, cfg sim.Config) []Selection {
+	out := make([]Selection, 0, len(evals))
+	for _, we := range evals {
+		out = append(out, Selection{
+			Workload:         we.Name,
+			Chosen:           cfg,
+			Perf:             we.Perf(cfg),
+			PerfWithOverhead: we.Perf(cfg),
+			Dist:             distError(m, cfg, we.Best),
+			Exact:            cfg == we.Best,
+		})
+	}
+	return out
+}
+
+// modelSelect scores all configurations of m with the model and returns
+// the argmax plus the wall-clock inference time.
+func modelSelect(m *sim.Machine, model ml.Model, base ml.Features) (sim.Config, float64) {
+	start := time.Now()
+	var best sim.Config
+	bestV := math.Inf(-1)
+	for _, cfg := range m.Configs() {
+		if v := model.Predict(core.WithConfig(base, m, cfg)); v > bestV {
+			best, bestV = cfg, v
+		}
+	}
+	return best, time.Since(start).Seconds()
+}
+
+// selectionOf builds the Selection record for a model choice.
+func selectionOf(m *sim.Machine, we *core.WorkloadEval, chosen sim.Config, inferSec float64) Selection {
+	t := we.Time(chosen)
+	perf := 0.0
+	perfOH := 0.0
+	if t > 0 && !math.IsInf(t, 1) {
+		perf = we.BestTime / t
+		perfOH = we.BestTime / (t + inferSec)
+	}
+	return Selection{
+		Workload:         we.Name,
+		Chosen:           chosen,
+		Perf:             perf,
+		PerfWithOverhead: perfOH,
+		Dist:             distError(m, chosen, we.Best),
+		Exact:            chosen == we.Best,
+		InferSec:         inferSec,
+	}
+}
+
+// CrossValSelections performs k-fold cross-validation over *workloads*
+// (the paper's §9.2/9.3 methodology): for each fold, a model is trained on
+// the samples of the other folds' workloads and then picks a configuration
+// for every held-out workload.
+func CrossValSelections(m *sim.Machine, evals []*core.WorkloadEval,
+	tr ml.Trainer, folds int, seed int64) ([]Selection, error) {
+	if folds < 2 || folds > len(evals) {
+		return nil, fmt.Errorf("experiments: cannot make %d folds from %d workloads", folds, len(evals))
+	}
+	perm := rand.New(rand.NewSource(seed)).Perm(len(evals))
+	var out []Selection
+	for f := 0; f < folds; f++ {
+		lo := f * len(evals) / folds
+		hi := (f + 1) * len(evals) / folds
+		train := &ml.Dataset{}
+		for i, pi := range perm {
+			if i >= lo && i < hi {
+				continue
+			}
+			we := evals[pi]
+			for _, ct := range we.Times {
+				y := 0.0
+				if ct.Time > 0 {
+					y = we.BestTime / ct.Time
+				}
+				train.Add(core.WithConfig(we.Base, m, ct.Config), y)
+			}
+		}
+		model, err := tr.Fit(train)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fold %d: %w", f, err)
+		}
+		for i := lo; i < hi; i++ {
+			we := evals[perm[i]]
+			chosen, inferSec := modelSelect(m, model, we.Base)
+			out = append(out, selectionOf(m, we, chosen, inferSec))
+		}
+	}
+	return out, nil
+}
+
+// LeaveOneOutSelection trains on every characterization except those whose
+// name matches exclude(name)==true, then selects for the target workload
+// (the §9.4 methodology: the kernel under evaluation is excluded from
+// training).
+func LeaveOneOutSelection(m *sim.Machine, train []*core.WorkloadEval,
+	target *core.WorkloadEval, exclude func(name string) bool,
+	tr ml.Trainer) (Selection, error) {
+	ds := &ml.Dataset{}
+	for _, we := range train {
+		if exclude(we.Name) {
+			continue
+		}
+		for _, ct := range we.Times {
+			y := 0.0
+			if ct.Time > 0 {
+				y = we.BestTime / ct.Time
+			}
+			ds.Add(core.WithConfig(we.Base, m, ct.Config), y)
+		}
+	}
+	model, err := tr.Fit(ds)
+	if err != nil {
+		return Selection{}, err
+	}
+	chosen, inferSec := modelSelect(m, model, target.Base)
+	return selectionOf(m, target, chosen, inferSec), nil
+}
+
+// Perfs extracts the Perf column.
+func Perfs(sel []Selection) []float64 {
+	out := make([]float64, len(sel))
+	for i, s := range sel {
+		out[i] = s.Perf
+	}
+	return out
+}
+
+// Dists extracts the Dist column.
+func Dists(sel []Selection) []float64 {
+	out := make([]float64, len(sel))
+	for i, s := range sel {
+		out[i] = s.Dist
+	}
+	return out
+}
+
+// ExactCount counts exact best-configuration matches.
+func ExactCount(sel []Selection) int {
+	n := 0
+	for _, s := range sel {
+		if s.Exact {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,316 @@
+package interp
+
+import (
+	"fmt"
+
+	"dopia/internal/clc"
+)
+
+// AddressSpace assigns non-overlapping base addresses to buffers so that
+// trace addresses from different buffers never alias. One AddressSpace is
+// typically shared by all kernels of a context (buffers keep their base
+// across launches, which preserves reuse distances between kernels).
+type AddressSpace struct {
+	next   int64
+	nextID int
+}
+
+// bufferAlign keeps buffer bases page-aligned, like a real allocator.
+const bufferAlign = 4096
+
+// Place assigns a base address and ID to b if it does not have one yet.
+func (as *AddressSpace) Place(b *Buffer) {
+	if b.Base != 0 {
+		return
+	}
+	if as.next == 0 {
+		as.next = bufferAlign // keep 0 distinguishable from "unplaced"
+	}
+	b.Base = as.next
+	as.nextID++
+	b.ID = as.nextID
+	sz := b.Bytes()
+	as.next += (sz + bufferAlign - 1) / bufferAlign * bufferAlign
+	if sz == 0 {
+		as.next += bufferAlign
+	}
+}
+
+// Exec executes one kernel. It owns the compiled form, the bound
+// arguments, and the statistics of the runs performed through it.
+// An Exec is not safe for concurrent use; create one Exec per goroutine.
+type Exec struct {
+	kernel *clc.Kernel
+	ck     *compiled
+
+	args []Arg
+	bufs []*Buffer // indexed by parameter slot; nil for scalars
+	nd   NDRange
+
+	stats *RunStats
+	Sink  TraceSink
+	AS    *AddressSpace
+
+	// scratch reused across work-groups
+	slotScratch [][]Value
+	privScratch [][][]Value
+	doneScratch []bool
+	paramVals   []Value
+}
+
+// NewExec compiles kernel k and returns an executor for it. The kernel
+// must come from a checked program (clc.Compile).
+func NewExec(k *clc.Kernel) (*Exec, error) {
+	ck, err := compileKernel(k)
+	if err != nil {
+		return nil, err
+	}
+	ex := &Exec{
+		kernel: k,
+		ck:     ck,
+		args:   make([]Arg, len(k.Params)),
+		bufs:   make([]*Buffer, len(k.Params)),
+		AS:     &AddressSpace{},
+	}
+	ex.ResetStats()
+	return ex, nil
+}
+
+// Kernel returns the kernel this executor runs.
+func (ex *Exec) Kernel() *clc.Kernel { return ex.kernel }
+
+// ResetStats clears accumulated statistics.
+func (ex *Exec) ResetStats() {
+	ex.stats = &RunStats{sites: make([]siteState, ex.ck.numSites)}
+	for i := range ex.stats.sites {
+		ex.stats.sites[i].argIndex = -1
+	}
+}
+
+// Stats returns the profile of everything run since the last ResetStats.
+func (ex *Exec) Stats() *Profile { return ex.stats.Summarize() }
+
+// SetArg binds argument i. Buffers are placed in the executor's address
+// space; scalar values are converted to the parameter's kind.
+func (ex *Exec) SetArg(i int, a Arg) error {
+	if i < 0 || i >= len(ex.kernel.Params) {
+		return fmt.Errorf("interp: argument index %d out of range (kernel %s has %d params)",
+			i, ex.kernel.Name, len(ex.kernel.Params))
+	}
+	p := ex.kernel.Params[i]
+	if p.Type.Ptr {
+		if !a.IsBuf || a.Buf == nil {
+			return fmt.Errorf("interp: parameter %q of %s requires a buffer", p.Name, ex.kernel.Name)
+		}
+		if !a.Buf.CompatibleWith(p.Type.Kind) {
+			return fmt.Errorf("interp: buffer of kind %v incompatible with parameter %q (%v)",
+				a.Buf.Kind, p.Name, p.Type)
+		}
+		if ex.AS != nil {
+			ex.AS.Place(a.Buf)
+		}
+		ex.bufs[i] = a.Buf
+	} else {
+		if a.IsBuf {
+			return fmt.Errorf("interp: parameter %q of %s is a scalar", p.Name, ex.kernel.Name)
+		}
+		ex.bufs[i] = nil
+		// Normalize the scalar to the parameter kind.
+		if p.Type.Kind.IsFloat() {
+			if a.Val.F == 0 && a.Val.I != 0 {
+				a.Val.F = float64(a.Val.I)
+			}
+			a.Val = Value{F: normFloat(p.Type.Kind, a.Val.F)}
+		} else {
+			if a.Val.I == 0 && a.Val.F != 0 {
+				a.Val.I = int64(a.Val.F)
+			}
+			a.Val = Value{I: normInt(p.Type.Kind, a.Val.I)}
+		}
+	}
+	ex.args[i] = a
+	return nil
+}
+
+// Bind sets all arguments at once.
+func (ex *Exec) Bind(args ...Arg) error {
+	if len(args) != len(ex.kernel.Params) {
+		return fmt.Errorf("interp: kernel %s takes %d arguments, got %d",
+			ex.kernel.Name, len(ex.kernel.Params), len(args))
+	}
+	for i, a := range args {
+		if err := ex.SetArg(i, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Launch validates and sets the ND range for subsequent Run* calls.
+func (ex *Exec) Launch(nd NDRange) error {
+	if err := nd.Validate(); err != nil {
+		return err
+	}
+	for i, p := range ex.kernel.Params {
+		if p.Type.Ptr && ex.bufs[i] == nil {
+			return fmt.Errorf("interp: argument %d (%s) not bound", i, p.Name)
+		}
+	}
+	ex.nd = nd.normalized()
+	ex.prepareScratch()
+	ex.paramVals = ex.paramVals[:0]
+	for i := range ex.kernel.Params {
+		ex.paramVals = append(ex.paramVals, ex.args[i].Val)
+	}
+	return nil
+}
+
+func (ex *Exec) prepareScratch() {
+	wgSize := ex.nd.GroupSize()
+	if len(ex.slotScratch) < wgSize {
+		ex.slotScratch = make([][]Value, wgSize)
+		for i := range ex.slotScratch {
+			ex.slotScratch[i] = make([]Value, ex.kernel.NumSlots)
+		}
+		ex.doneScratch = make([]bool, wgSize)
+		if len(ex.ck.privSyms) > 0 {
+			ex.privScratch = make([][][]Value, wgSize)
+			for i := range ex.privScratch {
+				ex.privScratch[i] = make([][]Value, len(ex.ck.privSyms))
+				for j, sym := range ex.ck.privSyms {
+					ex.privScratch[i][j] = make([]Value, sym.ArrayLen)
+				}
+			}
+		}
+	}
+}
+
+// Run executes every work-group of the launched ND range.
+func (ex *Exec) Run() error {
+	total := ex.nd.TotalGroups()
+	for g := 0; g < total; g++ {
+		if err := ex.RunGroup(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunGroupSpan executes count work-groups starting at linear group id
+// start.
+func (ex *Exec) RunGroupSpan(start, count int) error {
+	for g := start; g < start+count; g++ {
+		if err := ex.RunGroup(g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunSampled executes at most maxGroups work-groups, spread evenly across
+// the ND range, and returns how many were run. Statistics can be scaled by
+// TotalGroups/groupsRun to extrapolate. Buffers hold partial results after
+// a sampled run; use Run for functional output.
+func (ex *Exec) RunSampled(maxGroups int) (int, error) {
+	total := ex.nd.TotalGroups()
+	if maxGroups <= 0 || maxGroups >= total {
+		if err := ex.Run(); err != nil {
+			return 0, err
+		}
+		return total, nil
+	}
+	stride := total / maxGroups
+	run := 0
+	for g := 0; g < total && run < maxGroups; g += stride {
+		if err := ex.RunGroup(g); err != nil {
+			return run, err
+		}
+		run++
+	}
+	return run, nil
+}
+
+// RunGroup executes a single work-group identified by its linear id
+// (dimension 0 fastest).
+func (ex *Exec) RunGroup(linear int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if re, ok := r.(*runtimeError); ok {
+				err = fmt.Errorf("interp: kernel %s: %w", ex.kernel.Name, re)
+				return
+			}
+			panic(r)
+		}
+	}()
+	total := ex.nd.TotalGroups()
+	if linear < 0 || linear >= total {
+		return fmt.Errorf("interp: work-group %d out of range [0,%d)", linear, total)
+	}
+	coords := ex.nd.GroupCoords(linear)
+	wgSize := ex.nd.GroupSize()
+
+	wg := &wgState{}
+	if n := len(ex.ck.localSyms); n > 0 {
+		wg.locals = make([][]Value, n)
+		for i, sym := range ex.ck.localSyms {
+			ln := sym.ArrayLen
+			if ln == 0 {
+				ln = 1 // __local scalar
+			}
+			wg.locals[i] = make([]Value, ln)
+		}
+	}
+
+	for i := 0; i < wgSize; i++ {
+		ex.doneScratch[i] = false
+	}
+
+	e := env{ex: ex, wg: wg}
+	nd := ex.nd
+	l0, l1 := int64(nd.Local[0]), int64(nd.Local[1])
+	baseWI := int64(linear) * int64(wgSize)
+
+	ex.stats.GroupsRun++
+	for segIdx, seg := range ex.ck.segments {
+		lin := 0
+		for l2v := 0; l2v < nd.Local[2]; l2v++ {
+			for l1v := 0; l1v < nd.Local[1]; l1v++ {
+				for l0v := 0; l0v < nd.Local[0]; l0v++ {
+					if ex.doneScratch[lin] {
+						lin++
+						continue
+					}
+					slots := ex.slotScratch[lin]
+					if segIdx == 0 {
+						copy(slots, ex.paramVals)
+						if ex.privScratch != nil {
+							for _, arr := range ex.privScratch[lin] {
+								for j := range arr {
+									arr[j] = Value{}
+								}
+							}
+						}
+						ex.stats.ItemsRun++
+					}
+					e.slots = slots
+					if ex.privScratch != nil {
+						e.priv = ex.privScratch[lin]
+					}
+					e.lid = [3]int64{int64(l0v), int64(l1v), int64(l2v)}
+					e.grp = [3]int64{int64(coords[0]), int64(coords[1]), int64(coords[2])}
+					e.gid = [3]int64{
+						int64(nd.Offset[0]) + e.grp[0]*l0 + e.lid[0],
+						int64(nd.Offset[1]) + e.grp[1]*l1 + e.lid[1],
+						int64(nd.Offset[2]) + e.grp[2]*int64(nd.Local[2]) + e.lid[2],
+					}
+					e.wi = baseWI + int64(lin)
+					if seg(&e) == ctrlReturn {
+						ex.doneScratch[lin] = true
+					}
+					lin++
+				}
+			}
+		}
+	}
+	return nil
+}

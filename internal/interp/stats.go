@@ -1,0 +1,177 @@
+package interp
+
+import (
+	"dopia/internal/access"
+)
+
+// TraceSink receives every memory access when tracing is enabled. The
+// reuse-distance profiler in internal/mem implements this interface.
+// Addr is a flat simulated byte address (buffer Base + element offset).
+type TraceSink interface {
+	Access(addr int64, size int64, write bool)
+}
+
+// RunStats accumulates execution statistics across the work-groups run by
+// one Exec. All counters are totals over executed operations.
+type RunStats struct {
+	AluInt     int64 // executed integer arithmetic operations
+	AluFloat   int64 // executed floating-point arithmetic operations
+	Loads      int64
+	Stores     int64
+	LoadBytes  int64
+	StoreBytes int64
+	GroupsRun  int64
+	ItemsRun   int64
+
+	sites []siteState
+}
+
+// siteState tracks the dynamic behaviour of one static memory site.
+type siteState struct {
+	count    int64
+	bytes    int64
+	write    bool
+	argIndex int // kernel parameter index of the accessed buffer; -1 = local
+
+	// Iteration pattern: deltas between consecutive accesses by the same
+	// work-item.
+	iter      access.Classifier
+	prevAddr  int64
+	prevWI    int64
+	prevValid bool
+
+	// Lane pattern: deltas between the first access of consecutive
+	// work-items.
+	lane       access.Classifier
+	firstAddr  int64
+	firstWI    int64
+	haveFirst  bool
+	seenThisWI int64 // the WI whose first access has been recorded
+	elemSize   int64
+}
+
+// SiteProfile is the summarized behaviour of one memory site.
+type SiteProfile struct {
+	Site     int
+	ArgIndex int // parameter index of the buffer; -1 for __local
+	Write    bool
+	Count    int64
+	Bytes    int64
+
+	// IterPattern is the loop-iteration address pattern (the paper's
+	// Table 1 classification); IterStride is in elements when Strided.
+	IterPattern access.Pattern
+	IterStride  int64
+
+	// LanePattern is the across-work-items pattern that governs GPU
+	// memory coalescing; LaneStride is in elements when Strided.
+	LanePattern access.Pattern
+	LaneStride  int64
+}
+
+// Profile is the summarized result of a (possibly sampled) kernel
+// execution: total operation counts plus per-site access behaviour.
+// Divide by ItemsRun for per-work-item averages.
+type Profile struct {
+	AluInt     int64
+	AluFloat   int64
+	Loads      int64
+	Stores     int64
+	LoadBytes  int64
+	StoreBytes int64
+	GroupsRun  int64
+	ItemsRun   int64
+	Sites      []SiteProfile
+}
+
+// TotalBytes returns the total bytes moved (loads + stores).
+func (p *Profile) TotalBytes() int64 { return p.LoadBytes + p.StoreBytes }
+
+// TotalMem returns the total memory operations.
+func (p *Profile) TotalMem() int64 { return p.Loads + p.Stores }
+
+// TotalAlu returns the total arithmetic operations.
+func (p *Profile) TotalAlu() int64 { return p.AluInt + p.AluFloat }
+
+// Scale returns a copy of the profile with all counters multiplied by f,
+// used to extrapolate sampled runs to the full NDRange.
+func (p *Profile) Scale(f float64) *Profile {
+	s := *p
+	s.AluInt = int64(float64(p.AluInt) * f)
+	s.AluFloat = int64(float64(p.AluFloat) * f)
+	s.Loads = int64(float64(p.Loads) * f)
+	s.Stores = int64(float64(p.Stores) * f)
+	s.LoadBytes = int64(float64(p.LoadBytes) * f)
+	s.StoreBytes = int64(float64(p.StoreBytes) * f)
+	s.GroupsRun = int64(float64(p.GroupsRun) * f)
+	s.ItemsRun = int64(float64(p.ItemsRun) * f)
+	s.Sites = append([]SiteProfile(nil), p.Sites...)
+	for i := range s.Sites {
+		s.Sites[i].Count = int64(float64(s.Sites[i].Count) * f)
+		s.Sites[i].Bytes = int64(float64(s.Sites[i].Bytes) * f)
+	}
+	return &s
+}
+
+// recordAccess updates a site's dynamic pattern state. wi is the linear
+// global index of the executing work-item, addr the flat byte address.
+func (st *siteState) recordAccess(addr, elemSize, wi int64) {
+	st.count++
+	st.bytes += elemSize
+	st.elemSize = elemSize
+	if st.prevValid && st.prevWI == wi {
+		st.iter.Observe((addr - st.prevAddr) / elemSize)
+	}
+	st.prevAddr = addr
+	st.prevWI = wi
+	st.prevValid = true
+
+	// First access of this WI at this site?
+	if st.seenThisWI != wi || !st.haveFirst {
+		if st.haveFirst && wi == st.firstWI+1 {
+			st.lane.Observe((addr - st.firstAddr) / elemSize)
+		}
+		st.firstAddr = addr
+		st.firstWI = wi
+		st.haveFirst = true
+		st.seenThisWI = wi
+	}
+}
+
+// Summarize produces the profile for the statistics gathered so far.
+func (s *RunStats) Summarize() *Profile {
+	p := &Profile{
+		AluInt:     s.AluInt,
+		AluFloat:   s.AluFloat,
+		Loads:      s.Loads,
+		Stores:     s.Stores,
+		LoadBytes:  s.LoadBytes,
+		StoreBytes: s.StoreBytes,
+		GroupsRun:  s.GroupsRun,
+		ItemsRun:   s.ItemsRun,
+	}
+	for i := range s.sites {
+		st := &s.sites[i]
+		if st.count == 0 {
+			continue
+		}
+		sp := SiteProfile{
+			Site:     i,
+			ArgIndex: st.argIndex,
+			Write:    st.write,
+			Count:    st.count,
+			Bytes:    st.bytes,
+		}
+		sp.IterPattern, sp.IterStride = st.iter.Pattern()
+		sp.LanePattern, sp.LaneStride = st.lane.Pattern()
+		if sp.IterPattern == access.Unknown {
+			// A site executed once per work-item has no iteration deltas;
+			// the work-item stream is the implicit loop, so the lane
+			// pattern is the iteration pattern (the static analyzer uses
+			// the same convention).
+			sp.IterPattern, sp.IterStride = sp.LanePattern, sp.LaneStride
+		}
+		p.Sites = append(p.Sites, sp)
+	}
+	return p
+}

@@ -1,0 +1,189 @@
+// Package interp executes OpenCL C kernels (as compiled by internal/clc)
+// functionally: work-item by work-item against real buffers. It is the
+// "silicon" of this reproduction — kernels genuinely compute their results
+// here — and at the same time the instrumentation layer: it counts
+// arithmetic operations, classifies memory-access patterns dynamically
+// (per loop iteration and per lane), and can stream addresses to a trace
+// sink for reuse-distance profiling.
+//
+// The interpreter uses closure compilation: each AST node is compiled once
+// into a Go closure, so the per-operation interpretive overhead is a single
+// indirect call.
+package interp
+
+import (
+	"fmt"
+
+	"dopia/internal/clc"
+)
+
+// Value is a scalar runtime value. Exactly one field is meaningful,
+// determined by the static type of the expression that produced it:
+// integer kinds use I, floating kinds use F.
+type Value struct {
+	I int64
+	F float64
+}
+
+// IntValue returns a Value holding an integer.
+func IntValue(i int64) Value { return Value{I: i} }
+
+// FloatValue returns a Value holding a float.
+func FloatValue(f float64) Value { return Value{F: f} }
+
+// Buffer is a typed memory object kernels read and write through
+// address-space-qualified pointer parameters. Base is the buffer's
+// position in the flat simulated address space; it is assigned when the
+// buffer is registered with an execution so trace addresses from
+// different buffers never alias.
+type Buffer struct {
+	Kind clc.Kind // element kind: KindFloat, KindInt, KindUInt, ...
+	F32  []float32
+	I32  []int32
+	F64  []float64
+	I64  []int64
+
+	ID   int
+	Base int64
+}
+
+// NewBuffer allocates a buffer of n elements of the given kind.
+func NewBuffer(kind clc.Kind, n int) *Buffer {
+	b := &Buffer{Kind: kind}
+	switch kind {
+	case clc.KindFloat:
+		b.F32 = make([]float32, n)
+	case clc.KindDouble:
+		b.F64 = make([]float64, n)
+	case clc.KindInt, clc.KindUInt, clc.KindBool:
+		b.I32 = make([]int32, n)
+	case clc.KindLong, clc.KindULong:
+		b.I64 = make([]int64, n)
+	default:
+		panic(fmt.Sprintf("interp: cannot allocate buffer of kind %v", kind))
+	}
+	return b
+}
+
+// NewFloatBuffer allocates a float32 buffer of n elements.
+func NewFloatBuffer(n int) *Buffer { return NewBuffer(clc.KindFloat, n) }
+
+// NewIntBuffer allocates an int32 buffer of n elements.
+func NewIntBuffer(n int) *Buffer { return NewBuffer(clc.KindInt, n) }
+
+// FromFloats wraps data in a float buffer (no copy).
+func FromFloats(data []float32) *Buffer {
+	return &Buffer{Kind: clc.KindFloat, F32: data}
+}
+
+// FromInts wraps data in an int buffer (no copy).
+func FromInts(data []int32) *Buffer {
+	return &Buffer{Kind: clc.KindInt, I32: data}
+}
+
+// Len returns the number of elements.
+func (b *Buffer) Len() int {
+	switch {
+	case b.F32 != nil:
+		return len(b.F32)
+	case b.I32 != nil:
+		return len(b.I32)
+	case b.F64 != nil:
+		return len(b.F64)
+	case b.I64 != nil:
+		return len(b.I64)
+	}
+	return 0
+}
+
+// ElemSize returns the element size in bytes.
+func (b *Buffer) ElemSize() int64 {
+	switch b.Kind {
+	case clc.KindDouble, clc.KindLong, clc.KindULong:
+		return 8
+	default:
+		return 4
+	}
+}
+
+// Bytes returns the buffer's size in bytes.
+func (b *Buffer) Bytes() int64 { return int64(b.Len()) * b.ElemSize() }
+
+// CompatibleWith reports whether the buffer can be bound to a pointer
+// parameter whose pointee kind is k. Signedness differences are allowed
+// (uint* over an int buffer), matching OpenCL's untyped cl_mem objects.
+func (b *Buffer) CompatibleWith(k clc.Kind) bool {
+	switch k {
+	case clc.KindFloat:
+		return b.F32 != nil
+	case clc.KindDouble:
+		return b.F64 != nil
+	case clc.KindInt, clc.KindUInt, clc.KindBool:
+		return b.I32 != nil
+	case clc.KindLong, clc.KindULong:
+		return b.I64 != nil
+	}
+	return false
+}
+
+// Clone returns a deep copy of the buffer (ID/Base are not copied).
+func (b *Buffer) Clone() *Buffer {
+	nb := &Buffer{Kind: b.Kind}
+	if b.F32 != nil {
+		nb.F32 = append([]float32(nil), b.F32...)
+	}
+	if b.I32 != nil {
+		nb.I32 = append([]int32(nil), b.I32...)
+	}
+	if b.F64 != nil {
+		nb.F64 = append([]float64(nil), b.F64...)
+	}
+	if b.I64 != nil {
+		nb.I64 = append([]int64(nil), b.I64...)
+	}
+	return nb
+}
+
+// Equal reports whether two buffers hold identical contents.
+func (b *Buffer) Equal(o *Buffer) bool {
+	if b.Kind != o.Kind || b.Len() != o.Len() {
+		return false
+	}
+	for i := range b.F32 {
+		if b.F32[i] != o.F32[i] {
+			return false
+		}
+	}
+	for i := range b.I32 {
+		if b.I32[i] != o.I32[i] {
+			return false
+		}
+	}
+	for i := range b.F64 {
+		if b.F64[i] != o.F64[i] {
+			return false
+		}
+	}
+	for i := range b.I64 {
+		if b.I64[i] != o.I64[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Arg is a kernel argument: either a buffer or a scalar value.
+type Arg struct {
+	Buf   *Buffer
+	Val   Value
+	IsBuf bool
+}
+
+// BufArg wraps a buffer as a kernel argument.
+func BufArg(b *Buffer) Arg { return Arg{Buf: b, IsBuf: true} }
+
+// IntArg wraps an integer scalar as a kernel argument.
+func IntArg(v int64) Arg { return Arg{Val: IntValue(v)} }
+
+// FloatArg wraps a float scalar as a kernel argument.
+func FloatArg(v float64) Arg { return Arg{Val: FloatValue(v)} }

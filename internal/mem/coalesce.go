@@ -1,0 +1,86 @@
+package mem
+
+import "dopia/internal/access"
+
+// CoalesceFactor returns the average number of memory transactions (cache
+// lines) a GPU memory unit issues per access for a given across-lane
+// pattern, assuming SIMD execution of simdWidth lanes and elemSize-byte
+// elements.
+//
+//   - Constant: all lanes read one address; the transaction is broadcast.
+//   - Continuous: adjacent lanes read adjacent elements; accesses coalesce
+//     perfectly into simdWidth*elemSize/LineSize lines.
+//   - Strided: lanes are stride elements apart; once the stride spans a
+//     line, every lane needs its own transaction.
+//   - Random / Unknown: no coalescing.
+func CoalesceFactor(p access.Pattern, strideElems, elemSize int64, simdWidth int) float64 {
+	if simdWidth < 1 {
+		simdWidth = 1
+	}
+	w := float64(simdWidth)
+	es := float64(elemSize)
+	switch p {
+	case access.Constant:
+		return 1 / w
+	case access.Continuous:
+		f := w * es / LineSize
+		if f < 1 {
+			f = 1
+		}
+		return f / w
+	case access.Strided:
+		s := strideElems
+		if s < 0 {
+			s = -s
+		}
+		if s == 0 {
+			// Symbolic stride: assume it spans at least a line (true for
+			// every row-major matrix walk with a non-trivial row size).
+			return 1
+		}
+		span := float64(s) * es
+		if span >= LineSize {
+			return 1
+		}
+		f := w * span / LineSize
+		if f < 1 {
+			f = 1
+		}
+		return f / w
+	default: // Random, Unknown
+		return 1
+	}
+}
+
+// CPUStreamFactor returns the DRAM bytes fetched per byte accessed for a
+// CPU core's per-iteration pattern (caches + prefetchers considered,
+// ignoring reuse which is modeled separately).
+//
+//   - Constant: register/L1-resident after the first touch.
+//   - Continuous: every byte of each fetched line is used.
+//   - Strided: a stride spanning >= one line wastes the rest of the line.
+//   - Random: a full line per access.
+func CPUStreamFactor(p access.Pattern, strideElems, elemSize int64) float64 {
+	es := float64(elemSize)
+	switch p {
+	case access.Constant:
+		return 0
+	case access.Continuous:
+		return 1
+	case access.Strided:
+		s := strideElems
+		if s < 0 {
+			s = -s
+		}
+		if s == 0 {
+			return LineSize / es
+		}
+		span := float64(s) * es
+		if span >= LineSize {
+			return LineSize / es
+		}
+		return 1 // small strides still use every line eventually
+	default:
+		return LineSize / es
+	}
+}

@@ -1,0 +1,180 @@
+package mem
+
+import (
+	"testing"
+
+	"dopia/internal/access"
+)
+
+func TestReuseProfilerSequentialScan(t *testing.T) {
+	r := NewReuseProfiler(1 << 16)
+	// Scan 1000 distinct lines once: all cold.
+	for i := int64(0); i < 1000; i++ {
+		r.Access(i*LineSize, 4, false)
+	}
+	h := r.Histogram()
+	if h.Cold != 1000 || h.Total != 1000 {
+		t.Fatalf("cold=%d total=%d, want 1000/1000", h.Cold, h.Total)
+	}
+	if mr := h.MissRatio(1<<20, 1); mr != 1 {
+		t.Errorf("pure cold scan miss ratio = %v, want 1", mr)
+	}
+}
+
+func TestReuseProfilerRepeatedScan(t *testing.T) {
+	r := NewReuseProfiler(1 << 16)
+	lines := int64(128)
+	passes := 8
+	for p := 0; p < passes; p++ {
+		for i := int64(0); i < lines; i++ {
+			r.Access(i*LineSize, 4, false)
+		}
+	}
+	h := r.Histogram()
+	if h.Cold != lines {
+		t.Fatalf("cold = %d, want %d", h.Cold, lines)
+	}
+	// Every non-cold access has reuse distance = lines-1 (the other 127
+	// distinct lines touched in between).
+	big := h.MissRatio(int64(lines)*LineSize*2, 1)
+	small := h.MissRatio(int64(lines)*LineSize/4, 1)
+	if big >= small {
+		t.Errorf("bigger cache must miss less: big=%v small=%v", big, small)
+	}
+	coldRatio := float64(h.Cold) / float64(h.Total)
+	if big > coldRatio+0.01 {
+		t.Errorf("cache holding full set should only see cold misses: %v > %v", big, coldRatio)
+	}
+	if small < 0.95 {
+		t.Errorf("quarter-size cache should thrash a cyclic scan: %v", small)
+	}
+}
+
+func TestReuseDistanceExactSmall(t *testing.T) {
+	r := NewReuseProfiler(64)
+	seq := []int64{0, 1, 2, 0, 3, 1}
+	for _, l := range seq {
+		r.Access(l*LineSize, 4, false)
+	}
+	h := r.Histogram()
+	// 0,1,2 cold; second 0 has distance 2 (lines 1,2); 3 cold; second 1
+	// has distance 3 (lines 2,0,3).
+	if h.Cold != 4 {
+		t.Errorf("cold = %d, want 4", h.Cold)
+	}
+	// distance 2 -> bucket ceil(log2(2))+1: Add(2) -> b=2; Add(3) -> b=2.
+	if h.Buckets[2] != 2 {
+		t.Errorf("bucket[2] = %d, want 2 (distances 2 and 3)", h.Buckets[2])
+	}
+}
+
+func TestConcurrencyScalingIncreasesMisses(t *testing.T) {
+	r := NewReuseProfiler(1 << 16)
+	lines := int64(64)
+	for p := 0; p < 4; p++ {
+		for i := int64(0); i < lines; i++ {
+			r.Access(i*LineSize, 4, false)
+		}
+	}
+	h := r.Histogram()
+	cache := int64(lines) * LineSize * 2
+	alone := h.MissRatio(cache, 1)
+	crowded := h.MissRatio(cache, 16)
+	if crowded <= alone {
+		t.Errorf("16-way interleaving must raise miss ratio: alone=%v crowded=%v", alone, crowded)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	a.Add(4)
+	a.AddCold()
+	b.Add(4)
+	b.Add(100)
+	a.Merge(&b)
+	if a.Total != 4 || a.Cold != 1 {
+		t.Errorf("merged total=%d cold=%d", a.Total, a.Cold)
+	}
+}
+
+func TestCoalesceFactor(t *testing.T) {
+	const w = 16
+	cases := []struct {
+		name   string
+		p      access.Pattern
+		stride int64
+		want   float64
+	}{
+		{"constant broadcast", access.Constant, 0, 1.0 / w},
+		{"continuous float", access.Continuous, 1, 1.0 / w},
+		{"stride 2", access.Strided, 2, 8.0 / (LineSize / 4.0) / w * (LineSize / 4.0 / 8.0) * (2 * 4 * w / LineSize) / (2 * 4 * w / LineSize)}, // computed below
+		{"stride >= line", access.Strided, 16, 1},
+		{"symbolic stride", access.Strided, 0, 1},
+		{"random", access.Random, 0, 1},
+	}
+	for _, c := range cases {
+		got := CoalesceFactor(c.p, c.stride, 4, w)
+		switch c.name {
+		case "stride 2":
+			// 16 lanes * 8B span = 128B = 2 lines -> 2/16 per access.
+			if got != 2.0/w {
+				t.Errorf("%s: got %v, want %v", c.name, got, 2.0/w)
+			}
+		default:
+			if got != c.want {
+				t.Errorf("%s: got %v, want %v", c.name, got, c.want)
+			}
+		}
+	}
+	// Continuous must always beat strided/random.
+	if CoalesceFactor(access.Continuous, 1, 4, w) >= CoalesceFactor(access.Random, 0, 4, w) {
+		t.Error("continuous should coalesce better than random")
+	}
+}
+
+func TestCPUStreamFactor(t *testing.T) {
+	if CPUStreamFactor(access.Constant, 0, 4) != 0 {
+		t.Error("constant should be cache-resident")
+	}
+	if CPUStreamFactor(access.Continuous, 1, 4) != 1 {
+		t.Error("continuous should fetch exactly its bytes")
+	}
+	if f := CPUStreamFactor(access.Random, 0, 4); f != LineSize/4.0 {
+		t.Errorf("random factor = %v, want %v", f, LineSize/4.0)
+	}
+	if f := CPUStreamFactor(access.Strided, 100, 4); f != LineSize/4.0 {
+		t.Errorf("large stride factor = %v, want line per access", f)
+	}
+}
+
+func TestThrashFraction(t *testing.T) {
+	if ThrashFraction(100, 200) != 0 {
+		t.Error("resident working set must not thrash")
+	}
+	// Half-capacity overflow exhausts the transition window.
+	if f := ThrashFraction(160, 100); f != 1 {
+		t.Errorf("thrash = %v, want 1 past the cliff", f)
+	}
+	// Within the window the loss ramps linearly.
+	if f := ThrashFraction(125, 100); f != 0.5 {
+		t.Errorf("thrash = %v, want 0.5 mid-window", f)
+	}
+	if ThrashFraction(100, 0) != 1 {
+		t.Error("no cache means full thrash")
+	}
+	if ThrashFraction(0, 100) != 0 {
+		t.Error("empty working set cannot thrash")
+	}
+}
+
+func TestRandomMissRatio(t *testing.T) {
+	if RandomMissRatio(1000, 2000) != 0 {
+		t.Error("resident buffer: no capacity misses")
+	}
+	if r := RandomMissRatio(2000, 500); r != 0.75 {
+		t.Errorf("miss ratio = %v, want 0.75", r)
+	}
+	if RandomMissRatio(100, 0) != 1 {
+		t.Error("no cache: all miss")
+	}
+}

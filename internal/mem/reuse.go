@@ -1,0 +1,181 @@
+// Package mem provides the memory-system models of the integrated
+// architecture simulator: an exact (Mattson) reuse-distance profiler over
+// access traces, a working-set cache model with concurrency scaling, and a
+// GPU memory-coalescing model. These three mechanisms are what produce the
+// Dopia paper's central phenomenon — raising the GPU's degree of
+// parallelism inflates the cache working set, turning reuse hits into DRAM
+// traffic and congesting the shared memory system.
+package mem
+
+import "math"
+
+// LineSize is the cache-line size in bytes used throughout the models.
+const LineSize = 64
+
+// ReuseProfiler computes the reuse-distance histogram of a cache-line
+// access stream with the classic Bennett/Kruskal algorithm: a Fenwick tree
+// over access timestamps counts the distinct lines touched since a line's
+// previous access in O(log n) per access. It implements the interpreter's
+// TraceSink interface, so it can be attached directly to a kernel run.
+type ReuseProfiler struct {
+	last map[int64]int // line -> timestamp of last access (1-based)
+	tree []int         // Fenwick tree over timestamps; 1 if last access of some line
+	time int
+	hist Histogram
+}
+
+// NewReuseProfiler returns a profiler for a trace of up to capacity
+// accesses. Beyond the capacity the trace is subsampled implicitly by
+// ignoring further accesses (the histogram is already representative).
+func NewReuseProfiler(capacity int) *ReuseProfiler {
+	if capacity <= 0 {
+		capacity = 1 << 20
+	}
+	return &ReuseProfiler{
+		last: make(map[int64]int),
+		tree: make([]int, capacity+1),
+	}
+}
+
+// Access records one memory access (TraceSink implementation).
+func (r *ReuseProfiler) Access(addr, size int64, write bool) {
+	first := addr / LineSize
+	last := (addr + size - 1) / LineSize
+	for line := first; line <= last; line++ {
+		r.accessLine(line)
+	}
+}
+
+func (r *ReuseProfiler) accessLine(line int64) {
+	if r.time >= len(r.tree)-1 {
+		return // capacity reached; stop extending the trace
+	}
+	r.time++
+	t := r.time
+	if prev, seen := r.last[line]; seen {
+		// Distinct lines touched strictly after prev: sum of markers in
+		// (prev, t).
+		dist := r.rangeSum(prev+1, t-1)
+		r.hist.Add(int64(dist))
+		r.update(prev, -1)
+	} else {
+		r.hist.AddCold()
+	}
+	r.last[line] = t
+	r.update(t, +1)
+}
+
+func (r *ReuseProfiler) update(i, delta int) {
+	for ; i < len(r.tree); i += i & (-i) {
+		r.tree[i] += delta
+	}
+}
+
+func (r *ReuseProfiler) prefixSum(i int) int {
+	s := 0
+	for ; i > 0; i -= i & (-i) {
+		s += r.tree[i]
+	}
+	return s
+}
+
+func (r *ReuseProfiler) rangeSum(lo, hi int) int {
+	if hi < lo {
+		return 0
+	}
+	return r.prefixSum(hi) - r.prefixSum(lo-1)
+}
+
+// Histogram returns the reuse-distance histogram accumulated so far.
+func (r *ReuseProfiler) Histogram() *Histogram {
+	h := r.hist
+	return &h
+}
+
+// Accesses returns the number of line accesses profiled.
+func (r *ReuseProfiler) Accesses() int { return r.time }
+
+// numBuckets covers distances up to 2^40 lines.
+const numBuckets = 41
+
+// Histogram is a logarithmic reuse-distance histogram: bucket k counts
+// accesses whose reuse distance (in distinct cache lines) lies in
+// [2^(k-1), 2^k); bucket 0 counts distance-0 (immediate) reuses; Cold
+// counts first-touch accesses.
+type Histogram struct {
+	Buckets [numBuckets]int64
+	Cold    int64
+	Total   int64
+}
+
+// Add records a reuse at the given stack distance (in lines).
+func (h *Histogram) Add(dist int64) {
+	b := 0
+	for d := dist; d > 0; d >>= 1 {
+		b++
+	}
+	if b >= numBuckets {
+		b = numBuckets - 1
+	}
+	h.Buckets[b]++
+	h.Total++
+}
+
+// AddCold records a compulsory (first-touch) access.
+func (h *Histogram) AddCold() {
+	h.Cold++
+	h.Total++
+}
+
+// MissRatio estimates the miss ratio for a fully-associative LRU cache of
+// the given size, with reuse distances scaled by the interleaving factor:
+// when `concurrency` independent threads interleave their access streams
+// in one shared cache, every private reuse distance stretches by roughly
+// that factor. concurrency <= 1 means a private stream.
+func (h *Histogram) MissRatio(cacheBytes int64, concurrency float64) float64 {
+	if h.Total == 0 {
+		return 1
+	}
+	if concurrency < 1 {
+		concurrency = 1
+	}
+	lines := float64(cacheBytes) / LineSize / concurrency
+	if lines < 1 {
+		lines = 1
+	}
+	// Accesses whose distance exceeds `lines` miss. Interpolate within the
+	// boundary bucket linearly in log2 space.
+	logCap := math.Log2(lines)
+	var hits float64
+	for b := 0; b < numBuckets; b++ {
+		if h.Buckets[b] == 0 {
+			continue
+		}
+		// Bucket b spans distances [2^(b-1), 2^b); bucket 0 is distance 0.
+		lo := float64(b) - 1
+		hi := float64(b)
+		switch {
+		case b == 0, hi <= logCap:
+			hits += float64(h.Buckets[b])
+		case lo >= logCap:
+			// all miss
+		default:
+			frac := (logCap - lo) / (hi - lo)
+			hits += float64(h.Buckets[b]) * frac
+		}
+	}
+	miss := float64(h.Total) - hits
+	if miss < float64(h.Cold) {
+		miss = float64(h.Cold)
+	}
+	return miss / float64(h.Total)
+}
+
+// Merge accumulates another histogram into h.
+func (h *Histogram) Merge(o *Histogram) {
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Cold += o.Cold
+	h.Total += o.Total
+}

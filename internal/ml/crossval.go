@@ -1,0 +1,89 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// CVResult summarizes a k-fold cross-validation of one trainer.
+type CVResult struct {
+	Trainer string
+	Folds   int
+	MSE     float64
+	MAE     float64
+	// TrainTime and InferTime are wall-clock averages: one model fit, and
+	// one Predict call, respectively.
+	TrainTime time.Duration
+	InferTime time.Duration
+}
+
+// CrossValidate runs k-fold cross-validation of a trainer on a dataset
+// (shuffled with the given seed) and reports average errors and timings.
+func CrossValidate(tr Trainer, d *Dataset, k int, seed int64) (*CVResult, error) {
+	if d.Len() < k {
+		return nil, fmt.Errorf("ml: %d samples cannot make %d folds", d.Len(), k)
+	}
+	ds := d.Clone()
+	ds.Shuffle(rand.New(rand.NewSource(seed)))
+	res := &CVResult{Trainer: tr.Name(), Folds: k}
+	var inferN int64
+	for i := 0; i < k; i++ {
+		train, test, err := ds.Fold(i, k)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		m, err := tr.Fit(train)
+		if err != nil {
+			return nil, err
+		}
+		res.TrainTime += time.Since(t0)
+		t1 := time.Now()
+		for _, sm := range test.Samples {
+			e := m.Predict(sm.X) - sm.Y
+			res.MSE += e * e
+			if e < 0 {
+				e = -e
+			}
+			res.MAE += e
+		}
+		res.InferTime += time.Since(t1)
+		inferN += int64(test.Len())
+	}
+	res.MSE /= float64(d.Len())
+	res.MAE /= float64(d.Len())
+	res.TrainTime /= time.Duration(k)
+	if inferN > 0 {
+		res.InferTime /= time.Duration(inferN)
+	}
+	return res, nil
+}
+
+// PredictionQuality evaluates how good a model's *argmax* choices are: for
+// grouped candidate sets (one group per workload, each candidate a
+// configuration with known true normalized performance), it returns the
+// achieved normalized performance of the model-chosen candidate per group.
+type Candidate struct {
+	X Features
+	// TruePerf is the measured normalized performance of the candidate
+	// (1 = the workload's best configuration).
+	TruePerf float64
+	// Tag carries caller data (e.g. the configuration) through selection.
+	Tag any
+}
+
+// SelectBest returns the candidate with the highest predicted performance.
+func SelectBest(m Model, cands []Candidate) (int, error) {
+	if len(cands) == 0 {
+		return -1, fmt.Errorf("ml: no candidates")
+	}
+	best := 0
+	bestV := m.Predict(cands[0].X)
+	for i := 1; i < len(cands); i++ {
+		if v := m.Predict(cands[i].X); v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,229 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// TreeTrainer fits a CART regression tree with variance-reduction splits
+// (the paper's deployed "DT" model: accurate for this feature space and
+// with microsecond inference, Figure 10).
+type TreeTrainer struct {
+	// MaxDepth limits the tree depth (default 16).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 2).
+	MinLeaf int
+	// FeatureFrac, when in (0,1), considers a random subset of features
+	// per split (used by the random forest); 0/1 considers all.
+	FeatureFrac float64
+	// Rng supplies randomness for feature subsampling.
+	Rng *rand.Rand
+}
+
+// Name implements Trainer.
+func (TreeTrainer) Name() string { return "DT" }
+
+// Fit implements Trainer.
+func (tr TreeTrainer) Fit(d *Dataset) (Model, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("ml: empty dataset")
+	}
+	maxDepth := tr.MaxDepth
+	if maxDepth <= 0 {
+		maxDepth = 16
+	}
+	minLeaf := tr.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	idx := make([]int, d.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	t := &treeModel{}
+	b := &treeBuilder{
+		samples:     d.Samples,
+		maxDepth:    maxDepth,
+		minLeaf:     minLeaf,
+		featureFrac: tr.FeatureFrac,
+		rng:         tr.Rng,
+		tree:        t,
+	}
+	b.build(idx, 0)
+	return t, nil
+}
+
+// treeNode is one node in the flattened tree. Leaf nodes have feature -1.
+type treeNode struct {
+	feature int
+	thresh  float64
+	left    int32
+	right   int32
+	value   float64
+}
+
+type treeModel struct {
+	nodes []treeNode
+}
+
+func (t *treeModel) Name() string { return "DT" }
+
+func (t *treeModel) Predict(x Features) float64 {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	i := int32(0)
+	for {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return n.value
+		}
+		if x[n.feature] <= n.thresh {
+			i = n.left
+		} else {
+			i = n.right
+		}
+	}
+}
+
+// Nodes returns the number of nodes (for size/overhead reporting).
+func (t *treeModel) Nodes() int { return len(t.nodes) }
+
+// Depth returns the maximum depth of the tree.
+func (t *treeModel) Depth() int {
+	var depth func(i int32) int
+	depth = func(i int32) int {
+		n := &t.nodes[i]
+		if n.feature < 0 {
+			return 1
+		}
+		l, r := depth(n.left), depth(n.right)
+		if r > l {
+			l = r
+		}
+		return l + 1
+	}
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	return depth(0)
+}
+
+type treeBuilder struct {
+	samples     []Sample
+	maxDepth    int
+	minLeaf     int
+	featureFrac float64
+	rng         *rand.Rand
+	tree        *treeModel
+}
+
+// build grows the subtree over the sample indices and returns its node id.
+func (b *treeBuilder) build(idx []int, depth int) int32 {
+	node := int32(len(b.tree.nodes))
+	b.tree.nodes = append(b.tree.nodes, treeNode{feature: -1})
+
+	mean := 0.0
+	for _, i := range idx {
+		mean += b.samples[i].Y
+	}
+	mean /= float64(len(idx))
+	b.tree.nodes[node].value = mean
+
+	if depth >= b.maxDepth || len(idx) < 2*b.minLeaf {
+		return node
+	}
+	feat, thresh, ok := b.bestSplit(idx)
+	if !ok {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if b.samples[i].X[feat] <= thresh {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < b.minLeaf || len(right) < b.minLeaf {
+		return node
+	}
+	l := b.build(left, depth+1)
+	r := b.build(right, depth+1)
+	b.tree.nodes[node].feature = feat
+	b.tree.nodes[node].thresh = thresh
+	b.tree.nodes[node].left = l
+	b.tree.nodes[node].right = r
+	return node
+}
+
+// bestSplit finds the (feature, threshold) minimizing the weighted child
+// variance, scanning sorted feature values in O(n log n) per feature.
+func (b *treeBuilder) bestSplit(idx []int) (int, float64, bool) {
+	bestGain := 0.0
+	bestFeat := -1
+	bestThresh := 0.0
+
+	var totalSum, totalSq float64
+	for _, i := range idx {
+		y := b.samples[i].Y
+		totalSum += y
+		totalSq += y * y
+	}
+	n := float64(len(idx))
+	parentSSE := totalSq - totalSum*totalSum/n
+
+	features := b.pickFeatures()
+	order := make([]int, len(idx))
+	for _, f := range features {
+		copy(order, idx)
+		sort.Slice(order, func(a, c int) bool {
+			return b.samples[order[a]].X[f] < b.samples[order[c]].X[f]
+		})
+		var lSum, lSq float64
+		lN := 0.0
+		for k := 0; k < len(order)-1; k++ {
+			y := b.samples[order[k]].Y
+			lSum += y
+			lSq += y * y
+			lN++
+			xv := b.samples[order[k]].X[f]
+			xn := b.samples[order[k+1]].X[f]
+			if xv == xn {
+				continue
+			}
+			if int(lN) < b.minLeaf || len(order)-int(lN) < b.minLeaf {
+				continue
+			}
+			rSum := totalSum - lSum
+			rSq := totalSq - lSq
+			rN := n - lN
+			sse := (lSq - lSum*lSum/lN) + (rSq - rSum*rSum/rN)
+			gain := parentSSE - sse
+			if gain > bestGain+1e-12 {
+				bestGain = gain
+				bestFeat = f
+				bestThresh = (xv + xn) / 2
+			}
+		}
+	}
+	return bestFeat, bestThresh, bestFeat >= 0
+}
+
+// pickFeatures returns the candidate feature set for one split.
+func (b *treeBuilder) pickFeatures() []int {
+	all := make([]int, NumFeatures)
+	for i := range all {
+		all[i] = i
+	}
+	if b.featureFrac <= 0 || b.featureFrac >= 1 || b.rng == nil {
+		return all
+	}
+	k := int(b.featureFrac*NumFeatures + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	b.rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	return all[:k]
+}

@@ -1,0 +1,134 @@
+package ml
+
+import "fmt"
+
+// This file holds the small dense linear algebra the regression models
+// need: symmetric positive-definite solves via Cholesky factorization with
+// a partial-pivot Gaussian elimination fallback.
+
+// solveSPD solves A x = b for symmetric positive-definite A (row-major,
+// n×n), in place of a copy. It first attempts Cholesky and falls back to
+// Gaussian elimination with partial pivoting when the matrix is not
+// numerically positive definite.
+func solveSPD(a []float64, b []float64, n int) ([]float64, error) {
+	if len(a) != n*n || len(b) != n {
+		return nil, fmt.Errorf("ml: dimension mismatch (%d, %d, n=%d)", len(a), len(b), n)
+	}
+	l := make([]float64, n*n)
+	copy(l, a)
+	if cholesky(l, n) {
+		x := make([]float64, n)
+		copy(x, b)
+		// Forward substitution L y = b.
+		for i := 0; i < n; i++ {
+			for j := 0; j < i; j++ {
+				x[i] -= l[i*n+j] * x[j]
+			}
+			x[i] /= l[i*n+i]
+		}
+		// Back substitution L^T x = y.
+		for i := n - 1; i >= 0; i-- {
+			for j := i + 1; j < n; j++ {
+				x[i] -= l[j*n+i] * x[j]
+			}
+			x[i] /= l[i*n+i]
+		}
+		return x, nil
+	}
+	return gaussSolve(a, b, n)
+}
+
+// cholesky factors a into lower-triangular form in place; returns false
+// when a pivot is non-positive.
+func cholesky(a []float64, n int) bool {
+	for j := 0; j < n; j++ {
+		d := a[j*n+j]
+		for k := 0; k < j; k++ {
+			d -= a[j*n+k] * a[j*n+k]
+		}
+		if d <= 0 {
+			return false
+		}
+		d = sqrt(d)
+		a[j*n+j] = d
+		for i := j + 1; i < n; i++ {
+			s := a[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= a[i*n+k] * a[j*n+k]
+			}
+			a[i*n+j] = s / d
+		}
+	}
+	return true
+}
+
+func sqrt(x float64) float64 {
+	// Newton iterations; avoids importing math in the hot path for no
+	// reason other than symmetry — precision matches math.Sqrt closely.
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 32; i++ {
+		nz := 0.5 * (z + x/z)
+		if nz == z {
+			break
+		}
+		z = nz
+	}
+	return z
+}
+
+// gaussSolve solves A x = b by Gaussian elimination with partial pivoting.
+func gaussSolve(aIn, bIn []float64, n int) ([]float64, error) {
+	a := make([]float64, n*n)
+	copy(a, aIn)
+	b := make([]float64, n)
+	copy(b, bIn)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		max := abs(a[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := abs(a[r*n+col]); v > max {
+				p, max = r, v
+			}
+		}
+		if max < 1e-15 {
+			return nil, fmt.Errorf("ml: singular system at column %d", col)
+		}
+		if p != col {
+			for k := 0; k < n; k++ {
+				a[p*n+k], a[col*n+k] = a[col*n+k], a[p*n+k]
+			}
+			b[p], b[col] = b[col], b[p]
+		}
+		inv := 1 / a[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := a[r*n+col] * inv
+			if f == 0 {
+				continue
+			}
+			for k := col; k < n; k++ {
+				a[r*n+k] -= f * a[col*n+k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := b[i]
+		for k := i + 1; k < n; k++ {
+			s -= a[i*n+k] * x[k]
+		}
+		x[i] = s / a[i*n+i]
+	}
+	return x, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,61 @@
+package ml
+
+// LinearTrainer fits ordinary least squares with a small ridge term for
+// conditioning (the paper's "Lin" baseline).
+type LinearTrainer struct {
+	// Ridge is the L2 regularization strength (default 1e-6).
+	Ridge float64
+}
+
+// Name implements Trainer.
+func (LinearTrainer) Name() string { return "LIN" }
+
+// Fit implements Trainer.
+func (tr LinearTrainer) Fit(d *Dataset) (Model, error) {
+	ridge := tr.Ridge
+	if ridge <= 0 {
+		ridge = 1e-6
+	}
+	sc := fitScaler(d)
+	n := NumFeatures + 1 // plus intercept
+	xtx := make([]float64, n*n)
+	xty := make([]float64, n)
+	row := make([]float64, n)
+	for _, sm := range d.Samples {
+		x := sc.apply(sm.X)
+		for i := 0; i < NumFeatures; i++ {
+			row[i] = x[i]
+		}
+		row[NumFeatures] = 1
+		for i := 0; i < n; i++ {
+			xty[i] += row[i] * sm.Y
+			for j := 0; j < n; j++ {
+				xtx[i*n+j] += row[i] * row[j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		xtx[i*n+i] += ridge
+	}
+	w, err := solveSPD(xtx, xty, n)
+	if err != nil {
+		return nil, err
+	}
+	return &linearModel{scale: sc, w: w}, nil
+}
+
+type linearModel struct {
+	scale *scaler
+	w     []float64
+}
+
+func (m *linearModel) Name() string { return "LIN" }
+
+func (m *linearModel) Predict(x Features) float64 {
+	xs := m.scale.apply(x)
+	y := m.w[NumFeatures]
+	for i := 0; i < NumFeatures; i++ {
+		y += m.w[i] * xs[i]
+	}
+	return y
+}

@@ -1,0 +1,89 @@
+package ml
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ForestTrainer fits a random forest of CART trees over bootstrap samples
+// with per-split feature subsampling (the paper's "RF" model: best
+// accuracy, highest inference cost after SVR).
+type ForestTrainer struct {
+	// Trees is the ensemble size (default 50).
+	Trees int
+	// MaxDepth limits each tree (default 16).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 2).
+	MinLeaf int
+	// FeatureFrac is the per-split feature fraction (default 0.6).
+	FeatureFrac float64
+	// MaxSamples caps each bootstrap sample (default 8192): bagging over
+	// subsamples keeps ensemble quality while bounding training cost on
+	// the 50k+-sample datasets of the full evaluation.
+	MaxSamples int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// Name implements Trainer.
+func (ForestTrainer) Name() string { return "RF" }
+
+// Fit implements Trainer.
+func (tr ForestTrainer) Fit(d *Dataset) (Model, error) {
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("ml: empty dataset")
+	}
+	trees := tr.Trees
+	if trees <= 0 {
+		trees = 50
+	}
+	frac := tr.FeatureFrac
+	if frac <= 0 {
+		frac = 0.6
+	}
+	maxSamples := tr.MaxSamples
+	if maxSamples <= 0 {
+		maxSamples = 8192
+	}
+	bootN := d.Len()
+	if bootN > maxSamples {
+		bootN = maxSamples
+	}
+	rng := rand.New(rand.NewSource(tr.Seed + 1))
+	fm := &forestModel{}
+	for t := 0; t < trees; t++ {
+		boot := &Dataset{Samples: make([]Sample, bootN)}
+		for i := range boot.Samples {
+			boot.Samples[i] = d.Samples[rng.Intn(d.Len())]
+		}
+		tt := TreeTrainer{
+			MaxDepth:    tr.MaxDepth,
+			MinLeaf:     tr.MinLeaf,
+			FeatureFrac: frac,
+			Rng:         rand.New(rand.NewSource(rng.Int63())),
+		}
+		m, err := tt.Fit(boot)
+		if err != nil {
+			return nil, err
+		}
+		fm.trees = append(fm.trees, m.(*treeModel))
+	}
+	return fm, nil
+}
+
+type forestModel struct {
+	trees []*treeModel
+}
+
+func (f *forestModel) Name() string { return "RF" }
+
+func (f *forestModel) Predict(x Features) float64 {
+	if len(f.trees) == 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.trees))
+}

@@ -1,0 +1,183 @@
+package ml
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file implements model persistence: a trained model can be saved to
+// JSON and reloaded without retraining, mirroring Dopia's offline-train /
+// online-infer split (the paper trains with scikit-learn offline and ships
+// the model into the runtime).
+
+// modelEnvelope wraps any serialized model with its family tag.
+type modelEnvelope struct {
+	Family string          `json:"family"`
+	Data   json.RawMessage `json:"data"`
+}
+
+type linearJSON struct {
+	Mean [NumFeatures]float64 `json:"mean"`
+	Std  [NumFeatures]float64 `json:"std"`
+	W    []float64            `json:"w"`
+}
+
+type svrJSON struct {
+	Mean  [NumFeatures]float64 `json:"mean"`
+	Std   [NumFeatures]float64 `json:"std"`
+	Gamma float64              `json:"gamma"`
+	Xs    []Features           `json:"support"`
+	Alpha []float64            `json:"alpha"`
+}
+
+type treeJSON struct {
+	Nodes []treeNodeJSON `json:"nodes"`
+}
+
+type treeNodeJSON struct {
+	Feature int     `json:"f"`
+	Thresh  float64 `json:"t"`
+	Left    int32   `json:"l"`
+	Right   int32   `json:"r"`
+	Value   float64 `json:"v"`
+}
+
+type forestJSON struct {
+	Trees []treeJSON `json:"trees"`
+}
+
+// SaveModel serializes a trained model to the writer.
+func SaveModel(w io.Writer, m Model) error {
+	env := modelEnvelope{Family: m.Name()}
+	var payload any
+	switch mm := m.(type) {
+	case *linearModel:
+		payload = linearJSON{Mean: mm.scale.mean, Std: mm.scale.std, W: mm.w}
+	case *svrModel:
+		payload = svrJSON{
+			Mean: mm.scale.mean, Std: mm.scale.std,
+			Gamma: mm.gamma, Xs: mm.xs, Alpha: mm.alpha,
+		}
+	case *treeModel:
+		payload = treeToJSON(mm)
+	case *forestModel:
+		fj := forestJSON{}
+		for _, t := range mm.trees {
+			fj.Trees = append(fj.Trees, treeToJSON(t))
+		}
+		payload = fj
+	default:
+		return fmt.Errorf("ml: cannot serialize model type %T", m)
+	}
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return err
+	}
+	env.Data = raw
+	return json.NewEncoder(w).Encode(env)
+}
+
+// LoadModel reads a model serialized with SaveModel.
+func LoadModel(r io.Reader) (Model, error) {
+	var env modelEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, err
+	}
+	switch env.Family {
+	case "LIN":
+		var lj linearJSON
+		if err := json.Unmarshal(env.Data, &lj); err != nil {
+			return nil, err
+		}
+		if len(lj.W) != NumFeatures+1 {
+			return nil, fmt.Errorf("ml: linear model has %d weights, want %d", len(lj.W), NumFeatures+1)
+		}
+		return &linearModel{scale: &scaler{mean: lj.Mean, std: lj.Std}, w: lj.W}, nil
+	case "SVR":
+		var sj svrJSON
+		if err := json.Unmarshal(env.Data, &sj); err != nil {
+			return nil, err
+		}
+		if len(sj.Xs) != len(sj.Alpha) {
+			return nil, fmt.Errorf("ml: SVR support/alpha length mismatch")
+		}
+		return &svrModel{
+			scale: &scaler{mean: sj.Mean, std: sj.Std},
+			gamma: sj.Gamma, xs: sj.Xs, alpha: sj.Alpha,
+		}, nil
+	case "DT":
+		var tj treeJSON
+		if err := json.Unmarshal(env.Data, &tj); err != nil {
+			return nil, err
+		}
+		return treeFromJSON(tj)
+	case "RF":
+		var fj forestJSON
+		if err := json.Unmarshal(env.Data, &fj); err != nil {
+			return nil, err
+		}
+		fm := &forestModel{}
+		for _, tj := range fj.Trees {
+			t, err := treeFromJSON(tj)
+			if err != nil {
+				return nil, err
+			}
+			fm.trees = append(fm.trees, t)
+		}
+		return fm, nil
+	}
+	return nil, fmt.Errorf("ml: unknown model family %q", env.Family)
+}
+
+// SaveModelFile and LoadModelFile are path-based conveniences.
+func SaveModelFile(path string, m Model) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return SaveModel(f, m)
+}
+
+// LoadModelFile reads a model from a file written by SaveModelFile.
+func LoadModelFile(path string) (Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}
+
+func treeToJSON(t *treeModel) treeJSON {
+	tj := treeJSON{Nodes: make([]treeNodeJSON, len(t.nodes))}
+	for i, n := range t.nodes {
+		tj.Nodes[i] = treeNodeJSON{
+			Feature: n.feature, Thresh: n.thresh,
+			Left: n.left, Right: n.right, Value: n.value,
+		}
+	}
+	return tj
+}
+
+func treeFromJSON(tj treeJSON) (*treeModel, error) {
+	t := &treeModel{nodes: make([]treeNode, len(tj.Nodes))}
+	for i, n := range tj.Nodes {
+		if n.Feature >= NumFeatures {
+			return nil, fmt.Errorf("ml: node %d has invalid feature %d", i, n.Feature)
+		}
+		if n.Feature >= 0 {
+			if n.Left < 0 || int(n.Left) >= len(tj.Nodes) ||
+				n.Right < 0 || int(n.Right) >= len(tj.Nodes) {
+				return nil, fmt.Errorf("ml: node %d has out-of-range children", i)
+			}
+		}
+		t.nodes[i] = treeNode{
+			feature: n.Feature, thresh: n.Thresh,
+			left: n.Left, right: n.Right, value: n.Value,
+		}
+	}
+	return t, nil
+}

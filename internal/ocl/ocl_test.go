@@ -1,0 +1,207 @@
+package ocl
+
+import (
+	"testing"
+
+	"dopia/internal/interp"
+	"dopia/internal/sim"
+)
+
+const vaddSrc = `
+__kernel void vadd(__global float* a, __global float* b, __global float* c, int n) {
+    int i = get_global_id(0);
+    if (i < n) { c[i] = a[i] + b[i]; }
+}`
+
+func TestPlatformAndDevices(t *testing.T) {
+	p := NewPlatform(sim.Kaveri())
+	devs := p.Devices()
+	if len(devs) != 2 {
+		t.Fatalf("%d devices, want 2", len(devs))
+	}
+	if devs[0].Type() != DeviceCPU || devs[1].Type() != DeviceGPU {
+		t.Error("device order wrong")
+	}
+	if p.Device(DeviceGPU).ComputeUnits() != 8 {
+		t.Errorf("GPU CUs = %d, want 8", p.Device(DeviceGPU).ComputeUnits())
+	}
+	if p.Device(DeviceCPU).ComputeUnits() != 4 {
+		t.Errorf("CPU CUs = %d, want 4", p.Device(DeviceCPU).ComputeUnits())
+	}
+}
+
+func TestPlainEnqueueCPUAndGPU(t *testing.T) {
+	p := NewPlatform(sim.Kaveri())
+	ctx := p.CreateContext()
+	prog := ctx.CreateProgramWithSource(vaddSrc)
+	if err := prog.Build(); err != nil {
+		t.Fatal(err)
+	}
+	for _, dt := range []DeviceType{DeviceCPU, DeviceGPU} {
+		kern, err := prog.CreateKernel("vadd")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 256
+		a := ctx.CreateFloatBuffer(n)
+		b := ctx.CreateFloatBuffer(n)
+		c := ctx.CreateFloatBuffer(n)
+		for i := 0; i < n; i++ {
+			a.Float32()[i] = float32(i)
+			b.Float32()[i] = 1
+		}
+		for i, v := range []any{a, b, c, n} {
+			if err := kern.SetArg(i, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		q := ctx.CreateCommandQueue(p.Device(dt))
+		if err := q.EnqueueNDRangeKernel(kern, interp.ND1(n, 64)); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Finish(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			if c.Float32()[i] != float32(i)+1 {
+				t.Fatalf("%v: c[%d] = %v", dt, i, c.Float32()[i])
+			}
+		}
+		if q.SimTime <= 0 {
+			t.Errorf("%v: no simulated time charged", dt)
+		}
+		if dt == DeviceCPU && q.LastResult.WGsGPU != 0 {
+			t.Error("CPU queue used the GPU")
+		}
+		if dt == DeviceGPU && q.LastResult.WGsCPU != 0 {
+			t.Error("GPU queue used the CPU")
+		}
+	}
+}
+
+func TestKernelArgErrors(t *testing.T) {
+	p := NewPlatform(sim.Kaveri())
+	ctx := p.CreateContext()
+	prog := ctx.CreateProgramWithSource(vaddSrc)
+	if err := prog.Build(); err != nil {
+		t.Fatal(err)
+	}
+	kern, err := prog.CreateKernel("vadd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := kern.SetArg(9, 1); err == nil {
+		t.Error("expected out-of-range arg error")
+	}
+	if err := kern.SetArg(0, "nope"); err == nil {
+		t.Error("expected unsupported-type error")
+	}
+	if _, err := kern.Args(); err == nil {
+		t.Error("expected unset-arg error")
+	}
+	q := ctx.CreateCommandQueue(p.Device(DeviceCPU))
+	if err := q.EnqueueNDRangeKernel(kern, interp.ND1(64, 64)); err == nil {
+		t.Error("expected enqueue error with unset args")
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	p := NewPlatform(sim.Skylake())
+	ctx := p.CreateContext()
+	prog := ctx.CreateProgramWithSource("__kernel void broken(")
+	if err := prog.Build(); err == nil {
+		t.Error("expected build error")
+	}
+	if _, err := prog.CreateKernel("broken"); err == nil {
+		t.Error("expected error creating kernel from unbuilt program")
+	}
+	good := ctx.CreateProgramWithSource(vaddSrc)
+	if err := good.Build(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := good.CreateKernel("nosuch"); err == nil {
+		t.Error("expected error for unknown kernel name")
+	}
+}
+
+func TestGPUQueueSlowerOnCPUAffineKernel(t *testing.T) {
+	// A strided, low-compute kernel (transposed reads) should cost more
+	// simulated time on the GPU queue than the CPU queue.
+	src := `__kernel void colsum(__global float* A, __global float* y, int n) {
+        int i = get_global_id(0);
+        if (i < n) {
+            float acc = 0.0f;
+            for (int j = 0; j < n; j++) {
+                acc += A[i * n + j];
+            }
+            y[i] = acc;
+        }
+    }`
+	p := NewPlatform(sim.Kaveri())
+	ctx := p.CreateContext()
+	prog := ctx.CreateProgramWithSource(src)
+	if err := prog.Build(); err != nil {
+		t.Fatal(err)
+	}
+	n := 512
+	run := func(dt DeviceType) float64 {
+		kern, err := prog.CreateKernel("colsum")
+		if err != nil {
+			t.Fatal(err)
+		}
+		A := ctx.CreateFloatBuffer(n * n)
+		y := ctx.CreateFloatBuffer(n)
+		_ = kern.SetArg(0, A)
+		_ = kern.SetArg(1, y)
+		_ = kern.SetArg(2, n)
+		q := ctx.CreateCommandQueue(p.Device(dt))
+		if err := q.EnqueueNDRangeKernel(kern, interp.ND1(n, 64)); err != nil {
+			t.Fatal(err)
+		}
+		return q.SimTime
+	}
+	cpu := run(DeviceCPU)
+	gpu := run(DeviceGPU)
+	t.Logf("colsum: cpu=%.4gms gpu=%.4gms", cpu*1e3, gpu*1e3)
+	if gpu <= cpu {
+		t.Errorf("row-per-lane kernel should be slower on GPU: cpu=%v gpu=%v", cpu, gpu)
+	}
+}
+
+func TestReadWriteBuffer(t *testing.T) {
+	p := NewPlatform(sim.Kaveri())
+	ctx := p.CreateContext()
+	q := ctx.CreateCommandQueue(p.Device(DeviceCPU))
+	fb := ctx.CreateFloatBuffer(4)
+	if err := q.EnqueueWriteBuffer(fb, []float32{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float32, 4)
+	if err := q.EnqueueReadBuffer(fb, out); err != nil {
+		t.Fatal(err)
+	}
+	if out[3] != 4 {
+		t.Errorf("read back %v", out)
+	}
+	ib := ctx.CreateIntBuffer(2)
+	if err := q.EnqueueWriteBuffer(ib, []int32{7, 9}); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]int32, 2)
+	if err := q.EnqueueReadBuffer(ib, got); err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 9 {
+		t.Errorf("read back %v", got)
+	}
+	// Size and type mismatches error out.
+	if err := q.EnqueueWriteBuffer(fb, []float32{1}); err == nil {
+		t.Error("expected size-mismatch error")
+	}
+	if err := q.EnqueueWriteBuffer(fb, []int32{1, 2, 3, 4}); err == nil {
+		t.Error("expected type-mismatch error")
+	}
+	if err := q.EnqueueReadBuffer(fb, "nope"); err == nil {
+		t.Error("expected unsupported-type error")
+	}
+}

@@ -1,0 +1,271 @@
+// Package sched implements Dopia's runtime workload management
+// (Algorithm 1 of the paper) on top of the performance simulator: it owns
+// the CPU-side and malleable-GPU-side interpreters for one kernel, builds
+// the kernel's performance model by sampled profiling, and functionally
+// executes exactly the spans of work-groups the simulated schedule assigns
+// to each device — pull-based single work-groups for CPU cores, push-based
+// chunks for the GPU.
+package sched
+
+import (
+	"fmt"
+
+	"dopia/internal/analysis"
+	"dopia/internal/clc"
+	"dopia/internal/interp"
+	"dopia/internal/sim"
+)
+
+// Executor runs one kernel on one simulated machine.
+type Executor struct {
+	Machine *sim.Machine
+	// AssumeMalleable charges GPU chunks with the malleable-kernel
+	// overhead even when no malleable kernel was supplied (timing-only
+	// sweeps that model Dopia's execution without generating code).
+	AssumeMalleable bool
+
+	orig      *clc.Kernel
+	malleable *clc.Kernel // nil when the GPU runs the original kernel
+
+	cpuEx *interp.Exec
+	gpuEx *interp.Exec
+
+	analysis *analysis.Result
+	args     []interp.Arg
+	nd       interp.NDRange
+	bound    bool
+	launched bool
+
+	model *sim.KernelModel
+}
+
+// NewExecutor creates an executor for the original kernel and (optionally)
+// its malleable GPU form. Pass malleable == nil to run the unmodified
+// kernel on the GPU (the plain OpenCL baseline).
+func NewExecutor(m *sim.Machine, orig, malleable *clc.Kernel) (*Executor, error) {
+	e := &Executor{Machine: m, orig: orig, malleable: malleable}
+	var err error
+	if e.cpuEx, err = interp.NewExec(orig); err != nil {
+		return nil, err
+	}
+	gk := orig
+	if malleable != nil {
+		gk = malleable
+	}
+	if e.gpuEx, err = interp.NewExec(gk); err != nil {
+		return nil, err
+	}
+	// Both executors address the same buffers: share one address space.
+	e.gpuEx.AS = e.cpuEx.AS
+	if e.analysis, err = analysis.Analyze(orig); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// Analysis returns the static analysis of the kernel.
+func (e *Executor) Analysis() *analysis.Result { return e.analysis }
+
+// Bind sets the kernel arguments (the original kernel's signature).
+func (e *Executor) Bind(args ...interp.Arg) error {
+	if err := e.cpuEx.Bind(args...); err != nil {
+		return err
+	}
+	if e.malleable != nil {
+		// The malleable kernel appends (dop_gpu_mod, dop_gpu_alloc);
+		// bind placeholders now, configured per run.
+		gargs := append(append([]interp.Arg(nil), args...),
+			interp.IntArg(8), interp.IntArg(8))
+		if err := e.gpuEx.Bind(gargs...); err != nil {
+			return err
+		}
+	} else {
+		if err := e.gpuEx.Bind(args...); err != nil {
+			return err
+		}
+	}
+	e.args = append([]interp.Arg(nil), args...)
+	e.bound = true
+	e.model = nil
+	return nil
+}
+
+// Launch sets the ND range for subsequent runs.
+func (e *Executor) Launch(nd interp.NDRange) error {
+	if err := nd.Validate(); err != nil {
+		return err
+	}
+	e.nd = nd
+	e.launched = true
+	e.model = nil
+	return nil
+}
+
+// writtenArgs returns the parameter indices the kernel writes, from the
+// static analysis.
+func (e *Executor) writtenArgs() []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, s := range e.analysis.Sites {
+		if s.Write && s.ArgIndex >= 0 && !seen[s.ArgIndex] {
+			seen[s.ArgIndex] = true
+			out = append(out, s.ArgIndex)
+		}
+	}
+	return out
+}
+
+// ProfileSampleWGs is the default number of work-groups executed to build
+// the performance model.
+const ProfileSampleWGs = 4
+
+// Model returns the kernel's performance model, building it on first use
+// by executing a sampled subset of work-groups. Output buffers are
+// snapshotted and restored, so profiling leaves no functional trace even
+// for read-modify-write kernels.
+func (e *Executor) Model() (*sim.KernelModel, error) {
+	if e.model != nil {
+		return e.model, nil
+	}
+	if !e.bound || !e.launched {
+		return nil, fmt.Errorf("sched: executor not bound/launched")
+	}
+	// Snapshot written buffers.
+	type snap struct {
+		arg int
+		buf *interp.Buffer
+	}
+	var snaps []snap
+	for _, ai := range e.writtenArgs() {
+		if a := e.args[ai]; a.IsBuf {
+			snaps = append(snaps, snap{ai, a.Buf.Clone()})
+		}
+	}
+	e.cpuEx.ResetStats()
+	if err := e.cpuEx.Launch(e.nd); err != nil {
+		return nil, err
+	}
+	if _, err := e.cpuEx.RunSampled(ProfileSampleWGs); err != nil {
+		return nil, err
+	}
+	prof := e.cpuEx.Stats()
+	// Restore.
+	for _, s := range snaps {
+		restoreBuffer(e.args[s.arg].Buf, s.buf)
+	}
+	bufBytes := map[int]int64{}
+	for i, a := range e.args {
+		if a.IsBuf {
+			bufBytes[i] = a.Buf.Bytes()
+		}
+	}
+	km, err := sim.BuildModel(e.orig.Name, prof, e.analysis, bufBytes, e.nd)
+	if err != nil {
+		return nil, err
+	}
+	e.model = km
+	return km, nil
+}
+
+func restoreBuffer(dst, src *interp.Buffer) {
+	copy(dst.F32, src.F32)
+	copy(dst.I32, src.I32)
+	copy(dst.F64, src.F64)
+	copy(dst.I64, src.I64)
+}
+
+// RunOptions configure one simulated+functional execution.
+type RunOptions struct {
+	Dist     sim.Distribution
+	CPUShare float64 // for Static
+	// Functional disables/enables the functional execution of spans;
+	// timing-only sweeps leave it false.
+	Functional bool
+	// ExtraStartupSec charges one-time runtime overhead (model inference).
+	ExtraStartupSec float64
+	// GPUChunkDiv overrides the dynamic GPU chunk divisor (default 10).
+	GPUChunkDiv int
+}
+
+// Run executes the kernel under the given DoP configuration, returning
+// the simulation result. When opts.Functional is set, every span the
+// simulated schedule assigns is executed by the matching interpreter, so
+// buffers hold the kernel's true output afterwards.
+func (e *Executor) Run(cfg sim.Config, opts RunOptions) (*sim.Result, error) {
+	km, err := e.Model()
+	if err != nil {
+		return nil, err
+	}
+	var onSpan sim.SpanFunc
+	if opts.Functional {
+		if err := e.prepareFunctional(cfg); err != nil {
+			return nil, err
+		}
+		onSpan = e.spanFunc(cfg)
+	}
+	return sim.Simulate(e.Machine, km, cfg, opts.Dist, sim.SimOptions{
+		CPUShare:        opts.CPUShare,
+		GPUChunkDiv:     opts.GPUChunkDiv,
+		OnSpan:          onSpan,
+		ExtraStartupSec: opts.ExtraStartupSec,
+		PlainGPU:        e.malleable == nil && !e.AssumeMalleable,
+	})
+}
+
+func (e *Executor) prepareFunctional(cfg sim.Config) error {
+	if err := e.cpuEx.Launch(e.nd); err != nil {
+		return err
+	}
+	if e.malleable != nil && cfg.GPUFrac > 0 {
+		mod, alloc := sim.DopParams(cfg.GPUFrac)
+		n := len(e.args)
+		if err := e.gpuEx.SetArg(n, interp.IntArg(mod)); err != nil {
+			return err
+		}
+		if err := e.gpuEx.SetArg(n+1, interp.IntArg(alloc)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spanFunc returns the functional span executor: CPU spans run work-groups
+// of the full ND range on the original kernel; GPU spans are dispatched as
+// offset sub-range launches of the (malleable) GPU kernel, exactly like
+// Dopia's push-based chunks.
+func (e *Executor) spanFunc(cfg sim.Config) sim.SpanFunc {
+	return func(device string, start, count int) error {
+		switch device {
+		case "cpu":
+			return e.cpuEx.RunGroupSpan(start, count)
+		case "gpu":
+			sub, err := e.nd.SubRange(start, count)
+			if err != nil {
+				return err
+			}
+			if err := e.gpuEx.Launch(sub); err != nil {
+				return err
+			}
+			return e.gpuEx.Run()
+		}
+		return fmt.Errorf("sched: unknown device %q", device)
+	}
+}
+
+// BestStatic sweeps the paper's 19 static splits (5%..95% to the CPU) and
+// returns the best share and its result (the Figure 9 "STATIC" baseline).
+func (e *Executor) BestStatic(cfg sim.Config) (float64, *sim.Result, error) {
+	var bestShare float64
+	var best *sim.Result
+	for i := 1; i <= 19; i++ {
+		share := float64(i) * 0.05
+		r, err := e.Run(cfg, RunOptions{Dist: sim.Static, CPUShare: share})
+		if err != nil {
+			return 0, nil, err
+		}
+		if best == nil || r.Time < best.Time {
+			best, bestShare = r, share
+		}
+	}
+	return bestShare, best, nil
+}

@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"testing"
+
+	"dopia/internal/access"
+)
+
+// This file holds the ablation experiments DESIGN.md calls out: each test
+// disables one simulator mechanism and checks that the paper phenomenon it
+// is responsible for disappears. They double as regression tests for the
+// machine-model calibration.
+
+// ablateGesummv returns the gesummv model and a Kaveri machine that can be
+// mutated per ablation.
+func ablateGesummv(t *testing.T) (*Machine, *KernelModel) {
+	t.Helper()
+	return Kaveri(), gesummvModel(t, 16384, 256)
+}
+
+// TestAblationConcurrencyScaledCache: without the residency-scaled
+// working set (Residency -> 0), the Figure 3(b) effect — memory requests
+// growing with GPU utilization — vanishes.
+func TestAblationConcurrencyScaledCache(t *testing.T) {
+	m, km := ablateGesummv(t)
+	perWG := func(mm *Machine, frac float64) float64 {
+		r, err := Simulate(mm, km, Config{CPUCores: 4, GPUFrac: frac}, Dynamic, SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Transactions / float64(r.WGsGPU)
+	}
+	withLow := perWG(m, 0.25)
+	withHigh := perWG(m, 1.0)
+
+	m2 := Kaveri()
+	m2.GPU.Residency = 0.01 // working set no longer scales with threads
+	withoutLow := perWG(m2, 0.25)
+	withoutHigh := perWG(m2, 1.0)
+
+	t.Logf("with scaling: %.0f -> %.0f; without: %.0f -> %.0f",
+		withLow, withHigh, withoutLow, withoutHigh)
+	if withHigh <= withLow*1.5 {
+		t.Errorf("with scaling, requests must grow sharply with DoP: %v -> %v", withLow, withHigh)
+	}
+	if withoutHigh > withoutLow*1.2 {
+		t.Errorf("without scaling, requests should stay nearly flat: %v -> %v", withoutLow, withoutHigh)
+	}
+}
+
+// TestAblationStridedPenalty: without the uncoalesced-stream bandwidth
+// penalty, gesummv stops being CPU-affine — the GPU (which sustains more
+// bandwidth) wrongly matches or beats the CPU.
+func TestAblationStridedPenalty(t *testing.T) {
+	m, km := ablateGesummv(t)
+	ratio := func(mm *Machine) float64 {
+		cpu, err := Simulate(mm, km, mm.CPUOnly(), Dynamic, SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gpuHalf, err := Simulate(mm, km, Config{GPUFrac: 0.5}, Dynamic, SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return gpuHalf.Time / cpu.Time
+	}
+	with := ratio(m)
+	m2 := Kaveri()
+	m2.GPU.StridedPenalty = 1.0
+	without := ratio(m2)
+	t.Logf("GPU@50%%/CPU time ratio: with penalty %.2f, without %.2f", with, without)
+	if with <= 1.1 {
+		t.Errorf("with the penalty, gesummv must be CPU-affine (ratio %v)", with)
+	}
+	if without >= with {
+		t.Errorf("removing the penalty must narrow the gap: %v -> %v", with, without)
+	}
+}
+
+// TestAblationPerPEBandwidthCap: without the per-PE bandwidth cap, a tiny
+// GPU allocation would implausibly saturate the whole DRAM, erasing the
+// benefit of wider allocations (the left-to-right gradient of Figure 1's
+// low-CPU rows).
+func TestAblationPerPEBandwidthCap(t *testing.T) {
+	m, km := ablateGesummv(t)
+	speedup := func(mm *Machine) float64 {
+		small, err := Simulate(mm, km, Config{GPUFrac: 0.125}, Dynamic, SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mid, err := Simulate(mm, km, Config{GPUFrac: 0.5}, Dynamic, SimOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return small.Time / mid.Time
+	}
+	with := speedup(m)
+	m2 := Kaveri()
+	m2.GPU.PEBWBs = 0 // uncapped
+	without := speedup(m2)
+	t.Logf("GPU 12.5%% -> 50%% speedup: with cap %.2f, without %.2f", with, without)
+	if with < 1.5 {
+		t.Errorf("with the cap, widening the GPU allocation must speed up a bandwidth-bound kernel (got %v)", with)
+	}
+	if without > with*0.9 {
+		// Uncapped, the small allocation already saturates DRAM.
+		if without > 1.3 {
+			t.Errorf("without the cap the scaling should largely disappear: %v", without)
+		}
+	}
+}
+
+// TestAblationChunkSizeSensitivity: the paper fixes the GPU push chunk at
+// one tenth of the work-groups. Much larger chunks hurt load balance on
+// CPU-affine kernels (the GPU drags the tail); much smaller ones pay
+// dispatch overhead.
+func TestAblationChunkSizeSensitivity(t *testing.T) {
+	m, km := ablateGesummv(t)
+	cfg := Config{CPUCores: 4, GPUFrac: 0.5}
+	run := func(div int) float64 {
+		r, err := Simulate(m, km, cfg, Dynamic, SimOptions{GPUChunkDiv: div})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Time
+	}
+	coarse := run(1) // one giant chunk: half the work pushed blindly
+	paper := run(10)
+	t.Logf("chunk=all %.4gms, chunk=1/10 %.4gms", coarse*1e3, paper*1e3)
+	if paper > coarse {
+		t.Errorf("the paper's 1/10 chunking should not lose to a single blind push: %v vs %v",
+			paper, coarse)
+	}
+}
+
+// TestAblationLatencyCongestion: the congestion-stretched latency term is
+// what makes latency-bound CPU work degrade when the GPU floods the memory
+// system (the bottom-right cliff of Figure 1). Compare a random-access
+// model with and without congestion by removing the GPU's traffic.
+func TestAblationLatencyCongestion(t *testing.T) {
+	m := Kaveri()
+	km := &KernelModel{
+		Name: "latency-bound", WorkDim: 1, NumWGs: 64, WGSize: 256, GroupsPerRow: 1,
+		AluIntPerWG: 1e5,
+		Sites: []SiteModel{{
+			Site: 0, ElemSize: 4, AccPerWG: 5e4,
+			Iter: access.Random, Lane: access.Random,
+			BufBytes: 256 << 20, DistinctPerWI: 4 * 5e4 / 256,
+		}},
+	}
+	alone, err := Simulate(m, km, Config{CPUCores: 4}, Dynamic, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowded, err := Simulate(m, km, Config{CPUCores: 4, GPUFrac: 1}, Dynamic, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perWGAlone := alone.Time / float64(alone.WGsCPU)
+	perWGCrowded := crowded.Time / float64(crowded.WGsCPU+crowded.WGsGPU)
+	t.Logf("latency-bound per-WG time: CPU alone %.4g, with GPU flooding %.4g",
+		perWGAlone, perWGCrowded)
+	// The GPU takes work, so total time may drop; but the run must show
+	// DRAM congestion: total traffic rises and the fluid engine is the
+	// component charging it (sanity check of the mechanism wiring).
+	if crowded.DRAMBytes <= alone.DRAMBytes {
+		t.Errorf("GPU participation must add DRAM traffic: %v -> %v",
+			alone.DRAMBytes, crowded.DRAMBytes)
+	}
+}
+
+// TestExtensionChunkDecay exercises the future-work extension the paper
+// sketches in §7: guided-self-scheduling chunk decay. On a CPU-affine
+// kernel where the GPU drags the tail, decaying chunks must not be worse
+// than the fixed 1/10 chunks, and usually improves the tail.
+func TestExtensionChunkDecay(t *testing.T) {
+	m, km := ablateGesummv(t)
+	cfg := Config{CPUCores: 4, GPUFrac: 1.0} // oversized GPU share: worst tail
+	fixed, err := Simulate(m, km, cfg, Dynamic, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decay, err := Simulate(m, km, cfg, Dynamic, SimOptions{DecayChunks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("fixed chunks %.4gms, decaying chunks %.4gms", fixed.Time*1e3, decay.Time*1e3)
+	if decay.Time > fixed.Time*1.02 {
+		t.Errorf("chunk decay must not hurt: fixed=%v decay=%v", fixed.Time, decay.Time)
+	}
+	// On a GPU-only run the decay visibly produces more, smaller chunks.
+	gFixed, err := Simulate(m, km, Config{GPUFrac: 1}, Dynamic, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gDecay, err := Simulate(m, km, Config{GPUFrac: 1}, Dynamic, SimOptions{DecayChunks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gDecay.GPUChunks <= gFixed.GPUChunks {
+		t.Errorf("decaying chunks should dispatch more, smaller chunks: %d vs %d",
+			gDecay.GPUChunks, gFixed.GPUChunks)
+	}
+}

@@ -1,0 +1,326 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpanFunc is an optional callback invoked for every span of work-groups
+// an agent acquires, in simulated-completion order. Dopia's runtime uses
+// it to functionally execute exactly the work the simulated schedule
+// assigns: device is "cpu" or "gpu", start/count index work-groups of the
+// full ND range.
+type SpanFunc func(device string, start, count int) error
+
+// Result is the outcome of one simulated kernel execution.
+type Result struct {
+	Time         float64 // simulated wall-clock seconds
+	DRAMBytes    float64 // total DRAM traffic
+	Transactions float64 // DRAM transactions (bytes / line)
+	WGsCPU       int     // work-groups executed by CPU cores
+	WGsGPU       int     // work-groups executed by the GPU
+	GPUChunks    int     // number of GPU dispatches
+	CPUBusy      float64 // summed busy seconds across CPU cores
+	GPUBusy      float64 // GPU busy seconds
+}
+
+// Throughput returns work-groups per second.
+func (r *Result) Throughput(numWGs int) float64 {
+	if r.Time <= 0 {
+		return 0
+	}
+	return float64(numWGs) / r.Time
+}
+
+// Distribution selects how work is split between the devices.
+type Distribution int
+
+const (
+	// Dynamic is Dopia's runtime scheme (Algorithm 1): CPU threads pull
+	// single work-groups from an atomic worklist; the GPU is pushed
+	// chunks of one tenth of the work-groups.
+	Dynamic Distribution = iota
+	// Static splits the work-groups up front: a fixed share to the CPU
+	// (divided evenly among cores) and the rest to the GPU in one chunk.
+	Static
+)
+
+// SimOptions tune a simulation run.
+type SimOptions struct {
+	// CPUShare is the fraction of work-groups assigned to the CPU under
+	// Static distribution.
+	CPUShare float64
+	// GPUChunkDiv sets the dynamic GPU chunk size to NumWGs/GPUChunkDiv
+	// (the paper uses 10).
+	GPUChunkDiv int
+	// DecayChunks enables guided-self-scheduling-style GPU chunk decay:
+	// each push takes a GPUChunkDiv-th of the *remaining* work-groups
+	// instead of a fixed tenth of the total. The paper leaves dynamic
+	// chunk sizing as future work (§7); this implements it, shrinking the
+	// tail imbalance when the GPU is the slower device.
+	DecayChunks bool
+	// OnSpan, when non-nil, is invoked for every acquired span.
+	OnSpan SpanFunc
+	// PlainGPU charges GPU chunks without the malleable-kernel overhead
+	// (used by the plain OpenCL single-device execution paths).
+	PlainGPU bool
+	// ExtraStartupSec models one-time runtime overhead (e.g. Dopia's
+	// model inference) added before execution begins.
+	ExtraStartupSec float64
+}
+
+// Simulate runs one kernel execution on the machine under the given DoP
+// configuration and distribution scheme.
+func Simulate(m *Machine, km *KernelModel, cfg Config, dist Distribution, opts SimOptions) (*Result, error) {
+	if !cfg.Valid() {
+		return nil, fmt.Errorf("sim: configuration activates no device")
+	}
+	if km.NumWGs <= 0 {
+		return nil, fmt.Errorf("sim: kernel model has no work-groups")
+	}
+	if opts.GPUChunkDiv <= 0 {
+		opts.GPUChunkDiv = 10
+	}
+
+	res := &Result{}
+	fl := NewFluid(m.Mem.BandwidthBs)
+	fl.Time = opts.ExtraStartupSec
+
+	cpuCost := TaskCost{}
+	if cfg.CPUCores > 0 {
+		cpuCost = m.CPUWGCost(km, cfg)
+	}
+
+	const gpuAgent = -1
+	type agentState struct {
+		start, count int // span being executed
+	}
+	agents := map[int]*agentState{} // agent id -> current span
+	taskAgent := map[int]int{}      // fluid task id -> agent id
+	agentStart := map[int]float64{} // agent id -> task start time
+	gpuActive := cfg.GPUFrac > 0
+
+	// The allocation unit: single work-groups for 1-D kernels, whole rows
+	// of work-groups for 2-D kernels so GPU chunks stay contiguous
+	// offset-launchable sub-ranges.
+	unit := km.GroupsPerRow
+	if unit < 1 {
+		unit = 1
+	}
+
+	switch dist {
+	case Dynamic:
+		next := 0
+		chunk := km.NumWGs / opts.GPUChunkDiv
+		if chunk < unit {
+			chunk = unit
+		}
+		chunk = (chunk / unit) * unit
+		grabCPU := func(core int) bool {
+			if next >= km.NumWGs {
+				return false
+			}
+			cnt := unit
+			if next+cnt > km.NumWGs {
+				cnt = km.NumWGs - next
+			}
+			span := &agentState{start: next, count: cnt}
+			next += cnt
+			agents[core] = span
+			cost := cpuCost
+			if cnt > 1 {
+				cost = TaskCost{
+					Compute:  cpuCost.Compute * float64(cnt),
+					Latency:  cpuCost.Latency * float64(cnt),
+					MemBytes: cpuCost.MemBytes * float64(cnt),
+					PeakBW:   cpuCost.PeakBW,
+				}
+			}
+			id := fl.Add(core, cost)
+			taskAgent[id] = core
+			agentStart[core] = fl.Time
+			return true
+		}
+		grabGPU := func() bool {
+			if next >= km.NumWGs {
+				return false
+			}
+			count := chunk
+			if opts.DecayChunks {
+				count = (km.NumWGs - next) / opts.GPUChunkDiv
+				count = (count / unit) * unit
+				if count < unit {
+					count = unit
+				}
+			}
+			if next+count > km.NumWGs {
+				count = km.NumWGs - next
+			}
+			span := &agentState{start: next, count: count}
+			next += count
+			cost, trans := m.gpuChunkCost(km, count, cfg, !opts.PlainGPU)
+			cost.Compute += m.GPU.DispatchSec
+			res.Transactions += trans
+			res.GPUChunks++
+			agents[gpuAgent] = span
+			id := fl.Add(gpuAgent, cost)
+			taskAgent[id] = gpuAgent
+			agentStart[gpuAgent] = fl.Time
+			return true
+		}
+		// The GPU is dispatched first: its chunk is a tenth of the whole
+		// workload, so letting the CPU threads drain the worklist before
+		// the first push would starve the GPU on small launches.
+		if gpuActive {
+			grabGPU()
+		}
+		for core := 0; core < cfg.CPUCores; core++ {
+			grabCPU(core)
+		}
+		for {
+			done, ok := fl.Step()
+			if !ok {
+				break
+			}
+			for _, id := range done {
+				agent := taskAgent[id]
+				delete(taskAgent, id)
+				span := agents[agent]
+				delete(agents, agent)
+				busy := fl.Time - agentStart[agent]
+				if agent == gpuAgent {
+					res.WGsGPU += span.count
+					res.GPUBusy += busy
+					if err := emitSpan(opts.OnSpan, "gpu", span.start, span.count); err != nil {
+						return nil, err
+					}
+					grabGPU()
+				} else {
+					res.WGsCPU += span.count
+					res.CPUBusy += busy
+					if err := emitSpan(opts.OnSpan, "cpu", span.start, span.count); err != nil {
+						return nil, err
+					}
+					grabCPU(agent)
+				}
+			}
+		}
+	case Static:
+		share := opts.CPUShare
+		if cfg.CPUCores == 0 {
+			share = 0
+		}
+		if !gpuActive {
+			share = 1
+		}
+		cpuWGs := int(share*float64(km.NumWGs) + 0.5)
+		cpuWGs = (cpuWGs / unit) * unit
+		if cpuWGs > km.NumWGs {
+			cpuWGs = km.NumWGs
+		}
+		if share >= 1 {
+			cpuWGs = km.NumWGs
+		}
+		gpuWGs := km.NumWGs - cpuWGs
+
+		// CPU cores each process a contiguous slice, modeled as one task
+		// scaled by the slice length (identical per-WG costs).
+		start := 0
+		for core := 0; core < cfg.CPUCores && cpuWGs > 0; core++ {
+			cnt := cpuWGs / cfg.CPUCores
+			if core < cpuWGs%cfg.CPUCores {
+				cnt++
+			}
+			if cnt == 0 {
+				continue
+			}
+			cost := TaskCost{
+				Compute:  cpuCost.Compute * float64(cnt),
+				Latency:  cpuCost.Latency * float64(cnt),
+				MemBytes: cpuCost.MemBytes * float64(cnt),
+				PeakBW:   cpuCost.PeakBW,
+			}
+			agents[core] = &agentState{start: start, count: cnt}
+			id := fl.Add(core, cost)
+			taskAgent[id] = core
+			agentStart[core] = fl.Time
+			start += cnt
+			res.WGsCPU += cnt
+		}
+		if gpuActive && gpuWGs > 0 {
+			cost, trans := m.gpuChunkCost(km, gpuWGs, cfg, !opts.PlainGPU)
+			cost.Compute += m.GPU.DispatchSec
+			res.Transactions += trans
+			res.GPUChunks++
+			agents[gpuAgent] = &agentState{start: start, count: gpuWGs}
+			id := fl.Add(gpuAgent, cost)
+			taskAgent[id] = gpuAgent
+			agentStart[gpuAgent] = fl.Time
+			res.WGsGPU += gpuWGs
+		}
+		for {
+			done, ok := fl.Step()
+			if !ok {
+				break
+			}
+			for _, id := range done {
+				agent := taskAgent[id]
+				delete(taskAgent, id)
+				span := agents[agent]
+				delete(agents, agent)
+				busy := fl.Time - agentStart[agent]
+				dev := "cpu"
+				if agent == gpuAgent {
+					dev = "gpu"
+					res.GPUBusy += busy
+				} else {
+					res.CPUBusy += busy
+				}
+				if err := emitSpan(opts.OnSpan, dev, span.start, span.count); err != nil {
+					return nil, err
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("sim: unknown distribution %d", dist)
+	}
+
+	res.Time = fl.Time
+	// DRAM bytes: CPU traffic plus GPU traffic.
+	res.DRAMBytes = cpuCost.MemBytes*float64(res.WGsCPU) + res.Transactions*64
+	if res.WGsCPU+res.WGsGPU != km.NumWGs {
+		return nil, fmt.Errorf("sim: internal error: %d+%d work-groups executed, want %d",
+			res.WGsCPU, res.WGsGPU, km.NumWGs)
+	}
+	if math.IsNaN(res.Time) || math.IsInf(res.Time, 0) {
+		return nil, fmt.Errorf("sim: non-finite simulated time")
+	}
+	return res, nil
+}
+
+func emitSpan(fn SpanFunc, dev string, start, count int) error {
+	if fn == nil {
+		return nil
+	}
+	return fn(dev, start, count)
+}
+
+// Exhaustive evaluates every configuration of the machine's DoP space with
+// dynamic distribution and returns the best configuration, its result, and
+// the full table of results (the paper's oracle).
+func Exhaustive(m *Machine, km *KernelModel) (Config, *Result, map[Config]*Result, error) {
+	table := make(map[Config]*Result)
+	var best Config
+	var bestRes *Result
+	for _, cfg := range m.Configs() {
+		r, err := Simulate(m, km, cfg, Dynamic, SimOptions{})
+		if err != nil {
+			return Config{}, nil, nil, err
+		}
+		table[cfg] = r
+		if bestRes == nil || r.Time < bestRes.Time {
+			best, bestRes = cfg, r
+		}
+	}
+	return best, bestRes, table, nil
+}

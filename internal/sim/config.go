@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// This file lets users describe their own integrated processor as JSON and
+// run the whole Dopia pipeline against it — the paper argues the approach
+// ports to any integrated architecture because the model is retrained per
+// machine; a configurable machine description is what makes that real in
+// this reproduction.
+
+// MachineJSON is the on-disk schema of a machine description. Fields
+// mirror the Machine/CPU/GPU/Mem structs; zero values inherit the listed
+// defaults.
+type MachineJSON struct {
+	Name string `json:"name"`
+	CPU  struct {
+		Cores    int     `json:"cores"`
+		FreqGHz  float64 `json:"freq_ghz"`
+		CPIInt   float64 `json:"cpi_int"`
+		CPIFloat float64 `json:"cpi_float"`
+		CacheKB  int64   `json:"cache_kb"`
+		CoreGBs  float64 `json:"core_bw_gbs"`
+		MLP      float64 `json:"mlp"`
+	} `json:"cpu"`
+	GPU struct {
+		CUs            int     `json:"cus"`
+		PEsPerCU       int     `json:"pes_per_cu"`
+		FreqGHz        float64 `json:"freq_ghz"`
+		SIMDWidth      int     `json:"simd_width"`
+		CPIInt         float64 `json:"cpi_int"`
+		CPIFloat       float64 `json:"cpi_float"`
+		CacheKB        int64   `json:"cache_kb"`
+		Residency      float64 `json:"residency"`
+		PEMBs          float64 `json:"pe_bw_mbs"`
+		StridedPenalty float64 `json:"strided_penalty"`
+		MalleableCyc   float64 `json:"malleable_cycles"`
+		DispatchUs     float64 `json:"dispatch_us"`
+	} `json:"gpu"`
+	Mem struct {
+		BandwidthGBs float64 `json:"bandwidth_gbs"`
+		LatencyNs    float64 `json:"latency_ns"`
+		SharedLLCKB  int64   `json:"shared_llc_kb"`
+		GPULLCWeight float64 `json:"gpu_llc_weight"`
+	} `json:"mem"`
+	// CPUSteps and GPUSteps define the Table 3 DoP grid; empty lists use
+	// five even CPU steps and nine even GPU steps.
+	CPUSteps []int     `json:"cpu_steps,omitempty"`
+	GPUSteps []float64 `json:"gpu_steps,omitempty"`
+}
+
+// MachineFromJSON parses a machine description.
+func MachineFromJSON(r io.Reader) (*Machine, error) {
+	var mj MachineJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&mj); err != nil {
+		return nil, fmt.Errorf("sim: invalid machine description: %w", err)
+	}
+	return mj.Build()
+}
+
+// LoadMachine reads a machine description from a file.
+func LoadMachine(path string) (*Machine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return MachineFromJSON(f)
+}
+
+// Build validates and converts the description into a Machine.
+func (mj MachineJSON) Build() (*Machine, error) {
+	if mj.Name == "" {
+		return nil, fmt.Errorf("sim: machine needs a name")
+	}
+	if mj.CPU.Cores <= 0 || mj.CPU.FreqGHz <= 0 {
+		return nil, fmt.Errorf("sim: machine %s: cpu cores and frequency are required", mj.Name)
+	}
+	if mj.GPU.CUs <= 0 || mj.GPU.PEsPerCU <= 0 || mj.GPU.FreqGHz <= 0 {
+		return nil, fmt.Errorf("sim: machine %s: gpu cus, pes_per_cu, and frequency are required", mj.Name)
+	}
+	if mj.Mem.BandwidthGBs <= 0 {
+		return nil, fmt.Errorf("sim: machine %s: memory bandwidth is required", mj.Name)
+	}
+	m := &Machine{
+		Name: mj.Name,
+		CPU: CPUConfig{
+			Cores:    mj.CPU.Cores,
+			FreqHz:   mj.CPU.FreqGHz * 1e9,
+			CPIInt:   defaultF(mj.CPU.CPIInt, 0.25),
+			CPIFloat: defaultF(mj.CPU.CPIFloat, 0.35),
+			CacheB:   defaultI(mj.CPU.CacheKB, 512) << 10,
+			CoreBWBs: defaultF(mj.CPU.CoreGBs, 4) * 1e9,
+			MLP:      defaultF(mj.CPU.MLP, 8),
+		},
+		GPU: GPUConfig{
+			CUs:            mj.GPU.CUs,
+			PEsPerCU:       mj.GPU.PEsPerCU,
+			FreqHz:         mj.GPU.FreqGHz * 1e9,
+			SIMDWidth:      defaultInt(mj.GPU.SIMDWidth, 16),
+			CPIInt:         defaultF(mj.GPU.CPIInt, 1),
+			CPIFloat:       defaultF(mj.GPU.CPIFloat, 1),
+			CacheB:         defaultI(mj.GPU.CacheKB, 512) << 10,
+			Residency:      defaultF(mj.GPU.Residency, 8),
+			PEBWBs:         defaultF(mj.GPU.PEMBs, 80) * 1e6,
+			StridedPenalty: defaultF(mj.GPU.StridedPenalty, 2),
+			MalleableCyc:   defaultF(mj.GPU.MalleableCyc, 8),
+			DispatchSec:    defaultF(mj.GPU.DispatchUs, 25) * 1e-6,
+		},
+		Mem: MemConfig{
+			BandwidthBs:  mj.Mem.BandwidthGBs * 1e9,
+			LatencySec:   defaultF(mj.Mem.LatencyNs, 100) * 1e-9,
+			SharedLLCB:   mj.Mem.SharedLLCKB << 10,
+			GPULLCWeight: defaultF(mj.Mem.GPULLCWeight, 8),
+		},
+		CPUSteps: mj.CPUSteps,
+		GPUSteps: mj.GPUSteps,
+	}
+	if len(m.CPUSteps) == 0 {
+		for i := 0; i <= 4; i++ {
+			m.CPUSteps = append(m.CPUSteps, i*m.CPU.Cores/4)
+		}
+	}
+	if len(m.GPUSteps) == 0 {
+		m.GPUSteps = gpuFractions()
+	}
+	for _, c := range m.CPUSteps {
+		if c < 0 || c > m.CPU.Cores {
+			return nil, fmt.Errorf("sim: machine %s: cpu step %d out of range", mj.Name, c)
+		}
+	}
+	for _, g := range m.GPUSteps {
+		if g < 0 || g > 1 {
+			return nil, fmt.Errorf("sim: machine %s: gpu step %v out of range", mj.Name, g)
+		}
+	}
+	return m, nil
+}
+
+// ToJSON renders a Machine back into its description schema.
+func (m *Machine) ToJSON() MachineJSON {
+	var mj MachineJSON
+	mj.Name = m.Name
+	mj.CPU.Cores = m.CPU.Cores
+	mj.CPU.FreqGHz = m.CPU.FreqHz / 1e9
+	mj.CPU.CPIInt = m.CPU.CPIInt
+	mj.CPU.CPIFloat = m.CPU.CPIFloat
+	mj.CPU.CacheKB = m.CPU.CacheB >> 10
+	mj.CPU.CoreGBs = m.CPU.CoreBWBs / 1e9
+	mj.CPU.MLP = m.CPU.MLP
+	mj.GPU.CUs = m.GPU.CUs
+	mj.GPU.PEsPerCU = m.GPU.PEsPerCU
+	mj.GPU.FreqGHz = m.GPU.FreqHz / 1e9
+	mj.GPU.SIMDWidth = m.GPU.SIMDWidth
+	mj.GPU.CPIInt = m.GPU.CPIInt
+	mj.GPU.CPIFloat = m.GPU.CPIFloat
+	mj.GPU.CacheKB = m.GPU.CacheB >> 10
+	mj.GPU.Residency = m.GPU.Residency
+	mj.GPU.PEMBs = m.GPU.PEBWBs / 1e6
+	mj.GPU.StridedPenalty = m.GPU.StridedPenalty
+	mj.GPU.MalleableCyc = m.GPU.MalleableCyc
+	mj.GPU.DispatchUs = m.GPU.DispatchSec * 1e6
+	mj.Mem.BandwidthGBs = m.Mem.BandwidthBs / 1e9
+	mj.Mem.LatencyNs = m.Mem.LatencySec * 1e9
+	mj.Mem.SharedLLCKB = m.Mem.SharedLLCB >> 10
+	mj.Mem.GPULLCWeight = m.Mem.GPULLCWeight
+	mj.CPUSteps = m.CPUSteps
+	mj.GPUSteps = m.GPUSteps
+	return mj
+}
+
+// SaveMachine writes a machine description to a file.
+func SaveMachine(path string, m *Machine) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m.ToJSON())
+}
+
+func defaultF(v, d float64) float64 {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+func defaultI(v, d int64) int64 {
+	if v <= 0 {
+		return d
+	}
+	return v
+}
+
+func defaultInt(v, d int) int {
+	if v <= 0 {
+		return d
+	}
+	return v
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const customMachineJSON = `{
+  "name": "VanGogh",
+  "cpu": {"cores": 4, "freq_ghz": 3.5, "core_bw_gbs": 6, "cache_kb": 512},
+  "gpu": {"cus": 8, "pes_per_cu": 64, "freq_ghz": 1.6, "cache_kb": 1024},
+  "mem": {"bandwidth_gbs": 68, "latency_ns": 90}
+}`
+
+func TestMachineFromJSON(t *testing.T) {
+	m, err := MachineFromJSON(strings.NewReader(customMachineJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "VanGogh" || m.CPU.Cores != 4 || m.GPU.CUs != 8 {
+		t.Fatalf("basic fields wrong: %+v", m)
+	}
+	if m.CPU.FreqHz != 3.5e9 || m.Mem.BandwidthBs != 68e9 {
+		t.Errorf("unit conversion wrong: freq=%v bw=%v", m.CPU.FreqHz, m.Mem.BandwidthBs)
+	}
+	// Defaults fill in the unspecified knobs.
+	if m.GPU.StridedPenalty != 2 || m.GPU.Residency != 8 || m.CPU.MLP != 8 {
+		t.Errorf("defaults not applied: %+v", m.GPU)
+	}
+	// The DoP grid defaults to Table 3's 5x9 shape.
+	if len(m.Configs()) != 44 {
+		t.Errorf("%d configs, want 44", len(m.Configs()))
+	}
+	// The machine is immediately usable by the simulator.
+	km := &KernelModel{
+		Name: "x", WorkDim: 1, NumWGs: 16, WGSize: 64, GroupsPerRow: 1,
+		AluFloatPerWG: 1e5,
+	}
+	if _, err := Simulate(m, km, m.AllResources(), Dynamic, SimOptions{}); err != nil {
+		t.Errorf("custom machine cannot simulate: %v", err)
+	}
+}
+
+func TestMachineJSONValidation(t *testing.T) {
+	bad := []string{
+		`{}`, // no name
+		`{"name":"x"}`,
+		`{"name":"x","cpu":{"cores":4,"freq_ghz":3}}`,                                             // no gpu
+		`{"name":"x","cpu":{"cores":4,"freq_ghz":3},"gpu":{"cus":2,"pes_per_cu":8,"freq_ghz":1}}`, // no mem bw
+		`{"name":"x","unknown_field":1}`,                                                          // unknown field rejected
+		`{"name":"x","cpu":{"cores":4,"freq_ghz":3},"gpu":{"cus":2,"pes_per_cu":8,"freq_ghz":1},"mem":{"bandwidth_gbs":10},"cpu_steps":[9]}`, // step out of range
+	}
+	for _, src := range bad {
+		if _, err := MachineFromJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("expected error for %s", src)
+		}
+	}
+}
+
+func TestMachineRoundTrip(t *testing.T) {
+	for _, m := range []*Machine{Kaveri(), Skylake()} {
+		path := filepath.Join(t.TempDir(), "machine.json")
+		if err := SaveMachine(path, m); err != nil {
+			t.Fatal(err)
+		}
+		m2, err := LoadMachine(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m2.Name != m.Name || m2.CPU.Cores != m.CPU.Cores ||
+			m2.GPU.CUs != m.GPU.CUs || m2.GPU.PEsPerCU != m.GPU.PEsPerCU ||
+			m2.Mem.SharedLLCB != m.Mem.SharedLLCB {
+			t.Fatalf("%s: round trip changed structure:\n%+v\n%+v", m.Name, m, m2)
+		}
+		// Unit conversions (GHz, GB/s, us) may cost a ULP; every float
+		// field must survive within relative 1e-12.
+		pairs := [][2]float64{
+			{m.CPU.FreqHz, m2.CPU.FreqHz},
+			{m.CPU.CPIInt, m2.CPU.CPIInt},
+			{m.CPU.CPIFloat, m2.CPU.CPIFloat},
+			{m.CPU.CoreBWBs, m2.CPU.CoreBWBs},
+			{m.CPU.MLP, m2.CPU.MLP},
+			{m.GPU.FreqHz, m2.GPU.FreqHz},
+			{m.GPU.Residency, m2.GPU.Residency},
+			{m.GPU.PEBWBs, m2.GPU.PEBWBs},
+			{m.GPU.StridedPenalty, m2.GPU.StridedPenalty},
+			{m.GPU.MalleableCyc, m2.GPU.MalleableCyc},
+			{m.GPU.DispatchSec, m2.GPU.DispatchSec},
+			{m.Mem.BandwidthBs, m2.Mem.BandwidthBs},
+			{m.Mem.LatencySec, m2.Mem.LatencySec},
+			{m.Mem.GPULLCWeight, m2.Mem.GPULLCWeight},
+		}
+		for i, p := range pairs {
+			if !closeRel(p[0], p[1], 1e-12) {
+				t.Errorf("%s: field %d changed: %v -> %v", m.Name, i, p[0], p[1])
+			}
+		}
+		if len(m2.Configs()) != len(m.Configs()) {
+			t.Errorf("%s: DoP space changed", m.Name)
+		}
+	}
+}
+
+func closeRel(a, b, tol float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	m := a
+	if m < 0 {
+		m = -m
+	}
+	if m == 0 {
+		return d == 0
+	}
+	return d/m <= tol
+}

@@ -1,0 +1,183 @@
+// Package stats provides the small statistical and text-rendering helpers
+// the experiment harness uses: percentiles, box-plot summaries, and
+// fixed-width table/heatmap rendering matching the figures of the paper.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Percentile returns the p-th percentile (0..100) of xs using linear
+// interpolation between order statistics. NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 100 {
+		return s[len(s)-1]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(s) {
+		return s[lo]
+	}
+	return s[lo]*(1-frac) + s[lo+1]*frac
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Geomean returns the geometric mean of positive values.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		if x <= 0 {
+			return math.NaN()
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// Box summarizes a distribution the way the paper's box plots do:
+// mean, median, quartiles, and 5th/95th percentile whiskers.
+type Box struct {
+	N      int
+	Mean   float64
+	Median float64
+	P5     float64
+	P25    float64
+	P75    float64
+	P95    float64
+}
+
+// BoxOf computes the box summary of xs.
+func BoxOf(xs []float64) Box {
+	return Box{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		Median: Percentile(xs, 50),
+		P5:     Percentile(xs, 5),
+		P25:    Percentile(xs, 25),
+		P75:    Percentile(xs, 75),
+		P95:    Percentile(xs, 95),
+	}
+}
+
+func (b Box) String() string {
+	return fmt.Sprintf("mean=%.3f median=%.3f p5=%.3f p25=%.3f p75=%.3f p95=%.3f (n=%d)",
+		b.Mean, b.Median, b.P5, b.P25, b.P75, b.P95, b.N)
+}
+
+// RenderTable writes a fixed-width text table.
+func RenderTable(w io.Writer, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range rows {
+		line(r)
+	}
+}
+
+// heatShades maps [0,1] to a coarse intensity ramp for terminal output.
+var heatShades = []rune{' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'}
+
+// RenderHeatmap writes a text heatmap of vals[row][col] in [0,1]; each
+// cell shows the value to two decimals plus an intensity glyph.
+func RenderHeatmap(w io.Writer, title string, rowLabels, colLabels []string, vals [][]float64) {
+	fmt.Fprintln(w, title)
+	labelW := 0
+	for _, r := range rowLabels {
+		if len(r) > labelW {
+			labelW = len(r)
+		}
+	}
+	fmt.Fprintf(w, "%-*s", labelW+2, "")
+	for _, c := range colLabels {
+		fmt.Fprintf(w, "%7s", c)
+	}
+	fmt.Fprintln(w)
+	for i, row := range vals {
+		label := ""
+		if i < len(rowLabels) {
+			label = rowLabels[i]
+		}
+		fmt.Fprintf(w, "%-*s", labelW+2, label)
+		for _, v := range row {
+			shade := ' '
+			if !math.IsNaN(v) {
+				idx := int(v * float64(len(heatShades)))
+				if idx >= len(heatShades) {
+					idx = len(heatShades) - 1
+				}
+				if idx < 0 {
+					idx = 0
+				}
+				shade = heatShades[idx]
+			}
+			fmt.Fprintf(w, " %4.2f%c ", v, shade)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Fmt formats a float compactly for table cells.
+func Fmt(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "-"
+	case v != 0 && math.Abs(v) < 0.01:
+		return fmt.Sprintf("%.2e", v)
+	case math.Abs(v) >= 1000:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 5}, {50, 3}, {25, 2}, {75, 4},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Percentile([]float64{0, 10}, 25); got != 2.5 {
+		t.Errorf("interpolated P25 = %v, want 2.5", got)
+	}
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Error("empty input must yield NaN")
+	}
+	// Input must not be mutated.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Error("Percentile mutated its input")
+	}
+}
+
+func TestPercentileProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	prop := func(seed int64, pRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		xs := make([]float64, n)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		p := float64(pRaw) / 255 * 100
+		v := Percentile(xs, p)
+		// Bounded by extremes and monotone in p.
+		if v < lo-1e-9 || v > hi+1e-9 {
+			return false
+		}
+		return Percentile(xs, p) <= Percentile(xs, math.Min(p+10, 100))+1e-9
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAndGeomean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	if g := Geomean([]float64{1, 4}); g != 2 {
+		t.Errorf("geomean = %v, want 2", g)
+	}
+	if !math.IsNaN(Geomean([]float64{1, -1})) {
+		t.Error("geomean of negative input must be NaN")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("mean of empty must be NaN")
+	}
+	// Geomean <= mean (AM-GM).
+	xs := []float64{0.5, 2, 8, 1.5}
+	if Geomean(xs) > Mean(xs) {
+		t.Error("AM-GM violated")
+	}
+}
+
+func TestBoxOf(t *testing.T) {
+	xs := make([]float64, 0, 100)
+	for i := 1; i <= 100; i++ {
+		xs = append(xs, float64(i))
+	}
+	b := BoxOf(xs)
+	if b.N != 100 || b.Mean != 50.5 {
+		t.Errorf("box basics wrong: %+v", b)
+	}
+	if !(b.P5 < b.P25 && b.P25 < b.Median && b.Median < b.P75 && b.P75 < b.P95) {
+		t.Errorf("box quantiles not ordered: %+v", b)
+	}
+	if s := b.String(); !strings.Contains(s, "median") {
+		t.Errorf("String() lacks fields: %s", s)
+	}
+}
+
+func TestRenderTable(t *testing.T) {
+	var buf bytes.Buffer
+	RenderTable(&buf, []string{"name", "value"}, [][]string{
+		{"alpha", "1"},
+		{"long-name-entry", "2.5"},
+	})
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "name") || !strings.Contains(lines[1], "---") {
+		t.Errorf("header/separator malformed:\n%s", out)
+	}
+	// Columns align: "value" column starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "value")
+	if !strings.HasPrefix(lines[2][idx:], "1") || !strings.HasPrefix(lines[3][idx:], "2.5") {
+		t.Errorf("columns not aligned:\n%s", out)
+	}
+}
+
+func TestRenderHeatmap(t *testing.T) {
+	var buf bytes.Buffer
+	RenderHeatmap(&buf, "demo", []string{"r0", "r1"}, []string{"c0", "c1"},
+		[][]float64{{0, 0.5}, {1.0, math.NaN()}})
+	out := buf.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "r1") || !strings.Contains(out, "c1") {
+		t.Errorf("heatmap missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "1.00@") {
+		t.Errorf("full-intensity cell not rendered with darkest glyph:\n%s", out)
+	}
+}
+
+func TestFmt(t *testing.T) {
+	cases := map[float64]string{
+		0.5:    "0.500",
+		1234:   "1.23e+03",
+		0.0001: "1.00e-04",
+		0:      "0.000",
+	}
+	for in, want := range cases {
+		if got := Fmt(in); got != want {
+			t.Errorf("Fmt(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if Fmt(math.NaN()) != "-" {
+		t.Error("NaN must render as dash")
+	}
+}

@@ -1,0 +1,273 @@
+package transform
+
+import (
+	"fmt"
+	"strings"
+
+	"dopia/internal/clc"
+)
+
+// Names introduced by the transformation. The __dopia_ prefix keeps them
+// out of the way of user identifiers.
+const (
+	ParamMod     = "dop_gpu_mod"
+	ParamAlloc   = "dop_gpu_alloc"
+	worklistName = "__dopia_worklist"
+	workName     = "__dopia_work"
+	gidPrefix    = "__dopia_gid"
+	lidPrefix    = "__dopia_lid"
+)
+
+// GPUResult is the product of the malleable GPU transformation.
+type GPUResult struct {
+	// Kernel is the type-checked malleable kernel (same name as the
+	// original). Its parameter list is the original one plus
+	// dop_gpu_mod and dop_gpu_alloc.
+	Kernel *clc.Kernel
+	// Source is the OpenCL C source of the malleable kernel.
+	Source string
+	// WorkDim is the dimensionality the transformation was specialised
+	// for (the index-space linearization depends on it).
+	WorkDim int
+}
+
+// MalleableGPU rewrites kernel k into its malleable GPU form for a given
+// work dimensionality (1 or 2; 3-D kernels are not used by any workload in
+// the paper's evaluation).
+//
+// The generated kernel executes each work-group with only the processing
+// elements whose lane index l satisfies l % dop_gpu_mod < dop_gpu_alloc;
+// the active lanes then process the *entire* work-group by pulling
+// work-item indices from a CU-local atomic worklist, exactly as in
+// Figures 5 and 6 of the paper.
+func MalleableGPU(k *clc.Kernel, workDim int) (*GPUResult, error) {
+	if workDim < 1 || workDim > 2 {
+		return nil, fmt.Errorf("transform: unsupported work dimension %d (want 1 or 2)", workDim)
+	}
+	if err := checkTransformable(k); err != nil {
+		return nil, err
+	}
+
+	// Build the substitution for work-item queries. Within the dynamic
+	// worklist loop, the work-item identity is derived from __dopia_work:
+	//   lid0 = work % lsize0, lid1 = work / lsize0 (lanes fastest),
+	//   gidD  = group(D)*lsize(D) + offset(D) + lidD.
+	sub := func(c *clc.Call) clc.Expr {
+		dim := int64(0)
+		if len(c.Args) == 1 {
+			lit, ok := c.Args[0].(*clc.IntLit)
+			if !ok {
+				return nil // non-constant dim: leave as-is (sizes are fine)
+			}
+			dim = lit.Value
+		}
+		switch c.Name {
+		case "get_global_id":
+			if dim < int64(workDim) {
+				return ident(fmt.Sprintf("%s%d", gidPrefix, dim))
+			}
+			return nil
+		case "get_local_id":
+			if dim < int64(workDim) {
+				return ident(fmt.Sprintf("%s%d", lidPrefix, dim))
+			}
+			return nil
+		}
+		return nil
+	}
+
+	// Clone the original body with substituted index queries.
+	inner := &clc.Block{}
+	// Recompute lane indices from the dynamically fetched work id.
+	if workDim == 1 {
+		inner.Stmts = append(inner.Stmts,
+			declInt(lidPrefix+"0", ident(workName)),
+		)
+	} else {
+		inner.Stmts = append(inner.Stmts,
+			declInt(lidPrefix+"0", bin(clc.BinRem, ident(workName), call("get_local_size", intLit(0)))),
+			declInt(lidPrefix+"1", bin(clc.BinDiv, ident(workName), call("get_local_size", intLit(0)))),
+		)
+	}
+	for d := 0; d < workDim; d++ {
+		inner.Stmts = append(inner.Stmts,
+			declInt(fmt.Sprintf("%s%d", gidPrefix, d),
+				bin(clc.BinAdd,
+					bin(clc.BinAdd,
+						bin(clc.BinMul, call("get_group_id", intLit(int64(d))), call("get_local_size", intLit(int64(d)))),
+						call("get_global_offset", intLit(int64(d)))),
+					ident(fmt.Sprintf("%s%d", lidPrefix, d)))),
+		)
+	}
+	for _, s := range k.Body.Stmts {
+		cs := cloneStmt(s, sub)
+		if err := rewriteReturns(cs, 0); err != nil {
+			return nil, fmt.Errorf("transform: kernel %s: %w", k.Name, err)
+		}
+		inner.Stmts = append(inner.Stmts, cs)
+	}
+
+	// for (int work = atomic_inc(wl); work < wgSize; work = atomic_inc(wl))
+	wgSize := clc.Expr(call("get_local_size", intLit(0)))
+	if workDim == 2 {
+		wgSize = bin(clc.BinMul, call("get_local_size", intLit(0)), call("get_local_size", intLit(1)))
+	}
+	loop := &clc.ForStmt{
+		Init: declInt(workName, call("atomic_inc", ident(worklistName))),
+		Cond: bin(clc.BinLt, ident(workName), wgSize),
+		Post: assign(ident(workName), call("atomic_inc", ident(worklistName))),
+		Body: inner,
+	}
+
+	// if (get_local_id(0) % dop_gpu_mod < dop_gpu_alloc) { loop }
+	throttle := &clc.IfStmt{
+		Cond: bin(clc.BinLt,
+			bin(clc.BinRem, call("get_local_id", intLit(0)), ident(ParamMod)),
+			ident(ParamAlloc)),
+		Then: &clc.Block{Stmts: []clc.Stmt{loop}},
+	}
+
+	body := &clc.Block{Stmts: []clc.Stmt{
+		&clc.DeclStmt{Decls: []*clc.VarDecl{{
+			Name: worklistName, Type: clc.TypeInt, ArrayLen: 1, IsLocal: true,
+		}}},
+		&clc.IfStmt{
+			Cond: bin(clc.BinEq, call("get_local_id", intLit(0)), intLit(0)),
+			Then: exprStmt(assign(&clc.Index{Base: ident(worklistName), Idx: intLit(0)}, intLit(0))),
+		},
+		&clc.BarrierStmt{Flags: "CLK_LOCAL_MEM_FENCE"},
+		throttle,
+	}}
+
+	nk := &clc.Kernel{Name: k.Name, Body: body}
+	for _, p := range k.Params {
+		nk.Params = append(nk.Params, &clc.Param{Name: p.Name, Type: p.Type})
+	}
+	nk.Params = append(nk.Params,
+		&clc.Param{Name: ParamMod, Type: clc.TypeInt},
+		&clc.Param{Name: ParamAlloc, Type: clc.TypeInt},
+	)
+
+	src := clc.PrintKernel(nk)
+	prog, err := clc.Compile(src)
+	if err != nil {
+		return nil, fmt.Errorf("transform: generated malleable kernel does not compile: %w\n%s", err, src)
+	}
+	return &GPUResult{Kernel: prog.Kernels[0], Source: src, WorkDim: workDim}, nil
+}
+
+// rewriteReturns converts `return` statements in the cloned body into
+// `continue` statements targeting the dynamic worklist loop: in the
+// malleable kernel a return would abandon the lane's remaining dynamic
+// work, not just the current work-item. The rewrite is only sound when the
+// return is not nested inside a user loop (where continue would bind to
+// that loop); such kernels are rejected.
+func rewriteReturns(s clc.Stmt, loopDepth int) error {
+	switch st := s.(type) {
+	case *clc.Block:
+		for i, inner := range st.Stmts {
+			if _, ok := inner.(*clc.ReturnStmt); ok {
+				if loopDepth > 0 {
+					return fmt.Errorf("return inside a loop cannot be made malleable")
+				}
+				st.Stmts[i] = &clc.ContinueStmt{}
+				continue
+			}
+			if err := rewriteReturns(inner, loopDepth); err != nil {
+				return err
+			}
+		}
+	case *clc.IfStmt:
+		if err := rewriteReturnsNested(&st.Then, loopDepth); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			if err := rewriteReturnsNested(&st.Else, loopDepth); err != nil {
+				return err
+			}
+		}
+	case *clc.ForStmt:
+		return rewriteReturnsNested(&st.Body, loopDepth+1)
+	case *clc.WhileStmt:
+		return rewriteReturnsNested(&st.Body, loopDepth+1)
+	case *clc.DoWhileStmt:
+		return rewriteReturnsNested(&st.Body, loopDepth+1)
+	}
+	return nil
+}
+
+func rewriteReturnsNested(sp *clc.Stmt, loopDepth int) error {
+	if _, ok := (*sp).(*clc.ReturnStmt); ok {
+		if loopDepth > 0 {
+			return fmt.Errorf("return inside a loop cannot be made malleable")
+		}
+		*sp = &clc.ContinueStmt{}
+		return nil
+	}
+	return rewriteReturns(*sp, loopDepth)
+}
+
+// checkTransformable rejects kernels the malleable rewrite cannot handle.
+func checkTransformable(k *clc.Kernel) error {
+	if k.Body == nil {
+		return fmt.Errorf("transform: kernel %s has no body", k.Name)
+	}
+	for _, s := range k.Body.Stmts {
+		if _, ok := s.(*clc.BarrierStmt); ok {
+			return fmt.Errorf("transform: kernel %s uses barriers; the malleable rewrite would nest them inside the worklist loop", k.Name)
+		}
+	}
+	for _, p := range k.Params {
+		if p.Name == ParamMod || p.Name == ParamAlloc {
+			return fmt.Errorf("transform: kernel %s already has a parameter named %s", k.Name, p.Name)
+		}
+	}
+	for _, sym := range k.Locals {
+		if strings.HasPrefix(sym.Name, "__dopia_") {
+			return fmt.Errorf("transform: kernel %s uses reserved identifier %s", k.Name, sym.Name)
+		}
+	}
+	return nil
+}
+
+// CPUResult is the product of the CPU code generation. The executable form
+// of the CPU variant is the original kernel run one work-group at a time
+// by a worker that pulls group ids from a shared atomic worklist (the
+// runtime in internal/sched implements the pull loop); Source documents
+// the generated code in the shape of Figure 7.
+type CPUResult struct {
+	Kernel *clc.Kernel // the original (unchanged) kernel
+	Source string      // Figure-7-style rendition of the CPU work-group loop
+}
+
+// GenerateCPU produces the CPU execution form for kernel k.
+func GenerateCPU(k *clc.Kernel) (*CPUResult, error) {
+	if k.Body == nil {
+		return nil, fmt.Errorf("transform: kernel %s has no body", k.Name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "void %s_CPU(", k.Name)
+	for i, p := range k.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s %s", p.Type, p.Name)
+	}
+	b.WriteString(",\n            size_t* global_size, size_t* local_size,\n")
+	b.WriteString("            atomic_int* worklist, size_t num_wgs)\n{\n")
+	b.WriteString("    for (size_t wg_id = atomic_fetch_add(worklist, 1);\n")
+	b.WriteString("         wg_id < num_wgs;\n")
+	b.WriteString("         wg_id = atomic_fetch_add(worklist, 1))\n    {\n")
+	b.WriteString("        for (size_t local_id = 0; local_id < local_size[0]; local_id++)\n        {\n")
+	b.WriteString("            size_t global_id = wg_id * local_size[0] + local_id;\n")
+	b.WriteString("            // original kernel body with get_global_id(0) = global_id\n")
+	inner := clc.PrintKernel(k)
+	for _, line := range strings.Split(inner, "\n") {
+		if line == "" {
+			continue
+		}
+		b.WriteString("            // " + line + "\n")
+	}
+	b.WriteString("        }\n    }\n}\n")
+	return &CPUResult{Kernel: k, Source: b.String()}, nil
+}

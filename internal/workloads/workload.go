@@ -1,0 +1,106 @@
+// Package workloads provides the kernels of the Dopia evaluation: the
+// parameterizable synthetic workload generator of Table 2 (1,224 training
+// workloads, Table 4), the fourteen real-world OpenCL kernels (twelve
+// Polybench kernels, SpMV over CSR, and PageRank), and deterministic input
+// generators for dense matrices, sparse matrices, and graphs.
+package workloads
+
+import (
+	"fmt"
+
+	"dopia/internal/clc"
+	"dopia/internal/interp"
+)
+
+// Workload is one benchmark kernel plus a recipe for its inputs.
+type Workload struct {
+	// Name uniquely identifies the workload (e.g. "2mat3d2c1T.f32.d1.s16384.wg64"
+	// or "GESUMMV.wg256").
+	Name string
+	// Source is the OpenCL C program text.
+	Source string
+	// Kernel is the kernel name within Source.
+	Kernel string
+	// WorkDim is the launch dimensionality.
+	WorkDim int
+	// Setup allocates and fills fresh input buffers and returns the launch
+	// instance. Each call returns independent buffers.
+	Setup func() (*Instance, error)
+}
+
+// Instance is a concrete, runnable instantiation of a workload.
+type Instance struct {
+	Args []interp.Arg
+	ND   interp.NDRange
+	// BufBytes maps kernel parameter indices to buffer sizes, as the
+	// performance model needs them.
+	BufBytes map[int]int64
+	// OutputArgs lists the parameter indices of output buffers (used by
+	// correctness checks).
+	OutputArgs []int
+}
+
+// CompileKernel compiles the workload's program and returns its kernel.
+func (w *Workload) CompileKernel() (*clc.Kernel, error) {
+	prog, err := clc.Compile(w.Source)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s: %w", w.Name, err)
+	}
+	k := prog.Kernel(w.Kernel)
+	if k == nil {
+		return nil, fmt.Errorf("workloads: %s: kernel %q not found", w.Name, w.Kernel)
+	}
+	return k, nil
+}
+
+// xorshift32 is the deterministic generator used for all input data.
+type xorshift32 uint32
+
+func (s *xorshift32) next() uint32 {
+	x := uint32(*s)
+	if x == 0 {
+		x = 0x9e3779b9
+	}
+	x ^= x << 13
+	x ^= x >> 17
+	x ^= x << 5
+	*s = xorshift32(x)
+	return x
+}
+
+// FillFloats fills a float buffer with deterministic values in [-1, 1).
+func FillFloats(b *interp.Buffer, seed uint32) {
+	s := xorshift32(seed)
+	for i := range b.F32 {
+		b.F32[i] = float32(s.next()%2000)/1000 - 1
+	}
+}
+
+// FillInts fills an int buffer with deterministic values in [0, mod).
+func FillInts(b *interp.Buffer, seed uint32, mod int32) {
+	s := xorshift32(seed)
+	if mod <= 0 {
+		mod = 1 << 30
+	}
+	for i := range b.I32 {
+		b.I32[i] = int32(s.next()) % mod
+		if b.I32[i] < 0 {
+			b.I32[i] += mod
+		}
+	}
+}
+
+// NewFilledFloat allocates a float buffer with deterministic content.
+func NewFilledFloat(n int, seed uint32) *interp.Buffer {
+	b := interp.NewFloatBuffer(n)
+	FillFloats(b, seed)
+	return b
+}
+
+// NewFilledInt allocates an int buffer with deterministic content in
+// [0, mod).
+func NewFilledInt(n int, seed uint32, mod int32) *interp.Buffer {
+	b := interp.NewIntBuffer(n)
+	FillInts(b, seed, mod)
+	return b
+}
