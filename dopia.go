@@ -32,6 +32,7 @@ import (
 	"io"
 
 	"dopia/internal/core"
+	"dopia/internal/faults"
 	"dopia/internal/interp"
 	"dopia/internal/ml"
 	"dopia/internal/ocl"
@@ -111,6 +112,56 @@ type Model = ml.Model
 // NewFramework creates a Dopia framework for a machine. model may be nil,
 // in which case launches use all resources (no DoP management).
 func NewFramework(m *Machine, model Model) *Framework { return core.New(m, model) }
+
+// NewFrameworkFromModelFile creates a framework whose model is loaded
+// from a file, failing open: on a load/validation failure the framework
+// still works (ALL baseline), the failure is recorded in its
+// FallbackStats, and the error is returned for observability.
+func NewFrameworkFromModelFile(m *Machine, path string) (*Framework, error) {
+	return core.NewFromModelFile(m, path)
+}
+
+// Fail-open interposition: the attached framework degrades every launch
+// down a fallback ladder (full Dopia → ALL co-execution → plain runtime)
+// instead of failing the application. These re-exports let downstream
+// users observe the ladder and classify failures.
+
+// FallbackStats counts how interposed launches moved through the
+// fail-open ladder. Framework.Stats holds the per-framework aggregate;
+// CommandQueue.Fallback the per-queue view.
+type FallbackStats = faults.FallbackStats
+
+// FallbackSnapshot is a copyable view of a FallbackStats.
+type FallbackSnapshot = faults.Snapshot
+
+// FailureStage identifies the pipeline stage a degradation originated in.
+type FailureStage = faults.Stage
+
+// Pipeline stages (see internal/faults for the full taxonomy).
+const (
+	StageParse        = faults.StageParse
+	StageAnalysis     = faults.StageAnalysis
+	StageTransform    = faults.StageTransform
+	StageCompile      = faults.StageCompile
+	StageModelLoad    = faults.StageModelLoad
+	StageModelPredict = faults.StageModelPredict
+	StageExec         = faults.StageExec
+	// StageUnknown marks errors no pipeline stage claimed.
+	StageUnknown = faults.StageUnknown
+)
+
+// Classified failure sentinels, matchable with errors.Is.
+var (
+	ErrUnsupportedKernel = faults.ErrUnsupportedKernel
+	ErrTransformFailed   = faults.ErrTransformFailed
+	ErrModelInvalid      = faults.ErrModelInvalid
+	ErrExecTimeout       = faults.ErrExecTimeout
+	ErrPanicContained    = faults.ErrPanic
+)
+
+// FailureStageOf classifies an error returned by any Dopia API by
+// pipeline stage ("unknown" when unclassified).
+func FailureStageOf(err error) FailureStage { return faults.StageOf(err) }
 
 // Workload is a benchmark kernel plus its input recipe.
 type Workload = workloads.Workload

@@ -1,6 +1,9 @@
 package dopia_test
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"dopia"
@@ -65,6 +68,90 @@ __kernel void scale(__global float* a, __global float* b, float f, int n) {
 		if b.Float32()[i] != float32(i)*2.5 {
 			t.Fatalf("b[%d] = %v", i, b.Float32()[i])
 		}
+	}
+}
+
+// TestPublicFailOpen exercises the fail-open surface of the facade: a
+// corrupt model file yields a usable framework, a kernel the malleable
+// transform rejects still executes correctly, and every degradation is
+// observable through the re-exported FallbackStats.
+func TestPublicFailOpen(t *testing.T) {
+	machine := dopia.Kaveri()
+	path := filepath.Join(t.TempDir(), "model.json")
+	if err := os.WriteFile(path, []byte(`{"family":"DT","data":{"nodes":[`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fw, err := dopia.NewFrameworkFromModelFile(machine, path)
+	if err == nil {
+		t.Fatal("corrupt model file accepted")
+	}
+	if !errors.Is(err, dopia.ErrModelInvalid) {
+		t.Errorf("load error not classified as ErrModelInvalid: %v", err)
+	}
+	if dopia.FailureStageOf(err) != dopia.StageModelLoad {
+		t.Errorf("FailureStageOf = %v, want %v", dopia.FailureStageOf(err), dopia.StageModelLoad)
+	}
+	if fw == nil {
+		t.Fatal("NewFrameworkFromModelFile failed closed")
+	}
+
+	platform := dopia.NewPlatform(machine)
+	ctx := platform.CreateContext()
+	fw.Attach(ctx)
+	// A top-level barrier defeats the malleable transform; the launch must
+	// still complete via the fallback ladder.
+	prog := ctx.CreateProgramWithSource(`
+__kernel void shift(__global float* a, __global float* b, int n) {
+    __local float tile[64];
+    int l = get_local_id(0);
+    tile[l] = a[get_global_id(0)];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    b[get_global_id(0)] = tile[63 - l] + 1.0f;
+}`)
+	if err := prog.Build(); err != nil {
+		t.Fatal(err)
+	}
+	kern, err := prog.CreateKernel("shift")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 128
+	a := ctx.CreateFloatBuffer(n)
+	b := ctx.CreateFloatBuffer(n)
+	for i := range a.Float32() {
+		a.Float32()[i] = float32(i)
+	}
+	for i, v := range []any{a, b, n} {
+		if err := kern.SetArg(i, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := ctx.CreateCommandQueue(platform.Device(dopia.DeviceCPU))
+	if err := q.EnqueueNDRangeKernel(kern, dopia.ND1(n, 64)); err != nil {
+		t.Fatalf("barrier kernel failed closed: %v", err)
+	}
+	if err := q.Finish(); err != nil {
+		t.Fatalf("Finish latched an error for a recovered launch: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		base := (i / 64) * 64
+		want := float32(base+63-(i-base)) + 1
+		if b.Float32()[i] != want {
+			t.Fatalf("b[%d] = %v, want %v", i, b.Float32()[i], want)
+		}
+	}
+	snap := fw.Stats.Snapshot()
+	if snap.ModelDiscards != 1 {
+		t.Errorf("model-load failure not recorded: %s", snap)
+	}
+	if snap.Degradations() != 1 {
+		t.Errorf("barrier-kernel degradation not recorded: %s", snap)
+	}
+	if qs := q.Fallback.Snapshot(); qs.Degradations() != 1 {
+		t.Errorf("per-queue degradation not recorded: %s", qs)
+	}
+	if dopia.FailureStageOf(errors.New("plain")) != dopia.StageUnknown {
+		t.Error("unclassified error must map to StageUnknown")
 	}
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"dopia/internal/access"
 	"dopia/internal/clc"
+	"dopia/internal/faults"
 )
 
 // SiteClass is the static classification of one memory site.
@@ -64,8 +65,14 @@ func (r *Result) Site(id int) *SiteClass {
 	return nil
 }
 
-// Analyze performs the static analysis of a checked kernel.
-func Analyze(k *clc.Kernel) (*Result, error) {
+// Analyze performs the static analysis of a checked kernel. Panics in
+// the analyzer are contained and returned as classified errors; Analyze
+// never panics.
+func Analyze(k *clc.Kernel) (res *Result, err error) {
+	defer faults.Recover(faults.StageAnalysis, &err)
+	if err := faults.Hit("analysis.analyze"); err != nil {
+		return nil, faults.Wrap(faults.StageAnalysis, err)
+	}
 	a := &analyzer{
 		res: &Result{KernelName: k.Name},
 		env: map[*clc.Symbol]form{},
@@ -80,7 +87,8 @@ func Analyze(k *clc.Kernel) (*Result, error) {
 		a.block(k.Body, true)
 	}
 	if a.err != nil {
-		return nil, a.err
+		return nil, faults.Wrap(faults.StageAnalysis,
+			fmt.Errorf("%w: %w", faults.ErrAnalysisFailed, a.err))
 	}
 	return a.res, nil
 }

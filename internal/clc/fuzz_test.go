@@ -1,0 +1,74 @@
+package clc_test
+
+import (
+	"testing"
+
+	"dopia/internal/clc"
+	"dopia/internal/workloads"
+)
+
+// seedSources collects the front-end fuzz seed corpus: the paper's 14
+// real kernels plus handcrafted adversarial fragments (unterminated
+// constructs, deep nesting, junk bytes). More seeds live in
+// testdata/fuzz/FuzzParse and testdata/fuzz/FuzzLex.
+func seedSources(tb testing.TB) []string {
+	tb.Helper()
+	srcs := []string{
+		"",
+		"__kernel",
+		"__kernel void k(",
+		"__kernel void k() { return }",
+		"__kernel void k(__global float* a) { a[get_global_id(0)] = ; }",
+		"__kernel void k() { for(;;) }",
+		"__kernel void k() { if (1 { } }",
+		"/* unterminated",
+		`"unterminated string`,
+		"__kernel void k() { int x = 0x; }",
+		"__kernel void k() { barrier(CLK_LOCAL_MEM_FENCE); }",
+		"\x00\xff\xfe__kernel",
+		"__kernel void k() { ((((((((((((((((1)))))))))))))))); }",
+		"int f() { return f(); } __kernel void k() { f(); }",
+	}
+	wls, err := workloads.RealWorkloads(64, 16)
+	if err != nil {
+		tb.Fatalf("real workloads: %v", err)
+	}
+	seen := map[string]bool{}
+	for _, w := range wls {
+		if !seen[w.Source] {
+			seen[w.Source] = true
+			srcs = append(srcs, w.Source)
+		}
+	}
+	return srcs
+}
+
+// FuzzLex asserts the lexer never panics and always terminates on
+// arbitrary input.
+func FuzzLex(f *testing.F) {
+	for _, s := range seedSources(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		toks, _ := clc.Tokenize(src)
+		if len(toks) == 0 {
+			t.Fatal("token stream missing EOF")
+		}
+	})
+}
+
+// FuzzParse asserts the full front-end (Parse and Compile) never panics
+// on arbitrary input: any failure must come back as an error.
+func FuzzParse(f *testing.F) {
+	for _, s := range seedSources(f) {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := clc.Parse(src)
+		if err == nil && prog == nil {
+			t.Fatal("Parse returned neither program nor error")
+		}
+		// Compile exercises the type checker on whatever parsed.
+		_, _ = clc.Compile(src)
+	})
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"dopia/internal/faults"
 )
 
 // Parser is a recursive-descent parser for the OpenCL C subset. It produces
@@ -16,26 +18,34 @@ type Parser struct {
 
 // Parse tokenizes and parses src, returning the program AST. The AST is
 // not yet type-checked; use Compile for the full front-end pipeline.
-func Parse(src string) (*Program, error) {
+// Panics in the front-end are contained and returned as classified
+// errors: Parse never panics on any input.
+func Parse(src string) (prog *Program, err error) {
+	defer faults.Recover(faults.StageParse, &err)
+	if err := faults.Hit("clc.parse"); err != nil {
+		return nil, faults.Wrap(faults.StageParse, err)
+	}
 	toks, lerrs := Tokenize(src)
 	p := &Parser{toks: toks, errs: lerrs}
-	prog := p.parseProgram()
+	prog = p.parseProgram()
 	prog.Source = src
 	if err := p.errs.Err(); err != nil {
-		return nil, err
+		return nil, faults.Wrap(faults.StageParse, err)
 	}
 	return prog, nil
 }
 
 // Compile runs the full front-end: parse then type-check. This is the
 // entry point used by the runtime when a program is created from source.
-func Compile(src string) (*Program, error) {
-	prog, err := Parse(src)
+// Like Parse, it contains panics and never lets one escape.
+func Compile(src string) (prog *Program, err error) {
+	defer faults.Recover(faults.StageParse, &err)
+	prog, err = Parse(src)
 	if err != nil {
 		return nil, err
 	}
 	if err := Check(prog); err != nil {
-		return nil, err
+		return nil, faults.Wrap(faults.StageParse, err)
 	}
 	return prog, nil
 }

@@ -1,17 +1,25 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"time"
 
 	"dopia/internal/analysis"
 	"dopia/internal/clc"
+	"dopia/internal/faults"
 	"dopia/internal/interp"
 	"dopia/internal/ml"
 	"dopia/internal/sched"
 	"dopia/internal/sim"
 	"dopia/internal/transform"
 )
+
+// DefaultWatchdogTimeout bounds one managed kernel execution. A launch
+// that exceeds it is aborted, classified as faults.ErrExecTimeout, and
+// degraded down the fallback ladder instead of wedging the host app.
+const DefaultWatchdogTimeout = 30 * time.Second
 
 // Framework is a Dopia instance for one machine: it caches per-kernel
 // compile-time artifacts (static analysis, malleable code) and drives
@@ -21,12 +29,19 @@ type Framework struct {
 	// Model predicts normalized performance from Table 1 features. When
 	// nil, Decide falls back to using all resources (the ALL baseline).
 	Model ml.Model
+	// Stats counts, per framework, how interposed launches moved through
+	// the fail-open fallback ladder.
+	Stats *faults.FallbackStats
+	// WatchdogTimeout bounds each managed execution (wall clock). Zero
+	// selects DefaultWatchdogTimeout; negative disables the watchdog.
+	WatchdogTimeout time.Duration
 
 	kernels map[*clc.Kernel]*kernelInfo
 }
 
 type kernelInfo struct {
 	analysis  *analysis.Result
+	anErr     error // analysis failure, cached so it is classified once
 	malleable map[int]*transform.GPUResult // by work dimension
 	malErr    map[int]error
 }
@@ -36,8 +51,40 @@ func New(m *sim.Machine, model ml.Model) *Framework {
 	return &Framework{
 		Machine: m,
 		Model:   model,
+		Stats:   &faults.FallbackStats{},
 		kernels: map[*clc.Kernel]*kernelInfo{},
 	}
+}
+
+// NewFromModelFile creates a framework whose model is loaded from a file,
+// failing open: if the model cannot be loaded or fails validation, the
+// framework starts with a nil model (the ALL baseline), the failure is
+// recorded in Stats, and the load error is returned for observability.
+// The returned framework is always usable.
+func NewFromModelFile(m *sim.Machine, path string) (*Framework, error) {
+	f := New(m, nil)
+	model, err := ml.LoadModelFile(path)
+	if err != nil {
+		err = faults.Wrap(faults.StageModelLoad,
+			fmt.Errorf("%w: %w", faults.ErrModelInvalid, err))
+		f.Stats.RecordModelDiscard(err)
+		return f, err
+	}
+	f.Model = model
+	return f, nil
+}
+
+// watchdog returns a context bounding one managed execution, honoring
+// WatchdogTimeout.
+func (f *Framework) watchdog() (context.Context, context.CancelFunc) {
+	d := f.WatchdogTimeout
+	if d == 0 {
+		d = DefaultWatchdogTimeout
+	}
+	if d < 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), d)
 }
 
 // AnalyzeProgram performs Dopia's compile-time stage on every kernel of a
@@ -55,17 +102,23 @@ func (f *Framework) AnalyzeProgram(prog *clc.Program) error {
 
 func (f *Framework) kernelInfo(k *clc.Kernel) (*kernelInfo, error) {
 	if ki, ok := f.kernels[k]; ok {
+		if ki.anErr != nil {
+			return nil, ki.anErr
+		}
 		return ki, nil
 	}
-	res, err := analysis.Analyze(k)
-	if err != nil {
-		return nil, fmt.Errorf("core: analysis of %s: %w", k.Name, err)
-	}
 	ki := &kernelInfo{
-		analysis:  res,
 		malleable: map[int]*transform.GPUResult{},
 		malErr:    map[int]error{},
 	}
+	res, err := analysis.Analyze(k)
+	if err != nil {
+		ki.anErr = faults.Wrap(faults.StageAnalysis,
+			fmt.Errorf("core: analysis of %s: %w", k.Name, err))
+		f.kernels[k] = ki
+		return nil, ki.anErr
+	}
+	ki.analysis = res
 	f.kernels[k] = ki
 	return ki, nil
 }
@@ -112,13 +165,47 @@ type Decision struct {
 	InferTime time.Duration
 	// Evaluated is the number of configurations scored.
 	Evaluated int
+	// ModelDiscarded reports that the model's predictions were rejected
+	// for this launch (NaN/Inf/out-of-range values, inference panic, or
+	// injected fault) and the ALL configuration was used instead.
+	ModelDiscarded bool
+}
+
+// maxSanePrediction bounds the magnitude of a credible normalized-
+// performance prediction; anything beyond it marks a corrupted model.
+const maxSanePrediction = 1e6
+
+// predictOne evaluates the model on one feature vector, containing
+// panics and validating the output. A non-nil error means the model must
+// be discarded for this launch.
+func predictOne(m ml.Model, x ml.Features) (v float64, err error) {
+	defer faults.Recover(faults.StageModelPredict, &err)
+	if err := faults.Hit("ml.predict"); err != nil {
+		return 0, faults.Wrap(faults.StageModelPredict, err)
+	}
+	v = m.Predict(x)
+	if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > maxSanePrediction {
+		return 0, faults.Wrap(faults.StageModelPredict, fmt.Errorf(
+			"%w: prediction %v out of range", faults.ErrModelInvalid, v))
+	}
+	return v, nil
 }
 
 // Decide evaluates the model for every DoP configuration of the machine
 // and returns the predicted-best one (paper Algorithm 1, lines 2-4).
+// Invalid predictions (NaN/Inf/out-of-range) or inference panics discard
+// the model for this launch: the decision degrades to the ALL
+// configuration with ModelDiscarded set, and Decide never fails.
 func (f *Framework) Decide(res *analysis.Result, nd interp.NDRange) Decision {
+	dec, _ := f.decide(res, nd)
+	return dec
+}
+
+// decide is Decide plus the cause of a model discard (nil when the model
+// was used or absent).
+func (f *Framework) decide(res *analysis.Result, nd interp.NDRange) (Decision, error) {
 	if f.Model == nil {
-		return Decision{Config: f.Machine.AllResources()}
+		return Decision{Config: f.Machine.AllResources()}, nil
 	}
 	base := BaseFeatures(res, nd)
 	start := time.Now()
@@ -126,7 +213,17 @@ func (f *Framework) Decide(res *analysis.Result, nd interp.NDRange) Decision {
 	bestV := 0.0
 	n := 0
 	for _, cfg := range f.Machine.Configs() {
-		v := f.Model.Predict(WithConfig(base, f.Machine, cfg))
+		v, err := predictOne(f.Model, WithConfig(base, f.Machine, cfg))
+		if err != nil {
+			// Model invalid: discard it for this launch and fall back to
+			// all resources (the paper's ALL baseline).
+			return Decision{
+				Config:         f.Machine.AllResources(),
+				InferTime:      time.Since(start),
+				Evaluated:      n,
+				ModelDiscarded: true,
+			}, err
+		}
 		n++
 		if n == 1 || v > bestV {
 			best, bestV = cfg, v
@@ -137,7 +234,7 @@ func (f *Framework) Decide(res *analysis.Result, nd interp.NDRange) Decision {
 		Predicted: bestV,
 		InferTime: time.Since(start),
 		Evaluated: n,
-	}
+	}, nil
 }
 
 // Execution is the result of one Dopia-managed kernel execution.
@@ -152,7 +249,13 @@ type Execution struct {
 // with the model, then co-execute with dynamic workload distribution. The
 // kernel's output buffers hold the true results afterwards, and the
 // returned simulated time includes the model-inference overhead.
-func (f *Framework) Execute(k *clc.Kernel, args []interp.Arg, nd interp.NDRange) (*Execution, error) {
+//
+// Execute is the top rung of the fallback ladder: a discarded model
+// degrades to the ALL configuration within it (recorded in Stats), while
+// harder failures — including contained panics and watchdog timeouts —
+// return classified errors for the ladder in interpose.go to act on.
+func (f *Framework) Execute(k *clc.Kernel, args []interp.Arg, nd interp.NDRange) (exec *Execution, err error) {
+	defer faults.Recover(faults.StageExec, &err)
 	ki, err := f.kernelInfo(k)
 	if err != nil {
 		return nil, err
@@ -160,6 +263,9 @@ func (f *Framework) Execute(k *clc.Kernel, args []interp.Arg, nd interp.NDRange)
 	mall, err := f.Malleable(k, nd.Dims)
 	if err != nil {
 		return nil, err
+	}
+	if err := faults.Hit("core.exec"); err != nil {
+		return nil, faults.Wrap(faults.StageExec, err)
 	}
 	ex, err := sched.NewExecutor(f.Machine, k, mall.Kernel)
 	if err != nil {
@@ -171,14 +277,56 @@ func (f *Framework) Execute(k *clc.Kernel, args []interp.Arg, nd interp.NDRange)
 	if err := ex.Launch(nd); err != nil {
 		return nil, err
 	}
-	dec := f.Decide(ki.analysis, nd)
+	dec, decErr := f.decide(ki.analysis, nd)
+	if decErr != nil {
+		f.Stats.RecordModelDiscard(decErr)
+	}
+	ctx, cancel := f.watchdog()
+	defer cancel()
 	res, err := ex.Run(dec.Config, sched.RunOptions{
 		Dist:            sim.Dynamic,
 		Functional:      true,
 		ExtraStartupSec: dec.InferTime.Seconds(),
+		Context:         ctx,
 	})
+	if err != nil {
+		return nil, faults.Wrap(faults.StageExec, err)
+	}
+	return &Execution{Decision: dec, Result: res, KernelName: k.Name}, nil
+}
+
+// ExecuteCoExecAll runs one launch on the second rung of the ladder:
+// co-execution of the *original* kernel on all resources, without the
+// malleable transform and without the model. It preserves Dopia's
+// CPU+GPU utilization while requiring nothing but a compiled kernel.
+func (f *Framework) ExecuteCoExecAll(k *clc.Kernel, args []interp.Arg, nd interp.NDRange) (exec *Execution, err error) {
+	defer faults.Recover(faults.StageExec, &err)
+	if err := faults.Hit("core.exec"); err != nil {
+		return nil, faults.Wrap(faults.StageExec, err)
+	}
+	ex, err := sched.NewExecutor(f.Machine, k, nil)
 	if err != nil {
 		return nil, err
 	}
-	return &Execution{Decision: dec, Result: res, KernelName: k.Name}, nil
+	if err := ex.Bind(args...); err != nil {
+		return nil, err
+	}
+	if err := ex.Launch(nd); err != nil {
+		return nil, err
+	}
+	ctx, cancel := f.watchdog()
+	defer cancel()
+	res, err := ex.Run(f.Machine.AllResources(), sched.RunOptions{
+		Dist:       sim.Dynamic,
+		Functional: true,
+		Context:    ctx,
+	})
+	if err != nil {
+		return nil, faults.Wrap(faults.StageExec, err)
+	}
+	return &Execution{
+		Decision:   Decision{Config: f.Machine.AllResources()},
+		Result:     res,
+		KernelName: k.Name,
+	}, nil
 }

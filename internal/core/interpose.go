@@ -1,6 +1,8 @@
 package core
 
 import (
+	"dopia/internal/analysis"
+	"dopia/internal/faults"
 	"dopia/internal/interp"
 	"dopia/internal/ocl"
 )
@@ -9,6 +11,20 @@ import (
 // attaching Dopia to an OpenCL context transparently reroutes program
 // builds and kernel launches through the framework — the library-
 // interpositioning deployment described in §4 of the paper.
+//
+// The interposer FAILS OPEN. A production application must never fail or
+// hang because Dopia stumbled, so every launch degrades down a ladder:
+//
+//	rung 1: full Dopia — malleable co-execution + model DoP selection
+//	rung 2: ALL co-execution of the original kernel (no malleable code,
+//	        no model)
+//	rung 3: the plain single-device runtime (handled=false)
+//
+// Panics from any pipeline stage are contained, watchdog timeouts abort
+// wedged executions, invalid model predictions discard the model for the
+// launch, and every degradation is recorded in the framework's and the
+// queue's FallbackStats. Enqueue never returns an error for a kernel the
+// plain runtime can run.
 type interposer struct {
 	fw *Framework
 }
@@ -18,22 +34,147 @@ func (f *Framework) Attach(ctx *ocl.Context) {
 	ctx.SetInterposer(&interposer{fw: f})
 }
 
-// ProgramBuilt runs Dopia's compile-time stage.
-func (ip *interposer) ProgramBuilt(prog *ocl.Program) error {
+// ProgramBuilt runs Dopia's compile-time stage, failing open: a kernel
+// whose analysis fails is recorded and will fall back at enqueue time,
+// but the program build itself never fails because of Dopia.
+func (ip *interposer) ProgramBuilt(prog *ocl.Program) (err error) {
+	defer faults.Recover(faults.StageAnalysis, &err)
+	defer func() {
+		if err != nil {
+			// Per-kernel failures are cached in kernelInfo and re-surface
+			// as plain fallbacks at enqueue; the build proceeds.
+			err = nil
+		}
+	}()
 	return ip.fw.AnalyzeProgram(prog.Compiled())
 }
 
-// Enqueue takes over every kernel launch: DoP selection plus dynamic
-// co-execution. The launch is never forwarded to the plain runtime.
-func (ip *interposer) Enqueue(q *ocl.CommandQueue, k *ocl.Kernel, nd interp.NDRange) (bool, float64, error) {
-	args, err := k.Args()
-	if err != nil {
-		return false, 0, err
+// recorder fans fallback accounting out to the per-framework and the
+// per-queue counters.
+type recorder struct {
+	sinks [2]*faults.FallbackStats
+}
+
+func (r recorder) managed() {
+	for _, s := range r.sinks {
+		s.RecordManaged()
 	}
-	exec, err := ip.fw.Execute(k.Compiled(), args, nd)
-	if err != nil {
-		return false, 0, err
+}
+
+func (r recorder) coExecAll(cause error) {
+	for _, s := range r.sinks {
+		s.RecordCoExecAll(cause)
 	}
-	q.LastResult = exec.Result
-	return true, exec.Result.Time, nil
+}
+
+func (r recorder) plain(cause error) {
+	for _, s := range r.sinks {
+		s.RecordPlain(cause)
+	}
+}
+
+// bufSnapshot preserves the contents of the buffers a kernel writes, so
+// a partially executed rung can be rolled back before the next rung
+// re-executes the launch — keeping read-modify-write kernels bit-exact
+// across fallbacks.
+type bufSnapshot struct {
+	bufs   []*interp.Buffer
+	copies []*interp.Buffer
+}
+
+// snapshotWritten clones every buffer argument the static analysis marks
+// as written. With res == nil (analysis unavailable) it conservatively
+// clones all buffer arguments.
+func snapshotWritten(res *analysis.Result, args []interp.Arg) *bufSnapshot {
+	written := map[int]bool{}
+	if res != nil {
+		for _, s := range res.Sites {
+			if s.Write && s.ArgIndex >= 0 {
+				written[s.ArgIndex] = true
+			}
+		}
+	}
+	snap := &bufSnapshot{}
+	for i, a := range args {
+		if !a.IsBuf || a.Buf == nil {
+			continue
+		}
+		if res != nil && !written[i] {
+			continue
+		}
+		snap.bufs = append(snap.bufs, a.Buf)
+		snap.copies = append(snap.copies, a.Buf.Clone())
+	}
+	return snap
+}
+
+// restore rolls every snapshotted buffer back to its pre-attempt state.
+func (s *bufSnapshot) restore() {
+	for i, b := range s.bufs {
+		c := s.copies[i]
+		copy(b.F32, c.F32)
+		copy(b.I32, c.I32)
+		copy(b.F64, c.F64)
+		copy(b.I64, c.I64)
+	}
+}
+
+// Enqueue takes over a kernel launch: DoP selection plus dynamic
+// co-execution, degrading down the fallback ladder on any failure. It
+// returns handled=false — never an error — when the launch should be
+// (re-)executed by the plain runtime.
+func (ip *interposer) Enqueue(q *ocl.CommandQueue, k *ocl.Kernel, nd interp.NDRange) (handled bool, simTime float64, err error) {
+	rec := recorder{sinks: [2]*faults.FallbackStats{ip.fw.Stats, q.Fallback}}
+	// Absolute backstop: a panic anywhere below becomes a plain fallback.
+	defer func() {
+		if r := recover(); r != nil {
+			rec.plain(&faults.PanicError{Stage: faults.StageUnknown, Value: r})
+			handled, simTime, err = false, 0, nil
+		}
+	}()
+
+	args, aerr := k.Args()
+	if aerr != nil {
+		// Unbound arguments fail identically on the plain path; let it
+		// produce the canonical error.
+		return false, 0, nil
+	}
+
+	// The ladder needs the static analysis for rung 1 and for snapshot
+	// precision; without it, degrade straight to the plain runtime.
+	ki, kerr := ip.fw.kernelInfo(k.Compiled())
+	if kerr != nil {
+		rec.plain(kerr)
+		return false, 0, nil
+	}
+
+	snap := snapshotWritten(ki.analysis, args)
+
+	// Rung 1: full Dopia management.
+	var cause error
+	if _, merr := ip.fw.Malleable(k.Compiled(), nd.Dims); merr == nil {
+		exec, xerr := ip.fw.Execute(k.Compiled(), args, nd)
+		if xerr == nil {
+			rec.managed()
+			q.LastResult = exec.Result
+			return true, exec.Result.Time, nil
+		}
+		snap.restore()
+		cause = xerr
+	} else {
+		cause = merr
+	}
+
+	// Rung 2: ALL co-execution without the malleable kernel.
+	exec, xerr := ip.fw.ExecuteCoExecAll(k.Compiled(), args, nd)
+	if xerr == nil {
+		rec.coExecAll(cause)
+		q.LastResult = exec.Result
+		return true, exec.Result.Time, nil
+	}
+	snap.restore()
+
+	// Rung 3: the plain single-device runtime.
+	rec.plain(xerr)
+	return false, 0, nil
 }

@@ -1,0 +1,168 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestWrapClassifies(t *testing.T) {
+	base := errors.New("boom")
+	err := Wrap(StageTransform, base)
+	if StageOf(err) != StageTransform {
+		t.Fatalf("StageOf = %v, want transform", StageOf(err))
+	}
+	if !errors.Is(err, base) {
+		t.Fatal("wrapped error lost its cause")
+	}
+	// Outer wrapping (fmt or faults) preserves the innermost stage.
+	outer := Wrap(StageExec, fmt.Errorf("context: %w", err))
+	if StageOf(outer) != StageTransform {
+		t.Fatalf("StageOf(outer) = %v, want transform (innermost)", StageOf(outer))
+	}
+	if Wrap(StageExec, nil) != nil {
+		t.Fatal("Wrap(nil) must be nil")
+	}
+	if StageOf(errors.New("plain")) != StageUnknown {
+		t.Fatal("unclassified error must map to StageUnknown")
+	}
+}
+
+func TestRecoverContainsPanic(t *testing.T) {
+	f := func() (err error) {
+		defer Recover(StageAnalysis, &err)
+		panic("kaboom")
+	}
+	err := f()
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+	if !IsPanic(err) {
+		t.Fatalf("err %v not classified as panic", err)
+	}
+	if StageOf(err) != StageAnalysis {
+		t.Fatalf("StageOf = %v, want analysis", StageOf(err))
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError not populated: %+v", pe)
+	}
+}
+
+func TestRecoverPreservesError(t *testing.T) {
+	want := errors.New("normal failure")
+	f := func() (err error) {
+		defer Recover(StageParse, &err)
+		return want
+	}
+	if err := f(); !errors.Is(err, want) {
+		t.Fatalf("Recover clobbered a normal error: %v", err)
+	}
+}
+
+func TestInjectFiresAndResets(t *testing.T) {
+	defer Reset()
+	if err := Hit("x"); err != nil {
+		t.Fatalf("disarmed point fired: %v", err)
+	}
+	InjectError("x", ErrTransformFailed)
+	err := Hit("x")
+	if err == nil || !errors.Is(err, ErrTransformFailed) || !IsInjected(err) {
+		t.Fatalf("armed point: got %v", err)
+	}
+	if HitCount("x") != 1 {
+		t.Fatalf("HitCount = %d, want 1", HitCount("x"))
+	}
+	Reset()
+	if err := Hit("x"); err != nil {
+		t.Fatalf("point fired after Reset: %v", err)
+	}
+}
+
+func TestInjectAfterAndCount(t *testing.T) {
+	defer Reset()
+	Inject("y", Plan{Err: ErrExecTimeout, After: 2, Count: 1})
+	var fired int
+	for i := 0; i < 5; i++ {
+		if Hit("y") != nil {
+			fired++
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d times, want exactly 1 (After=2, Count=1)", fired)
+	}
+}
+
+func TestInjectRateDeterministic(t *testing.T) {
+	defer Reset()
+	run := func() []bool {
+		Inject("z", Plan{Rate: 0.5, Seed: 42})
+		out := make([]bool, 20)
+		for i := range out {
+			out[i] = Hit("z") != nil
+		}
+		Disarm("z")
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("seeded probabilistic plan is not deterministic")
+		}
+	}
+	var any bool
+	for _, v := range a {
+		any = any || v
+	}
+	if !any {
+		t.Fatal("rate 0.5 never fired in 20 hits")
+	}
+}
+
+func TestInjectPanicMode(t *testing.T) {
+	defer Reset()
+	InjectPanic("p", "forced")
+	err := func() (err error) {
+		defer Recover(StageExec, &err)
+		return Hit("p")
+	}()
+	if !IsPanic(err) || StageOf(err) != StageExec {
+		t.Fatalf("panic injection not contained/classified: %v", err)
+	}
+}
+
+func TestFallbackStatsConcurrent(t *testing.T) {
+	var s FallbackStats
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.RecordManaged()
+				s.RecordCoExecAll(Wrap(StageTransform, ErrTransformFailed))
+				s.RecordPlain(Wrap(StageExec, ErrExecTimeout))
+				s.RecordModelDiscard(Wrap(StageModelPredict, ErrModelInvalid))
+			}
+		}()
+	}
+	wg.Wait()
+	snap := s.Snapshot()
+	if snap.Managed != 800 || snap.CoExecAll != 800 || snap.Plain != 800 ||
+		snap.ModelDiscards != 800 || snap.Timeouts != 800 {
+		t.Fatalf("lost updates: %s", snap)
+	}
+	if snap.ByStage[StageTransform] != 800 || snap.ByStage[StageExec] != 800 ||
+		snap.ByStage[StageModelPredict] != 800 {
+		t.Fatalf("stage attribution wrong: %s", snap)
+	}
+	if snap.Degradations() != 1600 {
+		t.Fatalf("Degradations = %d, want 1600", snap.Degradations())
+	}
+	var nilStats *FallbackStats
+	nilStats.RecordManaged() // must not crash
+	if nilStats.Snapshot().Managed != 0 {
+		t.Fatal("nil stats snapshot not zero")
+	}
+}

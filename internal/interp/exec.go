@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dopia/internal/clc"
+	"dopia/internal/faults"
 )
 
 // AddressSpace assigns non-overlapping base addresses to buffers so that
@@ -51,6 +52,11 @@ type Exec struct {
 	Sink  TraceSink
 	AS    *AddressSpace
 
+	// Check, when non-nil, is polled before every work-group; a non-nil
+	// return aborts the run with that error. The scheduler's watchdog
+	// uses it to bound pathological ND ranges with a context deadline.
+	Check func() error
+
 	// scratch reused across work-groups
 	slotScratch [][]Value
 	privScratch [][][]Value
@@ -59,11 +65,16 @@ type Exec struct {
 }
 
 // NewExec compiles kernel k and returns an executor for it. The kernel
-// must come from a checked program (clc.Compile).
-func NewExec(k *clc.Kernel) (*Exec, error) {
+// must come from a checked program (clc.Compile). Panics in the
+// interpreter compiler are contained and returned as classified errors.
+func NewExec(k *clc.Kernel) (ex2 *Exec, err error) {
+	defer faults.Recover(faults.StageCompile, &err)
+	if err := faults.Hit("interp.compile"); err != nil {
+		return nil, faults.Wrap(faults.StageCompile, err)
+	}
 	ck, err := compileKernel(k)
 	if err != nil {
-		return nil, err
+		return nil, faults.Wrap(faults.StageCompile, err)
 	}
 	ex := &Exec{
 		kernel: k,
@@ -236,12 +247,20 @@ func (ex *Exec) RunGroup(linear int) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if re, ok := r.(*runtimeError); ok {
-				err = fmt.Errorf("interp: kernel %s: %w", ex.kernel.Name, re)
+				err = faults.Wrap(faults.StageExec,
+					fmt.Errorf("interp: kernel %s: %w", ex.kernel.Name, re))
 				return
 			}
-			panic(r)
+			// Any other panic is an interpreter bug: contain it at the
+			// package boundary so it cannot escape into the host app.
+			err = &faults.PanicError{Stage: faults.StageExec, Value: r}
 		}
 	}()
+	if ex.Check != nil {
+		if cerr := ex.Check(); cerr != nil {
+			return faults.Wrap(faults.StageExec, cerr)
+		}
+	}
 	total := ex.nd.TotalGroups()
 	if linear < 0 || linear >= total {
 		return fmt.Errorf("interp: work-group %d out of range [0,%d)", linear, total)

@@ -1,0 +1,93 @@
+package ml
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"dopia/internal/faults"
+)
+
+// corruptCase is one malformed model payload that LoadModel must reject
+// with a descriptive, classified error — never a panic or garbage model.
+type corruptCase struct {
+	name string
+	data string
+}
+
+func TestLoadModelRejectsCorruption(t *testing.T) {
+	cases := []corruptCase{
+		{"empty", ""},
+		{"truncated-envelope", `{"family":"DT","data":{"nod`},
+		{"not-json", "\x00\x01\x02model"},
+		{"unknown-family", `{"family":"GBM","data":{}}`},
+		{"linear-wrong-weight-count", `{"family":"LIN","data":{"mean":[0,0,0,0,0,0,0,0,0,0,0],"std":[1,1,1,1,1,1,1,1,1,1,1],"w":[1,2,3]}}`},
+		{"linear-nan-weight", `{"family":"LIN","data":{"mean":[0,0,0,0,0,0,0,0,0,0,0],"std":[1,1,1,1,1,1,1,1,1,1,1],"w":["NaN",0,0,0,0,0,0,0,0,0,0,0]}}`},
+		{"linear-zero-std", `{"family":"LIN","data":{"mean":[0,0,0,0,0,0,0,0,0,0,0],"std":[0,1,1,1,1,1,1,1,1,1,1],"w":[0,0,0,0,0,0,0,0,0,0,0,0]}}`},
+		{"tree-empty", `{"family":"DT","data":{"nodes":[]}}`},
+		{"tree-bad-feature", `{"family":"DT","data":{"nodes":[{"f":99,"t":0,"l":0,"r":0,"v":0}]}}`},
+		{"tree-cycle", `{"family":"DT","data":{"nodes":[{"f":0,"t":1,"l":0,"r":0,"v":0}]}}`},
+		{"tree-backward-child", `{"family":"DT","data":{"nodes":[{"f":-1,"t":0,"l":0,"r":0,"v":1},{"f":0,"t":1,"l":0,"r":0,"v":0}]}}`},
+		{"tree-nan-value", `{"family":"DT","data":{"nodes":[{"f":-1,"t":0,"l":0,"r":0,"v":"NaN"}]}}`},
+		{"forest-empty", `{"family":"RF","data":{"trees":[]}}`},
+		{"svr-length-mismatch", `{"family":"SVR","data":{"mean":[0,0,0,0,0,0,0,0,0,0,0],"std":[1,1,1,1,1,1,1,1,1,1,1],"gamma":1,"support":[],"alpha":[1]}}`},
+		{"svr-negative-gamma", `{"family":"SVR","data":{"mean":[0,0,0,0,0,0,0,0,0,0,0],"std":[1,1,1,1,1,1,1,1,1,1,1],"gamma":-2,"support":[],"alpha":[]}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := LoadModel(strings.NewReader(tc.data))
+			if err == nil {
+				t.Fatalf("corrupted payload accepted, got model %v", m.Name())
+			}
+			if m != nil {
+				t.Fatalf("error returned together with a model")
+			}
+			if faults.StageOf(err) != faults.StageModelLoad {
+				t.Errorf("error not classified as model-load: %v", err)
+			}
+		})
+	}
+}
+
+// TestLoadModelTruncatedRoundTrip truncates a real serialized model at
+// every eighth byte and checks LoadModel fails cleanly (or, at full
+// length, succeeds) — no panics, no silent garbage.
+func TestLoadModelTruncatedRoundTrip(t *testing.T) {
+	d := synthDataset(200, 7, nonlinearTarget)
+	m, err := (TreeTrainer{}).Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for n := 0; n < len(full); n += 8 {
+		if _, err := LoadModel(bytes.NewReader(full[:n])); err == nil {
+			// A truncated prefix that still parses must at minimum be a
+			// structurally valid model; only the full payload is
+			// expected, but any accepted prefix must not be garbage.
+			t.Fatalf("truncated model (%d/%d bytes) accepted", n, len(full))
+		}
+	}
+	if _, err := LoadModel(bytes.NewReader(full)); err != nil {
+		t.Fatalf("full payload rejected: %v", err)
+	}
+}
+
+// TestLoadModelInjection checks the ml.load fault-injection point fires
+// and is classified.
+func TestLoadModelInjection(t *testing.T) {
+	defer faults.Reset()
+	faults.InjectError("ml.load", faults.ErrModelInvalid)
+	_, err := LoadModel(strings.NewReader(`{"family":"DT","data":{"nodes":[{"f":-1,"t":0,"l":0,"r":0,"v":1}]}}`))
+	if err == nil || !errors.Is(err, faults.ErrModelInvalid) || !faults.IsInjected(err) {
+		t.Fatalf("injected load fault not surfaced: %v", err)
+	}
+	faults.Reset()
+	if _, err := LoadModel(strings.NewReader(`{"family":"DT","data":{"nodes":[{"f":-1,"t":0,"l":0,"r":0,"v":1}]}}`)); err != nil {
+		t.Fatalf("valid single-leaf tree rejected: %v", err)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"dopia/internal/clc"
+	"dopia/internal/faults"
 	"dopia/internal/interp"
 	"dopia/internal/sched"
 	"dopia/internal/sim"
@@ -169,6 +170,11 @@ func (c *Context) CreateProgramWithSource(src string) *Program {
 
 // Build compiles the program and notifies the interposer — the point
 // where Dopia performs static analysis and code transformation.
+//
+// Build fails open with respect to the interposer: if clc compilation
+// succeeds, a panicking or failing interposer cannot fail the build.
+// Interposer failures surface later as per-launch fallbacks (Dopia's
+// interposer records them in FallbackStats), never as build errors.
 func (p *Program) Build() error {
 	prog, err := clc.Compile(p.Source)
 	if err != nil {
@@ -176,9 +182,12 @@ func (p *Program) Build() error {
 	}
 	p.prog = prog
 	if ip := p.ctx.interposer; ip != nil {
-		if err := ip.ProgramBuilt(p); err != nil {
-			return err
-		}
+		func() {
+			var ierr error
+			defer faults.Recover(faults.StageAnalysis, &ierr)
+			ierr = ip.ProgramBuilt(p)
+			_ = ierr // fail-open: the plain runtime can still run this program
+		}()
 	}
 	return nil
 }
@@ -271,13 +280,34 @@ type CommandQueue struct {
 	SimTime float64
 	// LastResult holds the simulation result of the latest launch.
 	LastResult *sim.Result
+	// Fallback counts how interposed launches on this queue moved
+	// through the fail-open ladder (per-queue view; the framework keeps
+	// an aggregate).
+	Fallback *faults.FallbackStats
+
+	// firstErr latches the first deferred enqueue error until Finish
+	// reports it (OpenCL-style deferred error semantics).
+	firstErr error
 
 	execs map[*clc.Kernel]*sched.Executor
 }
 
 // CreateCommandQueue creates a queue on a device.
 func (c *Context) CreateCommandQueue(d *Device) *CommandQueue {
-	return &CommandQueue{ctx: c, device: d, execs: map[*clc.Kernel]*sched.Executor{}}
+	return &CommandQueue{
+		ctx:      c,
+		device:   d,
+		Fallback: &faults.FallbackStats{},
+		execs:    map[*clc.Kernel]*sched.Executor{},
+	}
+}
+
+// latch records the first error of a command sequence for Finish.
+func (q *CommandQueue) latch(err error) error {
+	if err != nil && q.firstErr == nil {
+		q.firstErr = err
+	}
+	return err
 }
 
 // Device returns the queue's device.
@@ -290,21 +320,37 @@ func (q *CommandQueue) Context() *Context { return q.ctx }
 // installed the launch may be managed by Dopia; otherwise the plain
 // runtime executes the whole ND range on this queue's device and charges
 // the corresponding simulated time.
+//
+// The interposer boundary fails open: a panicking interposer, or one
+// returning an error, degrades the launch to the plain runtime instead
+// of failing it — an interposed launch only errors when the plain
+// runtime itself cannot execute the kernel. Errors are additionally
+// latched on the queue and re-surfaced by Finish.
 func (q *CommandQueue) EnqueueNDRangeKernel(k *Kernel, nd interp.NDRange) error {
 	if err := nd.Validate(); err != nil {
-		return err
+		return q.latch(err)
 	}
 	if ip := q.ctx.interposer; ip != nil {
-		handled, simTime, err := ip.Enqueue(q, k, nd)
+		handled, simTime, err := func() (h bool, st float64, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					perr := &faults.PanicError{Stage: faults.StageUnknown, Value: r}
+					q.Fallback.RecordPlain(perr)
+					h, st, err = false, 0, nil
+				}
+			}()
+			return ip.Enqueue(q, k, nd)
+		}()
 		if err != nil {
-			return err
-		}
-		if handled {
+			// A well-behaved interposer (core's ladder) never errors for
+			// a runnable kernel; treat any error as one more degradation.
+			q.Fallback.RecordPlain(err)
+		} else if handled {
 			q.SimTime += simTime
 			return nil
 		}
 	}
-	return q.enqueuePlain(k, nd)
+	return q.latch(q.enqueuePlain(k, nd))
 }
 
 func (q *CommandQueue) enqueuePlain(k *Kernel, nd interp.NDRange) error {
@@ -346,8 +392,15 @@ func (q *CommandQueue) enqueuePlain(k *Kernel, nd interp.NDRange) error {
 	return nil
 }
 
-// Finish is a synchronization no-op: execution is synchronous.
-func (q *CommandQueue) Finish() error { return nil }
+// Finish synchronizes the queue (a no-op here: execution is synchronous)
+// and reports the first error of the commands enqueued since the last
+// Finish — OpenCL-style deferred error semantics for callers that do not
+// check every enqueue. The latch is cleared afterwards.
+func (q *CommandQueue) Finish() error {
+	err := q.firstErr
+	q.firstErr = nil
+	return err
+}
 
 // EnqueueWriteBuffer copies host data into a buffer (synchronous, like a
 // blocking clEnqueueWriteBuffer). On an integrated architecture this is a
@@ -356,16 +409,16 @@ func (q *CommandQueue) EnqueueWriteBuffer(b *Buffer, data any) error {
 	switch src := data.(type) {
 	case []float32:
 		if len(src) != len(b.buf.F32) {
-			return fmt.Errorf("ocl: write of %d floats into %d-element buffer", len(src), len(b.buf.F32))
+			return q.latch(fmt.Errorf("ocl: write of %d floats into %d-element buffer", len(src), len(b.buf.F32)))
 		}
 		copy(b.buf.F32, src)
 	case []int32:
 		if len(src) != len(b.buf.I32) {
-			return fmt.Errorf("ocl: write of %d ints into %d-element buffer", len(src), len(b.buf.I32))
+			return q.latch(fmt.Errorf("ocl: write of %d ints into %d-element buffer", len(src), len(b.buf.I32)))
 		}
 		copy(b.buf.I32, src)
 	default:
-		return fmt.Errorf("ocl: unsupported host data type %T", data)
+		return q.latch(fmt.Errorf("ocl: unsupported host data type %T", data))
 	}
 	return nil
 }
@@ -375,16 +428,16 @@ func (q *CommandQueue) EnqueueReadBuffer(b *Buffer, data any) error {
 	switch dst := data.(type) {
 	case []float32:
 		if len(dst) != len(b.buf.F32) {
-			return fmt.Errorf("ocl: read of %d-element buffer into %d floats", len(b.buf.F32), len(dst))
+			return q.latch(fmt.Errorf("ocl: read of %d-element buffer into %d floats", len(b.buf.F32), len(dst)))
 		}
 		copy(dst, b.buf.F32)
 	case []int32:
 		if len(dst) != len(b.buf.I32) {
-			return fmt.Errorf("ocl: read of %d-element buffer into %d ints", len(b.buf.I32), len(dst))
+			return q.latch(fmt.Errorf("ocl: read of %d-element buffer into %d ints", len(b.buf.I32), len(dst)))
 		}
 		copy(dst, b.buf.I32)
 	default:
-		return fmt.Errorf("ocl: unsupported host data type %T", data)
+		return q.latch(fmt.Errorf("ocl: unsupported host data type %T", data))
 	}
 	return nil
 }

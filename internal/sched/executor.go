@@ -8,10 +8,13 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"dopia/internal/analysis"
 	"dopia/internal/clc"
+	"dopia/internal/faults"
 	"dopia/internal/interp"
 	"dopia/internal/sim"
 )
@@ -185,13 +188,36 @@ type RunOptions struct {
 	ExtraStartupSec float64
 	// GPUChunkDiv overrides the dynamic GPU chunk divisor (default 10).
 	GPUChunkDiv int
+	// Context, when non-nil, bounds the functional execution: it is
+	// polled before every span and every work-group, so a pathological
+	// ND range cannot wedge the host application past the deadline. A
+	// deadline hit is classified as faults.ErrExecTimeout.
+	Context context.Context
+}
+
+// ctxErr translates a context failure into the taxonomy: deadline hits
+// become watchdog timeouts, cancellations become execution failures.
+func ctxErr(ctx context.Context) error {
+	switch err := ctx.Err(); {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return faults.Wrap(faults.StageExec,
+			fmt.Errorf("%w: %w", faults.ErrExecTimeout, err))
+	default:
+		return faults.Wrap(faults.StageExec,
+			fmt.Errorf("%w: %w", faults.ErrExecFailed, err))
+	}
 }
 
 // Run executes the kernel under the given DoP configuration, returning
 // the simulation result. When opts.Functional is set, every span the
 // simulated schedule assigns is executed by the matching interpreter, so
-// buffers hold the kernel's true output afterwards.
-func (e *Executor) Run(cfg sim.Config, opts RunOptions) (*sim.Result, error) {
+// buffers hold the kernel's true output afterwards. Panics below this
+// boundary are contained and returned as classified errors; a
+// opts.Context deadline aborts the run with faults.ErrExecTimeout.
+func (e *Executor) Run(cfg sim.Config, opts RunOptions) (res *sim.Result, err error) {
+	defer faults.Recover(faults.StageExec, &err)
 	km, err := e.Model()
 	if err != nil {
 		return nil, err
@@ -202,6 +228,20 @@ func (e *Executor) Run(cfg sim.Config, opts RunOptions) (*sim.Result, error) {
 			return nil, err
 		}
 		onSpan = e.spanFunc(cfg)
+		if ctx := opts.Context; ctx != nil {
+			// Watchdog: poll the context before every span and, through
+			// the interpreters' Check hook, before every work-group.
+			check := func() error { return ctxErr(ctx) }
+			e.cpuEx.Check, e.gpuEx.Check = check, check
+			defer func() { e.cpuEx.Check, e.gpuEx.Check = nil, nil }()
+			inner := onSpan
+			onSpan = func(device string, start, count int) error {
+				if cerr := check(); cerr != nil {
+					return cerr
+				}
+				return inner(device, start, count)
+			}
+		}
 	}
 	return sim.Simulate(e.Machine, km, cfg, opts.Dist, sim.SimOptions{
 		CPUShare:        opts.CPUShare,

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"dopia/internal/clc"
+	"dopia/internal/faults"
 )
 
 // Names introduced by the transformation. The __dopia_ prefix keeps them
@@ -40,12 +41,19 @@ type GPUResult struct {
 // the active lanes then process the *entire* work-group by pulling
 // work-item indices from a CU-local atomic worklist, exactly as in
 // Figures 5 and 6 of the paper.
-func MalleableGPU(k *clc.Kernel, workDim int) (*GPUResult, error) {
+func MalleableGPU(k *clc.Kernel, workDim int) (res *GPUResult, err error) {
+	defer faults.Recover(faults.StageTransform, &err)
+	if err := faults.Hit("transform.gpu"); err != nil {
+		return nil, faults.Wrap(faults.StageTransform, err)
+	}
 	if workDim < 1 || workDim > 2 {
-		return nil, fmt.Errorf("transform: unsupported work dimension %d (want 1 or 2)", workDim)
+		return nil, faults.Wrap(faults.StageTransform, fmt.Errorf(
+			"%w: transform: unsupported work dimension %d (want 1 or 2)",
+			faults.ErrUnsupportedKernel, workDim))
 	}
 	if err := checkTransformable(k); err != nil {
-		return nil, err
+		return nil, faults.Wrap(faults.StageTransform,
+			fmt.Errorf("%w: %w", faults.ErrUnsupportedKernel, err))
 	}
 
 	// Build the substitution for work-item queries. Within the dynamic
@@ -153,6 +161,10 @@ func MalleableGPU(k *clc.Kernel, workDim int) (*GPUResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("transform: generated malleable kernel does not compile: %w\n%s", err, src)
 	}
+	if len(prog.Kernels) == 0 {
+		return nil, faults.Wrap(faults.StageTransform, fmt.Errorf(
+			"%w: recompiled malleable source contains no kernel", faults.ErrTransformFailed))
+	}
 	return &GPUResult{Kernel: prog.Kernels[0], Source: src, WorkDim: workDim}, nil
 }
 
@@ -240,8 +252,10 @@ type CPUResult struct {
 	Source string      // Figure-7-style rendition of the CPU work-group loop
 }
 
-// GenerateCPU produces the CPU execution form for kernel k.
-func GenerateCPU(k *clc.Kernel) (*CPUResult, error) {
+// GenerateCPU produces the CPU execution form for kernel k. Panics are
+// contained and returned as classified errors.
+func GenerateCPU(k *clc.Kernel) (res *CPUResult, err error) {
+	defer faults.Recover(faults.StageTransform, &err)
 	if k.Body == nil {
 		return nil, fmt.Errorf("transform: kernel %s has no body", k.Name)
 	}
