@@ -250,6 +250,7 @@ func BenchmarkFig13RealWorld(b *testing.B) {
 // (work-items per op are reported via bytes: 1 item = 1 "byte").
 
 func BenchmarkInterpreterGesummv(b *testing.B) {
+	b.ReportAllocs()
 	prog, err := clc.Compile(`__kernel void gesummv(__global float* A, __global float* B,
         __global float* x, __global float* y, float alpha, float beta, int N) {
         int i = get_global_id(0);
@@ -292,6 +293,7 @@ func BenchmarkInterpreterGesummv(b *testing.B) {
 }
 
 func BenchmarkFluidEngine(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f := sim.NewFluid(20e9)
 		for t := 0; t < 64; t++ {
@@ -306,6 +308,7 @@ func BenchmarkFluidEngine(b *testing.B) {
 }
 
 func BenchmarkStaticAnalysis(b *testing.B) {
+	b.ReportAllocs()
 	prog, err := clc.Compile(`__kernel void ex(__global float* A, __global float* B,
         __global float* C, __global float* D, __global int* Bi, int c1, int N, int M) {
         for (int i = 0; i < N; i++) {
@@ -326,6 +329,7 @@ func BenchmarkStaticAnalysis(b *testing.B) {
 }
 
 func BenchmarkMalleableTransform(b *testing.B) {
+	b.ReportAllocs()
 	prog, err := clc.Compile(`__kernel void sum3(__global float* A, __global float* B,
         __global float* C, int n) {
         int i = get_global_id(0);
@@ -343,6 +347,7 @@ func BenchmarkMalleableTransform(b *testing.B) {
 }
 
 func BenchmarkModelInference44Configs(b *testing.B) {
+	b.ReportAllocs()
 	_, _, dt := benchEvals(b)
 	m := sim.Kaveri()
 	var base ml.Features
@@ -358,6 +363,7 @@ func BenchmarkModelInference44Configs(b *testing.B) {
 }
 
 func BenchmarkFrontEndCompile(b *testing.B) {
+	b.ReportAllocs()
 	src := `__kernel void conv2d(__global float* A, __global float* B, int NI, int NJ) {
         int j = get_global_id(0);
         int i = get_global_id(1);

@@ -28,8 +28,17 @@ func main() {
 		cacheDir   = flag.String("cache", "", "directory for characterization caches")
 		seed       = flag.Int64("seed", 1, "random seed for fold shuffling")
 		list       = flag.Bool("list", false, "list experiments and exit")
+		out        = flag.String("out", "", "run the tier-1 component benchmarks and write ns/op + allocs/op JSON to this file, then exit")
 	)
 	flag.Parse()
+
+	if *out != "" {
+		if err := writeBenchReport(*out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All() {

@@ -1,0 +1,262 @@
+package main
+
+// The -out mode: run the tier-1 component benchmarks in-process through
+// testing.Benchmark and record ns/op, bytes/op, and allocs/op as JSON, so
+// performance regressions between PRs are diffable files rather than
+// scrollback. The benchmark bodies mirror bench_test.go.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"dopia/internal/analysis"
+	"dopia/internal/clc"
+	"dopia/internal/core"
+	"dopia/internal/interp"
+	"dopia/internal/ml"
+	"dopia/internal/sched"
+	"dopia/internal/sim"
+	"dopia/internal/transform"
+	"dopia/internal/workloads"
+)
+
+type benchRecord struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type benchReport struct {
+	Date        string        `json:"date"`
+	GoVersion   string        `json:"go_version"`
+	NumCPU      int           `json:"num_cpu"`
+	GoMaxProcs  int           `json:"gomaxprocs"`
+	Parallelism int           `json:"dopia_parallelism"`
+	Benchmarks  []benchRecord `json:"benchmarks"`
+}
+
+const gesummvSrc = `__kernel void gesummv(__global float* A, __global float* B,
+    __global float* x, __global float* y, float alpha, float beta, int N) {
+    int i = get_global_id(0);
+    if (i < N) {
+        float tmp = 0.0f;
+        float yv = 0.0f;
+        for (int j = 0; j < N; j++) {
+            tmp += A[i * N + j] * x[j];
+            yv += B[i * N + j] * x[j];
+        }
+        y[i] = alpha * tmp + beta * yv;
+    }
+}`
+
+func interpreterBench() (func(b *testing.B), error) {
+	prog, err := clc.Compile(gesummvSrc)
+	if err != nil {
+		return nil, err
+	}
+	n := 256
+	ex, err := interp.NewExec(prog.Kernels[0])
+	if err != nil {
+		return nil, err
+	}
+	A := interp.NewFloatBuffer(n * n)
+	B := interp.NewFloatBuffer(n * n)
+	x := interp.NewFloatBuffer(n)
+	y := interp.NewFloatBuffer(n)
+	if err := ex.Bind(interp.BufArg(A), interp.BufArg(B), interp.BufArg(x), interp.BufArg(y),
+		interp.FloatArg(1), interp.FloatArg(1), interp.IntArg(int64(n))); err != nil {
+		return nil, err
+	}
+	if err := ex.Launch(interp.ND1(n, 64)); err != nil {
+		return nil, err
+	}
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := ex.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, nil
+}
+
+func heatmapBench() (func(b *testing.B), error) {
+	ws, err := workloads.RealWorkloads(512, 256)
+	if err != nil {
+		return nil, err
+	}
+	w := ws[8] // GESUMMV
+	k, err := w.CompileKernel()
+	if err != nil {
+		return nil, err
+	}
+	ex, err := sched.NewExecutor(sim.Kaveri(), k, nil)
+	if err != nil {
+		return nil, err
+	}
+	ex.AssumeMalleable = true
+	inst, err := w.Setup()
+	if err != nil {
+		return nil, err
+	}
+	if err := ex.Bind(inst.Args...); err != nil {
+		return nil, err
+	}
+	if err := ex.Launch(inst.ND); err != nil {
+		return nil, err
+	}
+	if _, err := ex.Model(); err != nil {
+		return nil, err
+	}
+	m := sim.Kaveri()
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range m.Configs() {
+				if _, err := ex.Run(cfg, sched.RunOptions{Dist: sim.Dynamic}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}, nil
+}
+
+func analysisBench() (func(b *testing.B), error) {
+	prog, err := clc.Compile(`__kernel void ex(__global float* A, __global float* B,
+        __global float* C, __global float* D, __global int* Bi, int c1, int N, int M) {
+        for (int i = 0; i < N; i++) {
+            for (int j = 0; j < M; j++) {
+                D[i * M + j] = A[i * M + j] + B[j * N + i] + C[c1] + C[Bi[j * N + i]];
+            }
+        }
+    }`)
+	if err != nil {
+		return nil, err
+	}
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := analysis.Analyze(prog.Kernels[0]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, nil
+}
+
+func transformBench() (func(b *testing.B), error) {
+	prog, err := clc.Compile(`__kernel void sum3(__global float* A, __global float* B,
+        __global float* C, int n) {
+        int i = get_global_id(0);
+        if (i < n) { C[i] = A[i] + B[i] + C[i]; }
+    }`)
+	if err != nil {
+		return nil, err
+	}
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := transform.MalleableGPU(prog.Kernels[0], 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, nil
+}
+
+func inferenceBench() (func(b *testing.B), error) {
+	grid, err := workloads.SyntheticGrid()
+	if err != nil {
+		return nil, err
+	}
+	var sub []*workloads.Workload
+	for i := 0; i < len(grid) && len(sub) < 40; i += len(grid) / 40 {
+		sub = append(sub, grid[i])
+	}
+	evals, err := core.EvaluateAll(sim.Kaveri(), sub, 0)
+	if err != nil {
+		return nil, err
+	}
+	dt, err := ml.TreeTrainer{}.Fit(core.BuildDataset(sim.Kaveri(), evals))
+	if err != nil {
+		return nil, err
+	}
+	m := sim.Kaveri()
+	var base ml.Features
+	base[ml.FGlobalSize] = 16384
+	base[ml.FLocalSize] = 256
+	base[ml.FMemContinuous] = 4
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, cfg := range m.Configs() {
+				_ = dt.Predict(core.WithConfig(base, m, cfg))
+			}
+		}
+	}, nil
+}
+
+func frontEndBench() (func(b *testing.B), error) {
+	src := `__kernel void conv2d(__global float* A, __global float* B, int NI, int NJ) {
+        int j = get_global_id(0);
+        int i = get_global_id(1);
+        if (i > 0 && i < NI - 1 && j > 0 && j < NJ - 1) {
+            B[i * NJ + j] = 0.2f * A[(i - 1) * NJ + j] + 0.5f * A[i * NJ + j]
+                          + 0.3f * A[(i + 1) * NJ + j];
+        }
+    }`
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := clc.Compile(src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, nil
+}
+
+// writeBenchReport runs the tier-1 component benchmarks and writes the
+// JSON report to path.
+func writeBenchReport(path string) error {
+	set := []struct {
+		name string
+		mk   func() (func(b *testing.B), error)
+	}{
+		{"InterpreterGesummv", interpreterBench},
+		{"Fig1Heatmap", heatmapBench},
+		{"StaticAnalysis", analysisBench},
+		{"MalleableTransform", transformBench},
+		{"ModelInference44Configs", inferenceBench},
+		{"FrontEndCompile", frontEndBench},
+	}
+	rep := benchReport{
+		Date:        time.Now().UTC().Format("2006-01-02"),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+		Parallelism: interp.DefaultParallelism(),
+	}
+	for _, s := range set {
+		fn, err := s.mk()
+		if err != nil {
+			return fmt.Errorf("%s: %w", s.name, err)
+		}
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			fn(b)
+		})
+		fmt.Printf("%-26s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			s.name, float64(res.T.Nanoseconds())/float64(res.N),
+			res.AllocedBytesPerOp(), res.AllocsPerOp())
+		rep.Benchmarks = append(rep.Benchmarks, benchRecord{
+			Name:        s.name,
+			N:           res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		})
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

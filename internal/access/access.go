@@ -40,35 +40,87 @@ func (p Pattern) String() string {
 	return fmt.Sprintf("pattern(%d)", int(p))
 }
 
+// strideBin counts occurrences of one distinct stride (delta not in {0,1}).
+type strideBin struct {
+	delta int64
+	count int64
+}
+
 // Classifier incrementally classifies a single operation's address stream
 // (element-granularity deltas). It tolerates a small fraction of outliers
 // (loop-boundary jumps) before declaring a stream random.
+//
+// Internally it keeps an ordered histogram of distinct strides rather than
+// a sticky first-stride counter; the first-observed stride is the
+// candidate "the" stride and every later distinct stride counts as
+// irregularity. This is observationally identical to a sticky counter for
+// any delta stream, but — unlike a sticky counter — two classifiers over
+// adjacent sub-streams can be merged exactly, which is what lets the
+// parallel ND-range engine keep per-shard statistics and still report
+// bit-identical patterns to a sequential run.
 type Classifier struct {
-	n          int64 // deltas observed
-	constN     int64
-	contN      int64
-	strideN    int64
-	randomN    int64
-	strideElem int64 // the stride that strideN counts
+	n      int64 // deltas observed
+	constN int64 // delta == 0
+	contN  int64 // delta == 1
+	// bins holds the distinct strides in first-observed order. Real
+	// kernels almost never produce more than two distinct strides
+	// (the stride plus one loop-boundary jump value), so two bins are
+	// inlined and anything beyond spills to the overflow slice.
+	bins  [2]strideBin
+	nbins int
+	over  []strideBin
 }
 
 // Observe records a delta, in elements, between two consecutive accesses.
 func (c *Classifier) Observe(deltaElems int64) {
 	c.n++
-	switch {
-	case deltaElems == 0:
+	switch deltaElems {
+	case 0:
 		c.constN++
-	case deltaElems == 1:
+	case 1:
 		c.contN++
 	default:
-		if c.strideN == 0 {
-			c.strideElem = deltaElems
-			c.strideN++
-		} else if deltaElems == c.strideElem {
-			c.strideN++
-		} else {
-			c.randomN++
+		c.addStride(deltaElems, 1)
+	}
+}
+
+// addStride credits count occurrences of a distinct stride, preserving
+// first-observed order.
+func (c *Classifier) addStride(delta, count int64) {
+	for i := 0; i < c.nbins; i++ {
+		if c.bins[i].delta == delta {
+			c.bins[i].count += count
+			return
 		}
+	}
+	for i := range c.over {
+		if c.over[i].delta == delta {
+			c.over[i].count += count
+			return
+		}
+	}
+	if c.nbins < len(c.bins) {
+		c.bins[c.nbins] = strideBin{delta, count}
+		c.nbins++
+		return
+	}
+	c.over = append(c.over, strideBin{delta, count})
+}
+
+// Merge absorbs the observations of another classifier as if its delta
+// stream had been observed immediately after c's own. Stride identity is
+// kept in first-observed order across the concatenation, so merging
+// per-shard classifiers in shard order reproduces the sequential
+// classification exactly. The other classifier is left unchanged.
+func (c *Classifier) Merge(o *Classifier) {
+	c.n += o.n
+	c.constN += o.constN
+	c.contN += o.contN
+	for i := 0; i < o.nbins; i++ {
+		c.addStride(o.bins[i].delta, o.bins[i].count)
+	}
+	for i := range o.over {
+		c.addStride(o.over[i].delta, o.over[i].count)
 	}
 }
 
@@ -82,23 +134,36 @@ func (c *Classifier) Pattern() (Pattern, int64) {
 	if c.n == 0 {
 		return Unknown, 0
 	}
+	// The first-observed stride is the stride candidate; every other
+	// distinct stride is irregularity.
+	var strideElem, strideN, randomN int64
+	if c.nbins > 0 {
+		strideElem = c.bins[0].delta
+		strideN = c.bins[0].count
+		for i := 1; i < c.nbins; i++ {
+			randomN += c.bins[i].count
+		}
+		for i := range c.over {
+			randomN += c.over[i].count
+		}
+	}
 	// Outlier tolerance: a strided row-major walk sees one irregular jump
 	// per row; accept up to 10% irregularity before calling it random.
-	if c.randomN*10 > c.n {
+	if randomN*10 > c.n {
 		return Random, 0
 	}
 	best, bestN := Constant, c.constN
 	if c.contN > bestN {
 		best, bestN = Continuous, c.contN
 	}
-	if c.strideN > bestN {
-		best, bestN = Strided, c.strideN
+	if strideN > bestN {
+		best, bestN = Strided, strideN
 	}
-	if c.randomN > bestN {
+	if randomN > bestN {
 		best = Random
 	}
 	if best == Strided {
-		return Strided, c.strideElem
+		return Strided, strideElem
 	}
 	return best, 0
 }

@@ -82,11 +82,15 @@ func EvaluateWorkload(m *sim.Machine, w *workloads.Workload) (*WorkloadEval, err
 		Name: w.Name,
 		Base: BaseFeatures(ex.Analysis(), inst.ND),
 	}
-	for _, cfg := range m.Configs() {
-		r, err := ex.Run(cfg, sched.RunOptions{Dist: sim.Dynamic})
-		if err != nil {
-			return nil, fmt.Errorf("core: %s %+v: %w", w.Name, cfg, err)
-		}
+	// The 44-config sweep is timing-only and embarrassingly parallel:
+	// RunConfigs builds the model once, then fans the simulations out.
+	cfgs := m.Configs()
+	results, err := ex.RunConfigs(cfgs, sched.RunOptions{Dist: sim.Dynamic})
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", w.Name, err)
+	}
+	for i, cfg := range cfgs {
+		r := results[i]
 		we.Times = append(we.Times, ConfigTime{Config: cfg, Time: r.Time})
 		if we.BestTime == 0 || r.Time < we.BestTime {
 			we.Best, we.BestTime = cfg, r.Time

@@ -104,6 +104,12 @@ func Reset() {
 	injPoints = nil
 }
 
+// Active reports whether any injection point is armed. The caching
+// layers (program/compile/transform/prediction caches) consult it and
+// bypass memoization while faults are armed, so an armed plan observes
+// exactly the call sequence of the uncached pipeline.
+func Active() bool { return injArmed.Load() != 0 }
+
 // HitCount returns how many times an armed point has been reached (fired
 // or not). It returns 0 for disarmed points.
 func HitCount(point string) int {

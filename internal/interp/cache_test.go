@@ -1,0 +1,68 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"dopia/internal/faults"
+)
+
+// TestCompileCacheShared verifies that two executors of the same kernel
+// share one immutable compiled form, and that distinct kernels do not.
+func TestCompileCacheShared(t *testing.T) {
+	src := `
+__kernel void add(__global float* a, __global float* b) {
+	int i = get_global_id(0);
+	a[i] = a[i] + b[i];
+}
+__kernel void sub(__global float* a, __global float* b) {
+	int i = get_global_id(0);
+	a[i] = a[i] - b[i];
+}`
+	k1 := compileKernelSrc(t, src, "add")
+	k2 := compileKernelSrc(t, src, "sub")
+	ex1, err := NewExec(k1)
+	if err != nil {
+		t.Fatalf("NewExec: %v", err)
+	}
+	ex2, err := NewExec(k1)
+	if err != nil {
+		t.Fatalf("NewExec: %v", err)
+	}
+	ex3, err := NewExec(k2)
+	if err != nil {
+		t.Fatalf("NewExec: %v", err)
+	}
+	if ex1.ck != ex2.ck {
+		t.Errorf("same kernel compiled twice: compiled forms not shared")
+	}
+	if ex1.ck == ex3.ck {
+		t.Errorf("distinct kernels share a compiled form")
+	}
+}
+
+// TestCompileCacheBypassedWhileFaultsArmed verifies that an armed
+// interp.compile fault fires on every NewExec even for cached kernels:
+// memoization must never mask an injected fault sequence.
+func TestCompileCacheBypassedWhileFaultsArmed(t *testing.T) {
+	src := `
+__kernel void one(__global float* a) {
+	int i = get_global_id(0);
+	a[i] = 1.0f;
+}`
+	k := compileKernelSrc(t, src, "one")
+	if _, err := NewExec(k); err != nil { // warm the cache
+		t.Fatalf("NewExec: %v", err)
+	}
+	boom := errors.New("boom")
+	faults.InjectError("interp.compile", boom)
+	t.Cleanup(faults.Reset)
+	for i := 0; i < 2; i++ {
+		if _, err := NewExec(k); !errors.Is(err, boom) {
+			t.Fatalf("NewExec %d with armed fault: got %v, want injected error", i, err)
+		}
+	}
+	if got := faults.HitCount("interp.compile"); got != 2 {
+		t.Errorf("interp.compile hit count = %d, want 2", got)
+	}
+}

@@ -25,14 +25,21 @@ type stmtFn func(e *env) ctrl
 
 // env is the per-work-item execution environment. It is reused across
 // work-items with the slots slice swapped, so compiled closures must not
-// retain it.
+// retain it. An env carries everything a compiled closure may touch at
+// run time — compiled kernels themselves hold no per-execution state, so
+// one compiled form can be shared by any number of executors and shard
+// workers running concurrently, each with its own env.
 type env struct {
 	slots []Value
 	gid   [3]int64
 	lid   [3]int64
 	grp   [3]int64
 	wi    int64 // linear work-item index within the launch
-	ex    *Exec
+
+	stats *RunStats // statistics sink of this worker/shard
+	bufs  []*Buffer // bound buffers, by parameter slot
+	sink  TraceSink // optional memory-trace sink (nil = disabled)
+	nd    *NDRange  // the launched ND range (shared, read-only)
 	wg    *wgState
 	priv  [][]Value // private arrays of the current work-item, by index
 }
@@ -55,7 +62,9 @@ func rtErr(pos clc.Pos, format string, args ...any) {
 }
 
 // compiled is a kernel lowered to closures, split into barrier-delimited
-// segments.
+// segments. A compiled form is immutable after compileKernel returns and
+// holds no execution state, so it is shared freely across executors and
+// goroutines (see the process-wide compile cache in NewExec).
 type compiled struct {
 	kernel   *clc.Kernel
 	segments []stmtFn
@@ -65,12 +74,40 @@ type compiled struct {
 	privSyms  []*clc.Symbol // private arrays, indexed by privIdx
 	localIdx  map[*clc.Symbol]int
 	privIdx   map[*clc.Symbol]int
+
+	// Static per-site metadata, resolved at compile time so the hot
+	// memory-access paths do not re-store it on every access.
+	siteArg   []int  // parameter slot of the accessed buffer; -1 otherwise
+	siteWrite []bool // true when the site is a store target
+
+	// hasGlobalAtomic marks kernels that perform atomics on global
+	// memory; their work-groups are order- and interleaving-sensitive,
+	// so the executor pins them to the sequential path.
+	hasGlobalAtomic bool
 }
 
 // compiler holds state while lowering one kernel.
 type compiler struct {
 	c   *compiled
 	err error
+
+	siteArg   map[int]int
+	siteWrite map[int]bool
+}
+
+// regSite records compile-time metadata of a global-memory site.
+func (cp *compiler) regSite(ref memRef, write bool) {
+	if ref.site < 0 || ref.argIndex < 0 {
+		return
+	}
+	if cp.siteArg == nil {
+		cp.siteArg = map[int]int{}
+		cp.siteWrite = map[int]bool{}
+	}
+	cp.siteArg[ref.site] = ref.argIndex
+	if write {
+		cp.siteWrite[ref.site] = true
+	}
 }
 
 func (cp *compiler) fail(pos clc.Pos, format string, args ...any) {
@@ -127,6 +164,17 @@ func compileKernel(k *clc.Kernel) (*compiled, error) {
 	}
 	flush()
 	c.numSites = countSites(k)
+	c.siteArg = make([]int, c.numSites)
+	c.siteWrite = make([]bool, c.numSites)
+	for i := range c.siteArg {
+		c.siteArg[i] = -1
+	}
+	for s, a := range cp.siteArg {
+		c.siteArg[s] = a
+	}
+	for s := range cp.siteWrite {
+		c.siteWrite[s] = true
+	}
 	if cp.err != nil {
 		return nil, cp.err
 	}
@@ -507,18 +555,18 @@ func (cp *compiler) compileUnary(u *clc.Unary) evalFn {
 	case clc.UnaryNeg:
 		if xk.IsFloat() {
 			return func(e *env) Value {
-				e.ex.stats.AluFloat++
+				e.stats.AluFloat++
 				return Value{F: normFloat(rk, -fn(e).F)}
 			}
 		}
 		return func(e *env) Value {
-			e.ex.stats.AluInt++
+			e.stats.AluInt++
 			return Value{I: normInt(rk, -fn(e).I)}
 		}
 	case clc.UnaryNot:
 		truth := cp.compileTruth(u.X)
 		return func(e *env) Value {
-			e.ex.stats.AluInt++
+			e.stats.AluInt++
 			if truth(e) {
 				return Value{I: 0}
 			}
@@ -526,7 +574,7 @@ func (cp *compiler) compileUnary(u *clc.Unary) evalFn {
 		}
 	case clc.UnaryBitNot:
 		return func(e *env) Value {
-			e.ex.stats.AluInt++
+			e.stats.AluInt++
 			return Value{I: normInt(rk, ^fn(e).I)}
 		}
 	}
@@ -540,7 +588,7 @@ func (cp *compiler) compileBinary(b *clc.Binary) evalFn {
 		r := cp.compileTruth(b.R)
 		if b.Op == clc.BinLAnd {
 			return func(e *env) Value {
-				e.ex.stats.AluInt++
+				e.stats.AluInt++
 				if l(e) && r(e) {
 					return Value{I: 1}
 				}
@@ -548,7 +596,7 @@ func (cp *compiler) compileBinary(b *clc.Binary) evalFn {
 			}
 		}
 		return func(e *env) Value {
-			e.ex.stats.AluInt++
+			e.stats.AluInt++
 			if l(e) || r(e) {
 				return Value{I: 1}
 			}
@@ -588,25 +636,25 @@ func (cp *compiler) binOpFn(op clc.BinaryOp, pk clc.Kind, l, r evalFn, pos clc.P
 	if pk.IsFloat() {
 		switch op {
 		case clc.BinAdd:
-			return func(e *env) Value { e.ex.stats.AluFloat++; return Value{F: normFloat(pk, l(e).F+r(e).F)} }
+			return func(e *env) Value { e.stats.AluFloat++; return Value{F: normFloat(pk, l(e).F+r(e).F)} }
 		case clc.BinSub:
-			return func(e *env) Value { e.ex.stats.AluFloat++; return Value{F: normFloat(pk, l(e).F-r(e).F)} }
+			return func(e *env) Value { e.stats.AluFloat++; return Value{F: normFloat(pk, l(e).F-r(e).F)} }
 		case clc.BinMul:
-			return func(e *env) Value { e.ex.stats.AluFloat++; return Value{F: normFloat(pk, l(e).F*r(e).F)} }
+			return func(e *env) Value { e.stats.AluFloat++; return Value{F: normFloat(pk, l(e).F*r(e).F)} }
 		case clc.BinDiv:
-			return func(e *env) Value { e.ex.stats.AluFloat++; return Value{F: normFloat(pk, l(e).F/r(e).F)} }
+			return func(e *env) Value { e.stats.AluFloat++; return Value{F: normFloat(pk, l(e).F/r(e).F)} }
 		case clc.BinEq:
-			return func(e *env) Value { e.ex.stats.AluFloat++; return boolVal(l(e).F == r(e).F) }
+			return func(e *env) Value { e.stats.AluFloat++; return boolVal(l(e).F == r(e).F) }
 		case clc.BinNe:
-			return func(e *env) Value { e.ex.stats.AluFloat++; return boolVal(l(e).F != r(e).F) }
+			return func(e *env) Value { e.stats.AluFloat++; return boolVal(l(e).F != r(e).F) }
 		case clc.BinLt:
-			return func(e *env) Value { e.ex.stats.AluFloat++; return boolVal(l(e).F < r(e).F) }
+			return func(e *env) Value { e.stats.AluFloat++; return boolVal(l(e).F < r(e).F) }
 		case clc.BinGt:
-			return func(e *env) Value { e.ex.stats.AluFloat++; return boolVal(l(e).F > r(e).F) }
+			return func(e *env) Value { e.stats.AluFloat++; return boolVal(l(e).F > r(e).F) }
 		case clc.BinLe:
-			return func(e *env) Value { e.ex.stats.AluFloat++; return boolVal(l(e).F <= r(e).F) }
+			return func(e *env) Value { e.stats.AluFloat++; return boolVal(l(e).F <= r(e).F) }
 		case clc.BinGe:
-			return func(e *env) Value { e.ex.stats.AluFloat++; return boolVal(l(e).F >= r(e).F) }
+			return func(e *env) Value { e.stats.AluFloat++; return boolVal(l(e).F >= r(e).F) }
 		}
 		cp.fail(pos, "interp: invalid float operator %v", op)
 		return l
@@ -618,14 +666,14 @@ func (cp *compiler) binOpFn(op clc.BinaryOp, pk clc.Kind, l, r evalFn, pos clc.P
 	}
 	switch op {
 	case clc.BinAdd:
-		return func(e *env) Value { e.ex.stats.AluInt++; return Value{I: normInt(pk, l(e).I+r(e).I)} }
+		return func(e *env) Value { e.stats.AluInt++; return Value{I: normInt(pk, l(e).I+r(e).I)} }
 	case clc.BinSub:
-		return func(e *env) Value { e.ex.stats.AluInt++; return Value{I: normInt(pk, l(e).I-r(e).I)} }
+		return func(e *env) Value { e.stats.AluInt++; return Value{I: normInt(pk, l(e).I-r(e).I)} }
 	case clc.BinMul:
-		return func(e *env) Value { e.ex.stats.AluInt++; return Value{I: normInt(pk, l(e).I*r(e).I)} }
+		return func(e *env) Value { e.stats.AluInt++; return Value{I: normInt(pk, l(e).I*r(e).I)} }
 	case clc.BinDiv:
 		return func(e *env) Value {
-			e.ex.stats.AluInt++
+			e.stats.AluInt++
 			rv := r(e).I
 			if rv == 0 {
 				rtErr(pos, "integer division by zero")
@@ -637,7 +685,7 @@ func (cp *compiler) binOpFn(op clc.BinaryOp, pk clc.Kind, l, r evalFn, pos clc.P
 		}
 	case clc.BinRem:
 		return func(e *env) Value {
-			e.ex.stats.AluInt++
+			e.stats.AluInt++
 			rv := r(e).I
 			if rv == 0 {
 				rtErr(pos, "integer modulo by zero")
@@ -649,50 +697,50 @@ func (cp *compiler) binOpFn(op clc.BinaryOp, pk clc.Kind, l, r evalFn, pos clc.P
 		}
 	case clc.BinShl:
 		return func(e *env) Value {
-			e.ex.stats.AluInt++
+			e.stats.AluInt++
 			return Value{I: normInt(pk, l(e).I<<uint64(r(e).I&shiftMask))}
 		}
 	case clc.BinShr:
 		if unsigned {
 			return func(e *env) Value {
-				e.ex.stats.AluInt++
+				e.stats.AluInt++
 				return Value{I: normInt(pk, int64(uint64(l(e).I)>>uint64(r(e).I&shiftMask)))}
 			}
 		}
 		return func(e *env) Value {
-			e.ex.stats.AluInt++
+			e.stats.AluInt++
 			return Value{I: normInt(pk, l(e).I>>uint64(r(e).I&shiftMask))}
 		}
 	case clc.BinAnd:
-		return func(e *env) Value { e.ex.stats.AluInt++; return Value{I: normInt(pk, l(e).I&r(e).I)} }
+		return func(e *env) Value { e.stats.AluInt++; return Value{I: normInt(pk, l(e).I&r(e).I)} }
 	case clc.BinOr:
-		return func(e *env) Value { e.ex.stats.AluInt++; return Value{I: normInt(pk, l(e).I|r(e).I)} }
+		return func(e *env) Value { e.stats.AluInt++; return Value{I: normInt(pk, l(e).I|r(e).I)} }
 	case clc.BinXor:
-		return func(e *env) Value { e.ex.stats.AluInt++; return Value{I: normInt(pk, l(e).I^r(e).I)} }
+		return func(e *env) Value { e.stats.AluInt++; return Value{I: normInt(pk, l(e).I^r(e).I)} }
 	case clc.BinEq:
-		return func(e *env) Value { e.ex.stats.AluInt++; return boolVal(l(e).I == r(e).I) }
+		return func(e *env) Value { e.stats.AluInt++; return boolVal(l(e).I == r(e).I) }
 	case clc.BinNe:
-		return func(e *env) Value { e.ex.stats.AluInt++; return boolVal(l(e).I != r(e).I) }
+		return func(e *env) Value { e.stats.AluInt++; return boolVal(l(e).I != r(e).I) }
 	case clc.BinLt:
 		if unsigned {
-			return func(e *env) Value { e.ex.stats.AluInt++; return boolVal(uint64(l(e).I) < uint64(r(e).I)) }
+			return func(e *env) Value { e.stats.AluInt++; return boolVal(uint64(l(e).I) < uint64(r(e).I)) }
 		}
-		return func(e *env) Value { e.ex.stats.AluInt++; return boolVal(l(e).I < r(e).I) }
+		return func(e *env) Value { e.stats.AluInt++; return boolVal(l(e).I < r(e).I) }
 	case clc.BinGt:
 		if unsigned {
-			return func(e *env) Value { e.ex.stats.AluInt++; return boolVal(uint64(l(e).I) > uint64(r(e).I)) }
+			return func(e *env) Value { e.stats.AluInt++; return boolVal(uint64(l(e).I) > uint64(r(e).I)) }
 		}
-		return func(e *env) Value { e.ex.stats.AluInt++; return boolVal(l(e).I > r(e).I) }
+		return func(e *env) Value { e.stats.AluInt++; return boolVal(l(e).I > r(e).I) }
 	case clc.BinLe:
 		if unsigned {
-			return func(e *env) Value { e.ex.stats.AluInt++; return boolVal(uint64(l(e).I) <= uint64(r(e).I)) }
+			return func(e *env) Value { e.stats.AluInt++; return boolVal(uint64(l(e).I) <= uint64(r(e).I)) }
 		}
-		return func(e *env) Value { e.ex.stats.AluInt++; return boolVal(l(e).I <= r(e).I) }
+		return func(e *env) Value { e.stats.AluInt++; return boolVal(l(e).I <= r(e).I) }
 	case clc.BinGe:
 		if unsigned {
-			return func(e *env) Value { e.ex.stats.AluInt++; return boolVal(uint64(l(e).I) >= uint64(r(e).I)) }
+			return func(e *env) Value { e.stats.AluInt++; return boolVal(uint64(l(e).I) >= uint64(r(e).I)) }
 		}
-		return func(e *env) Value { e.ex.stats.AluInt++; return boolVal(l(e).I >= r(e).I) }
+		return func(e *env) Value { e.stats.AluInt++; return boolVal(l(e).I >= r(e).I) }
 	}
 	cp.fail(pos, "interp: unhandled binary op %v", op)
 	return l
@@ -711,7 +759,7 @@ func boolVal(b bool) Value {
 // shared between invocations.
 func applyBin(op clc.BinaryOp, pk clc.Kind, pos clc.Pos, e *env, a, b Value) Value {
 	if pk.IsFloat() {
-		e.ex.stats.AluFloat++
+		e.stats.AluFloat++
 		switch op {
 		case clc.BinAdd:
 			return Value{F: normFloat(pk, a.F+b.F)}
@@ -736,7 +784,7 @@ func applyBin(op clc.BinaryOp, pk clc.Kind, pos clc.Pos, e *env, a, b Value) Val
 		}
 		rtErr(pos, "invalid float operator %v", op)
 	}
-	e.ex.stats.AluInt++
+	e.stats.AluInt++
 	unsigned := pk.IsUnsigned()
 	shiftMask := int64(31)
 	if pk == clc.KindLong || pk == clc.KindULong {
@@ -859,7 +907,7 @@ func (cp *compiler) compileMemRef(ix *clc.Index) memRef {
 func record(e *env, b *Buffer, st *siteState, idx int64, write bool) {
 	es := b.ElemSize()
 	addr := b.Base + idx*es
-	stats := e.ex.stats
+	stats := e.stats
 	if write {
 		stats.Stores++
 		stats.StoreBytes += es
@@ -868,13 +916,14 @@ func record(e *env, b *Buffer, st *siteState, idx int64, write bool) {
 		stats.LoadBytes += es
 	}
 	st.recordAccess(addr, es, e.wi)
-	if e.ex.Sink != nil {
-		e.ex.Sink.Access(addr, es, write)
+	if e.sink != nil {
+		e.sink.Access(addr, es, write)
 	}
 }
 
 func (cp *compiler) compileLoad(ix *clc.Index) evalFn {
 	ref := cp.compileMemRef(ix)
+	cp.regSite(ref, false)
 	idxFn := ref.idxFn
 	switch {
 	case ref.argIndex >= 0:
@@ -884,55 +933,43 @@ func (cp *compiler) compileLoad(ix *clc.Index) evalFn {
 		switch ref.kind {
 		case clc.KindFloat:
 			return func(e *env) Value {
-				b := e.ex.bufs[slot]
+				b := e.bufs[slot]
 				i := idxFn(e).I
 				if i < 0 || i >= int64(len(b.F32)) {
 					rtErr(pos, "index %d out of range [0,%d)", i, len(b.F32))
 				}
-				st := &e.ex.stats.sites[site]
-				st.write = false
-				st.argIndex = slot
-				record(e, b, st, i, false)
+				record(e, b, &e.stats.sites[site], i, false)
 				return Value{F: float64(b.F32[i])}
 			}
 		case clc.KindDouble:
 			return func(e *env) Value {
-				b := e.ex.bufs[slot]
+				b := e.bufs[slot]
 				i := idxFn(e).I
 				if i < 0 || i >= int64(len(b.F64)) {
 					rtErr(pos, "index %d out of range [0,%d)", i, len(b.F64))
 				}
-				st := &e.ex.stats.sites[site]
-				st.write = false
-				st.argIndex = slot
-				record(e, b, st, i, false)
+				record(e, b, &e.stats.sites[site], i, false)
 				return Value{F: b.F64[i]}
 			}
 		case clc.KindLong, clc.KindULong:
 			return func(e *env) Value {
-				b := e.ex.bufs[slot]
+				b := e.bufs[slot]
 				i := idxFn(e).I
 				if i < 0 || i >= int64(len(b.I64)) {
 					rtErr(pos, "index %d out of range [0,%d)", i, len(b.I64))
 				}
-				st := &e.ex.stats.sites[site]
-				st.write = false
-				st.argIndex = slot
-				record(e, b, st, i, false)
+				record(e, b, &e.stats.sites[site], i, false)
 				return Value{I: b.I64[i]}
 			}
 		default: // int, uint
 			k := ref.kind
 			return func(e *env) Value {
-				b := e.ex.bufs[slot]
+				b := e.bufs[slot]
 				i := idxFn(e).I
 				if i < 0 || i >= int64(len(b.I32)) {
 					rtErr(pos, "index %d out of range [0,%d)", i, len(b.I32))
 				}
-				st := &e.ex.stats.sites[site]
-				st.write = false
-				st.argIndex = slot
-				record(e, b, st, i, false)
+				record(e, b, &e.stats.sites[site], i, false)
 				return Value{I: normInt(k, int64(b.I32[i]))}
 			}
 		}
@@ -968,6 +1005,7 @@ type storeFn func(e *env, i int64, v Value)
 type loadAtFn func(e *env, i int64) Value
 
 func (cp *compiler) makeStore(ref memRef) storeFn {
+	cp.regSite(ref, true)
 	switch {
 	case ref.argIndex >= 0:
 		slot := ref.argIndex
@@ -976,50 +1014,38 @@ func (cp *compiler) makeStore(ref memRef) storeFn {
 		switch ref.kind {
 		case clc.KindFloat:
 			return func(e *env, i int64, v Value) {
-				b := e.ex.bufs[slot]
+				b := e.bufs[slot]
 				if i < 0 || i >= int64(len(b.F32)) {
 					rtErr(pos, "index %d out of range [0,%d)", i, len(b.F32))
 				}
-				st := &e.ex.stats.sites[site]
-				st.write = true
-				st.argIndex = slot
-				record(e, b, st, i, true)
+				record(e, b, &e.stats.sites[site], i, true)
 				b.F32[i] = float32(v.F)
 			}
 		case clc.KindDouble:
 			return func(e *env, i int64, v Value) {
-				b := e.ex.bufs[slot]
+				b := e.bufs[slot]
 				if i < 0 || i >= int64(len(b.F64)) {
 					rtErr(pos, "index %d out of range [0,%d)", i, len(b.F64))
 				}
-				st := &e.ex.stats.sites[site]
-				st.write = true
-				st.argIndex = slot
-				record(e, b, st, i, true)
+				record(e, b, &e.stats.sites[site], i, true)
 				b.F64[i] = v.F
 			}
 		case clc.KindLong, clc.KindULong:
 			return func(e *env, i int64, v Value) {
-				b := e.ex.bufs[slot]
+				b := e.bufs[slot]
 				if i < 0 || i >= int64(len(b.I64)) {
 					rtErr(pos, "index %d out of range [0,%d)", i, len(b.I64))
 				}
-				st := &e.ex.stats.sites[site]
-				st.write = true
-				st.argIndex = slot
-				record(e, b, st, i, true)
+				record(e, b, &e.stats.sites[site], i, true)
 				b.I64[i] = v.I
 			}
 		default:
 			return func(e *env, i int64, v Value) {
-				b := e.ex.bufs[slot]
+				b := e.bufs[slot]
 				if i < 0 || i >= int64(len(b.I32)) {
 					rtErr(pos, "index %d out of range [0,%d)", i, len(b.I32))
 				}
-				st := &e.ex.stats.sites[site]
-				st.write = true
-				st.argIndex = slot
-				record(e, b, st, i, true)
+				record(e, b, &e.stats.sites[site], i, true)
 				b.I32[i] = int32(v.I)
 			}
 		}
@@ -1047,6 +1073,7 @@ func (cp *compiler) makeStore(ref memRef) storeFn {
 }
 
 func (cp *compiler) makeLoadAt(ref memRef) loadAtFn {
+	cp.regSite(ref, false)
 	switch {
 	case ref.argIndex >= 0:
 		slot := ref.argIndex
@@ -1054,13 +1081,11 @@ func (cp *compiler) makeLoadAt(ref memRef) loadAtFn {
 		pos := ref.pos
 		kind := ref.kind
 		return func(e *env, i int64) Value {
-			b := e.ex.bufs[slot]
+			b := e.bufs[slot]
 			if i < 0 || i >= int64(b.Len()) {
 				rtErr(pos, "index %d out of range [0,%d)", i, b.Len())
 			}
-			st := &e.ex.stats.sites[site]
-			st.argIndex = slot
-			record(e, b, st, i, false)
+			record(e, b, &e.stats.sites[site], i, false)
 			switch kind {
 			case clc.KindFloat:
 				return Value{F: float64(b.F32[i])}
@@ -1192,7 +1217,7 @@ func (cp *compiler) compileIncDec(id *clc.IncDec) evalFn {
 			li := cp.c.localIdx[sym]
 			post := id.Post
 			return func(e *env) Value {
-				e.ex.stats.AluInt++
+				e.stats.AluInt++
 				old := e.wg.locals[li][0]
 				nv := step(old)
 				e.wg.locals[li][0] = nv
@@ -1207,9 +1232,9 @@ func (cp *compiler) compileIncDec(id *clc.IncDec) evalFn {
 		isFloat := rk.IsFloat()
 		return func(e *env) Value {
 			if isFloat {
-				e.ex.stats.AluFloat++
+				e.stats.AluFloat++
 			} else {
-				e.ex.stats.AluInt++
+				e.stats.AluInt++
 			}
 			old := e.slots[slot]
 			nv := step(old)
@@ -1226,7 +1251,7 @@ func (cp *compiler) compileIncDec(id *clc.IncDec) evalFn {
 		store := cp.makeStore(ref)
 		post := id.Post
 		return func(e *env) Value {
-			e.ex.stats.AluInt++
+			e.stats.AluInt++
 			i := idxFn(e).I
 			old := loadAt(e, i)
 			nv := step(old)
@@ -1257,7 +1282,7 @@ func (cp *compiler) compileCall(call *clc.Call) evalFn {
 		arg := cp.toFloat(call.Args[0])
 		f := mathFn1(b.Name)
 		return func(e *env) Value {
-			e.ex.stats.AluFloat++
+			e.stats.AluFloat++
 			return Value{F: normFloat(clc.KindFloat, f(arg(e).F))}
 		}
 	case clc.BuiltinMath2:
@@ -1265,7 +1290,7 @@ func (cp *compiler) compileCall(call *clc.Call) evalFn {
 		a1 := cp.toFloat(call.Args[1])
 		f := mathFn2(b.Name)
 		return func(e *env) Value {
-			e.ex.stats.AluFloat++
+			e.stats.AluFloat++
 			return Value{F: normFloat(clc.KindFloat, f(a0(e).F, a1(e).F))}
 		}
 	case clc.BuiltinIntMinMax:
@@ -1275,7 +1300,7 @@ func (cp *compiler) compileCall(call *clc.Call) evalFn {
 		isMin := b.Name == "min"
 		if rk.IsFloat() {
 			return func(e *env) Value {
-				e.ex.stats.AluFloat++
+				e.stats.AluFloat++
 				x, y := a0(e).F, a1(e).F
 				if (x < y) == isMin {
 					return Value{F: x}
@@ -1284,7 +1309,7 @@ func (cp *compiler) compileCall(call *clc.Call) evalFn {
 			}
 		}
 		return func(e *env) Value {
-			e.ex.stats.AluInt++
+			e.stats.AluInt++
 			x, y := a0(e).I, a1(e).I
 			if (x < y) == isMin {
 				return Value{I: x}
@@ -1294,7 +1319,7 @@ func (cp *compiler) compileCall(call *clc.Call) evalFn {
 	case clc.BuiltinAbs:
 		a0 := cp.compileExpr(call.Args[0])
 		return func(e *env) Value {
-			e.ex.stats.AluInt++
+			e.stats.AluInt++
 			v := a0(e).I
 			if v < 0 {
 				v = -v
@@ -1357,7 +1382,28 @@ func mathFn2(name string) func(a, b float64) float64 {
 func (cp *compiler) compileWorkItemFn(call *clc.Call) evalFn {
 	name := call.Name
 	if name == "get_work_dim" {
-		return func(e *env) Value { return Value{I: int64(e.ex.nd.Dims)} }
+		return func(e *env) Value { return Value{I: int64(e.nd.Dims)} }
+	}
+	// Constant dimension (the overwhelmingly common case): resolve the
+	// index at compile time so the hot path is a single array load.
+	if lit, ok := call.Args[0].(*clc.IntLit); ok {
+		d := int(lit.Value) & 3
+		switch name {
+		case "get_global_id":
+			return func(e *env) Value { return Value{I: e.gid[d]} }
+		case "get_local_id":
+			return func(e *env) Value { return Value{I: e.lid[d]} }
+		case "get_group_id":
+			return func(e *env) Value { return Value{I: e.grp[d]} }
+		case "get_global_size":
+			return func(e *env) Value { return Value{I: int64(e.nd.Global[d])} }
+		case "get_local_size":
+			return func(e *env) Value { return Value{I: int64(e.nd.Local[d])} }
+		case "get_num_groups":
+			return func(e *env) Value { return Value{I: int64(e.nd.NumGroups()[d])} }
+		case "get_global_offset":
+			return func(e *env) Value { return Value{I: int64(e.nd.Offset[d])} }
+		}
 	}
 	dimFn := cp.compileExpr(call.Args[0])
 	switch name {
@@ -1368,13 +1414,13 @@ func (cp *compiler) compileWorkItemFn(call *clc.Call) evalFn {
 	case "get_group_id":
 		return func(e *env) Value { return Value{I: e.grp[dimFn(e).I&3]} }
 	case "get_global_size":
-		return func(e *env) Value { return Value{I: int64(e.ex.nd.Global[dimFn(e).I&3])} }
+		return func(e *env) Value { return Value{I: int64(e.nd.Global[dimFn(e).I&3])} }
 	case "get_local_size":
-		return func(e *env) Value { return Value{I: int64(e.ex.nd.Local[dimFn(e).I&3])} }
+		return func(e *env) Value { return Value{I: int64(e.nd.Local[dimFn(e).I&3])} }
 	case "get_num_groups":
-		return func(e *env) Value { return Value{I: int64(e.ex.nd.NumGroups()[dimFn(e).I&3])} }
+		return func(e *env) Value { return Value{I: int64(e.nd.NumGroups()[dimFn(e).I&3])} }
 	case "get_global_offset":
-		return func(e *env) Value { return Value{I: int64(e.ex.nd.Offset[dimFn(e).I&3])} }
+		return func(e *env) Value { return Value{I: int64(e.nd.Offset[dimFn(e).I&3])} }
 	}
 	cp.fail(call.Pos(), "interp: unhandled work-item fn %q", name)
 	return func(e *env) Value { return Value{} }
@@ -1399,22 +1445,23 @@ func (cp *compiler) compileAtomic(call *clc.Call) evalFn {
 		load = func(e *env) int64 { return e.wg.locals[li][0].I }
 		store = func(e *env, v int64) { e.wg.locals[li][0] = Value{I: v} }
 	case sym.Class == clc.SymParam && sym.Type.Ptr:
+		// Atomics on global memory are interleaving-sensitive: pin this
+		// kernel to the sequential execution path.
+		cp.c.hasGlobalAtomic = true
 		slot := sym.Slot
 		pos := call.Pos()
-		site := -1
 		load = func(e *env) int64 {
-			b := e.ex.bufs[slot]
+			b := e.bufs[slot]
 			if b.Len() == 0 {
 				rtErr(pos, "atomic on empty buffer")
 			}
-			_ = site
 			if b.I32 != nil {
 				return int64(b.I32[0])
 			}
 			return b.I64[0]
 		}
 		store = func(e *env, v int64) {
-			b := e.ex.bufs[slot]
+			b := e.bufs[slot]
 			if b.I32 != nil {
 				b.I32[0] = int32(v)
 			} else {
@@ -1425,38 +1472,67 @@ func (cp *compiler) compileAtomic(call *clc.Call) evalFn {
 		cp.fail(call.Args[0].Pos(), "interp: atomic target must be a __local array or global int pointer")
 		return func(e *env) Value { return Value{} }
 	}
-	name := call.Name
+	// Pre-resolve the operation at compile time instead of switching on
+	// the builtin name for every executed atomic.
+	op, ok := atomicOps[call.Name]
+	if !ok {
+		cp.fail(call.Pos(), "interp: unhandled atomic %q", call.Name)
+		return func(e *env) Value { return Value{} }
+	}
 	var operand evalFn
 	if len(call.Args) > 1 {
 		operand = cp.compileExpr(call.Args[1])
 	}
 	return func(e *env) Value {
-		e.ex.stats.AluInt++
+		e.stats.AluInt++
 		old := load(e)
 		var nv int64
-		switch name {
-		case "atomic_inc":
+		switch op {
+		case atomInc:
 			nv = old + 1
-		case "atomic_dec":
+		case atomDec:
 			nv = old - 1
-		case "atomic_add":
+		case atomAdd:
 			nv = old + operand(e).I
-		case "atomic_sub":
+		case atomSub:
 			nv = old - operand(e).I
-		case "atomic_min":
+		case atomMin:
 			nv = old
 			if v := operand(e).I; v < nv {
 				nv = v
 			}
-		case "atomic_max":
+		case atomMax:
 			nv = old
 			if v := operand(e).I; v > nv {
 				nv = v
 			}
-		case "atomic_xchg":
+		case atomXchg:
 			nv = operand(e).I
 		}
 		store(e, nv)
 		return Value{I: old}
 	}
+}
+
+// atomicOp is a pre-resolved atomic builtin operation.
+type atomicOp int8
+
+const (
+	atomInc atomicOp = iota
+	atomDec
+	atomAdd
+	atomSub
+	atomMin
+	atomMax
+	atomXchg
+)
+
+var atomicOps = map[string]atomicOp{
+	"atomic_inc":  atomInc,
+	"atomic_dec":  atomDec,
+	"atomic_add":  atomAdd,
+	"atomic_sub":  atomSub,
+	"atomic_min":  atomMin,
+	"atomic_max":  atomMax,
+	"atomic_xchg": atomXchg,
 }

@@ -2,6 +2,7 @@ package interp
 
 import (
 	"fmt"
+	"sync"
 
 	"dopia/internal/clc"
 	"dopia/internal/faults"
@@ -37,9 +38,13 @@ func (as *AddressSpace) Place(b *Buffer) {
 	}
 }
 
-// Exec executes one kernel. It owns the compiled form, the bound
-// arguments, and the statistics of the runs performed through it.
-// An Exec is not safe for concurrent use; create one Exec per goroutine.
+// Exec executes one kernel. It owns the bound arguments and the
+// statistics of the runs performed through it. The compiled kernel form
+// itself is immutable and shared through a process-wide cache.
+//
+// An Exec is not safe for concurrent use by multiple goroutines, but its
+// Run and RunGroupSpan methods internally execute disjoint shards of the
+// work-group space on a worker pool (see Parallelism).
 type Exec struct {
 	kernel *clc.Kernel
 	ck     *compiled
@@ -52,29 +57,57 @@ type Exec struct {
 	Sink  TraceSink
 	AS    *AddressSpace
 
-	// Check, when non-nil, is polled before every work-group; a non-nil
-	// return aborts the run with that error. The scheduler's watchdog
+	// Check, when non-nil, is polled before every work-group — by every
+	// shard worker in parallel mode — so a non-nil return aborts the run
+	// within one work-group quantum per shard. The scheduler's watchdog
 	// uses it to bound pathological ND ranges with a context deadline.
+	// It may be called concurrently and must be goroutine-safe.
 	Check func() error
 
-	// scratch reused across work-groups
-	slotScratch [][]Value
-	privScratch [][][]Value
-	doneScratch []bool
-	paramVals   []Value
+	// Parallelism selects how many shards Run/RunGroupSpan split the
+	// work-group space into: 0 uses DefaultParallelism() (the
+	// DOPIA_PARALLELISM environment variable, else GOMAXPROCS), and
+	// Sequential (1) forces the single-goroutine reference path.
+	// Results — output buffers, statistics, trace — are bit-identical
+	// for every value. Kernels with global-memory atomics always run
+	// sequentially.
+	Parallelism int
+
+	paramVals []Value
+
+	seq     *runState   // shard-0 / sequential execution state
+	workers []*runState // extra shard workers, grown lazily
+	tasks   []shardTask
+	abort   abortFlag
 }
 
+// compileCache memoizes compiled kernel forms per *clc.Kernel. Compiled
+// forms are immutable and hold no execution state, so every Exec of the
+// same kernel shares one. The cache is bypassed while fault injection is
+// armed so injected compile faults keep their exact hit sequence.
+var compileCache sync.Map // *clc.Kernel -> *compiled
+
 // NewExec compiles kernel k and returns an executor for it. The kernel
-// must come from a checked program (clc.Compile). Panics in the
+// must come from a checked program (clc.Compile). Identical kernels
+// (same *clc.Kernel) share one immutable compiled form through a
+// process-wide cache, so constructing executors is cheap. Panics in the
 // interpreter compiler are contained and returned as classified errors.
 func NewExec(k *clc.Kernel) (ex2 *Exec, err error) {
 	defer faults.Recover(faults.StageCompile, &err)
+	// The injection site fires before the cache is consulted, so a cache
+	// hit cannot mask an injected compile fault.
 	if err := faults.Hit("interp.compile"); err != nil {
 		return nil, faults.Wrap(faults.StageCompile, err)
 	}
-	ck, err := compileKernel(k)
-	if err != nil {
-		return nil, faults.Wrap(faults.StageCompile, err)
+	var ck *compiled
+	if v, ok := compileCache.Load(k); ok && !faults.Active() {
+		ck = v.(*compiled)
+	} else {
+		ck, err = compileKernel(k)
+		if err != nil {
+			return nil, faults.Wrap(faults.StageCompile, err)
+		}
+		compileCache.Store(k, ck)
 	}
 	ex := &Exec{
 		kernel: k,
@@ -92,9 +125,29 @@ func (ex *Exec) Kernel() *clc.Kernel { return ex.kernel }
 
 // ResetStats clears accumulated statistics.
 func (ex *Exec) ResetStats() {
-	ex.stats = &RunStats{sites: make([]siteState, ex.ck.numSites)}
-	for i := range ex.stats.sites {
-		ex.stats.sites[i].argIndex = -1
+	ex.stats = newRunStats(ex.ck)
+}
+
+// newRunStats allocates run statistics with per-site metadata resolved
+// from the compiled kernel.
+func newRunStats(ck *compiled) *RunStats {
+	s := &RunStats{}
+	s.resetFor(ck)
+	return s
+}
+
+// resetFor clears the statistics in place, reusing the site slice, and
+// re-seeds the static per-site metadata.
+func (s *RunStats) resetFor(ck *compiled) {
+	sites := s.sites
+	if cap(sites) < ck.numSites {
+		sites = make([]siteState, ck.numSites)
+	} else {
+		sites = sites[:ck.numSites]
+	}
+	*s = RunStats{sites: sites}
+	for i := range sites {
+		sites[i] = siteState{argIndex: ck.siteArg[i], write: ck.siteWrite[i]}
 	}
 }
 
@@ -168,7 +221,6 @@ func (ex *Exec) Launch(nd NDRange) error {
 		}
 	}
 	ex.nd = nd.normalized()
-	ex.prepareScratch()
 	ex.paramVals = ex.paramVals[:0]
 	for i := range ex.kernel.Params {
 		ex.paramVals = append(ex.paramVals, ex.args[i].Val)
@@ -176,52 +228,33 @@ func (ex *Exec) Launch(nd NDRange) error {
 	return nil
 }
 
-func (ex *Exec) prepareScratch() {
-	wgSize := ex.nd.GroupSize()
-	if len(ex.slotScratch) < wgSize {
-		ex.slotScratch = make([][]Value, wgSize)
-		for i := range ex.slotScratch {
-			ex.slotScratch[i] = make([]Value, ex.kernel.NumSlots)
-		}
-		ex.doneScratch = make([]bool, wgSize)
-		if len(ex.ck.privSyms) > 0 {
-			ex.privScratch = make([][][]Value, wgSize)
-			for i := range ex.privScratch {
-				ex.privScratch[i] = make([][]Value, len(ex.ck.privSyms))
-				for j, sym := range ex.ck.privSyms {
-					ex.privScratch[i][j] = make([]Value, sym.ArrayLen)
-				}
-			}
-		}
+// seqState returns the sequential/shard-0 execution state, prepared for
+// the current launch, statistics, and trace sink.
+func (ex *Exec) seqState() *runState {
+	if ex.seq == nil {
+		ex.seq = &runState{ex: ex}
 	}
+	ex.seq.prepare(ex.stats, ex.Sink)
+	return ex.seq
 }
 
-// Run executes every work-group of the launched ND range.
+// Run executes every work-group of the launched ND range, splitting the
+// group space across Parallelism shard workers.
 func (ex *Exec) Run() error {
-	total := ex.nd.TotalGroups()
-	for g := 0; g < total; g++ {
-		if err := ex.RunGroup(g); err != nil {
-			return err
-		}
-	}
-	return nil
+	return ex.runSpan(0, ex.nd.TotalGroups())
 }
 
 // RunGroupSpan executes count work-groups starting at linear group id
-// start.
+// start, splitting the span across Parallelism shard workers.
 func (ex *Exec) RunGroupSpan(start, count int) error {
-	for g := start; g < start+count; g++ {
-		if err := ex.RunGroup(g); err != nil {
-			return err
-		}
-	}
-	return nil
+	return ex.runSpan(start, count)
 }
 
 // RunSampled executes at most maxGroups work-groups, spread evenly across
 // the ND range, and returns how many were run. Statistics can be scaled by
 // TotalGroups/groupsRun to extrapolate. Buffers hold partial results after
-// a sampled run; use Run for functional output.
+// a sampled run; use Run for functional output. Sampling is always
+// sequential: it is a profiling path whose cost is bounded by maxGroups.
 func (ex *Exec) RunSampled(maxGroups int) (int, error) {
 	total := ex.nd.TotalGroups()
 	if maxGroups <= 0 || maxGroups >= total {
@@ -230,10 +263,11 @@ func (ex *Exec) RunSampled(maxGroups int) (int, error) {
 		}
 		return total, nil
 	}
+	rs := ex.seqState()
 	stride := total / maxGroups
 	run := 0
 	for g := 0; g < total && run < maxGroups; g += stride {
-		if err := ex.RunGroup(g); err != nil {
+		if err := rs.runGroup(g); err != nil {
 			return run, err
 		}
 		run++
@@ -243,12 +277,83 @@ func (ex *Exec) RunSampled(maxGroups int) (int, error) {
 
 // RunGroup executes a single work-group identified by its linear id
 // (dimension 0 fastest).
-func (ex *Exec) RunGroup(linear int) (err error) {
+func (ex *Exec) RunGroup(linear int) error {
+	return ex.seqState().runGroup(linear)
+}
+
+// runState is the per-goroutine execution state for running work-groups:
+// scratch slots, private arrays, __local storage, and the environment
+// handed to compiled closures. The sequential path owns one; every shard
+// worker of a parallel run owns another, so shards share nothing but the
+// (read-only) compiled kernel, arguments, and the output buffers their
+// disjoint work-groups write.
+type runState struct {
+	ex    *Exec
+	stats *RunStats
+
+	env env
+	wg  wgState
+
+	slotScratch [][]Value
+	privScratch [][][]Value
+	doneScratch []bool
+
+	// Parallel-run scratch, reused across runs: per-shard statistics and
+	// trace log, merged deterministically in shard order.
+	ownStats *RunStats
+	log      *traceLog
+}
+
+// prepare sizes the scratch for the executor's current launch and points
+// the environment at the given statistics and trace sink. It is cheap
+// when the previously prepared sizes still fit.
+func (rs *runState) prepare(stats *RunStats, sink TraceSink) {
+	ex := rs.ex
+	wgSize := ex.nd.GroupSize()
+	if len(rs.slotScratch) < wgSize {
+		rs.slotScratch = make([][]Value, wgSize)
+		for i := range rs.slotScratch {
+			rs.slotScratch[i] = make([]Value, ex.kernel.NumSlots)
+		}
+		rs.doneScratch = make([]bool, wgSize)
+		if len(ex.ck.privSyms) > 0 {
+			rs.privScratch = make([][][]Value, wgSize)
+			for i := range rs.privScratch {
+				rs.privScratch[i] = make([][]Value, len(ex.ck.privSyms))
+				for j, sym := range ex.ck.privSyms {
+					rs.privScratch[i][j] = make([]Value, sym.ArrayLen)
+				}
+			}
+		}
+	}
+	if rs.wg.locals == nil && len(ex.ck.localSyms) > 0 {
+		rs.wg.locals = make([][]Value, len(ex.ck.localSyms))
+		for i, sym := range ex.ck.localSyms {
+			ln := sym.ArrayLen
+			if ln == 0 {
+				ln = 1 // __local scalar
+			}
+			rs.wg.locals[i] = make([]Value, ln)
+		}
+	}
+	rs.stats = stats
+	rs.env.stats = stats
+	rs.env.bufs = ex.bufs
+	rs.env.sink = sink
+	rs.env.nd = &ex.nd
+	rs.env.wg = &rs.wg
+}
+
+// runGroup executes a single work-group identified by its linear id
+// (dimension 0 fastest). Panics below this boundary — including injected
+// ones — are contained and returned as classified errors, also when the
+// call happens on a shard worker goroutine.
+func (rs *runState) runGroup(linear int) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			if re, ok := r.(*runtimeError); ok {
 				err = faults.Wrap(faults.StageExec,
-					fmt.Errorf("interp: kernel %s: %w", ex.kernel.Name, re))
+					fmt.Errorf("interp: kernel %s: %w", rs.ex.kernel.Name, re))
 				return
 			}
 			// Any other panic is an interpreter bug: contain it at the
@@ -256,6 +361,7 @@ func (ex *Exec) RunGroup(linear int) (err error) {
 			err = &faults.PanicError{Stage: faults.StageExec, Value: r}
 		}
 	}()
+	ex := rs.ex
 	if ex.Check != nil {
 		if cerr := ex.Check(); cerr != nil {
 			return faults.Wrap(faults.StageExec, cerr)
@@ -268,52 +374,46 @@ func (ex *Exec) RunGroup(linear int) (err error) {
 	coords := ex.nd.GroupCoords(linear)
 	wgSize := ex.nd.GroupSize()
 
-	wg := &wgState{}
-	if n := len(ex.ck.localSyms); n > 0 {
-		wg.locals = make([][]Value, n)
-		for i, sym := range ex.ck.localSyms {
-			ln := sym.ArrayLen
-			if ln == 0 {
-				ln = 1 // __local scalar
-			}
-			wg.locals[i] = make([]Value, ln)
+	// __local storage starts zeroed for every work-group.
+	for _, arr := range rs.wg.locals {
+		for j := range arr {
+			arr[j] = Value{}
 		}
 	}
-
 	for i := 0; i < wgSize; i++ {
-		ex.doneScratch[i] = false
+		rs.doneScratch[i] = false
 	}
 
-	e := env{ex: ex, wg: wg}
-	nd := ex.nd
+	e := &rs.env
+	nd := &ex.nd
 	l0, l1 := int64(nd.Local[0]), int64(nd.Local[1])
 	baseWI := int64(linear) * int64(wgSize)
 
-	ex.stats.GroupsRun++
+	rs.stats.GroupsRun++
 	for segIdx, seg := range ex.ck.segments {
 		lin := 0
 		for l2v := 0; l2v < nd.Local[2]; l2v++ {
 			for l1v := 0; l1v < nd.Local[1]; l1v++ {
 				for l0v := 0; l0v < nd.Local[0]; l0v++ {
-					if ex.doneScratch[lin] {
+					if rs.doneScratch[lin] {
 						lin++
 						continue
 					}
-					slots := ex.slotScratch[lin]
+					slots := rs.slotScratch[lin]
 					if segIdx == 0 {
 						copy(slots, ex.paramVals)
-						if ex.privScratch != nil {
-							for _, arr := range ex.privScratch[lin] {
+						if rs.privScratch != nil {
+							for _, arr := range rs.privScratch[lin] {
 								for j := range arr {
 									arr[j] = Value{}
 								}
 							}
 						}
-						ex.stats.ItemsRun++
+						rs.stats.ItemsRun++
 					}
 					e.slots = slots
-					if ex.privScratch != nil {
-						e.priv = ex.privScratch[lin]
+					if rs.privScratch != nil {
+						e.priv = rs.privScratch[lin]
 					}
 					e.lid = [3]int64{int64(l0v), int64(l1v), int64(l2v)}
 					e.grp = [3]int64{int64(coords[0]), int64(coords[1]), int64(coords[2])}
@@ -323,8 +423,8 @@ func (ex *Exec) RunGroup(linear int) (err error) {
 						int64(nd.Offset[2]) + e.grp[2]*int64(nd.Local[2]) + e.lid[2],
 					}
 					e.wi = baseWI + int64(lin)
-					if seg(&e) == ctrlReturn {
-						ex.doneScratch[lin] = true
+					if seg(e) == ctrlReturn {
+						rs.doneScratch[lin] = true
 					}
 					lin++
 				}

@@ -1,0 +1,241 @@
+package interp
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the parallel ND-range execution engine. A run
+// splits the work-group space into p contiguous shards; shard 0 runs on
+// the calling goroutine directly against the Exec's statistics and trace
+// sink, shards 1..p-1 run on a process-wide worker pool against private
+// per-shard statistics (and trace logs). Because shards are contiguous,
+// disjoint spans of work-groups — and a work-item never spans two
+// work-groups — merging the per-shard statistics in shard order
+// (RunStats.mergeFrom) reproduces the sequential run's counters, access
+// patterns, and trace stream bit-for-bit. Output buffers need no merge:
+// disjoint work-groups write disjoint elements in every data-parallel
+// kernel this engine accepts (kernels with global-memory atomics are
+// pinned to the sequential path).
+
+// Sequential is the Parallelism value that forces the single-goroutine
+// reference execution path.
+const Sequential = 1
+
+var (
+	defaultPar     int
+	defaultParOnce sync.Once
+)
+
+// DefaultParallelism returns the shard count used by Execs whose
+// Parallelism field is zero: the DOPIA_PARALLELISM environment variable
+// when set to a positive integer, else GOMAXPROCS. The environment is
+// read once per process.
+func DefaultParallelism() int {
+	defaultParOnce.Do(func() {
+		defaultPar = runtime.GOMAXPROCS(0)
+		if s := os.Getenv("DOPIA_PARALLELISM"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				defaultPar = n
+			}
+		}
+	})
+	return defaultPar
+}
+
+func (ex *Exec) parallelism() int {
+	if ex.Parallelism > 0 {
+		return ex.Parallelism
+	}
+	return DefaultParallelism()
+}
+
+// traceEvent is one recorded memory access of a shard worker.
+type traceEvent struct {
+	addr, size int64
+	write      bool
+}
+
+// traceLog captures a shard's accesses so they can be replayed into the
+// Exec's TraceSink in shard order at merge time, preserving the exact
+// sequential event stream (shard 0 writes to the sink live).
+type traceLog struct {
+	events []traceEvent
+}
+
+func (l *traceLog) Access(addr, size int64, write bool) {
+	l.events = append(l.events, traceEvent{addr, size, write})
+}
+
+// abortFlag is a cooperative cancellation flag shared by the shards of
+// one run: the first shard to fail (or observe a Check error) sets it,
+// and every other shard stops within one work-group quantum.
+type abortFlag struct {
+	b atomic.Bool
+}
+
+func (a *abortFlag) set()        { a.b.Store(true) }
+func (a *abortFlag) isSet() bool { return a.b.Load() }
+func (a *abortFlag) reset()      { a.b.Store(false) }
+
+// shardTask is one unit of work handed to the pool: run a span of
+// work-groups on a shard's runState. Tasks are owned by their Exec and
+// reused across runs; done is buffered so pool workers never block.
+type shardTask struct {
+	rs           *runState
+	start, count int
+	err          error
+	done         chan struct{}
+}
+
+// The process-wide shard worker pool. Shard tasks are leaves — they
+// never submit further tasks — so a fixed pool of GOMAXPROCS workers
+// cannot deadlock, and concurrent Execs (e.g. the scheduler's parallel
+// config sweep) share the machine instead of oversubscribing it.
+var (
+	poolOnce sync.Once
+	poolCh   chan *shardTask
+)
+
+func startPool() {
+	poolOnce.Do(func() {
+		poolCh = make(chan *shardTask)
+		n := runtime.GOMAXPROCS(0)
+		if n < 2 {
+			n = 2
+		}
+		for i := 0; i < n; i++ {
+			go poolWorker()
+		}
+	})
+}
+
+func poolWorker() {
+	for t := range poolCh {
+		t.err = t.rs.runSpanAborting(t.start, t.count)
+		t.done <- struct{}{}
+	}
+}
+
+// runSpanAborting runs count work-groups starting at start, polling the
+// Exec's abort flag between groups. On error it raises the flag so the
+// other shards of the run stop promptly. An aborted shard returns nil;
+// the shard that failed reports the error.
+func (rs *runState) runSpanAborting(start, count int) error {
+	ex := rs.ex
+	for g := start; g < start+count; g++ {
+		if ex.abort.isSet() {
+			return nil
+		}
+		if err := rs.runGroup(g); err != nil {
+			ex.abort.set()
+			return err
+		}
+	}
+	return nil
+}
+
+// runSpan executes count work-groups starting at linear group id start,
+// sharded across the executor's parallelism. Results are bit-identical
+// to the sequential path for every shard count.
+func (ex *Exec) runSpan(start, count int) error {
+	if count <= 0 {
+		return nil
+	}
+	p := ex.parallelism()
+	if p > count {
+		p = count
+	}
+	if p <= 1 || ex.ck.hasGlobalAtomic {
+		rs := ex.seqState()
+		for g := start; g < start+count; g++ {
+			if err := rs.runGroup(g); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return ex.runSharded(start, count, p)
+}
+
+// runSharded partitions [start, start+count) into p contiguous shards.
+// Shard i gets count/p groups plus one of the count%p remainder groups
+// (lowest shards first), so shard sizes differ by at most one.
+func (ex *Exec) runSharded(start, count, p int) error {
+	base, rem := count/p, count%p
+	shardLen := func(i int) int {
+		if i < rem {
+			return base + 1
+		}
+		return base
+	}
+
+	// Grow the worker and task scratch to p-1 entries; both are reused
+	// across runs so a steady-state run allocates nothing here.
+	for len(ex.workers) < p-1 {
+		ex.workers = append(ex.workers, &runState{ex: ex, ownStats: &RunStats{}})
+	}
+	if cap(ex.tasks) < p-1 {
+		ex.tasks = make([]shardTask, p-1)
+	}
+	ex.tasks = ex.tasks[:p-1]
+	ex.abort.reset()
+	startPool()
+
+	off := start + shardLen(0)
+	for i := 1; i < p; i++ {
+		w := ex.workers[i-1]
+		w.ownStats.resetFor(ex.ck)
+		var sink TraceSink
+		if ex.Sink != nil {
+			if w.log == nil {
+				w.log = &traceLog{}
+			}
+			w.log.events = w.log.events[:0]
+			sink = w.log
+		}
+		w.prepare(w.ownStats, sink)
+		t := &ex.tasks[i-1]
+		if t.done == nil {
+			t.done = make(chan struct{}, 1)
+		}
+		t.rs, t.start, t.count, t.err = w, off, shardLen(i), nil
+		off += shardLen(i)
+		poolCh <- t
+	}
+
+	// Shard 0 runs on the caller, directly into ex.stats and ex.Sink, so
+	// the chain state (prevAddr/prevWI, lane firsts) continues across
+	// repeated Run calls exactly as on the sequential path.
+	err0 := ex.seqState().runSpanAborting(start, shardLen(0))
+
+	// Join every shard before looking at errors: task memory is reused
+	// on the next run, so no worker may still be touching it.
+	for i := range ex.tasks {
+		<-ex.tasks[i].done
+	}
+	if err0 != nil {
+		return err0
+	}
+	for i := range ex.tasks {
+		if ex.tasks[i].err != nil {
+			return ex.tasks[i].err
+		}
+	}
+
+	// Deterministic merge in shard order: statistics first, then the
+	// trace replay, so the sink observes the exact sequential stream.
+	for i := range ex.tasks {
+		w := ex.tasks[i].rs
+		ex.stats.mergeFrom(w.ownStats)
+		if ex.Sink != nil {
+			for _, ev := range w.log.events {
+				ex.Sink.Access(ev.addr, ev.size, ev.write)
+			}
+		}
+	}
+	return nil
+}

@@ -48,6 +48,49 @@ type siteState struct {
 	haveFirst  bool
 	seenThisWI int64 // the WI whose first access has been recorded
 	elemSize   int64
+
+	// First access observed in this statistics window. The parallel
+	// engine uses it to insert, at merge time, exactly the boundary
+	// observations the sequential stream would have produced between
+	// the last access of one shard and the first access of the next.
+	firstTouchAddr int64
+	firstTouchWI   int64
+	haveFirstTouch bool
+}
+
+// mergeFrom absorbs the statistics of the immediately following shard
+// into dst. Shards cover contiguous, disjoint spans of work-groups, so a
+// work-item never spans two shards; under that invariant the merged state
+// is bit-identical to a sequential walk of the concatenated access
+// stream. Must be called in shard order.
+func (dst *siteState) mergeFrom(src *siteState) {
+	if src.count == 0 {
+		return
+	}
+	if dst.count == 0 {
+		*dst = *src
+		return
+	}
+	es := src.elemSize
+	// Boundary observations between dst's last access and src's first
+	// access (which is always the first access of src's first-touching
+	// work-item). In the sequential stream, a same-WI boundary would be
+	// an iteration delta; a new WI at firstWI+1 would be a lane delta.
+	if dst.prevValid && dst.prevWI == src.firstTouchWI {
+		dst.iter.Observe((src.firstTouchAddr - dst.prevAddr) / es)
+	} else if dst.haveFirst && src.firstTouchWI == dst.firstWI+1 {
+		dst.lane.Observe((src.firstTouchAddr - dst.firstAddr) / es)
+	}
+	dst.count += src.count
+	dst.bytes += src.bytes
+	dst.elemSize = es
+	dst.iter.Merge(&src.iter)
+	dst.lane.Merge(&src.lane)
+	// The chain state continues from src's end, exactly as a sequential
+	// walk would leave it.
+	dst.prevAddr, dst.prevWI, dst.prevValid = src.prevAddr, src.prevWI, src.prevValid
+	dst.firstAddr, dst.firstWI, dst.haveFirst = src.firstAddr, src.firstWI, src.haveFirst
+	dst.seenThisWI = src.seenThisWI
 }
 
 // SiteProfile is the summarized behaviour of one memory site.
@@ -128,13 +171,35 @@ func (st *siteState) recordAccess(addr, elemSize, wi int64) {
 
 	// First access of this WI at this site?
 	if st.seenThisWI != wi || !st.haveFirst {
-		if st.haveFirst && wi == st.firstWI+1 {
-			st.lane.Observe((addr - st.firstAddr) / elemSize)
+		if st.haveFirst {
+			if wi == st.firstWI+1 {
+				st.lane.Observe((addr - st.firstAddr) / elemSize)
+			}
+		} else {
+			st.firstTouchAddr, st.firstTouchWI = addr, wi
+			st.haveFirstTouch = true
 		}
 		st.firstAddr = addr
 		st.firstWI = wi
 		st.haveFirst = true
 		st.seenThisWI = wi
+	}
+}
+
+// mergeFrom absorbs the statistics of the shard that immediately follows
+// this one in work-group order. Merging shard statistics in shard order
+// reproduces the sequential run's counters and access patterns exactly.
+func (s *RunStats) mergeFrom(o *RunStats) {
+	s.AluInt += o.AluInt
+	s.AluFloat += o.AluFloat
+	s.Loads += o.Loads
+	s.Stores += o.Stores
+	s.LoadBytes += o.LoadBytes
+	s.StoreBytes += o.StoreBytes
+	s.GroupsRun += o.GroupsRun
+	s.ItemsRun += o.ItemsRun
+	for i := range s.sites {
+		s.sites[i].mergeFrom(&o.sites[i])
 	}
 }
 

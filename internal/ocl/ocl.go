@@ -176,7 +176,7 @@ func (c *Context) CreateProgramWithSource(src string) *Program {
 // Interposer failures surface later as per-launch fallbacks (Dopia's
 // interposer records them in FallbackStats), never as build errors.
 func (p *Program) Build() error {
-	prog, err := clc.Compile(p.Source)
+	prog, err := compileSource(p.Source)
 	if err != nil {
 		return fmt.Errorf("ocl: build failed: %w", err)
 	}

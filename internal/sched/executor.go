@@ -11,6 +11,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"dopia/internal/analysis"
 	"dopia/internal/clc"
@@ -39,7 +41,26 @@ type Executor struct {
 	bound    bool
 	launched bool
 
-	model *sim.KernelModel
+	// mu guards the lazily built model and the timing-result cache, so
+	// timing-only Run calls (which touch no interpreter state once the
+	// model exists) are safe to issue from multiple goroutines. Functional
+	// runs mutate buffers and interpreters and must stay single-threaded.
+	mu       sync.Mutex
+	model    *sim.KernelModel
+	simCache map[simKey]sim.Result
+}
+
+// simKey identifies one timing-only simulation of the current binding and
+// launch. sim.Simulate is a pure function of (machine, model, these
+// knobs), so its result is memoized per executor; Bind and Launch
+// invalidate the cache together with the model.
+type simKey struct {
+	cfg      sim.Config
+	dist     sim.Distribution
+	cpuShare float64
+	chunkDiv int
+	extra    float64
+	plainGPU bool
 }
 
 // NewExecutor creates an executor for the original kernel and (optionally)
@@ -89,8 +110,17 @@ func (e *Executor) Bind(args ...interp.Arg) error {
 	}
 	e.args = append([]interp.Arg(nil), args...)
 	e.bound = true
-	e.model = nil
+	e.invalidate()
 	return nil
+}
+
+// invalidate drops the model and every cached simulation result; called
+// whenever the binding or launch geometry changes.
+func (e *Executor) invalidate() {
+	e.mu.Lock()
+	e.model = nil
+	e.simCache = nil
+	e.mu.Unlock()
 }
 
 // Launch sets the ND range for subsequent runs.
@@ -100,7 +130,7 @@ func (e *Executor) Launch(nd interp.NDRange) error {
 	}
 	e.nd = nd
 	e.launched = true
-	e.model = nil
+	e.invalidate()
 	return nil
 }
 
@@ -127,6 +157,8 @@ const ProfileSampleWGs = 4
 // snapshotted and restored, so profiling leaves no functional trace even
 // for read-modify-write kernels.
 func (e *Executor) Model() (*sim.KernelModel, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	if e.model != nil {
 		return e.model, nil
 	}
@@ -222,6 +254,28 @@ func (e *Executor) Run(cfg sim.Config, opts RunOptions) (res *sim.Result, err er
 	if err != nil {
 		return nil, err
 	}
+	// Timing-only runs are pure functions of the model and the knobs
+	// below: memoize them. The cache is bypassed while fault injection is
+	// armed so injected faults keep their exact hit sequence.
+	var key simKey
+	timingOnly := !opts.Functional
+	if timingOnly && !faults.Active() {
+		key = simKey{
+			cfg:      cfg,
+			dist:     opts.Dist,
+			cpuShare: opts.CPUShare,
+			chunkDiv: opts.GPUChunkDiv,
+			extra:    opts.ExtraStartupSec,
+			plainGPU: e.malleable == nil && !e.AssumeMalleable,
+		}
+		e.mu.Lock()
+		r, ok := e.simCache[key]
+		e.mu.Unlock()
+		if ok {
+			rc := r
+			return &rc, nil
+		}
+	}
 	var onSpan sim.SpanFunc
 	if opts.Functional {
 		if err := e.prepareFunctional(cfg); err != nil {
@@ -243,13 +297,65 @@ func (e *Executor) Run(cfg sim.Config, opts RunOptions) (res *sim.Result, err er
 			}
 		}
 	}
-	return sim.Simulate(e.Machine, km, cfg, opts.Dist, sim.SimOptions{
+	res, err = sim.Simulate(e.Machine, km, cfg, opts.Dist, sim.SimOptions{
 		CPUShare:        opts.CPUShare,
 		GPUChunkDiv:     opts.GPUChunkDiv,
 		OnSpan:          onSpan,
 		ExtraStartupSec: opts.ExtraStartupSec,
 		PlainGPU:        e.malleable == nil && !e.AssumeMalleable,
 	})
+	if err == nil && timingOnly && !faults.Active() {
+		e.mu.Lock()
+		if e.simCache == nil {
+			e.simCache = map[simKey]sim.Result{}
+		}
+		e.simCache[key] = *res
+		e.mu.Unlock()
+	}
+	return res, err
+}
+
+// RunConfigs runs one simulation per configuration and returns the
+// results in configuration order. Timing-only sweeps (the 44-config DoP
+// sweep of the training pipeline, the scheduler's per-launch decision)
+// are embarrassingly parallel and fan out across GOMAXPROCS goroutines;
+// functional sweeps mutate interpreter and buffer state and therefore run
+// sequentially. On error the lowest-indexed failure wins.
+func (e *Executor) RunConfigs(cfgs []sim.Config, opts RunOptions) ([]*sim.Result, error) {
+	results := make([]*sim.Result, len(cfgs))
+	if opts.Functional || len(cfgs) < 2 {
+		for i, cfg := range cfgs {
+			r, err := e.Run(cfg, opts)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = r
+		}
+		return results, nil
+	}
+	// Build the model once, on this goroutine, before fanning out.
+	if _, err := e.Model(); err != nil {
+		return nil, err
+	}
+	errs := make([]error, len(cfgs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			results[i], errs[i] = e.Run(cfgs[i], opts)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
 }
 
 func (e *Executor) prepareFunctional(cfg sim.Config) error {
@@ -294,17 +400,39 @@ func (e *Executor) spanFunc(cfg sim.Config) sim.SpanFunc {
 
 // BestStatic sweeps the paper's 19 static splits (5%..95% to the CPU) and
 // returns the best share and its result (the Figure 9 "STATIC" baseline).
+// The splits are timing-only and simulated in parallel; scanning the
+// results in share order keeps the tie-breaking identical to the old
+// sequential sweep (lowest share wins ties).
 func (e *Executor) BestStatic(cfg sim.Config) (float64, *sim.Result, error) {
-	var bestShare float64
-	var best *sim.Result
-	for i := 1; i <= 19; i++ {
-		share := float64(i) * 0.05
-		r, err := e.Run(cfg, RunOptions{Dist: sim.Static, CPUShare: share})
+	if _, err := e.Model(); err != nil {
+		return 0, nil, err
+	}
+	const n = 19
+	results := make([]*sim.Result, n)
+	errs := make([]error, n)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			share := float64(i+1) * 0.05
+			results[i], errs[i] = e.Run(cfg, RunOptions{Dist: sim.Static, CPUShare: share})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return 0, nil, err
 		}
+	}
+	var bestShare float64
+	var best *sim.Result
+	for i, r := range results {
 		if best == nil || r.Time < best.Time {
-			best, bestShare = r, share
+			best, bestShare = r, float64(i+1)*0.05
 		}
 	}
 	return bestShare, best, nil
