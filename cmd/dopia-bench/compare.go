@@ -1,0 +1,107 @@
+package main
+
+// The -compare mode: diff two benchmark reports written by -out and fail
+// (non-zero exit) when ns/op or allocs/op regress beyond a threshold, so
+// CI can gate on checked-in baselines instead of eyeballing scrollback.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// compareReports loads two -out reports and prints per-benchmark ns/op
+// and allocs/op deltas. It returns an error listing every benchmark
+// whose ns/op or allocs/op regressed by more than thresholdPct percent,
+// or that disappeared from the new report. New benchmarks (present only
+// in the new report) are informational.
+func compareReports(oldPath, newPath string, thresholdPct float64) error {
+	oldRep, err := loadBenchReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadBenchReport(newPath)
+	if err != nil {
+		return err
+	}
+	newByName := make(map[string]benchRecord, len(newRep.Benchmarks))
+	for _, b := range newRep.Benchmarks {
+		newByName[b.Name] = b
+	}
+
+	fmt.Printf("old: %s (%s, %d cpu, gomaxprocs %d)\n",
+		oldPath, oldRep.Date, oldRep.NumCPU, oldRep.GoMaxProcs)
+	fmt.Printf("new: %s (%s, %d cpu, gomaxprocs %d)\n",
+		newPath, newRep.Date, newRep.NumCPU, newRep.GoMaxProcs)
+	fmt.Printf("%-26s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
+
+	var failures []string
+	seen := make(map[string]bool, len(oldRep.Benchmarks))
+	for _, ob := range oldRep.Benchmarks {
+		seen[ob.Name] = true
+		nb, ok := newByName[ob.Name]
+		if !ok {
+			fmt.Printf("%-26s %14.0f %14s\n", ob.Name, ob.NsPerOp, "missing")
+			failures = append(failures,
+				fmt.Sprintf("%s: missing from %s", ob.Name, newPath))
+			continue
+		}
+		nsDelta := pctDelta(ob.NsPerOp, nb.NsPerOp)
+		allocDelta := pctDelta(float64(ob.AllocsPerOp), float64(nb.AllocsPerOp))
+		fmt.Printf("%-26s %14.0f %14.0f %7.1f%% %12d %12d %7.1f%%\n",
+			ob.Name, ob.NsPerOp, nb.NsPerOp, nsDelta,
+			ob.AllocsPerOp, nb.AllocsPerOp, allocDelta)
+		if nsDelta > thresholdPct {
+			failures = append(failures, fmt.Sprintf(
+				"%s: ns/op regressed %.1f%% (%.0f -> %.0f, threshold %.1f%%)",
+				ob.Name, nsDelta, ob.NsPerOp, nb.NsPerOp, thresholdPct))
+		}
+		if allocDelta > thresholdPct {
+			failures = append(failures, fmt.Sprintf(
+				"%s: allocs/op regressed %.1f%% (%d -> %d, threshold %.1f%%)",
+				ob.Name, allocDelta, ob.AllocsPerOp, nb.AllocsPerOp, thresholdPct))
+		}
+	}
+	for _, nb := range newRep.Benchmarks {
+		if !seen[nb.Name] {
+			fmt.Printf("%-26s %14s %14.0f   (new)\n", nb.Name, "-", nb.NsPerOp)
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		return fmt.Errorf("%d benchmark regression(s) above %.1f%%",
+			len(failures), thresholdPct)
+	}
+	fmt.Printf("OK: no regressions above %.1f%%\n", thresholdPct)
+	return nil
+}
+
+// pctDelta returns the percentage change from before to after; an
+// increase is positive (a regression for ns/op and allocs/op). A zero
+// baseline with a non-zero new value reports +Inf, which always exceeds
+// the threshold.
+func pctDelta(before, after float64) float64 {
+	if before == 0 {
+		if after == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (after - before) / before * 100
+}
+
+func loadBenchReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

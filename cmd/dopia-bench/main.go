@@ -8,12 +8,22 @@
 // Experiments: fig1 fig3 fig9 fig10 table5 fig11 fig12 table6 fig13, or
 // "all" (default). The heavy experiments share one workload
 // characterization per machine; use -cache to persist it between runs.
+//
+// Side modes:
+//
+//	dopia-bench -out report.json                    record component benchmarks
+//	dopia-bench -compare old.json new.json          diff two reports; non-zero
+//	                                                exit above -threshold percent
+//	dopia-bench -cpuprofile cpu.pprof [...]         profile any mode
+//	dopia-bench -memprofile mem.pprof [...]         heap profile at exit
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dopia/internal/experiments"
@@ -29,8 +39,55 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed for fold shuffling")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		out        = flag.String("out", "", "run the tier-1 component benchmarks and write ns/op + allocs/op JSON to this file, then exit")
+		compare    = flag.Bool("compare", false, "compare two -out reports (old.json new.json): print ns/op + allocs/op deltas and exit non-zero on regressions above -threshold")
+		threshold  = flag.Float64("threshold", 25, "regression threshold in percent for -compare")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "usage: dopia-bench -compare [-threshold pct] old.json new.json")
+			os.Exit(2)
+		}
+		if err := compareReports(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		path := *memProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *out != "" {
 		if err := writeBenchReport(*out); err != nil {

@@ -30,14 +30,24 @@ type benchRecord struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Engine is the interpreter execution engine the benchmark ran on
+	// ("bytecode", "closures", possibly with a fallback note), or
+	// "none" for benchmarks that never execute kernels.
+	Engine string `json:"engine"`
 }
 
+// benchReport captures the effective execution environment alongside
+// the measurements: NumCPU is the machine, GoMaxProcs the scheduler
+// width the run actually used, Parallelism the effective interpreter
+// sharding width (GOMAXPROCS overridden by DOPIA_PARALLELISM), and
+// Engine the process-default interpreter engine (DOPIA_ENGINE).
 type benchReport struct {
 	Date        string        `json:"date"`
 	GoVersion   string        `json:"go_version"`
 	NumCPU      int           `json:"num_cpu"`
 	GoMaxProcs  int           `json:"gomaxprocs"`
 	Parallelism int           `json:"dopia_parallelism"`
+	Engine      string        `json:"dopia_engine"`
 	Benchmarks  []benchRecord `json:"benchmarks"`
 }
 
@@ -55,15 +65,15 @@ const gesummvSrc = `__kernel void gesummv(__global float* A, __global float* B,
     }
 }`
 
-func interpreterBench() (func(b *testing.B), error) {
+func interpreterBench() (func(b *testing.B), string, error) {
 	prog, err := clc.Compile(gesummvSrc)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	n := 256
 	ex, err := interp.NewExec(prog.Kernels[0])
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	A := interp.NewFloatBuffer(n * n)
 	B := interp.NewFloatBuffer(n * n)
@@ -71,10 +81,15 @@ func interpreterBench() (func(b *testing.B), error) {
 	y := interp.NewFloatBuffer(n)
 	if err := ex.Bind(interp.BufArg(A), interp.BufArg(B), interp.BufArg(x), interp.BufArg(y),
 		interp.FloatArg(1), interp.FloatArg(1), interp.IntArg(int64(n))); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if err := ex.Launch(interp.ND1(n, 64)); err != nil {
-		return nil, err
+		return nil, "", err
+	}
+	eng, fallback := ex.EngineUsed()
+	engineStr := eng.String()
+	if fallback != "" {
+		engineStr += " (fallback: " + fallback + ")"
 	}
 	return func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -82,36 +97,36 @@ func interpreterBench() (func(b *testing.B), error) {
 				b.Fatal(err)
 			}
 		}
-	}, nil
+	}, engineStr, nil
 }
 
-func heatmapBench() (func(b *testing.B), error) {
+func heatmapBench() (func(b *testing.B), string, error) {
 	ws, err := workloads.RealWorkloads(512, 256)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	w := ws[8] // GESUMMV
 	k, err := w.CompileKernel()
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	ex, err := sched.NewExecutor(sim.Kaveri(), k, nil)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	ex.AssumeMalleable = true
 	inst, err := w.Setup()
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if err := ex.Bind(inst.Args...); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if err := ex.Launch(inst.ND); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	if _, err := ex.Model(); err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	m := sim.Kaveri()
 	return func(b *testing.B) {
@@ -122,10 +137,10 @@ func heatmapBench() (func(b *testing.B), error) {
 				}
 			}
 		}
-	}, nil
+	}, interp.DefaultEngine().String(), nil
 }
 
-func analysisBench() (func(b *testing.B), error) {
+func analysisBench() (func(b *testing.B), string, error) {
 	prog, err := clc.Compile(`__kernel void ex(__global float* A, __global float* B,
         __global float* C, __global float* D, __global int* Bi, int c1, int N, int M) {
         for (int i = 0; i < N; i++) {
@@ -135,7 +150,7 @@ func analysisBench() (func(b *testing.B), error) {
         }
     }`)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	return func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -143,17 +158,17 @@ func analysisBench() (func(b *testing.B), error) {
 				b.Fatal(err)
 			}
 		}
-	}, nil
+	}, "none", nil
 }
 
-func transformBench() (func(b *testing.B), error) {
+func transformBench() (func(b *testing.B), string, error) {
 	prog, err := clc.Compile(`__kernel void sum3(__global float* A, __global float* B,
         __global float* C, int n) {
         int i = get_global_id(0);
         if (i < n) { C[i] = A[i] + B[i] + C[i]; }
     }`)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	return func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -161,13 +176,13 @@ func transformBench() (func(b *testing.B), error) {
 				b.Fatal(err)
 			}
 		}
-	}, nil
+	}, "none", nil
 }
 
-func inferenceBench() (func(b *testing.B), error) {
+func inferenceBench() (func(b *testing.B), string, error) {
 	grid, err := workloads.SyntheticGrid()
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	var sub []*workloads.Workload
 	for i := 0; i < len(grid) && len(sub) < 40; i += len(grid) / 40 {
@@ -175,11 +190,11 @@ func inferenceBench() (func(b *testing.B), error) {
 	}
 	evals, err := core.EvaluateAll(sim.Kaveri(), sub, 0)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	dt, err := ml.TreeTrainer{}.Fit(core.BuildDataset(sim.Kaveri(), evals))
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	m := sim.Kaveri()
 	var base ml.Features
@@ -192,10 +207,10 @@ func inferenceBench() (func(b *testing.B), error) {
 				_ = dt.Predict(core.WithConfig(base, m, cfg))
 			}
 		}
-	}, nil
+	}, "none", nil
 }
 
-func frontEndBench() (func(b *testing.B), error) {
+func frontEndBench() (func(b *testing.B), string, error) {
 	src := `__kernel void conv2d(__global float* A, __global float* B, int NI, int NJ) {
         int j = get_global_id(0);
         int i = get_global_id(1);
@@ -210,7 +225,7 @@ func frontEndBench() (func(b *testing.B), error) {
 				b.Fatal(err)
 			}
 		}
-	}, nil
+	}, "none", nil
 }
 
 // writeBenchReport runs the tier-1 component benchmarks and writes the
@@ -218,7 +233,7 @@ func frontEndBench() (func(b *testing.B), error) {
 func writeBenchReport(path string) error {
 	set := []struct {
 		name string
-		mk   func() (func(b *testing.B), error)
+		mk   func() (func(b *testing.B), string, error)
 	}{
 		{"InterpreterGesummv", interpreterBench},
 		{"Fig1Heatmap", heatmapBench},
@@ -233,9 +248,10 @@ func writeBenchReport(path string) error {
 		NumCPU:      runtime.NumCPU(),
 		GoMaxProcs:  runtime.GOMAXPROCS(0),
 		Parallelism: interp.DefaultParallelism(),
+		Engine:      interp.DefaultEngine().String(),
 	}
 	for _, s := range set {
-		fn, err := s.mk()
+		fn, engine, err := s.mk()
 		if err != nil {
 			return fmt.Errorf("%s: %w", s.name, err)
 		}
@@ -243,15 +259,16 @@ func writeBenchReport(path string) error {
 			b.ReportAllocs()
 			fn(b)
 		})
-		fmt.Printf("%-26s %12.0f ns/op %10d B/op %8d allocs/op\n",
+		fmt.Printf("%-26s %12.0f ns/op %10d B/op %8d allocs/op  [%s]\n",
 			s.name, float64(res.T.Nanoseconds())/float64(res.N),
-			res.AllocedBytesPerOp(), res.AllocsPerOp())
+			res.AllocedBytesPerOp(), res.AllocsPerOp(), engine)
 		rep.Benchmarks = append(rep.Benchmarks, benchRecord{
 			Name:        s.name,
 			N:           res.N,
 			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 			BytesPerOp:  res.AllocedBytesPerOp(),
 			AllocsPerOp: res.AllocsPerOp(),
+			Engine:      engine,
 		})
 	}
 	data, err := json.MarshalIndent(&rep, "", "  ")

@@ -41,6 +41,79 @@ __kernel void sub(__global float* a, __global float* b) {
 	}
 }
 
+// TestCompileCacheEngineKeyed is the regression test for the cache
+// audit: the engine is part of the compile-cache key, so the closure
+// tree (*compiled) and the bytecode program (*bcEntry) for the same
+// *clc.Kernel live under distinct entries and a form compiled for one
+// engine is never served to the other.
+func TestCompileCacheEngineKeyed(t *testing.T) {
+	src := `
+__kernel void ek(__global float* a) {
+	int i = get_global_id(0);
+	a[i] = a[i] + 1.0f;
+}`
+	k := compileKernelSrc(t, src, "ek")
+	ex, err := NewExec(k)
+	if err != nil {
+		t.Fatalf("NewExec: %v", err)
+	}
+	ex.Engine = EngineBytecode
+	if err := ex.Bind(BufArg(NewFloatBuffer(32))); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if err := ex.Launch(ND1(32, 8)); err != nil { // resolves + lowers
+		t.Fatalf("Launch: %v", err)
+	}
+	if eng, reason := ex.EngineUsed(); eng != EngineBytecode {
+		t.Fatalf("bytecode launch fell back to %v (%s)", eng, reason)
+	}
+
+	cv, ok := compileCache.Load(cacheKey{k: k, engine: EngineClosures})
+	if !ok {
+		t.Fatal("no cache entry under (k, EngineClosures)")
+	}
+	if _, isTree := cv.(*compiled); !isTree {
+		t.Fatalf("closures entry holds %T, want *compiled", cv)
+	}
+	bv, ok := compileCache.Load(cacheKey{k: k, engine: EngineBytecode})
+	if !ok {
+		t.Fatal("no cache entry under (k, EngineBytecode)")
+	}
+	ent, isBC := bv.(*bcEntry)
+	if !isBC {
+		t.Fatalf("bytecode entry holds %T, want *bcEntry", bv)
+	}
+	if ent.err != nil || ent.prog == nil {
+		t.Fatalf("bytecode entry = {prog:%v err:%v}, want lowered program", ent.prog, ent.err)
+	}
+
+	// A second executor pinned to closures must reuse the closure tree
+	// and must not observe the bytecode entry.
+	ex2, err := NewExec(k)
+	if err != nil {
+		t.Fatalf("NewExec: %v", err)
+	}
+	ex2.Engine = EngineClosures
+	if err := ex2.Bind(BufArg(NewFloatBuffer(32))); err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if err := ex2.Launch(ND1(32, 8)); err != nil {
+		t.Fatalf("Launch: %v", err)
+	}
+	if eng, _ := ex2.EngineUsed(); eng != EngineClosures {
+		t.Fatalf("closure launch reports engine %v", eng)
+	}
+	if ex2.ck != cv.(*compiled) {
+		t.Error("closure executor did not reuse the cached closure tree")
+	}
+	if ex2.prog != nil {
+		t.Error("closure-pinned executor holds a bytecode program")
+	}
+	if ex.prog != ent.prog {
+		t.Error("bytecode executor did not reuse the cached bytecode program")
+	}
+}
+
 // TestCompileCacheBypassedWhileFaultsArmed verifies that an armed
 // interp.compile fault fires on every NewExec even for cached kernels:
 // memoization must never mask an injected fault sequence.

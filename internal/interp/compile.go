@@ -42,6 +42,12 @@ type env struct {
 	nd    *NDRange  // the launched ND range (shared, read-only)
 	wg    *wgState
 	priv  [][]Value // private arrays of the current work-item, by index
+
+	// classify gates the per-access pattern classifier: when false (an
+	// unsampled work-group under sampled profiling) recordAccess is
+	// skipped while the aggregate counters and the trace stay exact.
+	// Exact profiling keeps it true for every group.
+	classify bool
 }
 
 // wgState is the work-group-shared state: __local arrays and scalars.
@@ -915,7 +921,9 @@ func record(e *env, b *Buffer, st *siteState, idx int64, write bool) {
 		stats.Loads++
 		stats.LoadBytes += es
 	}
-	st.recordAccess(addr, es, e.wi)
+	if e.classify {
+		st.recordAccess(addr, es, e.wi)
+	}
 	if e.sink != nil {
 		e.sink.Access(addr, es, write)
 	}

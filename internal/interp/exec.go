@@ -73,7 +73,35 @@ type Exec struct {
 	// sequentially.
 	Parallelism int
 
+	// Engine selects the execution engine: EngineAuto (the default)
+	// resolves to DefaultEngine() at Launch time. When the bytecode
+	// engine is selected but the kernel cannot be lowered, the launch
+	// transparently falls back to the closure engine and records the
+	// reason in RunStats.FallbackReason. Results are bit-identical
+	// across engines.
+	Engine Engine
+
+	// AccessSampleRate enables sampled access-pattern profiling: a
+	// deterministic, hash-chosen fraction of work-groups (by linear
+	// group id) runs the per-access classifier, the rest skip it.
+	// 0 uses the process default (DOPIA_ACCESS_SAMPLE, else exact);
+	// rates outside (0,1) mean exact profiling. Aggregate counters and
+	// traces stay exact in every mode, and the sampling decision is
+	// independent of engine and shard count.
+	AccessSampleRate float64
+	// AccessSampleSeed seeds the sampling hash (used only when a rate
+	// is set on the Exec; the env-default rate pairs with
+	// DOPIA_ACCESS_SEED).
+	AccessSampleSeed uint64
+
 	paramVals []Value
+
+	// Resolved at Launch: the lowered bytecode program (nil = closure
+	// engine), the engine actually used, and the fallback reason when
+	// the bytecode engine was requested but unavailable.
+	prog           *bcProgram
+	engineUsed     Engine
+	fallbackReason string
 
 	seq     *runState   // shard-0 / sequential execution state
 	workers []*runState // extra shard workers, grown lazily
@@ -81,11 +109,29 @@ type Exec struct {
 	abort   abortFlag
 }
 
-// compileCache memoizes compiled kernel forms per *clc.Kernel. Compiled
-// forms are immutable and hold no execution state, so every Exec of the
-// same kernel shares one. The cache is bypassed while fault injection is
-// armed so injected compile faults keep their exact hit sequence.
-var compileCache sync.Map // *clc.Kernel -> *compiled
+// cacheKey keys the process-wide compile cache. The engine is part of
+// the key: a kernel compiled for the closure engine (a *compiled tree)
+// must never be served to the bytecode path (a *bcEntry), and vice
+// versa.
+type cacheKey struct {
+	k      *clc.Kernel
+	engine Engine
+}
+
+// bcEntry is a cached lowering result. Failed lowerings are cached too:
+// the fallback decision is deterministic per kernel, so there is no
+// point re-running the lowerer on every launch.
+type bcEntry struct {
+	prog *bcProgram
+	err  error
+}
+
+// compileCache memoizes compiled kernel forms per (*clc.Kernel, engine).
+// Compiled forms are immutable and hold no execution state, so every
+// Exec of the same kernel shares one. The cache is bypassed while fault
+// injection is armed so injected compile faults keep their exact hit
+// sequence.
+var compileCache sync.Map // cacheKey -> *compiled (closures) | *bcEntry (bytecode)
 
 // NewExec compiles kernel k and returns an executor for it. The kernel
 // must come from a checked program (clc.Compile). Identical kernels
@@ -100,14 +146,15 @@ func NewExec(k *clc.Kernel) (ex2 *Exec, err error) {
 		return nil, faults.Wrap(faults.StageCompile, err)
 	}
 	var ck *compiled
-	if v, ok := compileCache.Load(k); ok && !faults.Active() {
+	key := cacheKey{k: k, engine: EngineClosures}
+	if v, ok := compileCache.Load(key); ok && !faults.Active() {
 		ck = v.(*compiled)
 	} else {
 		ck, err = compileKernel(k)
 		if err != nil {
 			return nil, faults.Wrap(faults.StageCompile, err)
 		}
-		compileCache.Store(k, ck)
+		compileCache.Store(key, ck)
 	}
 	ex := &Exec{
 		kernel: k,
@@ -126,6 +173,8 @@ func (ex *Exec) Kernel() *clc.Kernel { return ex.kernel }
 // ResetStats clears accumulated statistics.
 func (ex *Exec) ResetStats() {
 	ex.stats = newRunStats(ex.ck)
+	ex.stats.EngineUsed = ex.engineUsed
+	ex.stats.FallbackReason = ex.fallbackReason
 }
 
 // newRunStats allocates run statistics with per-site metadata resolved
@@ -153,6 +202,17 @@ func (s *RunStats) resetFor(ck *compiled) {
 
 // Stats returns the profile of everything run since the last ResetStats.
 func (ex *Exec) Stats() *Profile { return ex.stats.Summarize() }
+
+// EngineUsed reports the execution engine selected at Launch and, when
+// the bytecode engine was requested but this kernel fell back to the
+// closure engine, the reason. Before the first Launch it reports the
+// engine that would be used for an EngineAuto request.
+func (ex *Exec) EngineUsed() (Engine, string) {
+	if ex.engineUsed == EngineAuto {
+		return DefaultEngine(), ""
+	}
+	return ex.engineUsed, ex.fallbackReason
+}
 
 // SetArg binds argument i. Buffers are placed in the executor's address
 // space; scalar values are converted to the parameter's kind.
@@ -225,7 +285,50 @@ func (ex *Exec) Launch(nd NDRange) error {
 	for i := range ex.kernel.Params {
 		ex.paramVals = append(ex.paramVals, ex.args[i].Val)
 	}
+	ex.resolveEngine()
 	return nil
+}
+
+// resolveEngine resolves the Engine field for the current launch and
+// stamps the outcome into the executor's statistics. The bytecode engine
+// falls back per kernel to the closure engine when lowering fails; the
+// run still succeeds, with the reason recorded.
+func (ex *Exec) resolveEngine() {
+	eng := ex.Engine
+	if eng == EngineAuto {
+		eng = DefaultEngine()
+	}
+	ex.prog, ex.engineUsed, ex.fallbackReason = nil, EngineClosures, ""
+	if eng == EngineBytecode {
+		prog, err := lowerCached(ex.kernel, ex.ck)
+		if err != nil {
+			ex.fallbackReason = err.Error()
+		} else {
+			ex.prog, ex.engineUsed = prog, EngineBytecode
+		}
+	}
+	ex.stats.EngineUsed = ex.engineUsed
+	ex.stats.FallbackReason = ex.fallbackReason
+}
+
+// lowerCached returns the bytecode program for k, memoized — including
+// negative results, since the fallback decision is deterministic per
+// kernel. Both the read and the write are skipped while fault injection
+// is armed, so injected lowering faults keep their exact hit sequence
+// and never leak into the cache.
+func lowerCached(k *clc.Kernel, ck *compiled) (*bcProgram, error) {
+	key := cacheKey{k: k, engine: EngineBytecode}
+	if !faults.Active() {
+		if v, ok := compileCache.Load(key); ok {
+			ent := v.(*bcEntry)
+			return ent.prog, ent.err
+		}
+	}
+	prog, err := lowerKernel(k, ck)
+	if !faults.Active() {
+		compileCache.Store(key, &bcEntry{prog: prog, err: err})
+	}
+	return prog, err
 }
 
 // seqState returns the sequential/shard-0 execution state, prepared for
@@ -298,6 +401,15 @@ type runState struct {
 	privScratch [][][]Value
 	doneScratch []bool
 
+	// Bytecode-engine register files, one row per work-item of a group
+	// (registers persist across segments like slotScratch rows do).
+	irScratch [][]int64
+	frScratch [][]float64
+
+	// Access-sampling decision inputs, resolved by prepare.
+	sampleThresh uint64
+	sampleSeed   uint64
+
 	// Parallel-run scratch, reused across runs: per-shard statistics and
 	// trace log, merged deterministically in shard order.
 	ownStats *RunStats
@@ -336,6 +448,20 @@ func (rs *runState) prepare(stats *RunStats, sink TraceSink) {
 			rs.wg.locals[i] = make([]Value, ln)
 		}
 	}
+	if prog := ex.prog; prog != nil && len(rs.irScratch) < wgSize {
+		rs.irScratch = make([][]int64, wgSize)
+		rs.frScratch = make([][]float64, wgSize)
+		for i := 0; i < wgSize; i++ {
+			rs.irScratch[i] = make([]int64, prog.numI)
+			rs.frScratch[i] = make([]float64, prog.numF)
+		}
+	}
+	rate, seed := ex.AccessSampleRate, ex.AccessSampleSeed
+	if rate == 0 {
+		rate, seed = DefaultAccessSampling()
+	}
+	rs.sampleThresh = sampleThreshold(rate)
+	rs.sampleSeed = seed
 	rs.stats = stats
 	rs.env.stats = stats
 	rs.env.bufs = ex.bufs
@@ -349,6 +475,9 @@ func (rs *runState) prepare(stats *RunStats, sink TraceSink) {
 // ones — are contained and returned as classified errors, also when the
 // call happens on a shard worker goroutine.
 func (rs *runState) runGroup(linear int) (err error) {
+	if rs.ex.prog != nil {
+		return rs.runGroupBC(linear)
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			if re, ok := r.(*runtimeError); ok {
@@ -385,6 +514,7 @@ func (rs *runState) runGroup(linear int) (err error) {
 	}
 
 	e := &rs.env
+	e.classify = groupClassified(rs.sampleThresh, rs.sampleSeed, linear)
 	nd := &ex.nd
 	l0, l1 := int64(nd.Local[0]), int64(nd.Local[1])
 	baseWI := int64(linear) * int64(wgSize)

@@ -23,6 +23,13 @@ type RunStats struct {
 	GroupsRun  int64
 	ItemsRun   int64
 
+	// EngineUsed is the execution engine that actually ran (stamped at
+	// Launch); FallbackReason is non-empty when the bytecode engine was
+	// requested but the kernel fell back to the closure engine. Both are
+	// launch metadata, not merged counters.
+	EngineUsed     Engine
+	FallbackReason string
+
 	sites []siteState
 }
 
@@ -77,9 +84,9 @@ func (dst *siteState) mergeFrom(src *siteState) {
 	// work-item). In the sequential stream, a same-WI boundary would be
 	// an iteration delta; a new WI at firstWI+1 would be a lane delta.
 	if dst.prevValid && dst.prevWI == src.firstTouchWI {
-		dst.iter.Observe((src.firstTouchAddr - dst.prevAddr) / es)
+		dst.iter.Observe(divES(src.firstTouchAddr-dst.prevAddr, es))
 	} else if dst.haveFirst && src.firstTouchWI == dst.firstWI+1 {
-		dst.lane.Observe((src.firstTouchAddr - dst.firstAddr) / es)
+		dst.lane.Observe(divES(src.firstTouchAddr-dst.firstAddr, es))
 	}
 	dst.count += src.count
 	dst.bytes += src.bytes
@@ -125,6 +132,12 @@ type Profile struct {
 	GroupsRun  int64
 	ItemsRun   int64
 	Sites      []SiteProfile
+
+	// Engine is the execution engine the profiled launches ran on;
+	// FallbackReason records why a bytecode-engine request fell back to
+	// the closure engine (empty otherwise).
+	Engine         Engine
+	FallbackReason string
 }
 
 // TotalBytes returns the total bytes moved (loads + stores).
@@ -156,14 +169,47 @@ func (p *Profile) Scale(f float64) *Profile {
 	return &s
 }
 
+// divES divides a byte delta between two addresses of one site by the
+// site's element size. Both addresses lie in the same buffer (bases are
+// bufferAlign-aligned), so the delta is an exact multiple of the element
+// size (4 or 8) and the division reduces to an arithmetic shift — which
+// is exact for negative multiples too.
+func divES(delta, es int64) int64 {
+	switch es {
+	case 4:
+		return delta >> 2
+	case 8:
+		return delta >> 3
+	}
+	return delta / es
+}
+
 // recordAccess updates a site's dynamic pattern state. wi is the linear
 // global index of the executing work-item, addr the flat byte address.
+// The fast path covers repeat accesses by the current work-item (the
+// steady state of every kernel loop) and is small enough for the
+// compiler to inline into the bytecode engine's dispatch loop; every
+// other case (first access, work-item change) takes recordAccessSlow.
 func (st *siteState) recordAccess(addr, elemSize, wi int64) {
+	if st.prevValid && st.prevWI == wi && st.seenThisWI == wi {
+		// prevValid implies haveFirst, and seenThisWI == wi means this
+		// WI's first access is already recorded: only the iteration
+		// delta and the running totals change.
+		st.count++
+		st.bytes += elemSize
+		st.iter.Observe(divES(addr-st.prevAddr, elemSize))
+		st.prevAddr = addr
+		return
+	}
+	st.recordAccessSlow(addr, elemSize, wi)
+}
+
+func (st *siteState) recordAccessSlow(addr, elemSize, wi int64) {
 	st.count++
 	st.bytes += elemSize
 	st.elemSize = elemSize
 	if st.prevValid && st.prevWI == wi {
-		st.iter.Observe((addr - st.prevAddr) / elemSize)
+		st.iter.Observe(divES(addr-st.prevAddr, elemSize))
 	}
 	st.prevAddr = addr
 	st.prevWI = wi
@@ -173,7 +219,7 @@ func (st *siteState) recordAccess(addr, elemSize, wi int64) {
 	if st.seenThisWI != wi || !st.haveFirst {
 		if st.haveFirst {
 			if wi == st.firstWI+1 {
-				st.lane.Observe((addr - st.firstAddr) / elemSize)
+				st.lane.Observe(divES(addr-st.firstAddr, elemSize))
 			}
 		} else {
 			st.firstTouchAddr, st.firstTouchWI = addr, wi
@@ -206,14 +252,16 @@ func (s *RunStats) mergeFrom(o *RunStats) {
 // Summarize produces the profile for the statistics gathered so far.
 func (s *RunStats) Summarize() *Profile {
 	p := &Profile{
-		AluInt:     s.AluInt,
-		AluFloat:   s.AluFloat,
-		Loads:      s.Loads,
-		Stores:     s.Stores,
-		LoadBytes:  s.LoadBytes,
-		StoreBytes: s.StoreBytes,
-		GroupsRun:  s.GroupsRun,
-		ItemsRun:   s.ItemsRun,
+		AluInt:         s.AluInt,
+		AluFloat:       s.AluFloat,
+		Loads:          s.Loads,
+		Stores:         s.Stores,
+		LoadBytes:      s.LoadBytes,
+		StoreBytes:     s.StoreBytes,
+		GroupsRun:      s.GroupsRun,
+		ItemsRun:       s.ItemsRun,
+		Engine:         s.EngineUsed,
+		FallbackReason: s.FallbackReason,
 	}
 	for i := range s.sites {
 		st := &s.sites[i]
