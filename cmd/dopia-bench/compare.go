@@ -14,9 +14,11 @@ import (
 // compareReports loads two -out reports and prints per-benchmark ns/op
 // and allocs/op deltas. It returns an error listing every benchmark
 // whose ns/op or allocs/op regressed by more than thresholdPct percent,
-// or that disappeared from the new report. New benchmarks (present only
-// in the new report) are informational.
-func compareReports(oldPath, newPath string, thresholdPct float64) error {
+// or that disappeared from the new report. With allowMissing,
+// disappeared benchmarks are reported as waived instead of failing —
+// for CI jobs that deliberately run a subset of the suites. New
+// benchmarks (present only in the new report) are informational.
+func compareReports(oldPath, newPath string, thresholdPct float64, allowMissing bool) error {
 	oldRep, err := loadBenchReport(oldPath)
 	if err != nil {
 		return err
@@ -38,11 +40,17 @@ func compareReports(oldPath, newPath string, thresholdPct float64) error {
 		"benchmark", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "delta")
 
 	var failures []string
+	waived := 0
 	seen := make(map[string]bool, len(oldRep.Benchmarks))
 	for _, ob := range oldRep.Benchmarks {
 		seen[ob.Name] = true
 		nb, ok := newByName[ob.Name]
 		if !ok {
+			if allowMissing {
+				fmt.Printf("%-26s %14.0f %14s\n", ob.Name, ob.NsPerOp, "(waived)")
+				waived++
+				continue
+			}
 			fmt.Printf("%-26s %14.0f %14s\n", ob.Name, ob.NsPerOp, "missing")
 			failures = append(failures,
 				fmt.Sprintf("%s: missing from %s", ob.Name, newPath))
@@ -75,6 +83,11 @@ func compareReports(oldPath, newPath string, thresholdPct float64) error {
 		}
 		return fmt.Errorf("%d benchmark regression(s) above %.1f%%",
 			len(failures), thresholdPct)
+	}
+	if waived > 0 {
+		fmt.Printf("OK: no regressions above %.1f%% (%d missing benchmark(s) waived)\n",
+			thresholdPct, waived)
+		return nil
 	}
 	fmt.Printf("OK: no regressions above %.1f%%\n", thresholdPct)
 	return nil

@@ -41,6 +41,7 @@ func main() {
 		out        = flag.String("out", "", "run the tier-1 component benchmarks and write ns/op + allocs/op JSON to this file, then exit")
 		compare    = flag.Bool("compare", false, "compare two -out reports (old.json new.json): print ns/op + allocs/op deltas and exit non-zero on regressions above -threshold")
 		threshold  = flag.Float64("threshold", 25, "regression threshold in percent for -compare")
+		allowMiss  = flag.Bool("allow-missing", false, "with -compare, waive benchmarks missing from the new report instead of failing (for CI runs that exclude suites)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -48,10 +49,10 @@ func main() {
 
 	if *compare {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "usage: dopia-bench -compare [-threshold pct] old.json new.json")
+			fmt.Fprintln(os.Stderr, "usage: dopia-bench -compare [-threshold pct] [-allow-missing] old.json new.json")
 			os.Exit(2)
 		}
-		if err := compareReports(flag.Arg(0), flag.Arg(1), *threshold); err != nil {
+		if err := compareReports(flag.Arg(0), flag.Arg(1), *threshold, *allowMiss); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

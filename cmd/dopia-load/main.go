@@ -1,0 +1,458 @@
+// Command dopia-load is the closed-loop load generator and correctness
+// checker for dopia-serve. Each of -concurrency workers owns one tenant
+// session, uploads the deterministic inputs of its assigned real
+// workload (Polybench / SpMV / PageRank), and launches in a closed loop
+// for -duration. Every response is verified BIT-IDENTICAL against a
+// direct in-process sequential execution of the same kernel on the same
+// inputs: the client replays each launch through the interpreter
+// locally and compares the returned base64 buffer bytes, so any
+// cross-tenant leak, cache corruption, or nondeterministic sharding in
+// the serving path fails the run.
+//
+// With -addr "" (the default) the generator embeds the server in
+// process on a loopback listener — the zero-setup mode used to produce
+// BENCH_4.json. Point -addr at a running dopia-serve to load a real
+// daemon; exit status is non-zero on any mismatch, request failure, or
+// contained panic reported by /metrics.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dopia/internal/clc"
+	"dopia/internal/interp"
+	"dopia/internal/server"
+	"dopia/internal/sim"
+	"dopia/internal/stats"
+	"dopia/internal/workloads"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "", "daemon address (host:port); empty = embed the server in-process")
+		machineName = flag.String("machine", "Kaveri", "machine model for the embedded server")
+		concurrency = flag.Int("concurrency", 8, "closed-loop workers (one session each)")
+		duration    = flag.Duration("duration", 10*time.Second, "load duration")
+		size        = flag.Int("n", 256, "problem size per workload")
+		wgSize      = flag.Int("wg", 64, "work-group size")
+		mix         = flag.String("mix", "GESUMMV,ATAX1,BICG1,MVT1,SpMV,PageRank", "comma-separated workload mix")
+		deadlineMS  = flag.Int64("deadline-ms", 0, "per-launch deadline (0 = server default)")
+		out         = flag.String("out", "", "write the JSON report here (e.g. BENCH_4.json)")
+	)
+	flag.Parse()
+
+	base := *addr
+	var embedded *server.Server
+	if base == "" {
+		var err error
+		base, embedded, err = embedServer(*machineName)
+		if err != nil {
+			fail("embedded server: %v", err)
+		}
+	}
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+
+	mixWorkloads, err := pickMix(*mix, *size, *wgSize)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	client := server.NewClient(base, &http.Client{Timeout: 10 * time.Minute})
+	if _, err := client.Healthz(); err != nil {
+		fail("daemon at %s not healthy: %v", base, err)
+	}
+
+	// Register every program in the mix up front (dedup makes this a
+	// no-op for workloads sharing one source).
+	progIDs := make(map[string]string, len(mixWorkloads))
+	for _, w := range mixWorkloads {
+		resp, err := client.Compile(w.Source)
+		if err != nil {
+			fail("compile %s: %v", w.Name, err)
+		}
+		progIDs[w.Name] = resp.ProgramID
+	}
+
+	var (
+		launches   atomic.Int64
+		mismatches atomic.Int64
+		reqErrors  atomic.Int64
+		retries    atomic.Int64
+		rungs      sync.Map // rung string -> *atomic.Int64
+		latency    = stats.NewLatencyHistogram()
+	)
+	bumpRung := func(r string) {
+		v, _ := rungs.LoadOrStore(r, new(atomic.Int64))
+		v.(*atomic.Int64).Add(1)
+	}
+
+	fmt.Printf("dopia-load: %d workers, %v, mix=%s, target %s\n",
+		*concurrency, *duration, *mix, base)
+	stop := time.Now().Add(*duration)
+	var wg sync.WaitGroup
+	for i := 0; i < *concurrency; i++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			w := mixWorkloads[worker%len(mixWorkloads)]
+			tc, err := newTenant(client, w, progIDs[w.Name], *deadlineMS)
+			if err != nil {
+				reqErrors.Add(1)
+				fmt.Fprintf(os.Stderr, "worker %d (%s): setup: %v\n", worker, w.Name, err)
+				return
+			}
+			defer tc.close()
+			for time.Now().Before(stop) {
+				t0 := time.Now()
+				resp, err := tc.launchOnce()
+				if err != nil {
+					if apiErr, ok := err.(*server.APIError); ok && apiErr.IsRetryable() {
+						retries.Add(1)
+						time.Sleep(time.Duration(apiErr.RetryAfterMS) * time.Millisecond)
+						continue
+					}
+					reqErrors.Add(1)
+					fmt.Fprintf(os.Stderr, "worker %d (%s): launch: %v\n", worker, w.Name, err)
+					return
+				}
+				latency.Record(time.Since(t0).Seconds())
+				launches.Add(1)
+				bumpRung(resp.Rung)
+				if ok, detail := tc.verify(resp); !ok {
+					mismatches.Add(1)
+					fmt.Fprintf(os.Stderr, "worker %d (%s): MISMATCH: %s\n", worker, w.Name, detail)
+					return
+				}
+			}
+		}(i)
+	}
+
+	// Poll the observability surface while the storm runs: both
+	// endpoints must stay live under full load.
+	healthPolls := 0
+	pollDone := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(500 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-pollDone:
+				return
+			case <-tick.C:
+				if _, err := client.Healthz(); err == nil {
+					healthPolls++
+				}
+				_, _ = client.Metrics()
+			}
+		}
+	}()
+	wg.Wait()
+	close(pollDone)
+
+	page, err := client.Metrics()
+	if err != nil {
+		fail("final /metrics scrape: %v", err)
+	}
+	panics := metricValue(page, "dopia_panics_contained_total")
+	timeouts := metricValue(page, "dopia_watchdog_timeouts_total")
+	plain := metricValue(page, "dopia_fallback_plain_total")
+
+	snap := latency.Snapshot()
+	report := map[string]any{
+		"bench":       "dopia-load",
+		"machine":     *machineName,
+		"concurrency": *concurrency,
+		"duration_sec": func() float64 {
+			return duration.Seconds()
+		}(),
+		"mix":            strings.Split(*mix, ","),
+		"n":              *size,
+		"wg":             *wgSize,
+		"launches":       launches.Load(),
+		"request_errors": reqErrors.Load(),
+		"retries":        retries.Load(),
+		"mismatches":     mismatches.Load(),
+		"throughput_rps": float64(launches.Load()) / duration.Seconds(),
+		"latency_ms": map[string]float64{
+			"p50":  snap.P50() * 1e3,
+			"p95":  snap.P95() * 1e3,
+			"p99":  snap.P99() * 1e3,
+			"mean": snap.Mean() * 1e3,
+		},
+		"rungs": func() map[string]int64 {
+			out := map[string]int64{}
+			rungs.Range(func(k, v any) bool {
+				out[k.(string)] = v.(*atomic.Int64).Load()
+				return true
+			})
+			return out
+		}(),
+		"server": map[string]int64{
+			"panics_contained":  panics,
+			"watchdog_timeouts": timeouts,
+			"fallback_plain":    plain,
+		},
+		"health_polls_ok": healthPolls,
+	}
+	raw, _ := json.MarshalIndent(report, "", "  ")
+	fmt.Println(string(raw))
+	if *out != "" {
+		if err := os.WriteFile(*out, append(raw, '\n'), 0o644); err != nil {
+			fail("writing %s: %v", *out, err)
+		}
+		fmt.Printf("dopia-load: report written to %s\n", *out)
+	}
+
+	if embedded != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := embedded.Shutdown(sctx); err != nil {
+			fail("drain: %v", err)
+		}
+	}
+
+	switch {
+	case mismatches.Load() > 0:
+		fail("FAIL: %d bit-exactness mismatches", mismatches.Load())
+	case reqErrors.Load() > 0:
+		fail("FAIL: %d request errors", reqErrors.Load())
+	case panics > 0:
+		fail("FAIL: server contained %d panics", panics)
+	case launches.Load() == 0:
+		fail("FAIL: no launches completed")
+	}
+	fmt.Printf("dopia-load: PASS — %d launches verified bit-identical (%d retries, %d health polls)\n",
+		launches.Load(), retries.Load(), healthPolls)
+}
+
+// tenant is one worker's session plus its local bit-exact replica.
+type tenant struct {
+	client     *server.Client
+	sid        string
+	progID     string
+	kernel     string
+	deadlineMS int64
+
+	// The local replica: the same kernel bound to local copies of the
+	// same buffers, stepped sequentially once per server launch.
+	exec    *interp.Exec
+	inst    *workloads.Instance
+	nd      interp.NDRange
+	args    []server.LaunchArg
+	read    []string // buffer names in the launch's Read set
+	outputs map[string]*interp.Buffer
+}
+
+// newTenant creates the session, uploads the workload's deterministic
+// inputs, and prepares the in-process reference executor on identical
+// local copies.
+func newTenant(c *server.Client, w *workloads.Workload, progID string, deadlineMS int64) (*tenant, error) {
+	inst, err := w.Setup()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := clc.Compile(w.Source)
+	if err != nil {
+		return nil, err
+	}
+	k := prog.Kernel(w.Kernel)
+	if k == nil {
+		return nil, fmt.Errorf("kernel %q missing", w.Kernel)
+	}
+	ex, err := interp.NewExec(k)
+	if err != nil {
+		return nil, err
+	}
+	if err := ex.Bind(inst.Args...); err != nil {
+		return nil, err
+	}
+	if err := ex.Launch(inst.ND); err != nil {
+		return nil, err
+	}
+
+	sid, err := c.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	t := &tenant{
+		client: c, sid: sid, progID: progID, kernel: w.Kernel,
+		deadlineMS: deadlineMS,
+		exec:       ex, inst: inst, nd: inst.ND,
+		outputs: map[string]*interp.Buffer{},
+	}
+
+	isOutput := map[int]bool{}
+	for _, i := range inst.OutputArgs {
+		isOutput[i] = true
+	}
+	for i, a := range inst.Args {
+		if !a.IsBuf {
+			param := k.Params[i]
+			wa := server.LaunchArg{}
+			if param.Type.Kind.IsFloat() {
+				v := a.Val.F
+				wa.Float = &v
+			} else {
+				v := a.Val.I
+				wa.Int = &v
+			}
+			t.args = append(t.args, wa)
+			continue
+		}
+		name := fmt.Sprintf("b%d", i)
+		req := &server.BufferRequest{Name: name}
+		switch {
+		case a.Buf.F32 != nil:
+			req.Kind = "float32"
+			req.F32B64 = server.EncodeF32(a.Buf.F32)
+		case a.Buf.I32 != nil:
+			req.Kind = "int32"
+			req.I32B64 = server.EncodeI32(a.Buf.I32)
+		default:
+			return nil, fmt.Errorf("arg %d: unsupported buffer element type", i)
+		}
+		if err := c.CreateBuffer(sid, req); err != nil {
+			return nil, err
+		}
+		t.args = append(t.args, server.LaunchArg{Buf: name})
+		if isOutput[i] {
+			t.read = append(t.read, name)
+			t.outputs[name] = a.Buf
+		}
+	}
+	return t, nil
+}
+
+// launchOnce steps the local replica once and fires the same launch at
+// the daemon.
+func (t *tenant) launchOnce() (*server.LaunchResponse, error) {
+	resp, err := t.client.Launch(&server.LaunchRequest{
+		SessionID: t.sid, ProgramID: t.progID, Kernel: t.kernel,
+		Args:       t.args,
+		Global:     t.nd.Global[:t.nd.Dims],
+		Local:      t.nd.Local[:t.nd.Dims],
+		Read:       t.read,
+		DeadlineMS: t.deadlineMS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Step the local replica only after the server launch succeeded, so
+	// a retried 429 doesn't desynchronize accumulating kernels.
+	if err := t.exec.Run(); err != nil {
+		return nil, fmt.Errorf("local reference: %w", err)
+	}
+	return resp, nil
+}
+
+// verify compares every output buffer in the response against the local
+// replica, bit for bit (via the canonical base64 encoding).
+func (t *tenant) verify(resp *server.LaunchResponse) (bool, string) {
+	for name, local := range t.outputs {
+		remote, ok := resp.Buffers[name]
+		if !ok {
+			return false, fmt.Sprintf("response missing buffer %q", name)
+		}
+		var want string
+		if local.F32 != nil {
+			want = server.EncodeF32(local.F32)
+			if remote.F32B64 == want {
+				continue
+			}
+		} else {
+			want = server.EncodeI32(local.I32)
+			if remote.I32B64 == want {
+				continue
+			}
+		}
+		return false, fmt.Sprintf("buffer %q differs from in-process reference (rung %s, engine %s)",
+			name, resp.Rung, resp.Engine)
+	}
+	return true, ""
+}
+
+func (t *tenant) close() { _ = t.client.CloseSession(t.sid) }
+
+// pickMix resolves the workload names against the real-workload table.
+func pickMix(mix string, n, wg int) ([]*workloads.Workload, error) {
+	all, err := workloads.RealWorkloads(n, wg)
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]*workloads.Workload{}
+	var names []string
+	for i, d := range workloads.RealDescs() {
+		byName[d.Name] = all[i]
+		names = append(names, d.Name)
+	}
+	var out []*workloads.Workload
+	for _, name := range strings.Split(mix, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		w, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q; available: %s", name, strings.Join(names, ", "))
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty workload mix")
+	}
+	return out, nil
+}
+
+// embedServer starts an in-process daemon on a loopback listener.
+func embedServer(machineName string) (string, *server.Server, error) {
+	var m *sim.Machine
+	switch machineName {
+	case "Kaveri", "kaveri":
+		m = sim.Kaveri()
+	case "Skylake", "skylake":
+		m = sim.Skylake()
+	default:
+		return "", nil, fmt.Errorf("unknown machine %q", machineName)
+	}
+	srv, err := server.New(server.Config{Machine: m})
+	if err != nil {
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	go func() { _ = http.Serve(ln, srv.Handler()) }()
+	return "http://" + ln.Addr().String(), srv, nil
+}
+
+// metricValue extracts one un-labeled sample from a text metrics page.
+func metricValue(page, name string) int64 {
+	for _, line := range strings.Split(page, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err == nil {
+				return int64(v)
+			}
+		}
+	}
+	return -1
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dopia-load: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,162 @@
+// Command dopia-serve runs the Dopia-as-a-service daemon: an HTTP/JSON
+// front end over the full management stack (program analysis, malleable
+// transform, model-driven DoP selection, co-execution simulation, and
+// the fail-open ladder), multi-tenant by construction. Sessions own
+// their buffers and command queues; compiled artifacts — program dedup,
+// interpreter compile cache, transform and prediction caches — are
+// shared process-wide.
+//
+// The model is either trained at startup on the synthetic grid (-train)
+// or loaded from a file produced by dopia-train -save-model
+// (-model-file). With -train 0 and no model file the daemon serves with
+// the ALL heuristic (no model), which still exercises co-execution.
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, admitted
+// launches finish (bounded by their deadlines, then -drain-timeout),
+// new work is refused with 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dopia/internal/core"
+	"dopia/internal/ml"
+	"dopia/internal/server"
+	"dopia/internal/sim"
+	"dopia/internal/workloads"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8034", "listen address")
+		machineName  = flag.String("machine", "Kaveri", "machine model: Kaveri or Skylake")
+		modelName    = flag.String("model", "DT", "model family trained at startup: LIN, SVR, DT, RF")
+		trainLimit   = flag.Int("train", 48, "synthetic workloads used to train the model (0 = no model, ALL heuristic)")
+		modelFile    = flag.String("model-file", "", "load a model saved by dopia-train -save-model instead of training")
+		queueDepth   = flag.Int("queue-depth", 256, "admission queue capacity")
+		workers      = flag.Int("workers", 0, "launch worker pool size (0 = GOMAXPROCS)")
+		deadline     = flag.Duration("deadline", 30*time.Second, "default per-request deadline")
+		maxDeadline  = flag.Duration("max-deadline", 5*time.Minute, "cap on client-requested deadlines")
+		watchdog     = flag.Duration("watchdog", 0, "per-execution watchdog timeout (0 = framework default)")
+		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "bound on graceful drain after SIGTERM")
+	)
+	flag.Parse()
+
+	var m *sim.Machine
+	switch *machineName {
+	case "Kaveri", "kaveri":
+		m = sim.Kaveri()
+	case "Skylake", "skylake":
+		m = sim.Skylake()
+	default:
+		log.Fatalf("unknown machine %q (Kaveri or Skylake)", *machineName)
+	}
+
+	model, err := loadModel(m, *modelName, *modelFile, *trainLimit)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv, err := server.New(server.Config{
+		Machine:         m,
+		Model:           model,
+		QueueDepth:      *queueDepth,
+		Workers:         *workers,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		WatchdogTimeout: *watchdog,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("dopia-serve: listening on http://%s (machine %s, model %s)",
+			*addr, m.Name, modelDesc(model))
+		errCh <- hs.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("dopia-serve: %v received, draining (bound %v)...", s, *drainTimeout)
+	case err := <-errCh:
+		log.Fatalf("dopia-serve: listener failed: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Refuse new launches first, then stop accepting connections, then
+	// wait for everything admitted to finish.
+	drainErr := srv.Shutdown(ctx)
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("dopia-serve: http shutdown: %v", err)
+	}
+	if drainErr != nil {
+		log.Fatalf("dopia-serve: %v", drainErr)
+	}
+	log.Printf("dopia-serve: drained cleanly; final ladder: %s", srv.Framework().Stats.Snapshot())
+}
+
+// loadModel loads or trains the DoP-selection model. limit == 0 and no
+// file means no model (the framework falls back to the ALL heuristic).
+func loadModel(m *sim.Machine, family, file string, limit int) (ml.Model, error) {
+	if file != "" {
+		model, err := ml.LoadModelFile(file)
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("dopia-serve: loaded %s model from %s", model.Name(), file)
+		return model, nil
+	}
+	if limit <= 0 {
+		log.Printf("dopia-serve: no model (ALL heuristic)")
+		return nil, nil
+	}
+	trainer, err := core.TrainerByName(family)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := workloads.SyntheticGrid()
+	if err != nil {
+		return nil, err
+	}
+	if limit < len(grid) {
+		stride := len(grid) / limit
+		var sub []*workloads.Workload
+		for i := 0; i < len(grid) && len(sub) < limit; i += stride {
+			sub = append(sub, grid[i])
+		}
+		grid = sub
+	}
+	log.Printf("dopia-serve: training %s on %d synthetic workloads...", trainer.Name(), len(grid))
+	t0 := time.Now()
+	evals, err := core.EvaluateAll(m, grid, 0)
+	if err != nil {
+		return nil, err
+	}
+	model, err := trainer.Fit(core.BuildDataset(m, evals))
+	if err != nil {
+		return nil, err
+	}
+	log.Printf("dopia-serve: trained in %v", time.Since(t0).Round(time.Millisecond))
+	return model, nil
+}
+
+func modelDesc(model ml.Model) string {
+	if model == nil {
+		return "none/ALL"
+	}
+	return model.Name()
+}

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"dopia/internal/analysis"
@@ -24,6 +26,16 @@ const DefaultWatchdogTimeout = 30 * time.Second
 // Framework is a Dopia instance for one machine: it caches per-kernel
 // compile-time artifacts (static analysis, malleable code) and drives
 // enqueue-time configuration selection and dynamic co-execution.
+//
+// A Framework is safe for concurrent use: the per-kernel artifact cache
+// and the prediction cache are internally locked, so one framework can
+// serve launches from many sessions and worker goroutines at once (the
+// dopia-serve deployment), sharing every memoized analysis, transform,
+// and prediction across tenants. Concurrent launches of the same kernel
+// may duplicate a cache fill on first sight — both results are
+// deterministic and identical, so last-write-wins is safe. Mutating
+// Model or WatchdogTimeout concurrently with launches is not supported;
+// configure the framework before attaching it.
 type Framework struct {
 	Machine *sim.Machine
 	// Model predicts normalized performance from Table 1 features. When
@@ -36,15 +48,31 @@ type Framework struct {
 	// selects DefaultWatchdogTimeout; negative disables the watchdog.
 	WatchdogTimeout time.Duration
 
+	// mu guards kernels and the per-kernelInfo maps (analysis and
+	// malleable artifacts). Artifact generation happens outside the
+	// lock; holders double-check before storing.
+	mu      sync.Mutex
 	kernels map[*clc.Kernel]*kernelInfo
 
-	// predCache memoizes model predictions by feature vector: the decision
-	// sweep evaluates 44 configurations per launch, and applications that
-	// re-launch a kernel with the same geometry produce the same 44 feature
-	// vectors every time. The cache belongs to one model identity and is
+	// predMu guards predCache/predModel. predCache memoizes model
+	// predictions by feature vector: the decision sweep evaluates 44
+	// configurations per launch, and applications that re-launch a
+	// kernel with the same geometry produce the same 44 feature vectors
+	// every time. The cache belongs to one model identity and is
 	// dropped when Model changes.
+	predMu    sync.Mutex
 	predCache map[ml.Features]float64
 	predModel ml.Model
+
+	// Prediction-cache traffic, exported to /metrics via PredCacheStats.
+	predHits, predMisses atomic.Int64
+}
+
+// PredCacheStats reports prediction-cache traffic: sweeps served from
+// the cache vs. model inferences performed. Safe to call concurrently
+// with launches.
+func (f *Framework) PredCacheStats() (hits, misses int64) {
+	return f.predHits.Load(), f.predMisses.Load()
 }
 
 type kernelInfo struct {
@@ -82,17 +110,23 @@ func NewFromModelFile(m *sim.Machine, path string) (*Framework, error) {
 	return f, nil
 }
 
-// watchdog returns a context bounding one managed execution, honoring
-// WatchdogTimeout.
-func (f *Framework) watchdog() (context.Context, context.CancelFunc) {
+// watchdog returns a context bounding one managed execution: the
+// framework's WatchdogTimeout layered under the caller's context, so a
+// per-request deadline (dopia-serve wires one through the command
+// queue) and the watchdog compose — whichever expires first aborts the
+// run.
+func (f *Framework) watchdog(parent context.Context) (context.Context, context.CancelFunc) {
+	if parent == nil {
+		parent = context.Background()
+	}
 	d := f.WatchdogTimeout
 	if d == 0 {
 		d = DefaultWatchdogTimeout
 	}
 	if d < 0 {
-		return context.Background(), func() {}
+		return parent, func() {}
 	}
-	return context.WithTimeout(context.Background(), d)
+	return context.WithTimeout(parent, d)
 }
 
 // AnalyzeProgram performs Dopia's compile-time stage on every kernel of a
@@ -109,12 +143,19 @@ func (f *Framework) AnalyzeProgram(prog *clc.Program) error {
 }
 
 func (f *Framework) kernelInfo(k *clc.Kernel) (*kernelInfo, error) {
+	f.mu.Lock()
 	if ki, ok := f.kernels[k]; ok {
+		f.mu.Unlock()
 		if ki.anErr != nil {
 			return nil, ki.anErr
 		}
 		return ki, nil
 	}
+	f.mu.Unlock()
+
+	// Analyze outside the lock — concurrent first launches of the same
+	// kernel may both analyze; the results are identical and the second
+	// store is discarded by the double-check below.
 	ki := &kernelInfo{
 		malleable: map[int]*transform.GPUResult{},
 		malErr:    map[int]error{},
@@ -123,11 +164,20 @@ func (f *Framework) kernelInfo(k *clc.Kernel) (*kernelInfo, error) {
 	if err != nil {
 		ki.anErr = faults.Wrap(faults.StageAnalysis,
 			fmt.Errorf("core: analysis of %s: %w", k.Name, err))
+	} else {
+		ki.analysis = res
+	}
+
+	f.mu.Lock()
+	if prev, ok := f.kernels[k]; ok {
+		ki = prev // another goroutine won the race; use its artifact
+	} else {
 		f.kernels[k] = ki
+	}
+	f.mu.Unlock()
+	if ki.anErr != nil {
 		return nil, ki.anErr
 	}
-	ki.analysis = res
-	f.kernels[k] = ki
 	return ki, nil
 }
 
@@ -138,16 +188,31 @@ func (f *Framework) Malleable(k *clc.Kernel, workDim int) (*transform.GPUResult,
 	if err != nil {
 		return nil, err
 	}
+	f.mu.Lock()
 	if r, ok := ki.malleable[workDim]; ok {
+		f.mu.Unlock()
 		return r, nil
+	}
+	if e, ok := ki.malErr[workDim]; ok {
+		f.mu.Unlock()
+		return nil, e
+	}
+	f.mu.Unlock()
+
+	// Generate outside the lock; double-check on store (the transform is
+	// deterministic, so a racing duplicate is identical).
+	r, terr := transform.MalleableGPU(k, workDim)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if prev, ok := ki.malleable[workDim]; ok {
+		return prev, nil
 	}
 	if e, ok := ki.malErr[workDim]; ok {
 		return nil, e
 	}
-	r, err := transform.MalleableGPU(k, workDim)
-	if err != nil {
-		ki.malErr[workDim] = err
-		return nil, err
+	if terr != nil {
+		ki.malErr[workDim] = terr
+		return nil, terr
 	}
 	ki.malleable[workDim] = r
 	return r, nil
@@ -217,16 +282,27 @@ func (f *Framework) predictCached(x ml.Features) (float64, error) {
 	if faults.Active() {
 		return predictOne(f.Model, x)
 	}
+	f.predMu.Lock()
 	if f.predModel != f.Model || f.predCache == nil {
 		f.predModel = f.Model
 		f.predCache = map[ml.Features]float64{}
 	}
 	if v, ok := f.predCache[x]; ok {
+		f.predMu.Unlock()
+		f.predHits.Add(1)
 		return v, nil
 	}
+	f.predMu.Unlock()
+
+	// Infer outside the lock: model inference dominates, and concurrent
+	// sweeps over the same features would otherwise serialize. A racing
+	// duplicate inference stores the same deterministic value.
 	v, err := predictOne(f.Model, x)
+	f.predMisses.Add(1)
 	if err == nil {
+		f.predMu.Lock()
 		f.predCache[x] = v
+		f.predMu.Unlock()
 	}
 	return v, err
 }
@@ -273,6 +349,10 @@ type Execution struct {
 	Result   *sim.Result
 	// Kernel/launch identification for reporting.
 	KernelName string
+	// Engine names the interpreter engine the CPU-side functional
+	// execution used ("bytecode" or "closures", with the per-kernel
+	// fallback reason appended when the bytecode engine declined).
+	Engine string
 }
 
 // Execute runs one kernel launch under Dopia management: select the DoP
@@ -284,7 +364,15 @@ type Execution struct {
 // degrades to the ALL configuration within it (recorded in Stats), while
 // harder failures — including contained panics and watchdog timeouts —
 // return classified errors for the ladder in interpose.go to act on.
-func (f *Framework) Execute(k *clc.Kernel, args []interp.Arg, nd interp.NDRange) (exec *Execution, err error) {
+func (f *Framework) Execute(k *clc.Kernel, args []interp.Arg, nd interp.NDRange) (*Execution, error) {
+	return f.ExecuteCtx(context.Background(), k, args, nd)
+}
+
+// ExecuteCtx is Execute bounded by a caller context: the watchdog runs
+// under ctx, so a request deadline or cancellation aborts the managed
+// execution within one work-group quantum and is classified as a
+// timeout / execution failure.
+func (f *Framework) ExecuteCtx(ctx context.Context, k *clc.Kernel, args []interp.Arg, nd interp.NDRange) (exec *Execution, err error) {
 	defer faults.Recover(faults.StageExec, &err)
 	ki, err := f.kernelInfo(k)
 	if err != nil {
@@ -311,25 +399,47 @@ func (f *Framework) Execute(k *clc.Kernel, args []interp.Arg, nd interp.NDRange)
 	if decErr != nil {
 		f.Stats.RecordModelDiscard(decErr)
 	}
-	ctx, cancel := f.watchdog()
+	wctx, cancel := f.watchdog(ctx)
 	defer cancel()
 	res, err := ex.Run(dec.Config, sched.RunOptions{
 		Dist:            sim.Dynamic,
 		Functional:      true,
 		ExtraStartupSec: dec.InferTime.Seconds(),
-		Context:         ctx,
+		Context:         wctx,
 	})
 	if err != nil {
 		return nil, faults.Wrap(faults.StageExec, err)
 	}
-	return &Execution{Decision: dec, Result: res, KernelName: k.Name}, nil
+	return &Execution{
+		Decision:   dec,
+		Result:     res,
+		KernelName: k.Name,
+		Engine:     engineString(ex),
+	}, nil
+}
+
+// engineString renders the interpreter engine an executor's CPU side
+// resolved for the current launch.
+func engineString(ex *sched.Executor) string {
+	eng, reason := ex.EngineUsed()
+	s := eng.String()
+	if reason != "" {
+		s += " (fallback: " + reason + ")"
+	}
+	return s
 }
 
 // ExecuteCoExecAll runs one launch on the second rung of the ladder:
 // co-execution of the *original* kernel on all resources, without the
 // malleable transform and without the model. It preserves Dopia's
 // CPU+GPU utilization while requiring nothing but a compiled kernel.
-func (f *Framework) ExecuteCoExecAll(k *clc.Kernel, args []interp.Arg, nd interp.NDRange) (exec *Execution, err error) {
+func (f *Framework) ExecuteCoExecAll(k *clc.Kernel, args []interp.Arg, nd interp.NDRange) (*Execution, error) {
+	return f.ExecuteCoExecAllCtx(context.Background(), k, args, nd)
+}
+
+// ExecuteCoExecAllCtx is ExecuteCoExecAll bounded by a caller context
+// (see ExecuteCtx).
+func (f *Framework) ExecuteCoExecAllCtx(ctx context.Context, k *clc.Kernel, args []interp.Arg, nd interp.NDRange) (exec *Execution, err error) {
 	defer faults.Recover(faults.StageExec, &err)
 	if err := faults.Hit("core.exec"); err != nil {
 		return nil, faults.Wrap(faults.StageExec, err)
@@ -344,12 +454,12 @@ func (f *Framework) ExecuteCoExecAll(k *clc.Kernel, args []interp.Arg, nd interp
 	if err := ex.Launch(nd); err != nil {
 		return nil, err
 	}
-	ctx, cancel := f.watchdog()
+	wctx, cancel := f.watchdog(ctx)
 	defer cancel()
 	res, err := ex.Run(f.Machine.AllResources(), sched.RunOptions{
 		Dist:       sim.Dynamic,
 		Functional: true,
-		Context:    ctx,
+		Context:    wctx,
 	})
 	if err != nil {
 		return nil, faults.Wrap(faults.StageExec, err)
@@ -358,5 +468,6 @@ func (f *Framework) ExecuteCoExecAll(k *clc.Kernel, args []interp.Arg, nd interp
 		Decision:   Decision{Config: f.Machine.AllResources()},
 		Result:     res,
 		KernelName: k.Name,
+		Engine:     engineString(ex),
 	}, nil
 }

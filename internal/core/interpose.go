@@ -49,6 +49,26 @@ func (ip *interposer) ProgramBuilt(prog *ocl.Program) (err error) {
 	return ip.fw.AnalyzeProgram(prog.Compiled())
 }
 
+// LaunchInfo describes how the latest interposed launch on a queue was
+// served. The interposer stores one in ocl.CommandQueue.LastLaunch so
+// callers that only see the OpenCL surface (the dopia-serve daemon) can
+// report the ladder rung, DoP decision, and engine per launch without
+// diffing counters.
+type LaunchInfo struct {
+	// Rung is the fallback-ladder rung that served the launch:
+	// "managed", "coexec-all", or "plain".
+	Rung string
+	// Decision is the DoP selection (nil on the plain rung, which
+	// executes after the interposer returns).
+	Decision *Decision
+	// Engine is the interpreter engine of the CPU-side functional
+	// execution ("" on the plain rung).
+	Engine string
+	// Cause is the classified error that forced the degradation (nil
+	// for managed launches).
+	Cause error
+}
+
 // recorder fans fallback accounting out to the per-framework and the
 // per-queue counters.
 type recorder struct {
@@ -128,10 +148,16 @@ func (ip *interposer) Enqueue(q *ocl.CommandQueue, k *ocl.Kernel, nd interp.NDRa
 	// Absolute backstop: a panic anywhere below becomes a plain fallback.
 	defer func() {
 		if r := recover(); r != nil {
-			rec.plain(&faults.PanicError{Stage: faults.StageUnknown, Value: r})
+			perr := &faults.PanicError{Stage: faults.StageUnknown, Value: r}
+			rec.plain(perr)
+			q.LastLaunch = &LaunchInfo{Rung: "plain", Cause: perr}
 			handled, simTime, err = false, 0, nil
 		}
 	}()
+	// ctx bounds the whole ladder: a request deadline wired onto the
+	// queue aborts whichever rung is executing and also stops the ladder
+	// from retrying rungs that can only time out again.
+	ctx := q.ExecContext()
 
 	args, aerr := k.Args()
 	if aerr != nil {
@@ -153,10 +179,11 @@ func (ip *interposer) Enqueue(q *ocl.CommandQueue, k *ocl.Kernel, nd interp.NDRa
 	// Rung 1: full Dopia management.
 	var cause error
 	if _, merr := ip.fw.Malleable(k.Compiled(), nd.Dims); merr == nil {
-		exec, xerr := ip.fw.Execute(k.Compiled(), args, nd)
+		exec, xerr := ip.fw.ExecuteCtx(ctx, k.Compiled(), args, nd)
 		if xerr == nil {
 			rec.managed()
 			q.LastResult = exec.Result
+			q.LastLaunch = &LaunchInfo{Rung: "managed", Decision: &exec.Decision, Engine: exec.Engine}
 			return true, exec.Result.Time, nil
 		}
 		snap.restore()
@@ -165,16 +192,24 @@ func (ip *interposer) Enqueue(q *ocl.CommandQueue, k *ocl.Kernel, nd interp.NDRa
 		cause = merr
 	}
 
-	// Rung 2: ALL co-execution without the malleable kernel.
-	exec, xerr := ip.fw.ExecuteCoExecAll(k.Compiled(), args, nd)
-	if xerr == nil {
-		rec.coExecAll(cause)
-		q.LastResult = exec.Result
-		return true, exec.Result.Time, nil
+	// A dead request context means every further rung can only fail the
+	// same way; skip straight to the plain runtime, which will surface
+	// the canonical timeout/cancellation error.
+	if ctx.Err() == nil {
+		// Rung 2: ALL co-execution without the malleable kernel.
+		exec, xerr := ip.fw.ExecuteCoExecAllCtx(ctx, k.Compiled(), args, nd)
+		if xerr == nil {
+			rec.coExecAll(cause)
+			q.LastResult = exec.Result
+			q.LastLaunch = &LaunchInfo{Rung: "coexec-all", Decision: &exec.Decision, Engine: exec.Engine, Cause: cause}
+			return true, exec.Result.Time, nil
+		}
+		snap.restore()
+		cause = xerr
 	}
-	snap.restore()
 
 	// Rung 3: the plain single-device runtime.
-	rec.plain(xerr)
+	rec.plain(cause)
+	q.LastLaunch = &LaunchInfo{Rung: "plain", Cause: cause}
 	return false, 0, nil
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // FallbackStats counts, per framework or per command queue, how launches
@@ -24,16 +25,25 @@ import (
 // ByStage attributes each degradation to the pipeline stage that caused
 // it. The zero value is ready to use; all methods are safe for concurrent
 // use. A FallbackStats must not be copied after first use.
+//
+// The counters are plain atomics so the hot path (RecordManaged, once
+// per interposed launch, from every serving worker at once) is a single
+// uncontended atomic increment. Only the per-stage attribution map —
+// touched exclusively on degradations, which are rare by design — takes
+// a mutex. Snapshot reads every counter atomically; when records race
+// with the snapshot each record lands entirely in this snapshot or
+// entirely in the next one per counter, and the By-stage map is copied
+// under its lock.
 type FallbackStats struct {
-	mu sync.Mutex
+	managed       atomic.Int64
+	coExecAll     atomic.Int64
+	plain         atomic.Int64
+	modelDiscards atomic.Int64
+	panics        atomic.Int64
+	timeouts      atomic.Int64
 
-	managed       int64
-	coExecAll     int64
-	plain         int64
-	modelDiscards int64
-	panics        int64
-	timeouts      int64
-	byStage       map[Stage]int64
+	mu      sync.Mutex // guards byStage only
+	byStage map[Stage]int64
 }
 
 // Snapshot is a copyable view of a FallbackStats at one instant.
@@ -52,9 +62,7 @@ func (s *FallbackStats) RecordManaged() {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	s.managed++
-	s.mu.Unlock()
+	s.managed.Add(1)
 }
 
 // RecordCoExecAll counts a launch degraded to ALL co-execution without
@@ -63,10 +71,8 @@ func (s *FallbackStats) RecordCoExecAll(err error) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	s.coExecAll++
-	s.classifyLocked(err)
-	s.mu.Unlock()
+	s.coExecAll.Add(1)
+	s.classify(err)
 }
 
 // RecordPlain counts a launch handed back to the plain runtime, caused by
@@ -75,10 +81,8 @@ func (s *FallbackStats) RecordPlain(err error) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	s.plain++
-	s.classifyLocked(err)
-	s.mu.Unlock()
+	s.plain.Add(1)
+	s.classify(err)
 }
 
 // RecordModelDiscard counts a launch whose model prediction was discarded.
@@ -86,28 +90,29 @@ func (s *FallbackStats) RecordModelDiscard(err error) {
 	if s == nil {
 		return
 	}
-	s.mu.Lock()
-	s.modelDiscards++
-	s.classifyLocked(err)
-	s.mu.Unlock()
+	s.modelDiscards.Add(1)
+	s.classify(err)
 }
 
-// classifyLocked attributes err to its pipeline stage and counts panics
-// and timeouts. Callers hold s.mu.
-func (s *FallbackStats) classifyLocked(err error) {
+// classify attributes err to its pipeline stage and counts panics and
+// timeouts.
+func (s *FallbackStats) classify(err error) {
 	if err == nil {
 		return
 	}
+	if IsPanic(err) {
+		s.panics.Add(1)
+	}
+	if IsTimeout(err) {
+		s.timeouts.Add(1)
+	}
+	stage := StageOf(err)
+	s.mu.Lock()
 	if s.byStage == nil {
 		s.byStage = map[Stage]int64{}
 	}
-	s.byStage[StageOf(err)]++
-	if IsPanic(err) {
-		s.panics++
-	}
-	if IsTimeout(err) {
-		s.timeouts++
-	}
+	s.byStage[stage]++
+	s.mu.Unlock()
 }
 
 // Snapshot returns a consistent copy of all counters.
@@ -115,26 +120,47 @@ func (s *FallbackStats) Snapshot() Snapshot {
 	if s == nil {
 		return Snapshot{}
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	snap := Snapshot{
-		Managed:       s.managed,
-		CoExecAll:     s.coExecAll,
-		Plain:         s.plain,
-		ModelDiscards: s.modelDiscards,
-		Panics:        s.panics,
-		Timeouts:      s.timeouts,
+		Managed:       s.managed.Load(),
+		CoExecAll:     s.coExecAll.Load(),
+		Plain:         s.plain.Load(),
+		ModelDiscards: s.modelDiscards.Load(),
+		Panics:        s.panics.Load(),
+		Timeouts:      s.timeouts.Load(),
 		ByStage:       map[Stage]int64{},
 	}
+	s.mu.Lock()
 	for st, n := range s.byStage {
 		snap.ByStage[st] = n
 	}
+	s.mu.Unlock()
 	return snap
 }
 
 // Degradations returns the total number of launches that fell below full
 // Dopia management.
 func (s Snapshot) Degradations() int64 { return s.CoExecAll + s.Plain }
+
+// Sub returns the per-counter difference s - prev: the records that
+// happened between the two snapshots. Taking a snapshot before and after
+// one serialized launch attributes exactly that launch's records.
+func (s Snapshot) Sub(prev Snapshot) Snapshot {
+	d := Snapshot{
+		Managed:       s.Managed - prev.Managed,
+		CoExecAll:     s.CoExecAll - prev.CoExecAll,
+		Plain:         s.Plain - prev.Plain,
+		ModelDiscards: s.ModelDiscards - prev.ModelDiscards,
+		Panics:        s.Panics - prev.Panics,
+		Timeouts:      s.Timeouts - prev.Timeouts,
+		ByStage:       map[Stage]int64{},
+	}
+	for st, n := range s.ByStage {
+		if delta := n - prev.ByStage[st]; delta != 0 {
+			d.ByStage[st] = delta
+		}
+	}
+	return d
+}
 
 // String renders the snapshot compactly for logs and reports.
 func (s Snapshot) String() string {

@@ -1,0 +1,92 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestFallbackStatsConcurrentSnapshots drives one FallbackStats from
+// many goroutines — the shape of a serving daemon fanning one
+// framework's aggregate counters across sessions — while concurrently
+// snapshotting it, and checks that no record is lost and that snapshots
+// taken mid-storm are internally consistent. Run under -race in CI; the
+// race detector is the other half of this regression test.
+func TestFallbackStatsConcurrentSnapshots(t *testing.T) {
+	s := &FallbackStats{}
+	const G, per = 32, 500
+	timeoutErr := Wrap(StageExec, fmt.Errorf("%w: deadline", ErrExecTimeout))
+	panicErr := &PanicError{Stage: StageAnalysis, Value: "boom"}
+	plainErr := Wrap(StageTransform, errors.New("no transform"))
+
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				switch i % 4 {
+				case 0:
+					s.RecordManaged()
+				case 1:
+					s.RecordCoExecAll(timeoutErr)
+				case 2:
+					s.RecordPlain(panicErr)
+				case 3:
+					s.RecordModelDiscard(plainErr)
+				}
+				if i%97 == 0 {
+					snap := s.Snapshot()
+					// Every degradation carries an error here, so the
+					// by-stage attributions can never exceed the records
+					// that classify (coexec + plain + discards).
+					var attributed int64
+					for _, n := range snap.ByStage {
+						attributed += n
+					}
+					if max := snap.CoExecAll + snap.Plain + snap.ModelDiscards; attributed > max {
+						t.Errorf("by-stage total %d > classified records %d", attributed, max)
+					}
+					if snap.Panics > snap.Plain {
+						t.Errorf("panics %d > plain records %d that caused them", snap.Panics, snap.Plain)
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	snap := s.Snapshot()
+	want := int64(G * per / 4)
+	if snap.Managed != want || snap.CoExecAll != want || snap.Plain != want || snap.ModelDiscards != want {
+		t.Fatalf("lost records: %+v, want %d each", snap, want)
+	}
+	if snap.Timeouts != want {
+		t.Errorf("timeouts = %d, want %d", snap.Timeouts, want)
+	}
+	if snap.Panics != want {
+		t.Errorf("panics = %d, want %d", snap.Panics, want)
+	}
+	if snap.ByStage[StageExec] != want || snap.ByStage[StageAnalysis] != want || snap.ByStage[StageTransform] != want {
+		t.Errorf("by-stage = %v, want %d per stage", snap.ByStage, want)
+	}
+	if snap.Degradations() != 2*want {
+		t.Errorf("degradations = %d, want %d", snap.Degradations(), 2*want)
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	s := &FallbackStats{}
+	s.RecordManaged()
+	before := s.Snapshot()
+	s.RecordManaged()
+	s.RecordPlain(Wrap(StageExec, errors.New("x")))
+	delta := s.Snapshot().Sub(before)
+	if delta.Managed != 1 || delta.Plain != 1 || delta.CoExecAll != 0 {
+		t.Fatalf("delta = %+v", delta)
+	}
+	if delta.ByStage[StageExec] != 1 || len(delta.ByStage) != 1 {
+		t.Fatalf("delta by-stage = %v", delta.ByStage)
+	}
+}

@@ -9,6 +9,7 @@
 package ocl
 
 import (
+	"context"
 	"fmt"
 
 	"dopia/internal/clc"
@@ -285,11 +286,41 @@ type CommandQueue struct {
 	// an aggregate).
 	Fallback *faults.FallbackStats
 
+	// LastLaunch optionally holds interposer-specific detail about the
+	// latest launch on this queue (Dopia's interposer stores a
+	// *core.LaunchInfo: ladder rung, DoP decision, engine). The plain
+	// runtime leaves it untouched for interposed launches that degraded
+	// to rung 3, so the cause survives. Like the other per-queue fields
+	// it follows the queue's synchronization discipline: a queue is not
+	// safe for concurrent use by multiple goroutines.
+	LastLaunch any
+
 	// firstErr latches the first deferred enqueue error until Finish
 	// reports it (OpenCL-style deferred error semantics).
 	firstErr error
 
+	// execCtx, when non-nil, bounds subsequent launches (both the
+	// interposed ladder and the plain runtime poll it between
+	// work-groups). Set per request by SetExecContext.
+	execCtx context.Context
+
 	execs map[*clc.Kernel]*sched.Executor
+}
+
+// SetExecContext bounds every subsequent launch on this queue by ctx:
+// the Dopia interposer threads it under its watchdog, and the plain
+// runtime polls it between work-groups. nil restores the default
+// (background) context. This is how a serving layer wires per-request
+// deadlines into the existing abort machinery.
+func (q *CommandQueue) SetExecContext(ctx context.Context) { q.execCtx = ctx }
+
+// ExecContext returns the context bounding launches on this queue
+// (never nil).
+func (q *CommandQueue) ExecContext() context.Context {
+	if q.execCtx == nil {
+		return context.Background()
+	}
+	return q.execCtx
 }
 
 // CreateCommandQueue creates a queue on a device.
@@ -383,6 +414,7 @@ func (q *CommandQueue) enqueuePlain(k *Kernel, nd interp.NDRange) error {
 		Dist:       sim.Static,
 		CPUShare:   share,
 		Functional: true,
+		Context:    q.execCtx,
 	})
 	if err != nil {
 		return err

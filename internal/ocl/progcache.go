@@ -3,6 +3,7 @@ package ocl
 import (
 	"crypto/sha256"
 	"sync"
+	"sync/atomic"
 
 	"dopia/internal/clc"
 	"dopia/internal/faults"
@@ -10,10 +11,12 @@ import (
 
 // progCache deduplicates program builds by source hash: applications that
 // call clCreateProgramWithSource + clBuildProgram repeatedly with the same
-// text (a common pattern per launch site) compile once per process. The
-// dedup is what makes the whole memoization stack compose — identical
-// sources yield identical *clc.Program / *clc.Kernel pointers, which in
-// turn hit the interpreter's compile cache and the transform cache.
+// text (a common pattern per launch site, and the common case for a
+// serving daemon handling many tenants submitting the same kernels)
+// compile once per process. The dedup is what makes the whole memoization
+// stack compose — identical sources yield identical *clc.Program /
+// *clc.Kernel pointers, which in turn hit the interpreter's compile cache
+// and the transform cache.
 //
 // Checked programs are immutable, so sharing one across Program objects
 // (and contexts) is safe. The cache is bypassed while fault injection is
@@ -21,16 +24,54 @@ import (
 // first per distinct source.
 var progCache sync.Map // [32]byte (sha256 of source) -> *clc.Program
 
+// progCacheCounters tracks how builds moved through the cache. All fields
+// are atomics: Build may be called from any number of sessions and worker
+// goroutines at once, and /metrics snapshots the counters concurrently
+// with them.
+var progCacheCounters struct {
+	hits     atomic.Int64 // builds served from the cache
+	misses   atomic.Int64 // builds that compiled (first sight of a source)
+	errors   atomic.Int64 // compilations that failed (never cached)
+	bypasses atomic.Int64 // cache reads skipped because faults were armed
+}
+
+// ProgCacheSnapshot is a point-in-time view of the program-dedup cache
+// counters.
+type ProgCacheSnapshot struct {
+	Hits     int64
+	Misses   int64
+	Errors   int64
+	Bypasses int64
+}
+
+// ProgCacheStats atomically reads the program-cache counters. Counters
+// move independently, so a snapshot racing a Build may observe the hit
+// of that build and not yet its predecessor's — each individual counter
+// is still exact and monotone.
+func ProgCacheStats() ProgCacheSnapshot {
+	return ProgCacheSnapshot{
+		Hits:     progCacheCounters.hits.Load(),
+		Misses:   progCacheCounters.misses.Load(),
+		Errors:   progCacheCounters.errors.Load(),
+		Bypasses: progCacheCounters.bypasses.Load(),
+	}
+}
+
 // compileSource returns the checked program for src, memoized process-wide.
 func compileSource(src string) (*clc.Program, error) {
 	key := sha256.Sum256([]byte(src))
-	if v, ok := progCache.Load(key); ok && !faults.Active() {
+	if faults.Active() {
+		progCacheCounters.bypasses.Add(1)
+	} else if v, ok := progCache.Load(key); ok {
+		progCacheCounters.hits.Add(1)
 		return v.(*clc.Program), nil
 	}
 	prog, err := clc.Compile(src)
 	if err != nil {
+		progCacheCounters.errors.Add(1)
 		return nil, err
 	}
+	progCacheCounters.misses.Add(1)
 	progCache.Store(key, prog)
 	return prog, nil
 }

@@ -90,6 +90,11 @@ func NewExecutor(m *sim.Machine, orig, malleable *clc.Kernel) (*Executor, error)
 // Analysis returns the static analysis of the kernel.
 func (e *Executor) Analysis() *analysis.Result { return e.analysis }
 
+// EngineUsed reports the interpreter engine of the CPU-side executor for
+// the current launch, and — when the bytecode engine was requested but
+// this kernel fell back to closures — the reason (see interp.Exec).
+func (e *Executor) EngineUsed() (interp.Engine, string) { return e.cpuEx.EngineUsed() }
+
 // Bind sets the kernel arguments (the original kernel's signature).
 func (e *Executor) Bind(args ...interp.Arg) error {
 	if err := e.cpuEx.Bind(args...); err != nil {

@@ -1,0 +1,224 @@
+package server
+
+// The HTTP/JSON wire types of the dopia-serve API. Three endpoints carry
+// the whole protocol:
+//
+//	POST /v1/programs                       compile OpenCL C source (deduped)
+//	POST /v1/sessions                       create a tenant session
+//	POST /v1/launch                         enqueue one ND-range launch
+//
+// plus per-session buffer management and the observability surface
+// (/healthz, /metrics). Bulk buffer data travels as base64-encoded
+// little-endian raw element bytes (f32_b64 / i32_b64) — an order of
+// magnitude denser than JSON number arrays and bit-exact by
+// construction, which is what lets dopia-load verify responses against
+// direct in-process execution.
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"dopia/internal/faults"
+)
+
+// ProgramRequest registers OpenCL C source with the daemon.
+type ProgramRequest struct {
+	Source string `json:"source"`
+}
+
+// ProgramResponse identifies the compiled program. Identical sources
+// yield the identical program ID (and share one compiled form across
+// every tenant, process-wide).
+type ProgramResponse struct {
+	ProgramID string   `json:"program_id"`
+	Kernels   []string `json:"kernels"`
+	// Cached reports that this source had been compiled before.
+	Cached bool `json:"cached"`
+}
+
+// SessionResponse identifies a newly created tenant session.
+type SessionResponse struct {
+	SessionID string `json:"session_id"`
+}
+
+// BufferRequest creates a named buffer inside a session. Exactly one
+// content source may be given: fill_seed (deterministic server-side
+// fill — the cheap way to materialize big inputs), f32_b64/i32_b64
+// (base64 raw bytes), f32/i32 (small inline arrays), or none (zeroed).
+type BufferRequest struct {
+	Name string `json:"name"`
+	// Kind is "float32" or "int32".
+	Kind string `json:"kind"`
+	// Len is the element count (required unless inferred from data).
+	Len int `json:"len,omitempty"`
+	// FillSeed fills the buffer server-side with the deterministic
+	// workload generator (workloads.FillFloats / FillInts), so client
+	// and server can agree on content without shipping it.
+	FillSeed *uint32 `json:"fill_seed,omitempty"`
+	// FillMod bounds int fills to [0, fill_mod) (int32 buffers only).
+	FillMod int32 `json:"fill_mod,omitempty"`
+
+	F32B64 string    `json:"f32_b64,omitempty"`
+	I32B64 string    `json:"i32_b64,omitempty"`
+	F32    []float32 `json:"f32,omitempty"`
+	I32    []int32   `json:"i32,omitempty"`
+}
+
+// BufferData is buffer content on the wire (base64 little-endian).
+type BufferData struct {
+	Kind   string `json:"kind"`
+	Len    int    `json:"len"`
+	F32B64 string `json:"f32_b64,omitempty"`
+	I32B64 string `json:"i32_b64,omitempty"`
+}
+
+// LaunchArg is one kernel argument: a named session buffer, an integer
+// scalar, or a float scalar.
+type LaunchArg struct {
+	Buf   string   `json:"buf,omitempty"`
+	Int   *int64   `json:"int,omitempty"`
+	Float *float64 `json:"float,omitempty"`
+}
+
+// LaunchRequest enqueues one ND-range kernel launch.
+type LaunchRequest struct {
+	SessionID string      `json:"session_id"`
+	ProgramID string      `json:"program_id"`
+	Kernel    string      `json:"kernel"`
+	Args      []LaunchArg `json:"args"`
+	// Global/Local give the index space per dimension (1-3 dims).
+	Global []int `json:"global"`
+	Local  []int `json:"local"`
+	// Read lists session buffers whose post-launch content the response
+	// should carry.
+	Read []string `json:"read,omitempty"`
+	// DeadlineMS bounds queue wait + execution (0 = server default).
+	// The deadline clock starts at admission.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// DecisionInfo reports Dopia's DoP selection for a launch.
+type DecisionInfo struct {
+	CPUCores       int     `json:"cpu_cores"`
+	GPUFrac        float64 `json:"gpu_frac"`
+	Predicted      float64 `json:"predicted,omitempty"`
+	Evaluated      int     `json:"evaluated"`
+	ModelDiscarded bool    `json:"model_discarded,omitempty"`
+	InferUS        float64 `json:"infer_us"`
+}
+
+// ResultInfo reports the simulated co-execution outcome.
+type ResultInfo struct {
+	SimTimeSec float64 `json:"sim_time_sec"`
+	WGsCPU     int     `json:"wgs_cpu"`
+	WGsGPU     int     `json:"wgs_gpu"`
+	GPUChunks  int     `json:"gpu_chunks"`
+}
+
+// FallbackDelta is the per-request slice of the fail-open ladder
+// accounting: how this launch moved the session's FallbackStats.
+type FallbackDelta struct {
+	Managed       int64 `json:"managed"`
+	CoExecAll     int64 `json:"coexec_all"`
+	Plain         int64 `json:"plain"`
+	ModelDiscards int64 `json:"model_discards,omitempty"`
+	Panics        int64 `json:"panics,omitempty"`
+	Timeouts      int64 `json:"timeouts,omitempty"`
+}
+
+// LaunchResponse is the outcome of one launch.
+type LaunchResponse struct {
+	// Rung is the fallback-ladder rung that served the launch:
+	// "managed", "coexec-all", or "plain".
+	Rung string `json:"rung"`
+	// Engine is the interpreter engine of the CPU-side execution.
+	Engine   string                `json:"engine,omitempty"`
+	Decision *DecisionInfo         `json:"decision,omitempty"`
+	Result   *ResultInfo           `json:"result,omitempty"`
+	Fallback *FallbackDelta        `json:"fallback,omitempty"`
+	Buffers  map[string]BufferData `json:"buffers,omitempty"`
+	// QueueMS/ExecMS are wall-clock admission-queue wait and execution
+	// time of this request.
+	QueueMS float64 `json:"queue_ms"`
+	ExecMS  float64 `json:"exec_ms"`
+}
+
+// ErrorResponse carries a request failure. RetryAfterMS is set on 429
+// (admission queue full) responses, mirroring the Retry-After header.
+type ErrorResponse struct {
+	Error        string `json:"error"`
+	Stage        string `json:"stage,omitempty"`
+	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	Status        string  `json:"status"` // "ok" or "draining"
+	UptimeSec     float64 `json:"uptime_sec"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCapacity int     `json:"queue_capacity"`
+	InFlight      int     `json:"in_flight"`
+	Sessions      int     `json:"sessions"`
+	Launches      int64   `json:"launches_total"`
+}
+
+// stageOf renders the failure stage of an error for ErrorResponse.
+func stageOf(err error) string {
+	if err == nil {
+		return ""
+	}
+	return string(faults.StageOf(err))
+}
+
+// EncodeF32 encodes float32 elements as base64 little-endian bytes,
+// preserving exact bit patterns.
+func EncodeF32(xs []float32) string {
+	raw := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(x))
+	}
+	return base64.StdEncoding.EncodeToString(raw)
+}
+
+// DecodeF32 reverses EncodeF32.
+func DecodeF32(s string) ([]float32, error) {
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("server: bad f32 base64: %w", err)
+	}
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("server: f32 payload of %d bytes is not a multiple of 4", len(raw))
+	}
+	out := make([]float32, len(raw)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out, nil
+}
+
+// EncodeI32 encodes int32 elements as base64 little-endian bytes.
+func EncodeI32(xs []int32) string {
+	raw := make([]byte, 4*len(xs))
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(raw[4*i:], uint32(x))
+	}
+	return base64.StdEncoding.EncodeToString(raw)
+}
+
+// DecodeI32 reverses EncodeI32.
+func DecodeI32(s string) ([]int32, error) {
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("server: bad i32 base64: %w", err)
+	}
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("server: i32 payload of %d bytes is not a multiple of 4", len(raw))
+	}
+	out := make([]int32, len(raw)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return out, nil
+}

@@ -1,0 +1,164 @@
+package server
+
+// Client is the Go-side of the wire protocol, shared by cmd/dopia-load
+// and the test suite. It is a thin, honest mapping: one method per
+// endpoint, errors carry the HTTP status and the server's ErrorResponse
+// fields, and nothing is retried implicitly — load generators decide
+// their own backoff policy from APIError.RetryAfterMS.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+)
+
+// APIError is a non-2xx response from the daemon.
+type APIError struct {
+	Status       int
+	Message      string
+	Stage        string
+	RetryAfterMS int64
+}
+
+func (e *APIError) Error() string {
+	if e.Stage != "" {
+		return fmt.Sprintf("server returned %d (stage %s): %s", e.Status, e.Stage, e.Message)
+	}
+	return fmt.Sprintf("server returned %d: %s", e.Status, e.Message)
+}
+
+// IsRetryable reports whether the error is admission backpressure (429)
+// or draining (503) — conditions a client may retry after a pause.
+func (e *APIError) IsRetryable() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// Client talks to one dopia-serve daemon.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient creates a client for the daemon at base (e.g.
+// "http://127.0.0.1:8080"). hc == nil uses http.DefaultClient.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	return &Client{base: base, hc: hc}
+}
+
+// do posts (or gets, body == nil and method GET/DELETE) one request and
+// decodes the JSON response into out.
+func (c *Client) do(method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encoding %s %s: %w", method, path, err)
+		}
+		rd = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var er ErrorResponse
+		msg := ""
+		if derr := json.NewDecoder(resp.Body).Decode(&er); derr == nil {
+			msg = er.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg, Stage: er.Stage, RetryAfterMS: er.RetryAfterMS}
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Compile registers OpenCL C source and returns its program ID.
+func (c *Client) Compile(source string) (*ProgramResponse, error) {
+	var out ProgramResponse
+	if err := c.do("POST", "/v1/programs", &ProgramRequest{Source: source}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// NewSession creates a tenant session and returns its ID.
+func (c *Client) NewSession() (string, error) {
+	var out SessionResponse
+	if err := c.do("POST", "/v1/sessions", struct{}{}, &out); err != nil {
+		return "", err
+	}
+	return out.SessionID, nil
+}
+
+// CloseSession releases a session.
+func (c *Client) CloseSession(id string) error {
+	return c.do("DELETE", "/v1/sessions/"+url.PathEscape(id), nil, nil)
+}
+
+// CreateBuffer materializes a named buffer inside a session.
+func (c *Client) CreateBuffer(sessionID string, req *BufferRequest) error {
+	return c.do("POST", "/v1/sessions/"+url.PathEscape(sessionID)+"/buffers", req, nil)
+}
+
+// ReadBuffer snapshots a session buffer's content.
+func (c *Client) ReadBuffer(sessionID, name string) (*BufferData, error) {
+	var out BufferData
+	path := "/v1/sessions/" + url.PathEscape(sessionID) + "/buffers/" + url.PathEscape(name)
+	if err := c.do("GET", path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Launch enqueues one ND-range launch and waits for its outcome.
+func (c *Client) Launch(req *LaunchRequest) (*LaunchResponse, error) {
+	var out LaunchResponse
+	if err := c.do("POST", "/v1/launch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthz reads the daemon's health summary.
+func (c *Client) Healthz() (*HealthResponse, error) {
+	var out HealthResponse
+	if err := c.do("GET", "/healthz", nil, &out); err != nil {
+		// A draining daemon answers 503 with a valid body; surface it.
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the raw text metrics page.
+func (c *Client) Metrics() (string, error) {
+	resp, err := c.hc.Get(c.base + "/metrics")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: /metrics returned %d", resp.StatusCode)
+	}
+	return string(raw), nil
+}

@@ -1,0 +1,138 @@
+package server
+
+// The /metrics endpoint: a Prometheus-style text rendering of every
+// counter the daemon keeps — admission queue state, latency quantiles
+// from the streaming histograms, the fail-open ladder mix, and the hit
+// rates of the whole memoization stack (program dedup, interpreter
+// compile cache, prediction cache). Everything here reads atomics or
+// takes short snapshots; scraping /metrics never blocks a launch.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"dopia/internal/faults"
+	"dopia/internal/ocl"
+	"dopia/internal/stats"
+)
+
+// ProgramID derives the wire ID of a program from its source text:
+// "p-" plus the first 12 hex characters of the source's SHA-256.
+// Identical sources always map to the identical ID, which is what makes
+// POST /v1/programs idempotent and lets clients precompute IDs offline.
+func ProgramID(source string) string {
+	sum := sha256.Sum256([]byte(source))
+	return "p-" + hex.EncodeToString(sum[:6])
+}
+
+// metricsWriter accumulates one text-format metrics page.
+type metricsWriter struct {
+	b strings.Builder
+}
+
+func (m *metricsWriter) counter(name, help string, v int64) {
+	fmt.Fprintf(&m.b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+}
+
+func (m *metricsWriter) gauge(name, help string, v float64) {
+	fmt.Fprintf(&m.b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+}
+
+func (m *metricsWriter) gaugeInt(name, help string, v int64) {
+	fmt.Fprintf(&m.b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+}
+
+// labeled writes one sample with a single label, e.g.
+// dopia_fallback_by_stage_total{stage="analysis"} 3.
+func (m *metricsWriter) labeled(name, label, value string, v int64) {
+	fmt.Fprintf(&m.b, "%s{%s=%q} %d\n", name, label, value, v)
+}
+
+// histogram renders a latency histogram as quantile gauges plus count
+// and sum, e.g. dopia_exec_seconds{quantile="0.95"}.
+func (m *metricsWriter) histogram(name, help string, s stats.HistSnapshot) {
+	fmt.Fprintf(&m.b, "# HELP %s %s\n# TYPE %s summary\n", name, help, name)
+	if s.Total > 0 {
+		for _, q := range []float64{0.5, 0.95, 0.99} {
+			fmt.Fprintf(&m.b, "%s{quantile=%q} %g\n", name, fmt.Sprintf("%g", q), s.Quantile(q))
+		}
+	}
+	fmt.Fprintf(&m.b, "%s_sum %g\n%s_count %d\n", name, s.Sum, name, s.Total)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var m metricsWriter
+
+	// ---- daemon ----
+	m.gauge("dopia_uptime_seconds", "Seconds since the daemon started.", time.Since(s.start).Seconds())
+	m.gaugeInt("dopia_queue_depth", "Launches waiting in the admission queue.", int64(len(s.queue)))
+	m.gaugeInt("dopia_queue_capacity", "Capacity of the admission queue.", int64(cap(s.queue)))
+	m.gaugeInt("dopia_inflight", "Launches currently executing on workers.", s.inflight.Load())
+	m.gaugeInt("dopia_workers", "Size of the launch worker pool.", int64(s.cfg.Workers))
+	draining := int64(0)
+	if s.draining.Load() {
+		draining = 1
+	}
+	m.gaugeInt("dopia_draining", "1 while the daemon refuses new work and drains.", draining)
+
+	s.mu.Lock()
+	nSessions := int64(len(s.sessions))
+	nPrograms := int64(len(s.programs))
+	s.mu.Unlock()
+	m.gaugeInt("dopia_sessions_active", "Live tenant sessions.", nSessions)
+	m.counter("dopia_sessions_created_total", "Sessions ever created.", s.met.sessionsCreated.Load())
+	m.counter("dopia_sessions_closed_total", "Sessions explicitly closed.", s.met.sessionsClosed.Load())
+	m.gaugeInt("dopia_programs_registered", "Distinct programs in the registry.", nPrograms)
+	m.counter("dopia_program_builds_total", "Program builds performed by this daemon.", s.met.programBuilds.Load())
+
+	// ---- request outcomes ----
+	m.counter("dopia_launches_total", "Launches completed successfully.", s.met.launchesOK.Load())
+	m.counter("dopia_launch_errors_total", "Launches that failed with a client error.", s.met.launchErrors.Load())
+	m.counter("dopia_rejected_total", "Requests refused by admission control (429).", s.met.rejected.Load())
+	m.counter("dopia_deadline_expired_total", "Requests whose deadline lapsed in queue or mid-execution.", s.met.deadlineExpired.Load())
+	m.counter("dopia_bad_requests_total", "Malformed or invalid requests.", s.met.badRequests.Load())
+	m.gauge("dopia_sim_time_seconds_total", "Accumulated simulated co-execution seconds.", float64(s.met.simTimeNanos.Load())/1e9)
+
+	// ---- latency ----
+	m.histogram("dopia_queue_wait_seconds", "Admission-queue wait per launch.", s.met.queueWait.Snapshot())
+	m.histogram("dopia_exec_seconds", "Execution time per launch (session lock to response).", s.met.exec.Snapshot())
+	m.histogram("dopia_request_seconds", "End-to-end time per launch, admission to completion.", s.met.total.Snapshot())
+
+	// ---- fail-open ladder ----
+	fb := s.fw.Stats.Snapshot()
+	m.counter("dopia_fallback_managed_total", "Launches served by full Dopia management (rung 1).", fb.Managed)
+	m.counter("dopia_fallback_coexec_all_total", "Launches degraded to ALL co-execution (rung 2).", fb.CoExecAll)
+	m.counter("dopia_fallback_plain_total", "Launches degraded to the plain runtime (rung 3).", fb.Plain)
+	m.counter("dopia_model_discards_total", "Model predictions discarded for a launch.", fb.ModelDiscards)
+	m.counter("dopia_panics_contained_total", "Panics contained at pipeline boundaries.", fb.Panics)
+	m.counter("dopia_watchdog_timeouts_total", "Watchdog/deadline aborts.", fb.Timeouts)
+	if len(fb.ByStage) > 0 {
+		fmt.Fprintf(&m.b, "# HELP dopia_fallback_by_stage_total Degradations attributed to the causing pipeline stage.\n# TYPE dopia_fallback_by_stage_total counter\n")
+		stages := make([]string, 0, len(fb.ByStage))
+		for st := range fb.ByStage {
+			stages = append(stages, string(st))
+		}
+		sort.Strings(stages)
+		for _, st := range stages {
+			m.labeled("dopia_fallback_by_stage_total", "stage", st, fb.ByStage[faults.Stage(st)])
+		}
+	}
+
+	// ---- memoization stack ----
+	pc := ocl.ProgCacheStats()
+	m.counter("dopia_progcache_hits_total", "Program builds served from the source-hash dedup cache.", pc.Hits)
+	m.counter("dopia_progcache_misses_total", "Program builds that compiled fresh.", pc.Misses)
+	m.counter("dopia_progcache_errors_total", "Program builds that failed to compile.", pc.Errors)
+	m.counter("dopia_progcache_bypasses_total", "Cache reads skipped while fault injection was armed.", pc.Bypasses)
+	ph, pm := s.fw.PredCacheStats()
+	m.counter("dopia_predcache_hits_total", "DoP predictions served from the prediction cache.", ph)
+	m.counter("dopia_predcache_misses_total", "DoP predictions computed by model inference.", pm)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(m.b.String()))
+}

@@ -1,0 +1,687 @@
+// Package server is dopia-as-a-service: a long-running daemon that
+// accepts concurrent kernel-launch traffic over an HTTP/JSON API,
+// multiplexes it across the parallel/bytecode execution engines through
+// a bounded admission queue and a worker pool, and reports health and
+// metrics. It layers on the existing stack without forking it — every
+// launch goes through ocl.CommandQueue.EnqueueNDRangeKernel and the
+// fail-open interposition ladder, sharing the process-wide memoization
+// stack (program dedup, compile/transform/prediction caches) across
+// tenants while keeping per-session buffer state isolated.
+//
+// Admission control: launches enter a bounded queue; when it is full
+// the daemon answers 429 with Retry-After instead of queueing unbounded
+// work. Each request carries a deadline (its own or the server
+// default), started at admission, wired through the command queue into
+// the framework's watchdog machinery — an expired request aborts within
+// one work-group quantum. SIGTERM (handled by cmd/dopia-serve) drains:
+// admitted work finishes, new work is refused with 503.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"context"
+
+	"dopia/internal/core"
+	"dopia/internal/faults"
+	"dopia/internal/interp"
+	"dopia/internal/ml"
+	"dopia/internal/ocl"
+	"dopia/internal/sim"
+	"dopia/internal/stats"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Machine is the simulated integrated processor (required).
+	Machine *sim.Machine
+	// Model is the DoP-selection model (nil = ALL baseline).
+	Model ml.Model
+	// QueueDepth bounds the admission queue (default 256).
+	QueueDepth int
+	// Workers sizes the launch worker pool (default GOMAXPROCS).
+	Workers int
+	// DefaultDeadline bounds requests that carry none (default 30s).
+	DefaultDeadline time.Duration
+	// MaxDeadline caps client-requested deadlines (default 5m).
+	MaxDeadline time.Duration
+	// MaxSessions bounds live sessions (default 4096).
+	MaxSessions int
+	// MaxBufferBytes bounds one buffer allocation (default 256 MiB).
+	MaxBufferBytes int64
+	// MaxSourceBytes bounds one program source (default 1 MiB).
+	MaxSourceBytes int64
+	// WatchdogTimeout is passed to the framework (0 = its default).
+	WatchdogTimeout time.Duration
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Machine == nil {
+		return fmt.Errorf("server: Config.Machine is required")
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 5 * time.Minute
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 4096
+	}
+	if c.MaxBufferBytes <= 0 {
+		c.MaxBufferBytes = 256 << 20
+	}
+	if c.MaxSourceBytes <= 0 {
+		c.MaxSourceBytes = 1 << 20
+	}
+	return nil
+}
+
+// Server is the dopia-serve daemon core: an http.Handler plus the
+// admission queue and worker pool behind it.
+type Server struct {
+	cfg      Config
+	fw       *core.Framework
+	platform *ocl.Platform
+	mux      *http.ServeMux
+	start    time.Time
+
+	queue       chan *task
+	stopWorkers chan struct{}
+	workersDone sync.WaitGroup
+	// pending counts admitted-but-unfinished tasks for graceful drain.
+	pending sync.WaitGroup
+	// admitMu orders admissions against the draining flag so Shutdown's
+	// pending.Wait can never race an in-flight pending.Add.
+	admitMu  sync.Mutex
+	draining atomic.Bool
+	inflight atomic.Int64
+
+	mu          sync.Mutex // guards sessions and programs
+	sessions    map[string]*session
+	programs    map[string]*program
+	nextSession atomic.Int64
+
+	met metrics
+}
+
+// program is a compiled program shared by all sessions.
+type program struct {
+	id      string
+	prog    *ocl.Program
+	kernels []string
+}
+
+// task is one admitted launch.
+type task struct {
+	req      *LaunchRequest
+	sess     *session
+	prog     *program
+	ctx      context.Context
+	cancel   context.CancelFunc
+	admitted time.Time
+	done     chan taskOutcome
+}
+
+type taskOutcome struct {
+	status int
+	resp   *LaunchResponse
+	err    error
+}
+
+// metrics aggregates the daemon-level counters and latency histograms.
+type metrics struct {
+	launchesOK      atomic.Int64
+	launchErrors    atomic.Int64
+	rejected        atomic.Int64 // 429: queue full or session limit
+	deadlineExpired atomic.Int64 // requests dead before or during execution
+	badRequests     atomic.Int64
+	sessionsCreated atomic.Int64
+	sessionsClosed  atomic.Int64
+	programBuilds   atomic.Int64
+	simTimeNanos    atomic.Int64 // accumulated simulated seconds, in ns
+
+	queueWait *stats.Histogram // admission-queue wait, seconds
+	exec      *stats.Histogram // execution (session-lock to response), seconds
+	total     *stats.Histogram // admission to completion, seconds
+}
+
+// New builds a Server. It does not listen; mount it with Handler (or
+// use cmd/dopia-serve).
+func New(cfg Config) (*Server, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	fw := core.New(cfg.Machine, cfg.Model)
+	fw.WatchdogTimeout = cfg.WatchdogTimeout
+	s := &Server{
+		cfg:         cfg,
+		fw:          fw,
+		platform:    ocl.NewPlatform(cfg.Machine),
+		start:       time.Now(),
+		queue:       make(chan *task, cfg.QueueDepth),
+		stopWorkers: make(chan struct{}),
+		sessions:    map[string]*session{},
+		programs:    map[string]*program{},
+		met: metrics{
+			queueWait: stats.NewLatencyHistogram(),
+			exec:      stats.NewLatencyHistogram(),
+			total:     stats.NewLatencyHistogram(),
+		},
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/programs", s.handleProgram)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/buffers", s.handleCreateBuffer)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/buffers/{name}", s.handleReadBuffer)
+	s.mux.HandleFunc("POST /v1/launch", s.handleLaunch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.workersDone.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Framework exposes the shared framework (stats, caches) for
+// observability and tests.
+func (s *Server) Framework() *core.Framework { return s.fw }
+
+// Shutdown drains the daemon: new launches are refused with 503,
+// everything already admitted runs to completion (bounded by each
+// request's deadline), then the workers exit. Safe to call more than
+// once. ctx bounds the wait.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.admitMu.Lock()
+	first := !s.draining.Swap(true)
+	s.admitMu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.pending.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted: %w", ctx.Err())
+	}
+	if first {
+		close(s.stopWorkers)
+	}
+	s.workersDone.Wait()
+	return nil
+}
+
+// ---------- admission and execution ----------
+
+// admit places t in the bounded queue. It returns an HTTP status:
+// 0 (admitted), 503 (draining), or 429 (queue full).
+func (s *Server) admit(t *task) int {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	if s.draining.Load() {
+		return http.StatusServiceUnavailable
+	}
+	select {
+	case s.queue <- t:
+		s.pending.Add(1)
+		return 0
+	default:
+		return http.StatusTooManyRequests
+	}
+}
+
+func (s *Server) worker() {
+	defer s.workersDone.Done()
+	for {
+		select {
+		case t := <-s.queue:
+			s.runTask(t)
+		case <-s.stopWorkers:
+			// Drain anything still queued (Shutdown waits on pending).
+			for {
+				select {
+				case t := <-s.queue:
+					s.runTask(t)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runTask executes one admitted launch on a worker goroutine.
+func (s *Server) runTask(t *task) {
+	defer s.pending.Done()
+	defer t.cancel()
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+
+	queued := time.Since(t.admitted)
+	s.met.queueWait.Record(queued.Seconds())
+
+	outcome := func(status int, resp *LaunchResponse, err error) {
+		s.met.total.Record(time.Since(t.admitted).Seconds())
+		t.done <- taskOutcome{status: status, resp: resp, err: err}
+	}
+
+	// A request whose deadline lapsed while it sat in the queue fails
+	// without touching the session.
+	if err := t.ctx.Err(); err != nil {
+		s.met.deadlineExpired.Add(1)
+		outcome(http.StatusGatewayTimeout,
+			nil, fmt.Errorf("deadline expired after %v in queue: %w", queued.Round(time.Millisecond), err))
+		return
+	}
+
+	execStart := time.Now()
+	resp, err := s.execLaunch(t)
+	s.met.exec.Record(time.Since(execStart).Seconds())
+
+	switch {
+	case err == nil:
+		s.met.launchesOK.Add(1)
+		resp.QueueMS = float64(queued) / float64(time.Millisecond)
+		resp.ExecMS = float64(time.Since(execStart)) / float64(time.Millisecond)
+		outcome(http.StatusOK, resp, nil)
+	case faults.IsTimeout(err) || t.ctx.Err() != nil:
+		s.met.deadlineExpired.Add(1)
+		outcome(http.StatusGatewayTimeout, nil, err)
+	default:
+		s.met.launchErrors.Add(1)
+		outcome(http.StatusBadRequest, nil, err)
+	}
+}
+
+// execLaunch performs the launch under the session lock.
+func (s *Server) execLaunch(t *task) (*LaunchResponse, error) {
+	req, sess := t.req, t.sess
+
+	nd, err := ndOf(req)
+	if err != nil {
+		return nil, err
+	}
+
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+
+	kern, err := t.prog.prog.CreateKernel(req.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	if len(req.Args) != kern.NumArgs() {
+		return nil, fmt.Errorf("kernel %s takes %d arguments, got %d", req.Kernel, kern.NumArgs(), len(req.Args))
+	}
+	for i, a := range req.Args {
+		switch {
+		case a.Buf != "":
+			b, ok := sess.bufs[a.Buf]
+			if !ok {
+				return nil, fmt.Errorf("argument %d: no buffer %q in session %s", i, a.Buf, sess.id)
+			}
+			err = kern.SetArg(i, b)
+		case a.Int != nil:
+			err = kern.SetArg(i, *a.Int)
+		case a.Float != nil:
+			err = kern.SetArg(i, *a.Float)
+		default:
+			return nil, fmt.Errorf("argument %d: one of buf/int/float required", i)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Resolve read-set up front so a bad name fails before execution.
+	readBufs := make(map[string]*ocl.Buffer, len(req.Read))
+	for _, name := range req.Read {
+		b, ok := sess.bufs[name]
+		if !ok {
+			return nil, fmt.Errorf("read: no buffer %q in session %s", name, sess.id)
+		}
+		readBufs[name] = b
+	}
+
+	q := sess.queue
+	q.SetExecContext(t.ctx)
+	defer q.SetExecContext(nil)
+	q.LastLaunch = nil
+
+	before := sess.fallbackSnapshot()
+	simBefore := q.SimTime
+	if err := q.EnqueueNDRangeKernel(kern, nd); err != nil {
+		_ = q.Finish() // clear the latch; the error is surfaced directly
+		return nil, err
+	}
+	if err := q.Finish(); err != nil {
+		return nil, err
+	}
+	sess.launches.Add(1)
+	s.met.simTimeNanos.Add(int64((q.SimTime - simBefore) * 1e9))
+
+	resp := &LaunchResponse{Rung: "plain"}
+	delta := sess.fallbackSnapshot().Sub(before)
+	resp.Fallback = &FallbackDelta{
+		Managed:       delta.Managed,
+		CoExecAll:     delta.CoExecAll,
+		Plain:         delta.Plain,
+		ModelDiscards: delta.ModelDiscards,
+		Panics:        delta.Panics,
+		Timeouts:      delta.Timeouts,
+	}
+	if info, ok := q.LastLaunch.(*core.LaunchInfo); ok && info != nil {
+		resp.Rung = info.Rung
+		resp.Engine = info.Engine
+		if d := info.Decision; d != nil {
+			resp.Decision = &DecisionInfo{
+				CPUCores:       d.Config.CPUCores,
+				GPUFrac:        d.Config.GPUFrac,
+				Predicted:      d.Predicted,
+				Evaluated:      d.Evaluated,
+				ModelDiscarded: d.ModelDiscarded,
+				InferUS:        float64(d.InferTime) / float64(time.Microsecond),
+			}
+		}
+	}
+	if r := q.LastResult; r != nil {
+		resp.Result = &ResultInfo{
+			SimTimeSec: r.Time,
+			WGsCPU:     r.WGsCPU,
+			WGsGPU:     r.WGsGPU,
+			GPUChunks:  r.GPUChunks,
+		}
+	}
+	if len(readBufs) > 0 {
+		resp.Buffers = make(map[string]BufferData, len(readBufs))
+		for name, b := range readBufs {
+			resp.Buffers[name] = bufferData(b)
+		}
+	}
+	return resp, nil
+}
+
+// ndOf validates the request geometry into an NDRange.
+func ndOf(req *LaunchRequest) (interp.NDRange, error) {
+	var nd interp.NDRange
+	if len(req.Global) == 0 || len(req.Global) > 3 || len(req.Local) != len(req.Global) {
+		return nd, fmt.Errorf("launch geometry: global and local must both have 1..3 dimensions")
+	}
+	nd.Dims = len(req.Global)
+	for i := range nd.Global {
+		nd.Global[i], nd.Local[i] = 1, 1
+	}
+	copy(nd.Global[:], req.Global)
+	copy(nd.Local[:], req.Local)
+	return nd, nd.Validate()
+}
+
+// ---------- HTTP handlers ----------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	resp := ErrorResponse{Error: err.Error(), Stage: stageOf(err)}
+	if status == http.StatusTooManyRequests {
+		// Retry after roughly one in-flight batch has cleared.
+		retry := time.Second
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds())))
+		resp.RetryAfterMS = retry.Milliseconds()
+	}
+	writeJSON(w, status, resp)
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	body := io.LimitReader(r.Body, limit)
+	dec := json.NewDecoder(body)
+	if err := dec.Decode(v); err != nil {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleProgram(w http.ResponseWriter, r *http.Request) {
+	var req ProgramRequest
+	if !decodeBody(w, r, s.cfg.MaxSourceBytes+4096, &req) {
+		s.met.badRequests.Add(1)
+		return
+	}
+	if req.Source == "" {
+		s.met.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("empty program source"))
+		return
+	}
+	if int64(len(req.Source)) > s.cfg.MaxSourceBytes {
+		s.met.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("program source of %d bytes exceeds the %d-byte limit",
+			len(req.Source), s.cfg.MaxSourceBytes))
+		return
+	}
+	id := ProgramID(req.Source)
+
+	s.mu.Lock()
+	if p, ok := s.programs[id]; ok {
+		s.mu.Unlock()
+		writeJSON(w, http.StatusOK, ProgramResponse{ProgramID: p.id, Kernels: p.kernels, Cached: true})
+		return
+	}
+	s.mu.Unlock()
+
+	// Compile outside the registry lock. A racing duplicate build hits
+	// the process-wide source-hash dedup cache, so the work is done
+	// once; last-write-wins below is safe because compiled programs for
+	// one source are interchangeable.
+	bctx := s.platform.CreateContext()
+	s.fw.Attach(bctx) // warm the analysis caches at build time
+	prog := bctx.CreateProgramWithSource(req.Source)
+	if err := prog.Build(); err != nil {
+		s.met.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	s.met.programBuilds.Add(1)
+	var kernels []string
+	for _, k := range prog.Compiled().Kernels {
+		kernels = append(kernels, k.Name)
+	}
+	sort.Strings(kernels)
+	p := &program{id: id, prog: prog, kernels: kernels}
+
+	s.mu.Lock()
+	if prev, ok := s.programs[id]; ok {
+		p = prev
+	} else {
+		s.programs[id] = p
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, ProgramResponse{ProgramID: p.id, Kernels: p.kernels, Cached: false})
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("draining"))
+		return
+	}
+	id := fmt.Sprintf("s-%d", s.nextSession.Add(1))
+	sess := s.newSession(id)
+
+	s.mu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.met.rejected.Add(1)
+		s.writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("session limit of %d reached", s.cfg.MaxSessions))
+		return
+	}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	s.met.sessionsCreated.Add(1)
+	writeJSON(w, http.StatusOK, SessionResponse{SessionID: id})
+}
+
+func (s *Server) session(id string) (*session, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	return sess, ok
+}
+
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		return
+	}
+	// In-flight launches of the session hold sess.mu and finish
+	// normally; the session just stops being addressable.
+	_ = sess
+	s.met.sessionsClosed.Add(1)
+	writeJSON(w, http.StatusOK, map[string]string{"closed": id})
+}
+
+func (s *Server) handleCreateBuffer(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+		return
+	}
+	var req BufferRequest
+	if !decodeBody(w, r, s.cfg.MaxBufferBytes*2+4096, &req) {
+		s.met.badRequests.Add(1)
+		return
+	}
+	sess.mu.Lock()
+	b, err := sess.createBuffer(&req, s.cfg.MaxBufferBytes)
+	sess.mu.Unlock()
+	if err != nil {
+		s.met.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": req.Name, "len": b.Len()})
+}
+
+func (s *Server) handleReadBuffer(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+		return
+	}
+	name := r.PathValue("name")
+	sess.mu.Lock()
+	b, ok := sess.bufs[name]
+	var data BufferData
+	if ok {
+		data = bufferData(b)
+	}
+	sess.mu.Unlock()
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no buffer %q in session %s", name, sess.id))
+		return
+	}
+	writeJSON(w, http.StatusOK, data)
+}
+
+func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
+	var req LaunchRequest
+	if !decodeBody(w, r, 1<<20, &req) {
+		s.met.badRequests.Add(1)
+		return
+	}
+	sess, ok := s.session(req.SessionID)
+	if !ok {
+		s.met.badRequests.Add(1)
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", req.SessionID))
+		return
+	}
+	s.mu.Lock()
+	prog, ok := s.programs[req.ProgramID]
+	s.mu.Unlock()
+	if !ok {
+		s.met.badRequests.Add(1)
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no program %q", req.ProgramID))
+		return
+	}
+
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+		if deadline > s.cfg.MaxDeadline {
+			deadline = s.cfg.MaxDeadline
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	t := &task{
+		req:      &req,
+		sess:     sess,
+		prog:     prog,
+		ctx:      ctx,
+		cancel:   cancel,
+		admitted: time.Now(),
+		done:     make(chan taskOutcome, 1),
+	}
+	if status := s.admit(t); status != 0 {
+		cancel()
+		s.met.rejected.Add(1)
+		s.writeError(w, status, fmt.Errorf("admission queue full (%d deep)", s.cfg.QueueDepth))
+		return
+	}
+	out := <-t.done
+	if out.err != nil {
+		s.writeError(w, out.status, out.err)
+		return
+	}
+	writeJSON(w, out.status, out.resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	s.mu.Lock()
+	nSessions := len(s.sessions)
+	s.mu.Unlock()
+	writeJSON(w, code, HealthResponse{
+		Status:        status,
+		UptimeSec:     time.Since(s.start).Seconds(),
+		QueueDepth:    len(s.queue),
+		QueueCapacity: cap(s.queue),
+		InFlight:      int(s.inflight.Load()),
+		Sessions:      nSessions,
+		Launches:      s.met.launchesOK.Load(),
+	})
+}

@@ -1,0 +1,191 @@
+package server
+
+// Tenant sessions. Each session owns an OpenCL context of its own — its
+// buffers, its command queue, its address space, its per-queue
+// FallbackStats — while sharing the process-wide memoization stack
+// (program dedup, interpreter compile cache, transform and prediction
+// caches through the one Framework) with every other tenant. That split
+// is the isolation contract: compiled artifacts are immutable and safe
+// to share; mutable state (buffers) never crosses a session boundary.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dopia/internal/faults"
+	"dopia/internal/ocl"
+	"dopia/internal/workloads"
+)
+
+// session is one tenant: private buffers and command queue, shared
+// compiled artifacts.
+type session struct {
+	id      string
+	created time.Time
+
+	// mu serializes everything touching the session's mutable state:
+	// buffer creation/reads and launches (an ocl.CommandQueue is an
+	// in-order queue and not goroutine-safe). Cross-session parallelism
+	// comes from the worker pool; intra-session launches are ordered,
+	// matching OpenCL in-order queue semantics.
+	mu    sync.Mutex
+	ctx   *ocl.Context
+	queue *ocl.CommandQueue
+	bufs  map[string]*ocl.Buffer
+
+	launches atomic.Int64
+}
+
+// newSession creates a tenant session on the server's platform with the
+// framework attached, so every launch runs the full fail-open ladder.
+func (s *Server) newSession(id string) *session {
+	ctx := s.platform.CreateContext()
+	s.fw.Attach(ctx)
+	return &session{
+		id:      id,
+		created: time.Now(),
+		ctx:     ctx,
+		queue:   ctx.CreateCommandQueue(s.platform.Device(ocl.DeviceCPU)),
+		bufs:    map[string]*ocl.Buffer{},
+	}
+}
+
+// maxBufferName bounds buffer name length (they appear in URLs).
+const maxBufferName = 128
+
+// createBuffer materializes a named buffer from a BufferRequest.
+// Callers hold sess.mu.
+func (sess *session) createBuffer(req *BufferRequest, maxBytes int64) (*ocl.Buffer, error) {
+	if req.Name == "" || len(req.Name) > maxBufferName {
+		return nil, fmt.Errorf("buffer name must be 1..%d characters", maxBufferName)
+	}
+	if _, exists := sess.bufs[req.Name]; exists {
+		return nil, fmt.Errorf("buffer %q already exists in session %s", req.Name, sess.id)
+	}
+
+	switch req.Kind {
+	case "float32":
+		data, err := f32Content(req)
+		if err != nil {
+			return nil, err
+		}
+		n := req.Len
+		if data != nil {
+			if n != 0 && n != len(data) {
+				return nil, fmt.Errorf("buffer %q: len %d contradicts %d data elements", req.Name, n, len(data))
+			}
+			n = len(data)
+		}
+		if err := checkBufLen(req.Name, n, maxBytes); err != nil {
+			return nil, err
+		}
+		b := sess.ctx.CreateFloatBuffer(n)
+		if data != nil {
+			copy(b.Float32(), data)
+		} else if req.FillSeed != nil {
+			workloads.FillFloats(b.Raw(), *req.FillSeed)
+		}
+		sess.bufs[req.Name] = b
+		return b, nil
+
+	case "int32":
+		data, err := i32Content(req)
+		if err != nil {
+			return nil, err
+		}
+		n := req.Len
+		if data != nil {
+			if n != 0 && n != len(data) {
+				return nil, fmt.Errorf("buffer %q: len %d contradicts %d data elements", req.Name, n, len(data))
+			}
+			n = len(data)
+		}
+		if err := checkBufLen(req.Name, n, maxBytes); err != nil {
+			return nil, err
+		}
+		b := sess.ctx.CreateIntBuffer(n)
+		if data != nil {
+			copy(b.Int32(), data)
+		} else if req.FillSeed != nil {
+			workloads.FillInts(b.Raw(), *req.FillSeed, req.FillMod)
+		}
+		sess.bufs[req.Name] = b
+		return b, nil
+
+	default:
+		return nil, fmt.Errorf("buffer %q: unsupported kind %q (float32 or int32)", req.Name, req.Kind)
+	}
+}
+
+func checkBufLen(name string, n int, maxBytes int64) error {
+	if n <= 0 {
+		return fmt.Errorf("buffer %q: positive len (or data) required", name)
+	}
+	if int64(n)*4 > maxBytes {
+		return fmt.Errorf("buffer %q: %d bytes exceeds the per-buffer limit of %d", name, int64(n)*4, maxBytes)
+	}
+	return nil
+}
+
+func f32Content(req *BufferRequest) ([]float32, error) {
+	sources := 0
+	if req.F32B64 != "" {
+		sources++
+	}
+	if req.F32 != nil {
+		sources++
+	}
+	if req.FillSeed != nil {
+		sources++
+	}
+	if req.I32B64 != "" || req.I32 != nil {
+		return nil, fmt.Errorf("buffer %q: int data for a float32 buffer", req.Name)
+	}
+	if sources > 1 {
+		return nil, fmt.Errorf("buffer %q: more than one content source", req.Name)
+	}
+	if req.F32B64 != "" {
+		return DecodeF32(req.F32B64)
+	}
+	return req.F32, nil
+}
+
+func i32Content(req *BufferRequest) ([]int32, error) {
+	sources := 0
+	if req.I32B64 != "" {
+		sources++
+	}
+	if req.I32 != nil {
+		sources++
+	}
+	if req.FillSeed != nil {
+		sources++
+	}
+	if req.F32B64 != "" || req.F32 != nil {
+		return nil, fmt.Errorf("buffer %q: float data for an int32 buffer", req.Name)
+	}
+	if sources > 1 {
+		return nil, fmt.Errorf("buffer %q: more than one content source", req.Name)
+	}
+	if req.I32B64 != "" {
+		return DecodeI32(req.I32B64)
+	}
+	return req.I32, nil
+}
+
+// bufferData snapshots a buffer's content for the wire. Callers hold
+// sess.mu.
+func bufferData(b *ocl.Buffer) BufferData {
+	if f := b.Float32(); f != nil {
+		return BufferData{Kind: "float32", Len: len(f), F32B64: EncodeF32(f)}
+	}
+	return BufferData{Kind: "int32", Len: b.Len(), I32B64: EncodeI32(b.Int32())}
+}
+
+// fallbackSnapshot reads the session queue's ladder accounting. Callers
+// hold sess.mu for a launch-delta-consistent view.
+func (sess *session) fallbackSnapshot() faults.Snapshot {
+	return sess.queue.Fallback.Snapshot()
+}

@@ -1,0 +1,167 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramGeometryErrors(t *testing.T) {
+	for _, tc := range []struct {
+		min, max float64
+		n        int
+	}{
+		{0, 1, 8}, {-1, 1, 8}, {1, 1, 8}, {2, 1, 8}, {1e-6, 1e3, 0},
+	} {
+		if _, err := NewHistogram(tc.min, tc.max, tc.n); err == nil {
+			t.Errorf("NewHistogram(%v,%v,%d): expected error", tc.min, tc.max, tc.n)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewLatencyHistogram()
+	// 1..1000 milliseconds, uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Record(float64(i) * 1e-3)
+	}
+	s := h.Snapshot()
+	if s.Total != 1000 {
+		t.Fatalf("total = %d, want 1000", s.Total)
+	}
+	checks := []struct{ q, want float64 }{
+		{0.50, 0.500}, {0.95, 0.950}, {0.99, 0.990},
+	}
+	for _, c := range checks {
+		got := s.Quantile(c.q)
+		if rel := math.Abs(got-c.want) / c.want; rel > 0.05 {
+			t.Errorf("q%.0f = %v, want ~%v (rel err %.3f)", c.q*100, got, c.want, rel)
+		}
+	}
+	if mean := s.Mean(); math.Abs(mean-0.5005) > 1e-9 {
+		t.Errorf("mean = %v, want 0.5005 exactly", mean)
+	}
+}
+
+func TestHistogramUnderOverflow(t *testing.T) {
+	h, err := NewHistogram(1, 10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Record(0)          // underflow
+	h.Record(1e-9)       // underflow
+	h.Record(math.NaN()) // underflow bucket, not counted in sum
+	h.Record(11)         // overflow
+	h.Record(math.Inf(1))
+	s := h.Snapshot()
+	if s.Counts[0] != 3 {
+		t.Errorf("underflow = %d, want 3", s.Counts[0])
+	}
+	if s.Counts[len(s.Counts)-1] != 2 {
+		t.Errorf("overflow = %d, want 2", s.Counts[len(s.Counts)-1])
+	}
+	// Overflow quantile reports the max bound as a floor.
+	if q := s.Quantile(0.999); q != 10 {
+		t.Errorf("overflow quantile = %v, want 10", q)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewLatencyHistogram()
+	if q := h.Quantile(0.5); !math.IsNaN(q) {
+		t.Errorf("empty quantile = %v, want NaN", q)
+	}
+	if m := h.Snapshot().Mean(); !math.IsNaN(m) {
+		t.Errorf("empty mean = %v, want NaN", m)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h, err := NewHistogram(1, 16, 4) // buckets [1,2) [2,4) [4,8) [8,16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid-bucket values: exact boundary values (2, 4, 8) may land in
+	// either adjacent bucket due to float log rounding, so avoid them.
+	for _, v := range []float64{1.1, 1.9, 2.2, 3.8, 4.4, 7.6, 8.8, 15.2} {
+		h.Record(v)
+	}
+	s := h.Snapshot()
+	for i := 1; i <= 4; i++ {
+		if s.Counts[i] != 2 {
+			t.Errorf("bucket %d = %d, want 2 (counts %v)", i, s.Counts[i], s.Counts)
+		}
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewLatencyHistogram()
+	b := NewLatencyHistogram()
+	for i := 1; i <= 500; i++ {
+		a.Record(float64(i) * 1e-3)
+		b.Record(float64(i+500) * 1e-3)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 1000 {
+		t.Fatalf("merged count = %d, want 1000", a.Count())
+	}
+	ref := NewLatencyHistogram()
+	for i := 1; i <= 1000; i++ {
+		ref.Record(float64(i) * 1e-3)
+	}
+	as, rs := a.Snapshot(), ref.Snapshot()
+	for i := range as.Counts {
+		if as.Counts[i] != rs.Counts[i] {
+			t.Fatalf("bucket %d: merged %d != direct %d", i, as.Counts[i], rs.Counts[i])
+		}
+	}
+	if math.Abs(as.Sum-rs.Sum) > 1e-9 {
+		t.Errorf("merged sum %v != direct %v", as.Sum, rs.Sum)
+	}
+	// Geometry mismatch is rejected.
+	c, _ := NewHistogram(1, 10, 4)
+	if err := a.Merge(c); err == nil {
+		t.Error("merge of mismatched geometry succeeded")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("merge of nil: %v", err)
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from many goroutines and
+// checks no observation is lost (run under -race in CI).
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewLatencyHistogram()
+	const G, per = 16, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(float64(g*per+i+1) * 1e-6)
+				if i%64 == 0 {
+					_ = h.Snapshot()
+					_ = h.Quantile(0.95)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != G*per {
+		t.Fatalf("count = %d, want %d", h.Count(), G*per)
+	}
+	s := h.Snapshot()
+	if s.Total != G*per {
+		t.Fatalf("snapshot total = %d, want %d", s.Total, G*per)
+	}
+	var sum int64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != G*per {
+		t.Fatalf("bucket sum = %d, want %d", sum, G*per)
+	}
+}
