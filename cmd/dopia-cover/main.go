@@ -1,0 +1,174 @@
+// Command dopia-cover enforces per-package coverage floors over a merged
+// Go cover profile (as produced by `go test -coverprofile=... ./...`).
+// It prints a per-package summary and exits non-zero when any matching
+// package falls below its floor — the CI guard against coverage erosion.
+//
+//	go test -coverprofile=cover.out ./...
+//	dopia-cover -profile cover.out -floor 55 -floors dopia/internal/analysis=55
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// block identifies one profiled basic block uniquely; merged profiles may
+// repeat a block (overlapping -coverpkg runs), in which case execution
+// counts are OR-ed.
+type block struct {
+	file string
+	span string // "start.col,end.col"
+}
+
+type pkgCov struct {
+	stmts   int
+	covered int
+}
+
+func main() {
+	var (
+		profile  = flag.String("profile", "cover.out", "merged cover profile path")
+		floor    = flag.Float64("floor", 55, "default minimum statement coverage (percent)")
+		floors   = flag.String("floors", "", "comma-separated per-package overrides: pkg=percent,...")
+		match    = flag.String("match", "dopia/internal/", "only enforce packages with this import-path prefix")
+		verbose  = flag.Bool("v", false, "also list packages outside the enforced prefix")
+		failFast = flag.Bool("strict", false, "also fail when an override names a package absent from the profile")
+	)
+	flag.Parse()
+
+	override := map[string]float64{}
+	if *floors != "" {
+		for _, kv := range strings.Split(*floors, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+			if !ok {
+				fail("bad -floors entry %q (want pkg=percent)", kv)
+			}
+			f, err := strconv.ParseFloat(v, 64)
+			if err != nil {
+				fail("bad -floors percent %q: %v", v, err)
+			}
+			override[k] = f
+		}
+	}
+
+	f, err := os.Open(*profile)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+
+	// profile line: <file>:<start>.<col>,<end>.<col> <numstmts> <count>
+	stmtsOf := map[block]int{}
+	hit := map[block]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			fail("malformed profile line: %q", line)
+		}
+		file, span, ok := strings.Cut(fields[0], ":")
+		if !ok {
+			fail("malformed location: %q", fields[0])
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			fail("malformed statement count: %q", line)
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			fail("malformed execution count: %q", line)
+		}
+		b := block{file: file, span: span}
+		stmtsOf[b] = stmts
+		if count > 0 {
+			hit[b] = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fail("%v", err)
+	}
+	if len(stmtsOf) == 0 {
+		fail("profile %s contains no blocks", *profile)
+	}
+
+	pkgs := map[string]*pkgCov{}
+	for b, stmts := range stmtsOf {
+		pkg := path.Dir(b.file)
+		pc := pkgs[pkg]
+		if pc == nil {
+			pc = &pkgCov{}
+			pkgs[pkg] = pc
+		}
+		pc.stmts += stmts
+		if hit[b] {
+			pc.covered += stmts
+		}
+	}
+
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	bad := 0
+	for _, name := range names {
+		pc := pkgs[name]
+		pct := 100 * float64(pc.covered) / float64(pc.stmts)
+		enforced := strings.HasPrefix(name, *match)
+		if !enforced {
+			if *verbose {
+				fmt.Printf("  skip  %-40s %6.1f%%\n", name, pct)
+			}
+			continue
+		}
+		want := *floor
+		if v, ok := override[name]; ok {
+			want = v
+		}
+		status := "ok"
+		if pct < want {
+			status = "LOW"
+			bad++
+		}
+		fmt.Printf("  %-4s  %-40s %6.1f%%  (floor %.0f%%)\n", status, name, pct, want)
+	}
+	if *failFast {
+		for name := range override {
+			if _, ok := pkgs[name]; !ok {
+				fmt.Printf("  MISS  %-40s override names a package absent from the profile\n", name)
+				bad++
+			}
+		}
+	}
+	if bad > 0 {
+		fail("%d package(s) below their coverage floor", bad)
+	}
+	fmt.Printf("coverage floors hold for %d package(s) under %s\n", countEnforced(names, *match), *match)
+}
+
+func countEnforced(names []string, prefix string) int {
+	n := 0
+	for _, name := range names {
+		if strings.HasPrefix(name, prefix) {
+			n++
+		}
+	}
+	return n
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dopia-cover: "+format+"\n", args...)
+	os.Exit(1)
+}

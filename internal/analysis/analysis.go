@@ -46,8 +46,27 @@ type Result struct {
 
 	Sites []SiteClass
 
+	// AtomicArgs lists the kernel parameter slots targeted by atomic
+	// builtins (atomic_add(ptr, v) and friends). Atomics mutate memory
+	// through a bare pointer rather than an Index expression, so they
+	// never appear in Sites — but runtime layers that snapshot and
+	// restore "written" buffers (sampled profiling in sched, the
+	// fallback ladder's rollback in core) must treat these parameters
+	// as written, or atomic accumulators leak partial state.
+	AtomicArgs []int
+
 	// MaxLoopDepth is the deepest loop nest in the kernel.
 	MaxLoopDepth int
+}
+
+// addAtomicArg records a parameter slot as an atomic target (deduped).
+func (r *Result) addAtomicArg(slot int) {
+	for _, s := range r.AtomicArgs {
+		if s == slot {
+			return
+		}
+	}
+	r.AtomicArgs = append(r.AtomicArgs, slot)
 }
 
 // MemTotal returns the total number of classified memory operations.
@@ -545,6 +564,12 @@ func (a *analyzer) call(e *clc.Call) form {
 		}
 		return nonlinearForm()
 	case clc.BuiltinAtomic, clc.BuiltinAtomic2:
+		// The target (Args[0]) is a bare pointer Ident, not an Index, so
+		// it never reaches classifySite; record the written parameter so
+		// snapshot/restore layers can roll atomic accumulators back.
+		if id, ok := e.Args[0].(*clc.Ident); ok && id.Sym != nil && id.Sym.Class == clc.SymParam {
+			a.res.addAtomicArg(id.Sym.Slot)
+		}
 		for _, arg := range e.Args[1:] {
 			a.expr(arg)
 		}

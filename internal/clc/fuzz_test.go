@@ -4,13 +4,17 @@ import (
 	"testing"
 
 	"dopia/internal/clc"
+	"dopia/internal/conformance"
 	"dopia/internal/workloads"
 )
 
 // seedSources collects the front-end fuzz seed corpus: the paper's 14
-// real kernels plus handcrafted adversarial fragments (unterminated
-// constructs, deep nesting, junk bytes). More seeds live in
-// testdata/fuzz/FuzzParse and testdata/fuzz/FuzzLex.
+// real kernels, handcrafted adversarial fragments (unterminated
+// constructs, deep nesting, junk bytes), and the shared conformance seed
+// corpus in testdata/conformance/seeds — promoted fuzz-corpus entries
+// plus generated exemplars, which the conformance harness also replays
+// through the engine differential (TestSeedCorpusConformance). More
+// seeds live in testdata/fuzz/FuzzParse and testdata/fuzz/FuzzLex.
 func seedSources(tb testing.TB) []string {
 	tb.Helper()
 	srcs := []string{
@@ -38,6 +42,16 @@ func seedSources(tb testing.TB) []string {
 		if !seen[w.Source] {
 			seen[w.Source] = true
 			srcs = append(srcs, w.Source)
+		}
+	}
+	shared, err := conformance.SeedSources()
+	if err != nil {
+		tb.Fatalf("shared seed corpus: %v", err)
+	}
+	for _, s := range shared {
+		if !seen[s] {
+			seen[s] = true
+			srcs = append(srcs, s)
 		}
 	}
 	return srcs

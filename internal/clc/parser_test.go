@@ -332,3 +332,59 @@ func TestPrinterPreservesPrecedence(t *testing.T) {
 		}
 	}
 }
+
+// TestPrinterNestedSigns pins the regression where -(-x) printed as --x,
+// which re-lexes as a pre-decrement: a phantom *store* through whatever
+// lvalue followed. The printed form must re-parse to the same nested
+// unary expression, never to an IncDec.
+func TestPrinterNestedSigns(t *testing.T) {
+	src := `__kernel void k(__global float* a, __global int* b, int x) {
+        a[0] = (-(-a[1]));
+        b[0] = -(-x);
+        b[1] = ~(-x);
+        b[2] = -(~x);
+    }`
+	p1 := mustCompile(t, src)
+	out := PrintProgram(p1)
+	if strings.Contains(out, "--") || strings.Contains(out, "++") {
+		t.Fatalf("nested signs merged into an inc/dec token:\n%s", out)
+	}
+	p2, err := Compile(out)
+	if err != nil {
+		t.Fatalf("printed source does not recompile: %v\n%s", err, out)
+	}
+	var incdec int
+	var walkExpr func(Expr)
+	walkExpr = func(e Expr) {
+		switch x := e.(type) {
+		case *IncDec:
+			incdec++
+		case *Unary:
+			walkExpr(x.X)
+		case *Binary:
+			walkExpr(x.L)
+			walkExpr(x.R)
+		case *Assign:
+			walkExpr(x.LHS)
+			walkExpr(x.RHS)
+		case *Index:
+			walkExpr(x.Base)
+			walkExpr(x.Idx)
+		}
+	}
+	var walkStmt func(Stmt)
+	walkStmt = func(s Stmt) {
+		switch st := s.(type) {
+		case *Block:
+			for _, inner := range st.Stmts {
+				walkStmt(inner)
+			}
+		case *ExprStmt:
+			walkExpr(st.X)
+		}
+	}
+	walkStmt(p2.Kernels[0].Body)
+	if incdec != 0 {
+		t.Errorf("re-parsed printed source contains %d inc/dec nodes, want 0:\n%s", incdec, out)
+	}
+}

@@ -237,8 +237,19 @@ func printExpr(b *strings.Builder, x Expr, minPrec int) {
 			}
 		}
 	case *Unary:
-		b.WriteString(e.Op.String())
-		printExpr(b, e.X, 13)
+		op := e.Op.String()
+		b.WriteString(op)
+		// Render the operand separately: if it starts with the same sign
+		// character, the two must not merge into a ++/-- token on
+		// re-parse (-(-x) printed as --x would become a pre-decrement —
+		// a store — instead of a double negation).
+		var operand strings.Builder
+		printExpr(&operand, e.X, 13)
+		s := operand.String()
+		if len(s) > 0 && (op == "-" || op == "+") && s[0] == op[0] {
+			b.WriteString(" ")
+		}
+		b.WriteString(s)
 	case *Binary:
 		printExpr(b, e.L, prec)
 		fmt.Fprintf(b, " %s ", e.Op)

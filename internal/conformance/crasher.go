@@ -1,0 +1,202 @@
+package conformance
+
+// Crasher repro files. Whenever a divergence survives shrinking, the
+// harness dumps a self-contained JSON file into
+// testdata/conformance/crashers/: the (shrunk) source, launch geometry,
+// and exact initial argument bytes. Loaded crashers replay without the
+// generator, so a repro stays valid even if the generator's seed
+// derivation changes.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"dopia/internal/interp"
+	"dopia/internal/server"
+)
+
+// CrasherArg is one argument of a crasher file. Buffer contents ride as
+// base64 little-endian payloads (the serving wire encoding).
+type CrasherArg struct {
+	Name   string  `json:"name"`
+	Kind   string  `json:"kind"` // fbuf ibuf int float
+	Out    bool    `json:"out,omitempty"`
+	F32B64 string  `json:"f32_b64,omitempty"`
+	I32B64 string  `json:"i32_b64,omitempty"`
+	Int    int64   `json:"int,omitempty"`
+	Float  float64 `json:"float,omitempty"`
+}
+
+// Crasher is the JSON repro form of one divergent case.
+type Crasher struct {
+	// Seed is the generator seed the case came from (provenance only;
+	// the source below is authoritative — shrinking detaches a case from
+	// its seed).
+	Seed  uint64 `json:"seed,string,omitempty"`
+	Class string `json:"class"`
+	// Note describes why the case was dumped (the first divergence).
+	Note   string       `json:"note,omitempty"`
+	Source string       `json:"source"`
+	Kernel string       `json:"kernel"`
+	Dims   int          `json:"dims"`
+	Global []int        `json:"global"`
+	Local  []int        `json:"local"`
+	Args   []CrasherArg `json:"args"`
+	// Divergences records the oracle messages at dump time.
+	Divergences []string `json:"divergences,omitempty"`
+}
+
+// NewCrasher converts a case (typically post-shrink) into its repro
+// form.
+func NewCrasher(c *Case, divergences []string) *Crasher {
+	cr := &Crasher{
+		Seed:        c.Seed,
+		Class:       c.Class.String(),
+		Source:      c.Source,
+		Kernel:      c.Kernel,
+		Dims:        c.ND.Dims,
+		Global:      append([]int(nil), c.ND.Global[:c.ND.Dims]...),
+		Local:       append([]int(nil), c.ND.Local[:c.ND.Dims]...),
+		Divergences: append([]string(nil), divergences...),
+	}
+	if len(divergences) > 0 {
+		cr.Note = divergences[0]
+	}
+	for i := range c.Args {
+		a := &c.Args[i]
+		ca := CrasherArg{Name: a.Name, Kind: a.Kind, Out: a.Out, Int: a.IVal, Float: a.FVal}
+		switch a.Kind {
+		case "fbuf":
+			ca.F32B64 = server.EncodeF32(a.F32)
+		case "ibuf":
+			ca.I32B64 = server.EncodeI32(a.I32)
+		}
+		cr.Args = append(cr.Args, ca)
+	}
+	return cr
+}
+
+// Case rebuilds the runnable case from a repro file. The rebuilt case is
+// not shrinkable (no structured spec survives serialization).
+func (cr *Crasher) Case() (*Case, error) {
+	c := &Case{
+		Seed:   cr.Seed,
+		Source: cr.Source,
+		Kernel: cr.Kernel,
+	}
+	if cr.Class == ClassTrappy.String() {
+		c.Class = ClassTrappy
+	}
+	nd := interp.NDRange{Dims: cr.Dims}
+	if cr.Dims < 1 || cr.Dims > 3 || len(cr.Global) != cr.Dims || len(cr.Local) != cr.Dims {
+		return nil, fmt.Errorf("conformance: crasher has inconsistent geometry (dims=%d)", cr.Dims)
+	}
+	for d := 0; d < cr.Dims; d++ {
+		nd.Global[d] = cr.Global[d]
+		nd.Local[d] = cr.Local[d]
+	}
+	for d := cr.Dims; d < 3; d++ {
+		nd.Global[d], nd.Local[d] = 1, 1
+	}
+	c.ND = nd
+	for _, ca := range cr.Args {
+		a := ArgSpec{Name: ca.Name, Kind: ca.Kind, Out: ca.Out, IVal: ca.Int, FVal: ca.Float}
+		switch ca.Kind {
+		case "fbuf":
+			xs, err := server.DecodeF32(ca.F32B64)
+			if err != nil {
+				return nil, fmt.Errorf("conformance: crasher arg %s: %w", ca.Name, err)
+			}
+			a.F32 = xs
+		case "ibuf":
+			xs, err := server.DecodeI32(ca.I32B64)
+			if err != nil {
+				return nil, fmt.Errorf("conformance: crasher arg %s: %w", ca.Name, err)
+			}
+			a.I32 = xs
+		case "int", "float":
+		default:
+			return nil, fmt.Errorf("conformance: crasher arg %s has unknown kind %q", ca.Name, ca.Kind)
+		}
+		c.Args = append(c.Args, a)
+	}
+	return c, nil
+}
+
+// fnvHash is a small stable content hash for crasher file names.
+func fnvHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// FileName derives the crasher's stable file name (seed + content hash,
+// so re-dumping the same divergence overwrites rather than multiplies).
+func (cr *Crasher) FileName() string {
+	return fmt.Sprintf("crasher-%016x-%08x.json", cr.Seed, uint32(fnvHash(cr.Source)))
+}
+
+// Write dumps the crasher into dir (created if missing) and returns the
+// file path.
+func (cr *Crasher) Write(dir string) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(cr, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, cr.FileName())
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadCrasher reads one crasher file.
+func LoadCrasher(path string) (*Crasher, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var cr Crasher
+	if err := json.Unmarshal(data, &cr); err != nil {
+		return nil, fmt.Errorf("conformance: %s: %w", path, err)
+	}
+	return &cr, nil
+}
+
+// LoadCrashers reads every crasher in dir, sorted by file name. A
+// missing directory is an empty corpus.
+func LoadCrashers(dir string) (map[string]*Crasher, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".json") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := map[string]*Crasher{}
+	for _, n := range names {
+		cr, err := LoadCrasher(filepath.Join(dir, n))
+		if err != nil {
+			return nil, err
+		}
+		out[n] = cr
+	}
+	return out, nil
+}

@@ -1,0 +1,156 @@
+package conformance
+
+// The fuzzing driver shared by the quick `go test` lattice, the
+// dopia-fuzz CLI, and the CI deep-fuzz job: generate cases from a base
+// seed, run each across the configured lattice, shrink survivors, dump
+// crashers, and persist one corpus exemplar per feature signature.
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// FuzzConfig configures one fuzzing run.
+type FuzzConfig struct {
+	// Seed is the base seed; case i derives its seed via CaseSeed.
+	Seed uint64
+	// Cases bounds the number of generated cases (<= 0: unbounded, use
+	// Duration).
+	Cases int
+	// Duration bounds wall-clock time (0: unbounded, use Cases).
+	Duration time.Duration
+	// Opts selects the lattice per case.
+	Opts Options
+	// Shrink minimizes divergent cases before dumping.
+	Shrink bool
+	// MaxShrinkRuns bounds the shrink budget per divergence.
+	MaxShrinkRuns int
+	// CrashersDir receives repro dumps ("" = no dumps).
+	CrashersDir string
+	// CorpusDir persists one .cl exemplar per feature signature
+	// ("" = no corpus persistence).
+	CorpusDir string
+	// MaxCrashers stops the run early after this many distinct
+	// divergent cases (<= 0: default 5) — a systematically broken build
+	// should not grind through the whole budget.
+	MaxCrashers int
+	// Log receives progress lines (nil = silent).
+	Log func(format string, args ...any)
+}
+
+// FuzzResult summarizes a fuzzing run.
+type FuzzResult struct {
+	// Cases is the number of generated cases that ran.
+	Cases int
+	// Divergent counts cases with at least one lattice divergence.
+	Divergent int
+	// Crashers lists the repro files written.
+	Crashers []string
+	// Divergences aggregates every divergence message observed.
+	Divergences []string
+	// CorpusNew counts newly persisted corpus exemplars.
+	CorpusNew int
+	// Features histograms the feature signatures that ran.
+	Features map[string]int
+}
+
+func (cfg FuzzConfig) logf(format string, args ...any) {
+	if cfg.Log != nil {
+		cfg.Log(format, args...)
+	}
+}
+
+// Fuzz runs the generative differential-conformance loop. It returns an
+// error only for harness failures; divergences are reported in the
+// result.
+func Fuzz(cfg FuzzConfig) (*FuzzResult, error) {
+	if cfg.Cases <= 0 && cfg.Duration <= 0 {
+		return nil, fmt.Errorf("conformance: fuzz run needs a case or duration bound")
+	}
+	maxCrashers := cfg.MaxCrashers
+	if maxCrashers <= 0 {
+		maxCrashers = 5
+	}
+	res := &FuzzResult{Features: map[string]int{}}
+	start := time.Now()
+	for i := 0; ; i++ {
+		if cfg.Cases > 0 && i >= cfg.Cases {
+			break
+		}
+		if cfg.Duration > 0 && time.Since(start) >= cfg.Duration {
+			break
+		}
+		seed := CaseSeed(cfg.Seed, i)
+		c, err := Generate(seed)
+		if err != nil {
+			return res, fmt.Errorf("case %d: %w", i, err)
+		}
+		if c.spec != nil {
+			res.Features[c.spec.FeatureSig()]++
+		}
+		rep, err := RunCase(c, cfg.Opts)
+		if err != nil {
+			return res, fmt.Errorf("case %d: %w", i, err)
+		}
+		res.Cases++
+		if cfg.CorpusDir != "" && c.spec != nil {
+			n, err := persistCorpus(cfg.CorpusDir, c)
+			if err != nil {
+				return res, err
+			}
+			res.CorpusNew += n
+		}
+		if rep.OK() {
+			continue
+		}
+		res.Divergent++
+		res.Divergences = append(res.Divergences, rep.Divergences...)
+		cfg.logf("case %d %s diverged: %s", i, c, rep.Divergences[0])
+
+		final := c
+		finalDivs := rep.Divergences
+		if cfg.Shrink {
+			final = Shrink(c, func(cand *Case) bool {
+				r, err := RunCase(cand, cfg.Opts)
+				return err == nil && !r.OK()
+			}, ShrinkOptions{MaxRuns: cfg.MaxShrinkRuns})
+			if r, err := RunCase(final, cfg.Opts); err == nil && !r.OK() {
+				finalDivs = r.Divergences
+			}
+			cfg.logf("case %d shrunk: %d -> %d bytes", i, len(c.Source), len(final.Source))
+		}
+		if cfg.CrashersDir != "" {
+			path, err := NewCrasher(final, finalDivs).Write(cfg.CrashersDir)
+			if err != nil {
+				return res, fmt.Errorf("case %d: dump crasher: %w", i, err)
+			}
+			res.Crashers = append(res.Crashers, path)
+			cfg.logf("case %d: wrote %s", i, path)
+		}
+		if res.Divergent >= maxCrashers {
+			cfg.logf("stopping after %d divergent cases", res.Divergent)
+			break
+		}
+	}
+	return res, nil
+}
+
+// persistCorpus writes the case as a corpus exemplar when its feature
+// signature has no file yet. Returns 1 when a new file was written.
+func persistCorpus(dir string, c *Case) (int, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return 0, err
+	}
+	path := filepath.Join(dir, "gen-"+c.spec.FeatureSig()+".cl")
+	if _, err := os.Stat(path); err == nil {
+		return 0, nil
+	} else if !os.IsNotExist(err) {
+		return 0, err
+	}
+	if err := os.WriteFile(path, []byte(c.Source), 0o644); err != nil {
+		return 0, err
+	}
+	return 1, nil
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package conformance
+
+// quickCases is the generated-case budget of the PR-blocking quick
+// lattice (see race.go for the race-detector override).
+const quickCases = 220

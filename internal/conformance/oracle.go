@@ -1,0 +1,390 @@
+package conformance
+
+import (
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"runtime"
+
+	"dopia/internal/clc"
+	"dopia/internal/core"
+	"dopia/internal/faults"
+	"dopia/internal/interp"
+	"dopia/internal/ocl"
+	"dopia/internal/server"
+	"dopia/internal/sim"
+)
+
+// Options selects which slices of the configuration lattice a RunCase
+// call exercises. The zero value runs the direct engine×shard
+// differential only.
+type Options struct {
+	// Shards lists the parallelism degrees of the direct legs (default
+	// {1, 3, GOMAXPROCS}). Trappy cases always run at parallelism 1,
+	// where partial trap state is deterministic.
+	Shards []int
+	// Rungs adds the interposed fallback-ladder legs: a natural launch
+	// plus coexec-all and plain rungs forced via armed fault injection.
+	// Fault injection is process-global state, so RunCase calls with
+	// Rungs set must not run concurrently.
+	Rungs bool
+	// Serving, when non-nil, adds a round-trip leg through an embedded
+	// dopiad server.
+	Serving *ServingEnv
+	// MutateLeg deliberately corrupts the first output buffer of the
+	// named leg, for self-testing the oracle and the shrinker. "" (the
+	// default) disables mutation.
+	MutateLeg string
+}
+
+// defaultShards returns the default direct-leg parallelism set.
+func defaultShards() []int {
+	p := runtime.GOMAXPROCS(0)
+	out := []int{1, 3}
+	if p != 1 && p != 3 {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Report is the outcome of running one case across the lattice.
+type Report struct {
+	Case *Case
+	// Legs holds every observation, reference first.
+	Legs []*Observation
+	// Divergences is empty iff every leg agreed with the reference.
+	Divergences []string
+}
+
+// OK reports whether every leg agreed.
+func (r *Report) OK() bool { return len(r.Divergences) == 0 }
+
+// errForced marks fault-injection errors armed by the oracle itself.
+var errForced = errors.New("conformance: forced fallback")
+
+// RunCase runs one case across the configured lattice and returns the
+// report. An error is returned only for harness-level failures (the
+// serving environment breaking, a case that does not compile);
+// behavioural divergences land in Report.Divergences.
+func RunCase(c *Case, opts Options) (*Report, error) {
+	shards := opts.Shards
+	if len(shards) == 0 {
+		shards = defaultShards()
+	}
+	rep := &Report{Case: c}
+
+	// Reference leg: closure engine, sequential, exact profiling, traced.
+	ref, err := runDirect(c, interp.EngineClosures, 1, true)
+	if err != nil {
+		return nil, fmt.Errorf("%s: reference leg: %w", c, err)
+	}
+	mutate(rep, opts, ref)
+	rep.Legs = append(rep.Legs, ref)
+	if c.Class == ClassTotal && ref.Err != nil {
+		rep.Divergences = append(rep.Divergences,
+			fmt.Sprintf("%s: total-class case trapped on the reference leg: %v", c, ref.Err))
+		return rep, nil
+	}
+
+	addLeg := func(leg *Observation) {
+		mutate(rep, opts, leg)
+		rep.Legs = append(rep.Legs, leg)
+		rep.Divergences = append(rep.Divergences, DiffObservations(ref, leg)...)
+	}
+
+	// Direct legs: both engines across the shard set. Trappy cases run
+	// the engine differential at parallelism 1 only.
+	for _, engine := range []interp.Engine{interp.EngineClosures, interp.EngineBytecode} {
+		for _, par := range shards {
+			if engine == interp.EngineClosures && par == 1 {
+				continue // the reference
+			}
+			if c.Class == ClassTrappy && par != 1 {
+				continue
+			}
+			leg, err := runDirect(c, engine, par, par == 1)
+			if err != nil {
+				return nil, fmt.Errorf("%s: leg %s: %w", c, leg.Leg, err)
+			}
+			addLeg(leg)
+		}
+	}
+
+	// Interposed-ladder legs (total cases only: a trapping kernel makes
+	// the ladder degrade by design, and partial rung state under
+	// co-execution parallelism is not comparable).
+	if opts.Rungs && c.Class == ClassTotal {
+		for _, rl := range []struct {
+			name   string
+			inject string
+			want   func(string) bool
+		}{
+			// A natural launch must be served by a managed rung — either
+			// full Dopia or, for untransformable kernels (barriers), ALL
+			// co-execution — never by the plain runtime.
+			{"rung:natural", "", func(r string) bool { return r == "managed" || r == "coexec-all" }},
+			// Forcing the malleable transform to fail must land exactly on
+			// the coexec-all rung.
+			{"rung:coexec-all", "transform.gpu", func(r string) bool { return r == "coexec-all" }},
+			// Forcing every managed execution to fail must land on plain.
+			{"rung:plain", "core.exec", func(r string) bool { return r == "plain" }},
+		} {
+			leg, err := runRung(c, rl.name, rl.inject)
+			if err != nil {
+				return nil, fmt.Errorf("%s: leg %s: %w", c, rl.name, err)
+			}
+			if !rl.want(leg.Rung) {
+				rep.Divergences = append(rep.Divergences,
+					fmt.Sprintf("%s: leg %s served on unexpected rung %q", c, rl.name, leg.Rung))
+			}
+			addLeg(leg)
+		}
+	}
+
+	// Serving leg: the same case through an embedded dopiad round-trip.
+	if opts.Serving != nil && c.Class == ClassTotal {
+		leg, err := opts.Serving.RunLeg(c)
+		if err != nil {
+			return nil, fmt.Errorf("%s: serving leg: %w", c, err)
+		}
+		addLeg(leg)
+	}
+	return rep, nil
+}
+
+// mutate corrupts the first output buffer of the observation when it is
+// the configured mutation target (self-test support).
+func mutate(rep *Report, opts Options, obs *Observation) {
+	if opts.MutateLeg == "" || obs.Leg != opts.MutateLeg {
+		return
+	}
+	for i := range obs.Buffers {
+		if len(obs.Buffers[i].Bytes) > 0 {
+			obs.Buffers[i].Bytes[0] ^= 0xff
+			return
+		}
+	}
+}
+
+// runDirect executes the case once on a fresh interp.Exec.
+func runDirect(c *Case, engine interp.Engine, par int, trace bool) (*Observation, error) {
+	obs := &Observation{Leg: fmt.Sprintf("%s/shards=%d", engine, par)}
+	prog, err := clc.Compile(c.Source)
+	if err != nil {
+		return obs, fmt.Errorf("compile: %w", err)
+	}
+	k := prog.Kernel(c.Kernel)
+	if k == nil {
+		return obs, fmt.Errorf("kernel %q not found", c.Kernel)
+	}
+	ex, err := interp.NewExec(k)
+	if err != nil {
+		return obs, fmt.Errorf("NewExec: %w", err)
+	}
+	ex.Engine = engine
+	ex.Parallelism = par
+	// Exact profiling regardless of the process DOPIA_ACCESS_SAMPLE
+	// default: the oracle compares bit-exact site counts.
+	ex.AccessSampleRate = 1
+	var sink *RecordingSink
+	if trace {
+		sink = &RecordingSink{}
+		ex.Sink = sink
+	}
+	args := make([]interp.Arg, len(c.Args))
+	for i := range c.Args {
+		args[i] = c.Args[i].Arg()
+	}
+	if err := ex.Bind(args...); err != nil {
+		return obs, fmt.Errorf("Bind: %w", err)
+	}
+	if err := ex.Launch(c.ND); err != nil {
+		return obs, fmt.Errorf("Launch: %w", err)
+	}
+	obs.Err = ex.Run()
+	obs.Profile = ex.Stats()
+	if sink != nil {
+		obs.Trace = sink.Events
+	}
+	for i := range c.Args {
+		if !c.Args[i].IsBuf() {
+			continue
+		}
+		obs.Buffers = append(obs.Buffers, BufferObs{
+			Name:  c.Args[i].Name,
+			Bytes: BufferBytes(args[i].Buf),
+		})
+	}
+	return obs, nil
+}
+
+// runRung executes the case through the full interposed OpenCL surface
+// (platform, context, framework, command queue), optionally with a
+// fault armed to force a specific ladder rung. The observation carries
+// buffers and the served rung; profiles and traces are not exposed
+// through the interposed path.
+func runRung(c *Case, name, injectPoint string) (*Observation, error) {
+	if injectPoint != "" {
+		faults.InjectError(injectPoint, errForced)
+		defer faults.Reset()
+	}
+	obs := &Observation{Leg: name}
+	machine := sim.Kaveri()
+	plat := ocl.NewPlatform(machine)
+	cx := plat.CreateContext()
+	fw := core.New(machine, nil)
+	fw.Attach(cx)
+	prog := cx.CreateProgramWithSource(c.Source)
+	if err := prog.Build(); err != nil {
+		return obs, fmt.Errorf("Build: %w", err)
+	}
+	k, err := prog.CreateKernel(c.Kernel)
+	if err != nil {
+		return obs, fmt.Errorf("CreateKernel: %w", err)
+	}
+	type named struct {
+		name string
+		buf  *interp.Buffer
+	}
+	var bufs []named
+	for i := range c.Args {
+		a := &c.Args[i]
+		if a.IsBuf() {
+			b := a.NewBuffer()
+			bufs = append(bufs, named{a.Name, b})
+			if err := k.SetArg(i, cx.WrapBuffer(b)); err != nil {
+				return obs, fmt.Errorf("SetArg(%d): %w", i, err)
+			}
+			continue
+		}
+		if err := k.SetArg(i, a.Arg()); err != nil {
+			return obs, fmt.Errorf("SetArg(%d): %w", i, err)
+		}
+	}
+	q := cx.CreateCommandQueue(plat.Device(ocl.DeviceCPU))
+	obs.Err = q.EnqueueNDRangeKernel(k, c.ND)
+	if obs.Err == nil {
+		obs.Err = q.Finish()
+	}
+	if li, ok := q.LastLaunch.(*core.LaunchInfo); ok && li != nil {
+		obs.Rung = li.Rung
+	}
+	for _, nb := range bufs {
+		obs.Buffers = append(obs.Buffers, BufferObs{Name: nb.name, Bytes: BufferBytes(nb.buf)})
+	}
+	return obs, nil
+}
+
+// ServingEnv is an embedded dopiad instance (server + HTTP listener +
+// client) the oracle round-trips cases through: compile over the wire,
+// create buffers from base64 payloads, launch, and read every buffer
+// back.
+type ServingEnv struct {
+	srv *server.Server
+	ts  *httptest.Server
+	cl  *server.Client
+}
+
+// NewServingEnv boots an embedded dopiad over an ephemeral listener.
+func NewServingEnv() (*ServingEnv, error) {
+	srv, err := server.New(server.Config{Machine: sim.Kaveri()})
+	if err != nil {
+		return nil, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	return &ServingEnv{
+		srv: srv,
+		ts:  ts,
+		cl:  server.NewClient(ts.URL, ts.Client()),
+	}, nil
+}
+
+// Close shuts the embedded server down.
+func (e *ServingEnv) Close() {
+	e.ts.Close()
+}
+
+// RunLeg round-trips one case through the embedded server. A harness
+// error (HTTP failure, rejected request) is returned as error; the
+// observation mirrors the direct legs' buffer view.
+func (e *ServingEnv) RunLeg(c *Case) (*Observation, error) {
+	obs := &Observation{Leg: "serving"}
+	pr, err := e.cl.Compile(c.Source)
+	if err != nil {
+		return obs, fmt.Errorf("compile: %w", err)
+	}
+	sid, err := e.cl.NewSession()
+	if err != nil {
+		return obs, fmt.Errorf("session: %w", err)
+	}
+	defer e.cl.CloseSession(sid)
+
+	req := &server.LaunchRequest{
+		SessionID: sid,
+		ProgramID: pr.ProgramID,
+		Kernel:    c.Kernel,
+		Global:    append([]int(nil), c.ND.Global[:c.ND.Dims]...),
+		Local:     append([]int(nil), c.ND.Local[:c.ND.Dims]...),
+	}
+	var readNames []string
+	for i := range c.Args {
+		a := &c.Args[i]
+		switch a.Kind {
+		case "fbuf":
+			if err := e.cl.CreateBuffer(sid, &server.BufferRequest{
+				Name: a.Name, Kind: "float32", Len: len(a.F32),
+				F32B64: server.EncodeF32(a.F32),
+			}); err != nil {
+				return obs, fmt.Errorf("buffer %s: %w", a.Name, err)
+			}
+			req.Args = append(req.Args, server.LaunchArg{Buf: a.Name})
+			readNames = append(readNames, a.Name)
+		case "ibuf":
+			if err := e.cl.CreateBuffer(sid, &server.BufferRequest{
+				Name: a.Name, Kind: "int32", Len: len(a.I32),
+				I32B64: server.EncodeI32(a.I32),
+			}); err != nil {
+				return obs, fmt.Errorf("buffer %s: %w", a.Name, err)
+			}
+			req.Args = append(req.Args, server.LaunchArg{Buf: a.Name})
+			readNames = append(readNames, a.Name)
+		case "int":
+			v := a.IVal
+			req.Args = append(req.Args, server.LaunchArg{Int: &v})
+		default:
+			v := a.FVal
+			req.Args = append(req.Args, server.LaunchArg{Float: &v})
+		}
+	}
+	req.Read = readNames
+	resp, err := e.cl.Launch(req)
+	if err != nil {
+		return obs, fmt.Errorf("launch: %w", err)
+	}
+	obs.Rung = resp.Rung
+	for _, name := range readNames {
+		bd, ok := resp.Buffers[name]
+		if !ok {
+			return obs, fmt.Errorf("launch response missing buffer %s", name)
+		}
+		var bytes []byte
+		switch bd.Kind {
+		case "float32":
+			xs, err := server.DecodeF32(bd.F32B64)
+			if err != nil {
+				return obs, fmt.Errorf("decode %s: %w", name, err)
+			}
+			bytes = F32Bytes(xs)
+		case "int32":
+			xs, err := server.DecodeI32(bd.I32B64)
+			if err != nil {
+				return obs, fmt.Errorf("decode %s: %w", name, err)
+			}
+			bytes = I32Bytes(xs)
+		default:
+			return obs, fmt.Errorf("buffer %s: unexpected kind %q", name, bd.Kind)
+		}
+		obs.Buffers = append(obs.Buffers, BufferObs{Name: name, Bytes: bytes})
+	}
+	return obs, nil
+}

@@ -1,0 +1,27 @@
+package conformance
+
+import "testing"
+
+// TestOracleSmoke is a small always-on sanity pass: a handful of cases
+// through the full lattice, including the serving round-trip.
+func TestOracleSmoke(t *testing.T) {
+	env, err := NewServingEnv()
+	if err != nil {
+		t.Fatalf("serving env: %v", err)
+	}
+	defer env.Close()
+	opts := Options{Rungs: true, Serving: env}
+	for i := 0; i < 8; i++ {
+		c, err := Generate(CaseSeed(42, i))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		rep, err := RunCase(c, opts)
+		if err != nil {
+			t.Fatalf("case %d %s: %v\n%s", i, c, err, c.Source)
+		}
+		if !rep.OK() {
+			t.Errorf("case %d %s diverged:\n%s\n%s", i, c, rep.Divergences, c.Source)
+		}
+	}
+}

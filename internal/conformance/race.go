@@ -1,0 +1,9 @@
+//go:build race
+
+package conformance
+
+// quickCases is the generated-case budget of the PR-blocking quick
+// lattice. Under the race detector every leg costs several times more,
+// so the quick run shrinks to keep `go test -race ./...` fast; the full
+// budget runs in the plain test job and in the CI deep-fuzz job.
+const quickCases = 60

@@ -1,0 +1,337 @@
+package conformance
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"dopia/internal/analysis"
+	"dopia/internal/clc"
+	"dopia/internal/core"
+	"dopia/internal/faults"
+	"dopia/internal/interp"
+	"dopia/internal/ml"
+	"dopia/internal/sched"
+	"dopia/internal/sim"
+)
+
+// totalCases returns the first n ClassTotal generated cases from a seed
+// stream, optionally skipping cases whose feature signature contains any
+// of the listed tags.
+func totalCases(t *testing.T, base uint64, n int, skipTags ...string) []*Case {
+	t.Helper()
+	var out []*Case
+	for i := 0; len(out) < n && i < 40*n; i++ {
+		c, err := GenerateClass(CaseSeed(base, i), ClassTotal)
+		if err != nil {
+			t.Fatalf("gen %d: %v", i, err)
+		}
+		sig := c.FeatureSig()
+		skip := false
+		for _, tag := range skipTags {
+			if strings.Contains(sig, tag) {
+				skip = true
+				break
+			}
+		}
+		if !skip {
+			out = append(out, c)
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("found only %d/%d matching cases", len(out), n)
+	}
+	return out
+}
+
+// kernelModel builds the sampled performance model of a generated case
+// through the scheduler's executor (the production path: bind, launch,
+// profile a work-group sample).
+func kernelModel(t *testing.T, c *Case) *sim.KernelModel {
+	t.Helper()
+	prog, err := clc.Compile(c.Source)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	k := prog.Kernel(c.Kernel)
+	if k == nil {
+		t.Fatalf("kernel %s missing", c.Kernel)
+	}
+	ex, err := sched.NewExecutor(sim.Kaveri(), k, nil)
+	if err != nil {
+		t.Fatalf("executor: %v", err)
+	}
+	args := make([]interp.Arg, len(c.Args))
+	for i := range c.Args {
+		args[i] = c.Args[i].Arg()
+	}
+	if err := ex.Bind(args...); err != nil {
+		t.Fatalf("bind: %v", err)
+	}
+	if err := ex.Launch(c.ND); err != nil {
+		t.Fatalf("launch: %v", err)
+	}
+	km, err := ex.Model()
+	if err != nil {
+		t.Fatalf("model: %v", err)
+	}
+	return km
+}
+
+// TestCoexecPartitionCoversNDRange is the metamorphic partition
+// invariant: however the simulator splits a launch between the devices —
+// any DoP configuration, dynamic or static distribution, fixed or
+// decaying GPU chunks — the emitted spans must cover every work-group of
+// the ND-range exactly once, and the result tallies must agree with the
+// spans.
+func TestCoexecPartitionCoversNDRange(t *testing.T) {
+	m := sim.Kaveri()
+	cases := totalCases(t, 0xc0e8, 4)
+
+	type variant struct {
+		name string
+		dist sim.Distribution
+		opts sim.SimOptions
+	}
+	variants := []variant{
+		{"dynamic", sim.Dynamic, sim.SimOptions{}},
+		{"dynamic/decay", sim.Dynamic, sim.SimOptions{DecayChunks: true}},
+		{"dynamic/div4", sim.Dynamic, sim.SimOptions{GPUChunkDiv: 4}},
+		{"static/0.3", sim.Static, sim.SimOptions{CPUShare: 0.3}},
+		{"static/0.9", sim.Static, sim.SimOptions{CPUShare: 0.9}},
+	}
+	cfgs := []sim.Config{
+		m.CPUOnly(),
+		m.GPUOnly(),
+		m.AllResources(),
+		{CPUCores: 2, GPUFrac: 0.5},
+	}
+
+	for ci, c := range cases {
+		km := kernelModel(t, c)
+		for _, cfg := range cfgs {
+			for _, v := range variants {
+				name := fmt.Sprintf("case%d/%s/cpu%d-gpu%.2f", ci, v.name, cfg.CPUCores, cfg.GPUFrac)
+				cover := make([]int, km.NumWGs)
+				spanCPU, spanGPU := 0, 0
+				opts := v.opts
+				opts.OnSpan = func(dev string, start, count int) error {
+					if count <= 0 || start < 0 || start+count > km.NumWGs {
+						t.Errorf("%s: span [%d,%d) outside [0,%d)", name, start, start+count, km.NumWGs)
+						return nil
+					}
+					for i := start; i < start+count; i++ {
+						cover[i]++
+					}
+					switch dev {
+					case "cpu":
+						spanCPU += count
+					case "gpu":
+						spanGPU += count
+					default:
+						t.Errorf("%s: unknown span device %q", name, dev)
+					}
+					return nil
+				}
+				res, err := sim.Simulate(m, km, cfg, v.dist, opts)
+				if err != nil {
+					t.Fatalf("%s: simulate: %v", name, err)
+				}
+				for i, n := range cover {
+					if n != 1 {
+						t.Fatalf("%s: work-group %d covered %d times", name, i, n)
+					}
+				}
+				if res.WGsCPU != spanCPU || res.WGsGPU != spanGPU {
+					t.Errorf("%s: result tallies cpu=%d gpu=%d disagree with spans cpu=%d gpu=%d",
+						name, res.WGsCPU, res.WGsGPU, spanCPU, spanGPU)
+				}
+				if res.WGsCPU+res.WGsGPU != km.NumWGs {
+					t.Errorf("%s: tallies sum to %d, want %d", name, res.WGsCPU+res.WGsGPU, km.NumWGs)
+				}
+			}
+		}
+	}
+}
+
+// trainInvarianceModel fits a small deterministic linear model on feature
+// vectors drawn from the given cases, so Decide produces in-range,
+// non-degenerate predictions.
+func trainInvarianceModel(t *testing.T, m *sim.Machine, cases []*Case) ml.Model {
+	t.Helper()
+	d := &ml.Dataset{}
+	for _, c := range cases {
+		prog, err := clc.Compile(c.Source)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		k := prog.Kernel(c.Kernel)
+		if k == nil {
+			t.Fatalf("kernel %s missing", c.Kernel)
+		}
+		res, err := analysis.Analyze(k)
+		if err != nil {
+			t.Fatalf("analyze: %v", err)
+		}
+		base := core.BaseFeatures(res, c.ND)
+		for _, cfg := range m.Configs() {
+			// A deterministic, config-dependent target: the fitted
+			// model then prefers distinct configurations per kernel
+			// instead of collapsing to a constant.
+			y := float64(cfg.CPUCores) + 3*cfg.GPUFrac
+			d.Add(core.WithConfig(base, m, cfg), y)
+		}
+	}
+	mdl, err := (ml.LinearTrainer{}).Fit(d)
+	if err != nil {
+		t.Fatalf("fit: %v", err)
+	}
+	return mdl
+}
+
+// TestDecisionInvariance is the metamorphic DoP-decision invariant: the
+// configuration Decide picks must not depend on prediction-cache state —
+// cold cache, warm cache, cache cleared by a model swap, and cache
+// bypassed entirely (armed fault injection disables memoization) must
+// all yield the same decision.
+func TestDecisionInvariance(t *testing.T) {
+	m := sim.Kaveri()
+	cases := totalCases(t, 0xdec1, 3)
+	mdl := trainInvarianceModel(t, m, cases)
+	mdl2 := trainInvarianceModel(t, m, cases) // identical fit, distinct identity
+
+	for ci, c := range cases {
+		fw := core.New(m, mdl)
+		prog, err := clc.Compile(c.Source)
+		if err != nil {
+			t.Fatalf("case %d: compile: %v", ci, err)
+		}
+		k := prog.Kernel(c.Kernel)
+		if k == nil {
+			t.Fatalf("case %d: kernel %s missing", ci, c.Kernel)
+		}
+		res, err := fw.Analysis(k)
+		if err != nil {
+			t.Fatalf("case %d: analysis: %v", ci, err)
+		}
+
+		cold := fw.Decide(res, c.ND)
+		if cold.ModelDiscarded {
+			t.Fatalf("case %d: model discarded on cold decision", ci)
+		}
+		if cold.Evaluated != len(m.Configs()) {
+			t.Fatalf("case %d: evaluated %d configs, want %d", ci, cold.Evaluated, len(m.Configs()))
+		}
+		_, misses := fw.PredCacheStats()
+		if misses == 0 {
+			t.Fatalf("case %d: cold decision hit the prediction cache", ci)
+		}
+
+		warm := fw.Decide(res, c.ND)
+		hits, _ := fw.PredCacheStats()
+		if hits == 0 {
+			t.Fatalf("case %d: warm decision missed the prediction cache", ci)
+		}
+
+		// Model identity swap rebuilds the cache from scratch.
+		fw.Model = mdl2
+		cleared := fw.Decide(res, c.ND)
+		fw.Model = mdl
+
+		// Armed fault injection bypasses the cache entirely; a plan with
+		// a huge After never fires, so only the memoization changes.
+		faults.Inject("conformance.noop", faults.Plan{After: 1 << 30})
+		bypassed := fw.Decide(res, c.ND)
+		faults.Reset()
+
+		for _, v := range []struct {
+			name string
+			dec  core.Decision
+		}{{"warm", warm}, {"cleared", cleared}, {"bypassed", bypassed}} {
+			if v.dec.Config != cold.Config || v.dec.Predicted != cold.Predicted ||
+				v.dec.ModelDiscarded || v.dec.Evaluated != cold.Evaluated {
+				t.Errorf("case %d: %s decision %+v differs from cold %+v", ci, v.name, v.dec, cold)
+			}
+		}
+	}
+}
+
+// TestSampledClassifierAgreement is the metamorphic sampling invariant
+// over generated kernels: with a fixed rate and seed the sampled profile
+// is bit-identical across engines and shard counts, aggregate counters
+// stay exact regardless of sampling, and the sampled classifier
+// observes a subset of the exact site counts.
+func TestSampledClassifierAgreement(t *testing.T) {
+	cases := totalCases(t, 0x5a3d, 6)
+	run := func(c *Case, engine interp.Engine, par int, rate float64, seed uint64) *interp.Profile {
+		t.Helper()
+		prog, err := clc.Compile(c.Source)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		k := prog.Kernel(c.Kernel)
+		if k == nil {
+			t.Fatalf("kernel %s missing", c.Kernel)
+		}
+		ex, err := interp.NewExec(k)
+		if err != nil {
+			t.Fatalf("exec: %v", err)
+		}
+		ex.Engine = engine
+		ex.Parallelism = par
+		ex.AccessSampleRate = rate
+		ex.AccessSampleSeed = seed
+		args := make([]interp.Arg, len(c.Args))
+		for i := range c.Args {
+			args[i] = c.Args[i].Arg()
+		}
+		if err := ex.Bind(args...); err != nil {
+			t.Fatalf("bind: %v", err)
+		}
+		if err := ex.Launch(c.ND); err != nil {
+			t.Fatalf("launch: %v", err)
+		}
+		if err := ex.Run(); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		return ex.Stats()
+	}
+
+	const rate, seed = 0.5, 0xabcde
+	properSubset := false
+	for ci, c := range cases {
+		exact := run(c, interp.EngineClosures, 1, 1, 0)
+		ref := run(c, interp.EngineClosures, 1, rate, seed)
+		for _, engine := range []interp.Engine{interp.EngineClosures, interp.EngineBytecode} {
+			for _, par := range []int{1, 3} {
+				p := run(c, engine, par, rate, seed)
+				if d := DiffProfiles(ref, p); d != "" {
+					t.Errorf("case %d %v/par=%d: sampled profile diverges: %s", ci, engine, par, d)
+				}
+			}
+		}
+		if ref.AluInt != exact.AluInt || ref.AluFloat != exact.AluFloat ||
+			ref.Loads != exact.Loads || ref.Stores != exact.Stores ||
+			ref.LoadBytes != exact.LoadBytes || ref.StoreBytes != exact.StoreBytes ||
+			ref.GroupsRun != exact.GroupsRun || ref.ItemsRun != exact.ItemsRun {
+			t.Errorf("case %d: sampling changed aggregate counters:\nexact:   %+v\nsampled: %+v",
+				ci, exact, ref)
+		}
+		var exactN, sampledN int64
+		for _, s := range exact.Sites {
+			exactN += s.Count
+		}
+		for _, s := range ref.Sites {
+			sampledN += s.Count
+		}
+		if sampledN > exactN {
+			t.Errorf("case %d: sampled classifier counted %d > exact %d", ci, sampledN, exactN)
+		}
+		if sampledN > 0 && sampledN < exactN {
+			properSubset = true
+		}
+	}
+	if !properSubset {
+		t.Error("no case produced a proper sampled subset (sampling never engaged)")
+	}
+}

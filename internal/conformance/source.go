@@ -1,0 +1,61 @@
+package conformance
+
+// CaseFromSource adapts an arbitrary OpenCL C source (a corpus seed, a
+// hand-written repro) into a conformance case with synthesized
+// deterministic arguments, mirroring the engine-differential corpus
+// convention: n-element buffers with small varied contents, small
+// positive int scalars (they are usually bounds), a non-trivial float
+// constant for float scalars.
+
+import (
+	"dopia/internal/clc"
+	"dopia/internal/interp"
+)
+
+// CaseFromSource builds a ClassTrappy case for the first kernel of src,
+// or ok=false when the source does not compile or has no kernel.
+// Arbitrary sources may trap, so the case runs the engine differential
+// legs only.
+func CaseFromSource(src string, n int) (*Case, bool) {
+	prog, err := clc.Compile(src)
+	if err != nil || len(prog.Kernels) == 0 {
+		return nil, false
+	}
+	k := prog.Kernels[0]
+	c := &Case{
+		Class:  ClassTrappy,
+		Source: src,
+		Kernel: k.Name,
+		ND:     interp.ND1(32, 8),
+	}
+	for i, p := range k.Params {
+		a := ArgSpec{Name: p.Name}
+		switch {
+		case p.Type.Ptr:
+			// Conservatively mark every buffer as written: arbitrary
+			// kernels are not analyzed here.
+			a.Out = true
+			if p.Type.Kind.IsFloat() {
+				a.Kind = "fbuf"
+				a.F32 = make([]float32, n)
+				for j := range a.F32 {
+					a.F32[j] = float32(j%7) - 2.5
+				}
+			} else {
+				a.Kind = "ibuf"
+				a.I32 = make([]int32, n)
+				for j := range a.I32 {
+					a.I32[j] = int32(j % 5)
+				}
+			}
+		case p.Type.Kind.IsFloat():
+			a.Kind = "float"
+			a.FVal = 1.5
+		default:
+			a.Kind = "int"
+			a.IVal = int64(4 + i)
+		}
+		c.Args = append(c.Args, a)
+	}
+	return c, true
+}

@@ -113,6 +113,11 @@ func snapshotWritten(res *analysis.Result, args []interp.Arg) *bufSnapshot {
 				written[s.ArgIndex] = true
 			}
 		}
+		// Atomic builtins write through a bare pointer and have no Index
+		// site; their targets must be rolled back too.
+		for _, ai := range res.AtomicArgs {
+			written[ai] = true
+		}
 	}
 	snap := &bufSnapshot{}
 	for i, a := range args {

@@ -12,14 +12,15 @@ package interp_test
 
 import (
 	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
-	"reflect"
 	"strconv"
 	"strings"
 	"testing"
 
 	"dopia/internal/clc"
+	"dopia/internal/conformance"
 	"dopia/internal/faults"
 	"dopia/internal/interp"
 	"dopia/internal/workloads"
@@ -49,14 +50,12 @@ func runOnEngine(t *testing.T, k *clc.Kernel, inst *workloads.Instance,
 	return ex
 }
 
-// sameProfileModuloEngine compares two profiles ignoring the engine
-// metadata, which legitimately differs between the reference and the
-// engine under test.
+// sameProfileModuloEngine reports whether two profiles agree modulo the
+// engine metadata, which legitimately differs between the reference and
+// the engine under test (conformance.DiffProfiles implements the
+// comparison; it is shared with the differential-conformance oracle).
 func sameProfileModuloEngine(a, b *interp.Profile) bool {
-	ac, bc := *a, *b
-	ac.Engine, ac.FallbackReason = 0, ""
-	bc.Engine, bc.FallbackReason = 0, ""
-	return reflect.DeepEqual(&ac, &bc)
+	return conformance.DiffProfiles(a, b) == ""
 }
 
 // TestEngineDifferentialRealWorkloads runs every real workload kernel on
@@ -81,17 +80,18 @@ func TestEngineDifferentialRealWorkloads(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Setup: %v", err)
 			}
-			refSink := &recordingSink{}
+			refSink := &conformance.RecordingSink{}
 			ref := runOnEngine(t, k, refInst, interp.EngineClosures, 1, refSink)
+			refObs := observe("closures/shards=1", refInst, ref, refSink)
 
 			for _, par := range []int{1, 4} {
 				inst, err := w.Setup()
 				if err != nil {
 					t.Fatalf("Setup: %v", err)
 				}
-				var sink *recordingSink
+				var sink *conformance.RecordingSink
 				if par == 1 {
-					sink = &recordingSink{}
+					sink = &conformance.RecordingSink{}
 				}
 				var ts interp.TraceSink
 				if sink != nil {
@@ -102,22 +102,8 @@ func TestEngineDifferentialRealWorkloads(t *testing.T) {
 				if eng != interp.EngineBytecode {
 					t.Fatalf("par=%d: fell back to %v (%s); real kernels must lower", par, eng, reason)
 				}
-				for i, a := range refInst.Args {
-					if !a.IsBuf {
-						continue
-					}
-					if !reflect.DeepEqual(bufferBits(a.Buf), bufferBits(inst.Args[i].Buf)) {
-						t.Errorf("par=%d: buffer arg %d differs from closure reference", par, i)
-					}
-				}
-				if !sameProfileModuloEngine(ref.Stats(), ex.Stats()) {
-					t.Errorf("par=%d: profiles differ\nclosures: %+v\nbytecode: %+v",
-						par, ref.Stats(), ex.Stats())
-				}
-				if sink != nil && !reflect.DeepEqual(refSink.events, sink.events) {
-					t.Errorf("par=%d: trace streams differ (%d vs %d events)",
-						par, len(refSink.events), len(sink.events))
-				}
+				conformance.AssertIdentical(t, refObs,
+					observe(fmt.Sprintf("bytecode/shards=%d", par), inst, ex, sink))
 			}
 		})
 	}
@@ -198,12 +184,10 @@ func synthesizeArgs(k *clc.Kernel, n int) []interp.Arg {
 }
 
 // runKernelOn runs a synthesized-argument kernel on one engine and
-// returns its buffers' bits, profile, trace, and run error.
+// returns the full observation: buffer byte images, profile, trace, and
+// run error (nil for success).
 func runKernelOn(t *testing.T, k *clc.Kernel, engine interp.Engine,
-	parallelism, n int) ([][]uint64, *interp.Profile, []struct {
-	addr, size int64
-	write      bool
-}, error) {
+	parallelism, n int) *conformance.Observation {
 	t.Helper()
 	ex, err := interp.NewExec(k)
 	if err != nil {
@@ -211,7 +195,7 @@ func runKernelOn(t *testing.T, k *clc.Kernel, engine interp.Engine,
 	}
 	ex.Engine = engine
 	ex.Parallelism = parallelism
-	sink := &recordingSink{}
+	sink := &conformance.RecordingSink{}
 	ex.Sink = sink
 	args := synthesizeArgs(k, n)
 	if err := ex.Bind(args...); err != nil {
@@ -220,14 +204,21 @@ func runKernelOn(t *testing.T, k *clc.Kernel, engine interp.Engine,
 	if err := ex.Launch(interp.ND1(32, 8)); err != nil {
 		t.Fatalf("Launch(%s): %v", k.Name, err)
 	}
-	runErr := ex.Run()
-	var bits [][]uint64
-	for _, a := range args {
+	obs := &conformance.Observation{
+		Leg:     fmt.Sprintf("%v/shards=%d", engine, parallelism),
+		Err:     ex.Run(),
+		Profile: ex.Stats(),
+		Trace:   append([]conformance.TraceEvent{}, sink.Events...),
+	}
+	for i, a := range args {
 		if a.IsBuf {
-			bits = append(bits, bufferBits(a.Buf))
+			obs.Buffers = append(obs.Buffers, conformance.BufferObs{
+				Name:  fmt.Sprintf("arg%d", i),
+				Bytes: conformance.BufferBytes(a.Buf),
+			})
 		}
 	}
-	return bits, ex.Stats(), sink.events, runErr
+	return obs
 }
 
 // TestEngineDifferentialFuzzCorpus runs every compiling fuzz-corpus
@@ -246,21 +237,9 @@ func TestEngineDifferentialFuzzCorpus(t *testing.T) {
 	for _, k := range corpusKernels(t) {
 		k := k
 		t.Run(k.Name, func(t *testing.T) {
-			cBits, cProf, cTrace, cErr := runKernelOn(t, k, interp.EngineClosures, 1, 64)
-			bBits, bProf, bTrace, bErr := runKernelOn(t, k, interp.EngineBytecode, 1, 64)
-			if (cErr == nil) != (bErr == nil) ||
-				(cErr != nil && cErr.Error() != bErr.Error()) {
-				t.Fatalf("error mismatch\nclosures: %v\nbytecode: %v", cErr, bErr)
-			}
-			if !reflect.DeepEqual(cBits, bBits) {
-				t.Errorf("buffers differ")
-			}
-			if !sameProfileModuloEngine(cProf, bProf) {
-				t.Errorf("profiles differ\nclosures: %+v\nbytecode: %+v", cProf, bProf)
-			}
-			if !reflect.DeepEqual(cTrace, bTrace) {
-				t.Errorf("traces differ (%d vs %d events)", len(cTrace), len(bTrace))
-			}
+			cObs := runKernelOn(t, k, interp.EngineClosures, 1, 64)
+			bObs := runKernelOn(t, k, interp.EngineBytecode, 1, 64)
+			conformance.AssertIdentical(t, cObs, bObs)
 		})
 	}
 }
@@ -298,20 +277,12 @@ func TestEngineDifferentialTraps(t *testing.T) {
 				t.Fatalf("compile: %v", err)
 			}
 			k := prog.Kernels[0]
-			_, cProf, cTrace, cErr := runKernelOn(t, k, interp.EngineClosures, 1, 64)
-			_, bProf, bTrace, bErr := runKernelOn(t, k, interp.EngineBytecode, 1, 64)
-			if cErr == nil || bErr == nil {
-				t.Fatalf("expected traps, got closures=%v bytecode=%v", cErr, bErr)
+			cObs := runKernelOn(t, k, interp.EngineClosures, 1, 64)
+			bObs := runKernelOn(t, k, interp.EngineBytecode, 1, 64)
+			if cObs.Err == nil || bObs.Err == nil {
+				t.Fatalf("expected traps, got closures=%v bytecode=%v", cObs.Err, bObs.Err)
 			}
-			if cErr.Error() != bErr.Error() {
-				t.Fatalf("error text differs\nclosures: %v\nbytecode: %v", cErr, bErr)
-			}
-			if !sameProfileModuloEngine(cProf, bProf) {
-				t.Errorf("trap-time profiles differ\nclosures: %+v\nbytecode: %+v", cProf, bProf)
-			}
-			if !reflect.DeepEqual(cTrace, bTrace) {
-				t.Errorf("trap-time traces differ (%d vs %d events)", len(cTrace), len(bTrace))
-			}
+			conformance.AssertIdentical(t, cObs, bObs)
 		})
 	}
 }

@@ -10,13 +10,13 @@ package interp_test
 
 import (
 	"errors"
-	"math"
-	"reflect"
+	"fmt"
 	"runtime"
 	"sync/atomic"
 	"testing"
 
 	"dopia/internal/clc"
+	"dopia/internal/conformance"
 	"dopia/internal/interp"
 	"dopia/internal/workloads"
 )
@@ -43,53 +43,26 @@ func runInstance(t *testing.T, k *clc.Kernel, inst *workloads.Instance, parallel
 	return ex
 }
 
-// bufferBits returns a bit-exact encoding of a buffer's payload so NaN
-// payloads and signed zeros are compared exactly.
-func bufferBits(b *interp.Buffer) []uint64 {
-	var out []uint64
-	for _, v := range b.F32 {
-		out = append(out, uint64(math.Float32bits(v)))
-	}
-	for _, v := range b.I32 {
-		out = append(out, uint64(uint32(v)))
-	}
-	for _, v := range b.F64 {
-		out = append(out, math.Float64bits(v))
-	}
-	for _, v := range b.I64 {
-		out = append(out, uint64(v))
-	}
-	return out
-}
-
-func checkIdentical(t *testing.T, name string, k *clc.Kernel, seqInst, parInst *workloads.Instance, seq, par *interp.Exec) {
-	t.Helper()
-	for i, a := range seqInst.Args {
-		if !a.IsBuf {
-			continue
-		}
-		if !reflect.DeepEqual(bufferBits(a.Buf), bufferBits(parInst.Args[i].Buf)) {
-			t.Errorf("%s: buffer arg %d differs between sequential and parallel run", name, i)
+// observe summarizes one finished run as a conformance observation:
+// bit-exact byte images of every buffer argument, the statistics
+// profile, and — when a recording sink was attached — the trace stream.
+// Comparisons then go through conformance.AssertIdentical, the canonical
+// equivalence check shared with the differential-conformance oracle, so
+// every divergence is reported with its first divergent byte offset.
+func observe(leg string, inst *workloads.Instance, ex *interp.Exec, sink *conformance.RecordingSink) *conformance.Observation {
+	obs := &conformance.Observation{Leg: leg, Profile: ex.Stats()}
+	for i, a := range inst.Args {
+		if a.IsBuf {
+			obs.Buffers = append(obs.Buffers, conformance.BufferObs{
+				Name:  fmt.Sprintf("arg%d", i),
+				Bytes: conformance.BufferBytes(a.Buf),
+			})
 		}
 	}
-	sp, pp := seq.Stats(), par.Stats()
-	if !reflect.DeepEqual(sp, pp) {
-		t.Errorf("%s: profiles differ\nseq: %+v\npar: %+v", name, sp, pp)
+	if sink != nil {
+		obs.Trace = append([]conformance.TraceEvent{}, sink.Events...)
 	}
-}
-
-type recordingSink struct {
-	events []struct {
-		addr, size int64
-		write      bool
-	}
-}
-
-func (s *recordingSink) Access(addr, size int64, write bool) {
-	s.events = append(s.events, struct {
-		addr, size int64
-		write      bool
-	}{addr, size, write})
+	return obs
 }
 
 // TestParallelMatchesSequentialRealWorkloads runs every real workload on
@@ -115,14 +88,12 @@ func TestParallelMatchesSequentialRealWorkloads(t *testing.T) {
 			if err != nil {
 				t.Fatalf("Setup: %v", err)
 			}
-			var seqSink, parSink recordingSink
+			var seqSink, parSink conformance.RecordingSink
 			seq := runInstance(t, k, seqInst, interp.Sequential, &seqSink)
 			par := runInstance(t, k, parInst, 4, &parSink)
-			checkIdentical(t, w.Name, k, seqInst, parInst, seq, par)
-			if !reflect.DeepEqual(seqSink.events, parSink.events) {
-				t.Errorf("%s: trace streams differ (seq %d events, par %d events)",
-					w.Name, len(seqSink.events), len(parSink.events))
-			}
+			conformance.AssertIdentical(t,
+				observe("closures/seq", seqInst, seq, &seqSink),
+				observe("closures/shards=4", parInst, par, &parSink))
 		})
 	}
 }
@@ -160,6 +131,7 @@ func TestShardCountInvariance(t *testing.T) {
 			if err := ref.Run(); err != nil {
 				t.Fatalf("Run: %v", err)
 			}
+			refObs := observe("closures/seq", refInst, ref, nil)
 			for _, p := range counts {
 				inst, err := w.Setup()
 				if err != nil {
@@ -169,17 +141,8 @@ func TestShardCountInvariance(t *testing.T) {
 				if err := ex.Run(); err != nil {
 					t.Fatalf("Run (p=%d): %v", p, err)
 				}
-				for i, a := range refInst.Args {
-					if !a.IsBuf {
-						continue
-					}
-					if !reflect.DeepEqual(bufferBits(a.Buf), bufferBits(inst.Args[i].Buf)) {
-						t.Errorf("p=%d: buffer arg %d differs from sequential", p, i)
-					}
-				}
-				if sp, pp := ref.Stats(), ex.Stats(); !reflect.DeepEqual(sp, pp) {
-					t.Errorf("p=%d: profile differs from sequential\nseq: %+v\ngot: %+v", p, sp, pp)
-				}
+				conformance.AssertIdentical(t, refObs,
+					observe(fmt.Sprintf("closures/shards=%d", p), inst, ex, nil))
 			}
 		})
 	}

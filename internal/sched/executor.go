@@ -140,7 +140,8 @@ func (e *Executor) Launch(nd interp.NDRange) error {
 }
 
 // writtenArgs returns the parameter indices the kernel writes, from the
-// static analysis.
+// static analysis — indexed store sites plus atomic builtin targets
+// (which write through a bare pointer and never appear as sites).
 func (e *Executor) writtenArgs() []int {
 	seen := map[int]bool{}
 	var out []int
@@ -148,6 +149,12 @@ func (e *Executor) writtenArgs() []int {
 		if s.Write && s.ArgIndex >= 0 && !seen[s.ArgIndex] {
 			seen[s.ArgIndex] = true
 			out = append(out, s.ArgIndex)
+		}
+	}
+	for _, ai := range e.analysis.AtomicArgs {
+		if !seen[ai] {
+			seen[ai] = true
+			out = append(out, ai)
 		}
 	}
 	return out

@@ -1,0 +1,224 @@
+package server
+
+// Client-error-path tests: malformed requests must come back as clean
+// 4xx responses with a diagnostic message, and — crucially — must not
+// poison the session or the server. After every rejected request the
+// same session keeps serving correct launches.
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+)
+
+// apiStatus asserts err is an APIError with the given HTTP status and
+// returns it.
+func apiStatus(t *testing.T, err error, status int) *APIError {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("expected an API error with status %d, got nil", status)
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) {
+		t.Fatalf("expected *APIError, got %T: %v", err, err)
+	}
+	if ae.Status != status {
+		t.Fatalf("status = %d, want %d (message %q)", ae.Status, status, ae.Message)
+	}
+	if ae.Message == "" {
+		t.Fatalf("status %d carried no diagnostic message", ae.Status)
+	}
+	return ae
+}
+
+// proveSessionAlive runs one full launch in the session and checks the
+// result bit-exactly against the in-process reference — the session is
+// not poisoned.
+func proveSessionAlive(t *testing.T, cl *Client, sid, progID string) {
+	t.Helper()
+	const n, seed, a = 256, uint32(7), 1.5
+	fill := seed
+	if err := cl.CreateBuffer(sid, &BufferRequest{Name: "x", Kind: "float32", Len: n, FillSeed: &fill}); err != nil {
+		t.Fatalf("create x: %v", err)
+	}
+	if err := cl.CreateBuffer(sid, &BufferRequest{Name: "y", Kind: "float32", Len: n}); err != nil {
+		t.Fatalf("create y: %v", err)
+	}
+	av, nv := float64(a), int64(n)
+	resp, err := cl.Launch(&LaunchRequest{
+		SessionID: sid,
+		ProgramID: progID,
+		Kernel:    "scale",
+		Args: []LaunchArg{
+			{Buf: "x"}, {Buf: "y"}, {Float: &av}, {Int: &nv},
+		},
+		Global: []int{n},
+		Local:  []int{64},
+		Read:   []string{"y"},
+	})
+	if err != nil {
+		t.Fatalf("launch after rejected request: %v", err)
+	}
+	got, err := DecodeF32(resp.Buffers["y"].F32B64)
+	if err != nil {
+		t.Fatalf("decode y: %v", err)
+	}
+	want := scaleReference(t, n, seed, a)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("y[%d] = %v, want %v (session state corrupted)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestMalformedBufferRequests sends corrupt buffer payloads — invalid
+// base64, truncated base64 (not a multiple of the element size),
+// contradictory lengths, bad kinds, duplicate names — and demands a
+// clean 400 for each, then proves the session still works.
+func TestMalformedBufferRequests(t *testing.T) {
+	_, _, cl := newTestServer(t, nil)
+	prog, err := cl.Compile(scaleSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	sid, err := cl.NewSession()
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+
+	bad := []struct {
+		name string
+		req  BufferRequest
+	}{
+		{"invalid base64", BufferRequest{Name: "b", Kind: "float32", F32B64: "!!!not base64!!!"}},
+		{"truncated payload", BufferRequest{Name: "b", Kind: "float32", F32B64: "AAAAAAA="}},
+		{"contradictory len", BufferRequest{Name: "b", Kind: "float32", Len: 3, F32: []float32{1, 2}}},
+		{"unknown kind", BufferRequest{Name: "b", Kind: "float64", Len: 4}},
+		{"empty name", BufferRequest{Name: "", Kind: "float32", Len: 4}},
+		{"wrong-kind payload", BufferRequest{Name: "b", Kind: "int32", F32: []float32{1}}},
+	}
+	for _, tc := range bad {
+		err := cl.CreateBuffer(sid, &tc.req)
+		ae := apiStatus(t, err, http.StatusBadRequest)
+		t.Logf("%s -> %d %s", tc.name, ae.Status, ae.Message)
+	}
+	// A rejected duplicate must not clobber the original.
+	if err := cl.CreateBuffer(sid, &BufferRequest{Name: "keep", Kind: "int32", I32: []int32{42}}); err != nil {
+		t.Fatalf("create keep: %v", err)
+	}
+	apiStatus(t, cl.CreateBuffer(sid, &BufferRequest{Name: "keep", Kind: "int32", I32: []int32{9}}),
+		http.StatusBadRequest)
+	data, err := cl.ReadBuffer(sid, "keep")
+	if err != nil {
+		t.Fatalf("read keep: %v", err)
+	}
+	vals, err := DecodeI32(data.I32B64)
+	if err != nil || len(vals) != 1 || vals[0] != 42 {
+		t.Fatalf("duplicate rejection clobbered buffer: %v %v", vals, err)
+	}
+
+	proveSessionAlive(t, cl, sid, prog.ProgramID)
+	if err := cl.CloseSession(sid); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestInvalidLaunchGeometry covers zero-dimension and other malformed
+// ND-ranges: no dimensions, too many, zero-sized globals, local not
+// dividing global, and local/global arity mismatch — all clean 400s,
+// session alive afterwards.
+func TestInvalidLaunchGeometry(t *testing.T) {
+	_, _, cl := newTestServer(t, nil)
+	prog, err := cl.Compile(scaleSrc)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	sid, err := cl.NewSession()
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	if err := cl.CreateBuffer(sid, &BufferRequest{Name: "gx", Kind: "float32", Len: 64}); err != nil {
+		t.Fatalf("create gx: %v", err)
+	}
+	if err := cl.CreateBuffer(sid, &BufferRequest{Name: "gy", Kind: "float32", Len: 64}); err != nil {
+		t.Fatalf("create gy: %v", err)
+	}
+	av, nv := 1.0, int64(64)
+	launch := func(global, local []int) error {
+		_, err := cl.Launch(&LaunchRequest{
+			SessionID: sid,
+			ProgramID: prog.ProgramID,
+			Kernel:    "scale",
+			Args:      []LaunchArg{{Buf: "gx"}, {Buf: "gy"}, {Float: &av}, {Int: &nv}},
+			Global:    global,
+			Local:     local,
+		})
+		return err
+	}
+	bad := []struct {
+		name          string
+		global, local []int
+	}{
+		{"zero dims", nil, nil},
+		{"four dims", []int{8, 8, 8, 8}, []int{1, 1, 1, 1}},
+		{"zero-sized global", []int{0}, []int{1}},
+		{"local exceeds global", []int{8}, []int{16}},
+		{"arity mismatch", []int{64}, []int{8, 8}},
+	}
+	for _, tc := range bad {
+		ae := apiStatus(t, launch(tc.global, tc.local), http.StatusBadRequest)
+		t.Logf("%s -> %d %s", tc.name, ae.Status, ae.Message)
+	}
+	proveSessionAlive(t, cl, sid, prog.ProgramID)
+}
+
+// TestSemaFailingProgramRegistration registers sources that lex/parse
+// but fail semantic analysis (plus outright parse failures) and demands
+// clean 400s that carry the front-end diagnostic — and that the failed
+// registrations leave the server fully usable.
+func TestSemaFailingProgramRegistration(t *testing.T) {
+	_, _, cl := newTestServer(t, nil)
+	bad := []struct{ name, src string }{
+		{"undeclared identifier", `__kernel void k(__global float* a) { a[0] = undefined_var; }`},
+		{"type mismatch", `__kernel void k(__global float* a) { float* p; a = p + a; }`},
+		{"no such builtin", `__kernel void k(__global float* a) { a[0] = not_a_builtin(1); }`},
+		{"parse error", `__kernel void k(__global float* a) { if (1 { } }`},
+		{"empty source", ``},
+	}
+	for _, tc := range bad {
+		_, err := cl.Compile(tc.src)
+		ae := apiStatus(t, err, http.StatusBadRequest)
+		t.Logf("%s -> %d %s", tc.name, ae.Status, ae.Message)
+	}
+
+	// The failures must not have registered anything or wedged compile
+	// serving: a valid program still compiles and launches.
+	prog, err := cl.Compile(scaleSrc)
+	if err != nil {
+		t.Fatalf("valid compile after failures: %v", err)
+	}
+	sid, err := cl.NewSession()
+	if err != nil {
+		t.Fatalf("session: %v", err)
+	}
+	proveSessionAlive(t, cl, sid, prog.ProgramID)
+
+	// Launching a kernel name the program does not define is a clean
+	// client error too.
+	av := 1.0
+	_, err = cl.Launch(&LaunchRequest{
+		SessionID: sid,
+		ProgramID: prog.ProgramID,
+		Kernel:    "no_such_kernel",
+		Args:      []LaunchArg{{Float: &av}},
+		Global:    []int{8},
+		Local:     []int{8},
+	})
+	if err == nil {
+		t.Fatal("launch of unknown kernel succeeded")
+	}
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status < 400 || ae.Status >= 500 {
+		t.Fatalf("unknown kernel: got %v, want a 4xx APIError", err)
+	}
+}

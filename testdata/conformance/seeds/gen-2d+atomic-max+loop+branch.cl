@@ -1,0 +1,27 @@
+__kernel void k(__global float* inA, __global float* outF, __global int* acc) {
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    int gid = (gy * 16) + gx;
+    int lid = (get_local_id(1) * 4) + get_local_id(0);
+    int t0 = lid;
+    int t1 = (abs(gid) | (((((int)(2.0f) <= (int)(inA[((lid ^ t0)) & 127])) ? gid : 9) > (3 + gid)) ? gid : t0));
+    float f0 = (((6 - t1) >= (1 << (t1 & 7))) ? (inA[(((!(0.125f != ((lid > (t0 + 7)) ? 0.125f : 0.5f))) ? 3 : lid)) & 127] * inA[((int)(0.5f)) & 127]) : sin(2.0f));
+    float f1 = ((((float)(t1) <= (((lid % ((gid & 15) | 1)) < (int)(f0)) ? 1.5f : 0.25f)) ? f0 : f0) + ((t1 >= t1) ? 1.0f : f0));
+    if ((float)(5) >= (((((((t0 | 0) < (((~5) == (t0 | 5)) ? lid : lid)) ? gid : t0) <= (int)(0.5f)) ? 9 : 3) != (-5)) ? inA[(max(lid, lid)) & 127] : 0.25f)) {
+        for (int i1 = 0; i1 < 2; i1++) {
+            atomic_max(acc, ((t0 - 4) | (t0 - i1)));
+            f0 = cos((inA[((((((0.125f * inA[((t0 - gid)) & 127]) == (((fabs(f0) == inA[(i1) & 127]) || ((-gid) <= (2 % ((i1 & 15) | 1)))) ? 0.25f : f1)) ? lid : gid) <= (int)(inA[((i1 - 7)) & 127])) ? i1 : lid)) & 127] - 2.0f));
+        }
+    } else {
+        t0 += (max(t0, t0) % ((max(3, t1) & 15) | 1));
+    }
+    for (int i0 = 0; i0 < 4; i0++) {
+        if ((t1 | 6) <= (((int)(f0) > (int)(inA[((t1 - i0)) & 127])) ? t0 : i0)) {
+            atomic_max(acc, (~(gid | i0)));
+            f1 *= (-(0.5f + 1.5f));
+        } else {
+            f1 *= 1.0f;
+        }
+    }
+    outF[gid] = (outF[gid] + f0);
+}

@@ -1,0 +1,24 @@
+__kernel void k(__global float* inA, __global float* outF, __global int* acc, int sI) {
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    int gid = (gy * 16) + gx;
+    int lid = (get_local_id(1) * 4) + get_local_id(0);
+    int t0 = gid;
+    float f0 = ((float)(sI) / (float)(8));
+    float f1 = (-fabs(inA[((int)(f0)) & 31]));
+    if (((sI + 3) > min(5, 9)) && ((sI - 8) == ((((t0 ^ 0) <= ((((inA[(t0 - 7)] / f1) == fmax(0.125f, 2.0f)) && ((float)(lid) <= cos(f0))) ? sI : gid)) && ((5 | lid) != (((float)(4) == (0.5f * f1)) ? sI : 4))) ? 5 : lid))) {
+        atomic_max(acc, ((lid >> (4 & 7)) / (t0 % ((lid & 15) | 1))));
+    }
+    if ((f0 >= (f1 + 3.0f)) || (max(lid, sI) == ((((int)(inA[((-t0)) & 31]) != (0 | sI)) || (sI < min(sI, sI))) ? 9 : lid))) {
+        if ((sI < (int)(inA[((~lid)) & 31])) && ((1.5f + inA[(min(7, gid)) & 31]) != ((sqrt(0.25f) < (3.0f * 3.0f)) ? f0 : 1.0f))) {
+            f0 += (float)(max(3, t0));
+        }
+        for (int i1 = 0; i1 < ((gid & 7) + 2); i1++) {
+            atomic_max(acc, i1);
+            t0 -= (int)((inA[((gid & t0)) & 31] + f1));
+        }
+    } else {
+        t0 *= (~abs(sI));
+    }
+    outF[gid] = (outF[gid] * (float)(((0 | sI) + (sI - sI))));
+}

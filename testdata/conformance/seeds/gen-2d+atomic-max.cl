@@ -1,0 +1,12 @@
+__kernel void k(__global float* inA, __global int* inB, __global float* outF, __global int* outI, __global int* acc, int sI) {
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    int gid = (gy * 12) + gx;
+    int lid = (get_local_id(1) * 4) + get_local_id(0);
+    int t0 = inB[((~3)) & 15];
+    int t1 = max((-inB[((sI ^ sI)) & 15]), ((t0 == (9 >> (t0 & 7))) ? 3 : 4));
+    float f0 = ((-1.0f) / (((inB[(min(inB[((((sI >> (t1 & 7)) <= min(t1, inB[((inB[((int)(0.5f)) & 15] * t1)) & 15])) ? t1 : sI)) & 15], 6)) & 15] - inB[((int)(0.5f)) & 15]) == max(3, inB[((((t0 % ((lid & 15) | 1)) <= abs(1)) ? sI : lid)) & 15])) ? inA[(min(9, lid)) & 63] : inA[(7) & 63]));
+    f0 = (-(float)(t0));
+    outF[gid] = ((abs(inB[((t0 + t1)) & 15]) > t0) ? ((inA[((t0 ^ t0)) & 63] / 2.0f) + floor(0.25f)) : ((-inA[(((((sI >> (inB[(inB[((int)(inA[((t0 - sI)) & 63])) & 15]) & 15] & 7)) < (gid | 6)) && ((int)(inA[((t0 - 8)) & 63]) <= abs(inB[((sI >> (3 & 7))) & 15]))) ? 5 : lid)) & 63]) * inA[((5 >> (t0 & 7))) & 63]));
+    outI[gid] = (abs((3 + sI)) * (int)((0.125f * 0.25f)));
+}

@@ -1,0 +1,26 @@
+__kernel void k(__global int* inA, __global float* outF, __global int* acc, float sF) {
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    int gid = (gy * 8) + gx;
+    int lid = (get_local_id(1) * 4) + get_local_id(0);
+    int t0 = ((gid & inA[((inA[(abs(lid)) & 127] & inA[(abs(7)) & 127])) & 127]) / (((int)(sF) & 15) | 1));
+    int t1 = (lid / (((int)(sF) & 15) | 1));
+    float f0 = (((!((-inA[(t1) & 127]) != (6 % ((inA[(min(t1, t0)) & 127] & 15) | 1)))) ? sF : sF) / (sF + sF));
+    float f1 = (-(float)(lid));
+    for (int i0 = 0; i0 < 5; i0++) {
+        if (!((9 | lid) < (lid % ((1 & 15) | 1)))) {
+            f1 = (float)((i0 / ((4 & 15) | 1)));
+        } else {
+            f0 = (float)((int)(f1));
+        }
+    }
+    if (!((inA[((t1 * 1)) & 127] >> (t1 & 7)) < (t0 & 1))) {
+        if ((sF + f1) > (float)(t0)) {
+            t0 += (int)((((sF / f1) == ((!((1.0f / 0.25f) < (((int)(0.5f) != lid) ? sF : f0))) ? f1 : f0)) ? f1 : f1));
+        }
+    } else {
+        f1 = (fmax(sF, 1.0f) - f1);
+    }
+    f0 = fmax((sF / f1), sF);
+    outF[gid] = (-(-((((1.0f / f0) >= fmin(0.5f, 0.5f)) && (1 <= (int)(f0))) ? sF : f1)));
+}

@@ -1,0 +1,17 @@
+__kernel void k(__global int* inA, __global float* outF, __global int* outI, __global int* acc, int sI, float sF) {
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    int gid = (gy * 12) + gx;
+    int lid = (get_local_id(1) * 4) + get_local_id(0);
+    int t0 = (((float)(lid) == ((sI <= (~7)) ? sF : 0.25f)) ? (lid / ((gid & 15) | 1)) : lid);
+    float f0 = (float)((inA[((int)(sF)) & 63] % ((sI & 15) | 1)));
+    float f1 = 1.0f;
+    for (int i0 = 0; i0 < 6; i0++) {
+        for (int i1 = 0; i1 < ((inA[((inA[((inA[((8 * i0)) & 63] % ((gid & 15) | 1))) & 63] >> (lid & 7))) & 63] & 7) + 1); i1++) {
+            t0 += (t0 | i0);
+        }
+    }
+    t0 ^= (int)(sF);
+    outF[gid] = (f0 + ((((2.0f / f1) != (sF * sF)) ? f1 : f1) * (f0 * 0.125f)));
+    outI[gid] = ((int)(f1) << ((((9 / ((t0 & 15) | 1)) != sI) ? max(sI, lid) : (~sI)) & 7));
+}

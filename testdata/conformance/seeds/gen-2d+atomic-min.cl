@@ -1,0 +1,11 @@
+__kernel void k(__global float* inA, __global int* inB, __global int* inC, __global float* outF, __global int* acc) {
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    int gid = (gy * 8) + gx;
+    int lid = (get_local_id(1) * 4) + get_local_id(0);
+    int t0 = ((((3.0f / 1.5f) >= inA[((lid * 4)) & 15]) ? inC[((gid % ((4 & 15) | 1))) & 127] : 1) | (4 | gid));
+    int t1 = (int)((((lid >> (gid & 7)) > (lid + 6)) ? 2.0f : 0.25f));
+    float f0 = ((float)(4) / (inA[(max(lid, inC[((t1 >> (0 & 7))) & 127])) & 15] * inA[((lid % ((1 & 15) | 1))) & 15]));
+    atomic_min(acc, (int)((inA[(((!((6 >> (t0 & 7)) > (t1 * gid))) ? inC[((int)(3.0f)) & 127] : t0)) & 15] / inA[((int)(f0)) & 15])));
+    outF[gid] = ((((lid > (~lid)) ? inA[((((((t0 != (0 | 4)) && ((t0 / ((5 & 15) | 1)) <= abs(7))) ? 0 : t0) != (gid | 1)) ? 3 : inB[(min(2, t0)) & 15])) & 15] : inA[((t0 | inB[((inB[((gid << (1 & 7))) & 15] * t0)) & 15])) & 15]) - (f0 + inA[((t1 << (0 & 7))) & 15])) * (((int)(f0) != max(8, 2)) ? floor(inA[((int)(f0)) & 15]) : fmax(0.25f, f0)));
+}

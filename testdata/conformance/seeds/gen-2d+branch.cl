@@ -1,0 +1,22 @@
+__kernel void k(__global float* inA, __global float* outF, __global int* outI, int sI, float sF) {
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    int gid = (gy * 16) + gx;
+    int lid = (get_local_id(1) * 4) + get_local_id(0);
+    int t0 = (int)(((cos(sF) >= 3.0f) ? 1.5f : 0.5f));
+    float f0 = (float)((gid ^ sI));
+    float f1 = ((float)(t0) * (3.0f * f0));
+    if (sI < (3 | lid)) {
+        if (!(t0 <= (~sI))) {
+            t0 = (((((-inA[((sI & 0)) & 127]) == (0.25f - inA[((lid - sI)) & 127])) ? 3 : 7) >= (gid ^ lid)) ? (3 >> (gid & 7)) : (sI << (sI & 7)));
+            f1 *= (f1 * fmax(0.25f, inA[(min(sI, 4)) & 127]));
+        }
+        t0 ^= ((t0 / ((sI & 15) | 1)) << (max(9, sI) & 7));
+    }
+    if (!((gid & 5) != (gid / ((lid & 15) | 1)))) {
+        f0 = (float)(2);
+    }
+    f1 *= (-(((f1 / sF) > fmax(inA[((4 - 1)) & 127], f0)) ? 3.0f : 0.125f));
+    outF[gid] = (((inA[((t0 | t0)) & 127] * f0) + (float)(7)) - cos((0.125f / 2.0f)));
+    outI[gid] = (outI[gid] ^ (t0 & ((((int)(0.25f) > (lid / ((gid & 15) | 1))) || ((-sI) != abs(t0))) ? (3 << (0 & 7)) : gid)));
+}

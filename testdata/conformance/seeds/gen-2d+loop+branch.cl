@@ -1,0 +1,22 @@
+__kernel void k(__global float* inA, __global float* inB, __global float* inC, __global float* outF, __global int* outI, int sI) {
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    int gid = (gy * 16) + gx;
+    int lid = (get_local_id(1) * 4) + get_local_id(0);
+    int t0 = (int)((float)(gid));
+    float f0 = ((0.5f / 1.0f) + inC[((int)(inA[(abs(gid)) & 127])) & 15]);
+    for (int i0 = 0; i0 < sI; i0++) {
+        if (f0 >= (inB[((4 % ((i0 & 15) | 1))) & 127] - 0.5f)) {
+            t0 -= ((i0 / ((t0 & 15) | 1)) >> (min(gid, t0) & 7));
+        }
+    }
+    for (int i0 = 0; i0 < sI; i0++) {
+        f0 += cos((f0 + inC[((8 ^ 7)) & 15]));
+        f0 += (-(f0 - inA[(min(t0, 8)) & 127]));
+    }
+    for (int i0 = 0; i0 < 6; i0++) {
+        t0 *= 3;
+    }
+    outF[gid] = (((inA[((2 + t0)) & 127] + f0) * (2.0f - 3.0f)) / (float)((((-inA[((t0 * 5)) & 127]) < (-f0)) ? 2 : gid)));
+    outI[gid] = (((lid | gid) == (lid * 6)) ? (-max(lid, lid)) : (abs(sI) << ((((-3.0f) <= 2.0f) ? t0 : sI) & 7)));
+}

@@ -1,0 +1,18 @@
+__kernel void k(__global float* inA, __global int* inB, __global float* outF, float sF) {
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    int gid = (gy * 16) + gx;
+    int lid = (get_local_id(1) * 4) + get_local_id(0);
+    int t0 = (((((((lid >> (inB[(gid) & 15] & 7)) >= (inB[((lid / ((1 & 15) | 1))) & 15] >> (6 & 7))) ? 1.5f : sF) <= 1.0f) ? lid : inB[((9 / ((lid & 15) | 1))) & 15]) > max(lid, inB[(gid) & 15])) ? (7 | 5) : max(inB[((inB[((inB[(((fabs(1.5f) > inA[((0 ^ 7)) & 15]) ? 9 : 2)) & 15] << (lid & 7))) & 15] ^ inB[((lid >> (gid & 7))) & 15])) & 15], lid));
+    int t1 = 6;
+    float f0 = sF;
+    float f1 = (cos(inA[((8 * t0)) & 15]) + sF);
+    for (int i0 = 0; i0 < ((gid & 7) + 2); i0++) {
+        if (((~t0) >= (~t0)) || ((int)(f1) < (t1 * 7))) {
+            f0 *= (1.0f + (f0 + 0.125f));
+        } else {
+            t0 += ((6 | t1) << ((5 + t1) & 7));
+        }
+    }
+    outF[gid] = floor(((inA[((gid % ((lid & 15) | 1))) & 15] + f0) + f0));
+}

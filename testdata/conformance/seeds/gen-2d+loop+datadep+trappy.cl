@@ -1,0 +1,22 @@
+__kernel void k(__global float* inA, __global int* inB, __global float* outF, int sI, float sF) {
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    int gid = (gy * 16) + gx;
+    int lid = (get_local_id(1) * 4) + get_local_id(0);
+    int t0 = (~(lid / sI));
+    float f0 = ((inA[(5) & 127] - 2.0f) - (inA[(9 * 1)] / sF));
+    float f1 = (float)((inB[(int)(sF)] | lid));
+    f1 += (((sI < (((((max(t0, t0) >= min(0, lid)) ? lid : 5) >= (6 | lid)) && ((3.0f + f0) <= (float)(8))) ? inB[((gid << (sI & 7))) & 15] : t0)) ? sF : inA[(~t0)]) / (float)(9));
+    for (int i0 = 0; i0 < ((inB[((8 % ((inB[(max(sI, inB[((-4)) & 15])) & 15] & 15) | 1))) & 15] & 7) + 1); i0++) {
+        for (int i1 = 0; i1 < 3; i1++) {
+            f0 *= (((float)(0) != (-0.125f)) ? (((i1 ^ inB[(4) & 15]) > (inB[((9 | t0)) & 15] - gid)) ? sF : sF) : (3.0f / inA[(sI ^ 6)]));
+            f1 *= f0;
+        }
+    }
+    for (int i0 = 0; i0 < ((gid & 7) + 2); i0++) {
+        for (int i1 = 0; i1 < ((gid & 7) + 2); i1++) {
+            t0 ^= lid;
+        }
+    }
+    outF[gid] = inA[((((6 / ((sI & 15) | 1)) == max(0, inB[(int)(3.0f)])) ? gid : 3)) & 127];
+}

@@ -1,0 +1,16 @@
+__kernel void k(__global int* inA, __global int* inB, __global float* outF, int sI, float sF) {
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    int gid = (gy * 8) + gx;
+    int lid = (get_local_id(1) * 4) + get_local_id(0);
+    int t0 = ((((((6 & sI) >= (((lid ^ lid) == (4 ^ 6)) ? gid : 7)) ? sI : 5) < (int)(sF)) ? lid : sI) << (min(gid, 7) & 7));
+    float f0 = sF;
+    float f1 = ((min(gid, lid) != (sI * gid)) ? sqrt(0.5f) : (f0 / 1.5f));
+    for (int i0 = 0; i0 < 3; i0++) {
+        for (int i1 = 0; i1 < ((gid & 7) + 2); i1++) {
+            t0 -= (int)((0.125f - 0.125f));
+            t0 -= 1;
+        }
+    }
+    outF[gid] = ((cos(0.25f) - (-f0)) * (f0 / ((!(abs(inB[((1 * gid)) & 15]) != (sI | inA[(((((((t0 ^ 7) > (gid / ((sI & 15) | 1))) ? inA[((0 + gid)) & 15] : 0) < (((((1 ^ 0) != (inB[((t0 - 1)) & 15] & sI)) ? sI : lid) == (int)(sF)) ? gid : gid)) || (((f0 >= (f1 * sF)) ? inA[(min(6, gid)) & 15] : 8) == min(t0, t0))) ? t0 : lid)) & 15]))) ? sF : 0.5f)));
+}

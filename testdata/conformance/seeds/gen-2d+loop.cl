@@ -1,0 +1,21 @@
+__kernel void k(__global float* inA, __global float* inB, __global float* inC, __global float* outF, int sI) {
+    int gx = get_global_id(0);
+    int gy = get_global_id(1);
+    int gid = (gy * 8) + gx;
+    int lid = (get_local_id(1) * 4) + get_local_id(0);
+    int t0 = abs(gid);
+    int t1 = (-(sI % ((lid & 15) | 1)));
+    float f0 = sin(sin(1.5f));
+    float f1 = 3.0f;
+    for (int i0 = 0; i0 < sI; i0++) {
+        t1 = abs((7 >> (i0 & 7)));
+        t0 ^= ((gid >> (t0 & 7)) | 6);
+    }
+    for (int i0 = 0; i0 < 5; i0++) {
+        for (int i1 = 0; i1 < 3; i1++) {
+            f1 *= (cos(0.25f) * (-inA[((sI << (6 & 7))) & 15]));
+        }
+    }
+    f1 *= (((8 << (9 & 7)) <= (3 ^ sI)) ? 3.0f : (f1 / inC[((lid * t0)) & 31]));
+    outF[gid] = ((((((0.125f + 0.5f) >= (inA[((5 << (t1 & 7))) & 15] - f1)) && (((sI != (gid % ((gid & 15) | 1))) ? 7 : 1) >= min(4, t1))) ? f0 : f1) - ((((((((((((((0.125f - f0) < fmax(0.5f, inA[((int)(inB[(abs(lid)) & 15])) & 15])) || ((((inC[((gid + gid)) & 31] / f1) > inB[(gid) & 15]) ? inC[(0) & 31] : inB[(max(2, t1)) & 15]) < (-1.5f))) ? lid : sI) <= min(3, lid)) ? 0.5f : 1.5f) <= (f1 / inC[((((t0 % ((sI & 15) | 1)) != gid) ? lid : 0)) & 31])) && ((int)(1.5f) > (gid | 8))) ? sI : sI) < ((gid == (4 * t1)) ? t0 : sI)) ? f1 : 1.0f) >= (float)(5)) && (abs(2) < max(sI, 8))) ? f1 : f1)) / sqrt((float)(1)));
+}

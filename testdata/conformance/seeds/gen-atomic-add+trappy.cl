@@ -1,0 +1,9 @@
+__kernel void k(__global float* inA, __global float* outF, __global int* acc, int sI) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int t0 = gid;
+    int t1 = 5;
+    float f0 = ((3.0f + 1.5f) / (inA[((sI - 9)) & 15] + inA[(t1) & 15]));
+    atomic_sub(acc, abs((t1 << (gid & 7))));
+    outF[gid] = ((float)((gid & t1)) - ((((9 | lid) > max(7, 8)) ? f0 : inA[max(lid, 5)]) - cos(inA[(min(gid, 7)) & 15])));
+}

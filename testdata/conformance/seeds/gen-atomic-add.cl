@@ -1,0 +1,10 @@
+__kernel void k(__global float* inA, __global int* inB, __global float* inC, __global float* outF, __global int* outI, __global int* acc, float sF) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int t0 = (int)(fmax(inC[((lid << (3 & 7))) & 63], sF));
+    float f0 = (float)(min(t0, gid));
+    float f1 = sqrt((3.0f + 0.25f));
+    t0 += ((int)(f1) / (((1 - 4) & 15) | 1));
+    outF[gid] = (outF[gid] * (float)(((1 | 0) * (((f0 / 3.0f) <= sF) ? gid : lid))));
+    outI[gid] = ((((2.0f - 3.0f) != (3.0f + inC[(((((lid << (lid & 7)) <= (5 * t0)) || ((~lid) >= (~t0))) ? 4 : gid)) & 63])) && ((gid * t0) > min(inB[((0 % ((t0 & 15) | 1))) & 31], t0))) ? ((4 & gid) | (t0 - inB[((lid ^ lid)) & 31])) : (min(t0, gid) | (int)(f1)));
+}

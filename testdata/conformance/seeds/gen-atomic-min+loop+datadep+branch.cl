@@ -1,0 +1,20 @@
+__kernel void k(__global float* inA, __global float* inB, __global float* outF, __global int* acc, int sI) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int t0 = (~max(lid, 0));
+    float f0 = (-cos(2.0f));
+    float f1 = cos((float)(lid));
+    f1 += (sin(inB[((5 % ((0 & 15) | 1))) & 31]) / (float)(sI));
+    for (int i0 = 0; i0 < 3; i0++) {
+        f1 *= sin(fmax(0.125f, 2.0f));
+        atomic_min(acc, ((int)(inA[((-gid)) & 15]) + min(i0, lid)));
+    }
+    if ((f0 / inA[((int)(f0)) & 15]) > fmin(f1, inA[((sI | gid)) & 15])) {
+        f1 *= ((f1 / 2.0f) * (((int)(2.0f) == (t0 - sI)) ? inA[((gid | gid)) & 15] : 1.0f));
+    } else {
+        for (int i1 = 0; i1 < ((gid & 7) + 2); i1++) {
+            f0 += ((inB[(i1) & 31] + inB[((int)(1.0f)) & 31]) / fabs(inB[(((((((((t0 | gid) > ((!(abs(gid) <= (i1 >> (4 & 7)))) ? sI : lid)) ? i1 : 9) < (1 - t0)) ? 7 : i1) < (lid - 1)) || ((t0 - 7) < (8 * t0))) ? i1 : sI)) & 31]));
+        }
+    }
+    outF[gid] = (outF[gid] * sin(((-0.5f) / (float)(3))));
+}

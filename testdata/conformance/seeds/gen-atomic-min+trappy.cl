@@ -1,0 +1,12 @@
+__kernel void k(__global float* inA, __global float* outF, __global int* outI, __global int* acc, int sI, float sF) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int t0 = ((lid | lid) << (min(gid, gid) & 7));
+    float f0 = fabs((0.25f * 1.0f));
+    float f1 = (floor(inA[(gid) & 63]) / 2.0f);
+    t0 = (~lid);
+    atomic_min(acc, 2);
+    f1 = (-floor(1.0f));
+    outF[gid] = (outF[gid] * (-fabs((float)(0))));
+    outI[gid] = (outI[gid] + (int)((float)(((((sI - lid) >= max(sI, 6)) && (t0 > min(5, lid))) ? sI : t0))));
+}

@@ -1,0 +1,14 @@
+__kernel void k(__global int* inA, __global float* inB, __global float* inC, __global float* outF, __global int* outI, int sI) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int t0 = gid;
+    float f0 = ((((2 - sI) != (int)(1.0f)) ? 1.0f : inC[((int)(0.125f)) & 127]) + (inB[((-sI)) & 15] + 1.0f));
+    float f1 = (fabs(inC[(abs(inA[(sI) & 127])) & 127]) * (f0 + f0));
+    if (((((lid * 4) <= (sI * 7)) || ((3.0f - 1.0f) == ((!(3 == ((!(((!((4 ^ lid) > min(7, 2))) ? gid : inA[((8 >> (inA[(max(1, 3)) & 127] & 7))) & 127]) != lid)) ? t0 : t0))) ? 0.5f : f1))) ? gid : gid) > (((~inA[((t0 | 3)) & 127]) > (((int)(1.5f) >= (6 | sI)) ? inA[((inA[((sI >> (lid & 7))) & 127] % ((lid & 15) | 1))) & 127] : lid)) ? sI : lid)) {
+        if (((int)(2.0f) >= (t0 * lid)) || (0 != (gid / ((t0 & 15) | 1)))) {
+            t0 += max((-inA[(sI) & 127]), abs(7));
+        }
+    }
+    outF[gid] = 1.5f;
+    outI[gid] = (outI[gid] + min(((((f0 * 3.0f) > 3.0f) ? 3 : 1) / (((7 ^ 1) & 15) | 1)), ((((((float)(t0) <= (1.0f / inB[(inA[((gid << (sI & 7))) & 127]) & 15])) ? sI : gid) < (lid + t0)) ? 8 : inA[(((sI == (sI << (gid & 7))) ? inA[(abs(0)) & 127] : inA[((7 / ((inA[((lid >> (sI & 7))) & 127] & 15) | 1))) & 127])) & 127]) | max(3, 2))));
+}

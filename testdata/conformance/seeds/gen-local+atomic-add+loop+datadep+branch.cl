@@ -1,0 +1,26 @@
+__kernel void k(__global float* inA, __global int* inB, __global float* inC, __global float* outF, __global int* acc) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    __local float lbuf[4];
+    int t0 = max((inB[((6 + 0)) & 15] | lid), (int)(0.25f));
+    float f0 = ((inA[(((!((0.25f * 2.0f) != ((((lid % ((8 & 15) | 1)) == abs(1)) && (t0 < (int)(0.125f))) ? 0.125f : 2.0f))) ? lid : gid)) & 15] + 3.0f) + (((((inB[((int)(inA[(t0) & 15])) & 15] * 2) == (lid & lid)) ? 3.0f : inA[(0) & 15]) >= ((sin(2.0f) >= (-3.0f)) ? 0.125f : 1.0f)) ? 2.0f : 0.5f));
+    atomic_inc(acc);
+    if ((inC[((inB[((int)(f0)) & 15] / ((6 & 15) | 1))) & 63] * f0) > (1.0f + f0)) {
+        if (abs(t0) < (t0 % ((gid & 15) | 1))) {
+            f0 += inC[((((~gid) == min(lid, lid)) ? lid : inB[((lid & inB[(((((-3.0f) == (1.5f / 0.125f)) && ((int)(inA[((7 >> (2 & 7))) & 15]) > (lid ^ gid))) ? lid : gid)) & 15])) & 15])) & 63];
+            f0 = ((((gid << (inB[(((((max(5, 8) != 8) ? f0 : inA[((int)(0.125f)) & 15]) < cos(f0)) ? t0 : lid)) & 15] & 7)) != (((inB[(max(lid, t0)) & 15] & inB[((inB[((inB[((((int)(0.5f) != (gid * gid)) ? lid : inB[((0 - gid)) & 15])) & 15] * gid)) & 15] << (1 & 7))) & 15]) == (lid / ((gid & 15) | 1))) ? 4 : lid)) || (inB[((-5)) & 15] > (int)(1.5f))) ? (1.5f / inA[(min(inB[((8 - lid)) & 15], 9)) & 15]) : (inC[((lid >> (t0 & 7))) & 63] - inC[(abs(6)) & 63]));
+        } else {
+            t0 = min(((4 == t0) ? 9 : t0), (t0 ^ t0));
+        }
+        t0 -= (int)(f0);
+    } else {
+        for (int i1 = 0; i1 < ((inB[((lid - inB[((lid + 4)) & 15])) & 15] & 7) + 1); i1++) {
+            f0 += cos((inA[((i1 | 8)) & 15] + 0.125f));
+            f0 = ((-inC[((int)(inA[((((((4 - i1) == (int)(0.25f)) ? 3.0f : 0.25f) >= (1.5f / f0)) ? 9 : 9)) & 15])) & 63]) + ((!(abs(1) < (i1 * 8))) ? 1.0f : f0));
+        }
+    }
+    atomic_dec(acc);
+    lbuf[lid] = (float)((8 / ((gid & 15) | 1)));
+    barrier(CLK_LOCAL_MEM_FENCE);
+    outF[gid] = (outF[gid] + (lbuf[((lid + 3)) & 3] + (float)((((lid ^ t0) <= 6) ? (lid << (t0 & 7)) : 3))));
+}

@@ -1,0 +1,30 @@
+__kernel void k(__global float* inA, __global float* inB, __global float* outF, __global int* acc) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    __local float lbuf[8];
+    int t0 = lid;
+    float f0 = ((float)(gid) / (0.25f - 0.125f));
+    float f1 = (-(f0 * f0));
+    for (int i0 = 0; i0 < 3; i0++) {
+        f1 += inB[((-i0)) & 63];
+        for (int i1 = 0; i1 < ((gid & 7) + 2); i1++) {
+            t0 += ((~9) - (gid + gid));
+            t0 -= (((int)(inB[(t0) & 63]) < (i0 | 8)) ? max(i1, 8) : abs(9));
+        }
+    }
+    for (int i0 = 0; i0 < ((gid & 7) + 2); i0++) {
+        if ((t0 >> (gid & 7)) <= (6 + t0)) {
+            atomic_min(acc, 5);
+            f0 = (float)(min(t0, 6));
+        } else {
+            t0 *= (max(3, t0) * (6 ^ lid));
+        }
+        for (int i1 = 0; i1 < ((gid & 7) + 2); i1++) {
+            t0 -= 2;
+            f1 += f1;
+        }
+    }
+    lbuf[lid] = (float)(abs(6));
+    barrier(CLK_LOCAL_MEM_FENCE);
+    outF[gid] = (lbuf[((lid + 2)) & 7] + floor(((((t0 & 1) != abs(gid)) || ((int)(1.5f) != (~7))) ? (f0 + 0.25f) : (float)(t0))));
+}

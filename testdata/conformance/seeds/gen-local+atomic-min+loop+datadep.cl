@@ -1,0 +1,19 @@
+__kernel void k(__global float* inA, __global float* inB, __global float* inC, __global float* outF, __global int* acc) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    __local float lbuf[16];
+    int t0 = (-(gid | lid));
+    int t1 = ((gid + 8) | abs(gid));
+    float f0 = ((0.125f - 1.5f) / ((!((9 / ((4 & 15) | 1)) <= (gid ^ gid))) ? 3.0f : 0.25f));
+    float f1 = fabs((f0 - 1.5f));
+    atomic_min(acc, (int)(fmin(inC[((gid % ((5 & 15) | 1))) & 127], f0)));
+    for (int i0 = 0; i0 < 6; i0++) {
+        for (int i1 = 0; i1 < ((gid & 7) + 2); i1++) {
+            t0 ^= (-(i1 * i0));
+            t0 *= ((3 | 5) << ((-i1) & 7));
+        }
+    }
+    lbuf[lid] = (float)(min(t0, 3));
+    barrier(CLK_LOCAL_MEM_FENCE);
+    outF[gid] = (lbuf[((lid + 3)) & 15] + (float)(((t0 / ((t0 & 15) | 1)) % ((t1 & 15) | 1))));
+}

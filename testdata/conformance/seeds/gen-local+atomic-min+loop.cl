@@ -1,0 +1,16 @@
+__kernel void k(__global float* inA, __global float* outF, __global int* acc, int sI) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    __local float lbuf[16];
+    int t0 = ((((-sI) > (sI & gid)) ? sI : 9) << ((-gid) & 7));
+    float f0 = sin(sqrt(0.5f));
+    float f1 = (((sI | 3) < (sI >> (gid & 7))) ? (f0 + 0.25f) : (f0 / f0));
+    for (int i0 = 0; i0 < sI; i0++) {
+        t0 ^= (((lid - i0) > lid) ? i0 : (1 & gid));
+    }
+    f0 = (-(0.5f - inA[(((f1 < (((int)(f0) >= (5 % ((9 & 15) | 1))) ? inA[((t0 << (lid & 7))) & 63] : 0.5f)) ? sI : lid)) & 63]));
+    atomic_min(acc, (int)((f0 + f0)));
+    lbuf[lid] = inA[(abs(lid)) & 63];
+    barrier(CLK_LOCAL_MEM_FENCE);
+    outF[gid] = (lbuf[((lid + 2)) & 15] + (((float)(lid) + (((max(gid, 4) == (lid % ((sI & 15) | 1))) && ((((9 - t0) <= min(sI, sI)) ? 2 : 7) == (t0 | sI))) ? inA[((sI / ((7 & 15) | 1))) & 63] : inA[((sI % ((gid & 15) | 1))) & 63])) * (float)((gid | 5))));
+}

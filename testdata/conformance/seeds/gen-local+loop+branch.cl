@@ -1,0 +1,38 @@
+__kernel void k(__global int* inA, __global int* inB, __global float* outF, float sF) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    __local float lbuf[8];
+    int t0 = ((gid & inA[((~lid)) & 15]) * (lid << (4 & 7)));
+    int t1 = max(((sin(0.5f) != (sF / sF)) ? lid : t0), min(lid, t0));
+    float f0 = (-fmax(sF, sF));
+    for (int i0 = 0; i0 < 3; i0++) {
+        if ((min(7, 4) < (1 >> (4 & 7))) && ((((inA[((7 / ((inA[(gid) & 15] & 15) | 1))) & 15] | 2) > (-t1)) ? f0 : 3.0f) < (-sF))) {
+            t0 = ((5 << (4 & 7)) / ((abs(gid) & 15) | 1));
+        } else {
+            t1 = (~(gid % ((gid & 15) | 1)));
+        }
+        if ((1 >> (t0 & 7)) >= (7 | 6)) {
+            t0 *= ((~t1) >> ((int)(f0) & 7));
+        }
+    }
+    if ((gid << (4 & 7)) == (1 * inB[((2 ^ t1)) & 31])) {
+        if (min(inB[((t0 << (inA[((int)(f0)) & 15] & 7))) & 31], gid) < (3 - t1)) {
+            t0 += ((gid | 5) ^ (lid - lid));
+        } else {
+            f0 *= (((((int)(0.25f) <= (~gid)) && ((-6) <= min(9, lid))) ? sF : sF) * (0.25f - f0));
+        }
+        for (int i1 = 0; i1 < 3; i1++) {
+            f0 = (-(f0 - f0));
+            f0 += ((float)(t1) * (3.0f * f0));
+        }
+    }
+    for (int i0 = 0; i0 < 4; i0++) {
+        for (int i1 = 0; i1 < 3; i1++) {
+            f0 = sqrt((float)(3));
+            f0 = (float)(i0);
+        }
+    }
+    lbuf[lid] = (fmax(3.0f, 0.25f) - (float)(9));
+    barrier(CLK_LOCAL_MEM_FENCE);
+    outF[gid] = (outF[gid] * (lbuf[((lid + 3)) & 7] + (((((7 >> (gid & 7)) < (int)(f0)) ? f0 : 0.5f) * (f0 + sF)) + sin((float)(lid)))));
+}

@@ -1,0 +1,21 @@
+__kernel void k(__global float* inA, __global float* outF) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    __local float lbuf[8];
+    int t0 = gid;
+    float f0 = fmin((1.5f + 1.5f), 3.0f);
+    if ((0.125f / f0) != (1.0f + inA[7])) {
+        for (int i1 = 0; i1 < ((gid & 7) + 2); i1++) {
+            t0 = (int)((f0 - 2.0f));
+            f0 *= cos((float)(7));
+        }
+    } else {
+        for (int i1 = 0; i1 < 4; i1++) {
+            f0 = (float)((t0 & lid));
+            f0 = f0;
+        }
+    }
+    lbuf[lid] = f0;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    outF[gid] = (lbuf[((lid + 2)) & 7] + ((float)((t0 >> (t0 & 7))) + (float)((int)(0.25f))));
+}

@@ -1,0 +1,13 @@
+__kernel void k(__global int* inA, __global int* inB, __global int* inC, __global float* outF, float sF) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    __local float lbuf[8];
+    int t0 = (-(((inB[((gid | lid)) & 15] + 8) != abs(lid)) ? 7 : gid));
+    int t1 = ((lid + 6) / (((3 % ((gid & 15) | 1)) & 15) | 1));
+    float f0 = 1.0f;
+    float f1 = (f0 / (-f0));
+    f0 *= (-(f1 + f1));
+    lbuf[lid] = ((f0 / sF) * (f0 * f0));
+    barrier(CLK_LOCAL_MEM_FENCE);
+    outF[gid] = (outF[gid] * (lbuf[((lid + 1)) & 7] + sF));
+}

@@ -1,0 +1,33 @@
+__kernel void k(__global float* inA, __global float* outF, __global int* outI, int sI, float sF) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int t0 = ((5 & gid) - (sI * lid));
+    int t1 = ((!((0.25f / sF) == sqrt(sF))) ? (8 + sI) : (lid - sI));
+    float f0 = (inA[(t1) & 127] / (((~3) > (t0 ^ lid)) ? sF : 0.25f));
+    float f1 = ((float)(sI) - (((sI + t0) > (((5 - 8) < (t0 | gid)) ? gid : t1)) ? inA[((sI & 0)) & 127] : 0.5f));
+    if (((((f0 + inA[((2 >> (lid & 7))) & 127]) < (inA[((sI % ((4 & 15) | 1))) & 127] - f1)) ? lid : gid) == ((((-7) >= 2) && (max(t0, 0) < (int)(sF))) ? 3 : t1)) || ((1.5f + 0.25f) <= (float)(gid))) {
+        for (int i1 = 0; i1 < 6; i1++) {
+            f1 += (float)((((inA[(0) & 127] / 3.0f) >= (-0.125f)) ? gid : i1));
+            t0 ^= ((1 - 8) | 7);
+        }
+        f0 = (((((t0 & lid) <= (t0 % ((2 & 15) | 1))) || ((((-gid) == (int)(f1)) ? sI : 4) < gid)) ? inA[((gid >> (8 & 7))) & 127] : 0.5f) / (f1 / inA[(min(2, sI)) & 127]));
+    } else {
+        if (((1.0f * 3.0f) != inA[((int)(0.25f)) & 127]) && (max(lid, sI) <= ((t1 != (lid & 8)) ? lid : t0))) {
+            f1 += (float)((int)(f0));
+            f0 *= sF;
+        }
+    }
+    for (int i0 = 0; i0 < 2; i0++) {
+        for (int i1 = 0; i1 < sI; i1++) {
+            t1 ^= ((1 / ((i1 & 15) | 1)) * (int)(inA[((-8)) & 127]));
+            t0 += (int)(fabs(inA[(5) & 127]));
+        }
+        if (((((8 > (int)(inA[(gid * t1)])) && ((int)(0.5f) < (3 ^ i0))) ? lid : 0) < (sI & gid)) && ((lid - 8) != (0 / ((t1 & 15) | 1)))) {
+            f1 = ((-inA[((i0 / ((t0 & 15) | 1))) & 127]) - (inA[((gid / sI)) & 127] / 2.0f));
+        } else {
+            t1 = ((sI & lid) - (gid << (sI & 7)));
+        }
+    }
+    outF[gid] = sin((fmin(sF, sF) - (inA[((gid % 5)) & 127] / inA[((sI << (gid & 7))) & 127])));
+    outI[gid] = ((int)((inA[((sI + sI)) & 127] + inA[(t0 / 8)])) / ((t1 ^ t1) & min(t0, lid)));
+}

@@ -1,0 +1,24 @@
+__kernel void k(__global float* inA, __global float* inB, __global float* outF, int sI) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int t0 = ((9 >> (lid & 7)) & lid);
+    int t1 = (abs(sI) & (~t0));
+    float f0 = (float)(max(t0, t0));
+    if ((int)(f0) >= (sI & t1)) {
+        for (int i1 = 0; i1 < 5; i1++) {
+            t0 += ((~t0) + (9 | 6));
+            t0 += ((3 / ((6 & 15) | 1)) - (((-inB[((sI % ((i1 & 15) | 1))) & 31]) <= (2.0f + 1.5f)) ? 8 : i1));
+        }
+        if (((t1 - 3) == (sI >> (8 & 7))) || ((gid << (t0 & 7)) < (9 << (lid & 7)))) {
+            f0 *= (((t1 % ((lid & 15) | 1)) <= sI) ? (f0 * inA[(((max(gid, 1) == (-t0)) ? t0 : 7)) & 15]) : (0.25f * f0));
+        } else {
+            f0 *= fmin(cos(f0), (f0 - 0.25f));
+        }
+    }
+    for (int i0 = 0; i0 < sI; i0++) {
+        for (int i1 = 0; i1 < 2; i1++) {
+            f0 = sin(((abs(t0) == (int)(f0)) ? inA[((int)(f0)) & 15] : inA[(max(lid, 8)) & 15]));
+        }
+    }
+    outF[gid] = (float)((9 * max(gid, sI)));
+}

@@ -1,0 +1,32 @@
+__kernel void k(__global float* inA, __global float* outF) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int t0 = 7;
+    int t1 = (((7 << (gid & 7)) >= (5 ^ 3)) ? (t0 / 7) : (int)(0.5f));
+    float f0 = fmin((0.5f + inA[((lid / t0)) & 15]), (((t1 * lid) < 5) ? 1.0f : inA[(abs(1)) & 15]));
+    if (!((gid ^ lid) >= (int)(inA[(8 % ((t1 & 15) | 1))]))) {
+        for (int i1 = 0; i1 < ((gid & 7) + 2); i1++) {
+            f0 += (float)(min(lid, 0));
+        }
+    } else {
+        for (int i1 = 0; i1 < 3; i1++) {
+            f0 *= (-inA[(lid) & 15]);
+            f0 = ((0.5f - inA[((7 / ((2 & 15) | 1))) & 15]) / (float)(t0));
+        }
+    }
+    if (((2 / ((t0 & 15) | 1)) == (int)(f0)) || ((lid % ((9 & 15) | 1)) == (((gid + 8) <= (4 << (t1 & 7))) ? t1 : 8))) {
+        for (int i1 = 0; i1 < 5; i1++) {
+            f0 = (((lid == (~i1)) && ((t1 - 0) != (lid % ((0 & 15) | 1)))) ? cos(f0) : (float)(t1));
+        }
+    }
+    for (int i0 = 0; i0 < 4; i0++) {
+        for (int i1 = 0; i1 < 6; i1++) {
+            t1 *= 0;
+            t0 *= ((i0 & 9) * max(lid, i1));
+        }
+        for (int i1 = 0; i1 < 2; i1++) {
+            t0 *= (((~8) <= (int)(inA[((i0 >> (t1 & 7))) & 15])) ? max(i0, 3) : t1);
+        }
+    }
+    outF[gid] = (outF[gid] * sin(((-f0) / (f0 - 1.5f))));
+}

@@ -1,0 +1,21 @@
+__kernel void k(__global float* inA, __global float* outF, __global int* outI) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int t0 = 0;
+    int t1 = ((((inA[((gid / ((lid & 15) | 1))) & 31] - 1.5f) >= 0.25f) ? gid : lid) | (int)(0.25f));
+    float f0 = ((0.5f + 1.0f) + sin(2.0f));
+    float f1 = ((float)(0) + (inA[((6 / ((lid & 15) | 1))) & 31] * inA[((t1 / ((t1 & 15) | 1))) & 31]));
+    for (int i0 = 0; i0 < 2; i0++) {
+        if ((inA[((8 * t0)) & 31] * inA[(abs(7)) & 31]) > (2.0f * inA[((lid - 9)) & 31])) {
+            f0 += (float)((gid - i0));
+            t1 *= min((i0 ^ t1), ((gid < abs(t0)) ? gid : 8));
+        } else {
+            t0 = (t0 | t0);
+        }
+        for (int i1 = 0; i1 < ((gid & 7) + 2); i1++) {
+            t1 ^= (((!((i1 & 4) >= (~i1))) ? 5 : 0) << (abs(t1) & 7));
+        }
+    }
+    outF[gid] = inA[((((-0) >= (9 * 3)) ? t1 : gid)) & 31];
+    outI[gid] = (outI[gid] + abs((((t0 & gid) >= t0) ? gid : (((int)(f1) <= 7) ? 0 : t0))));
+}

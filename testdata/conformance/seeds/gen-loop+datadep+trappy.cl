@@ -1,0 +1,16 @@
+__kernel void k(__global float* inA, __global float* outF, __global int* outI, int sI) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int t0 = ((sI ^ sI) + (-sI));
+    int t1 = (8 / (-6));
+    float f0 = ((t1 != (int)(inA[((int)(0.125f)) & 127])) ? 0.25f : (0.125f + 3.0f));
+    for (int i0 = 0; i0 < ((gid & 7) + 2); i0++) {
+        f0 += (float)(max(7, 5));
+    }
+    for (int i0 = 0; i0 < ((gid & 7) + 2); i0++) {
+        t1 -= ((i0 | i0) % (((-gid) & 15) | 1));
+    }
+    f0 = ((1.5f / f0) + fmax(1.0f, f0));
+    outF[gid] = f0;
+    outI[gid] = ((((int)(2.0f) < abs(lid)) || ((((((t1 + 5) == (int)(0.125f)) ? 9 : t1) != (-t0)) ? t0 : t1) != (sI % 3))) ? lid : (min(0, 1) / ((min(5, t1) & 15) | 1)));
+}

@@ -1,0 +1,15 @@
+__kernel void k(__global int* inA, __global int* inB, __global float* inC, __global float* outF) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int t0 = (((2.0f * inC[((((float)(5) > (1.5f * 1.0f)) ? inA[((int)(0.5f)) & 127] : 6)) & 31]) <= (((-gid) <= (int)(inC[((1 + lid)) & 31])) ? inC[((int)(0.125f)) & 31] : 0.25f)) ? (gid - inB[((((0.5f / 1.5f) < (0.5f * 2.0f)) ? 1 : lid)) & 31]) : (7 % ((gid & 15) | 1)));
+    float f0 = (fabs(0.25f) * 1.0f);
+    float f1 = (((((((abs(4) >= (5 & 1)) ? inA[((gid >> (t0 & 7))) & 127] : 3) <= min(5, 1)) || ((3 % ((gid & 15) | 1)) != (gid >> (t0 & 7)))) ? lid : 3) < (~t0)) ? ((abs(lid) <= (inA[((3 + 1)) & 127] | lid)) ? 0.5f : f0) : (inC[((-t0)) & 31] * f0));
+    t0 *= (int)((inC[(max(t0, 8)) & 31] / inC[((3 % ((5 & 15) | 1))) & 31]));
+    f0 = ((inC[(min(2, lid)) & 31] / inC[(((inB[(abs(t0)) & 31] != (gid - gid)) ? inB[(6) & 31] : lid)) & 31]) + (1.0f * 2.0f));
+    for (int i0 = 0; i0 < 2; i0++) {
+        for (int i1 = 0; i1 < ((gid & 7) + 2); i1++) {
+            f0 += (-(-f0));
+        }
+    }
+    outF[gid] = (outF[gid] + (float)(abs((3 >> (4 & 7)))));
+}

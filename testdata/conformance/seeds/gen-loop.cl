@@ -1,0 +1,15 @@
+__kernel void k(__global float* inA, __global float* outF, __global int* outI, float sF) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int t0 = (abs(gid) >> (abs(gid) & 7));
+    float f0 = ((sF - 2.0f) - (inA[((lid >> (t0 & 7))) & 15] / 0.125f));
+    float f1 = ((3.0f * 2.0f) + (-inA[((gid & 1)) & 15]));
+    for (int i0 = 0; i0 < 5; i0++) {
+        for (int i1 = 0; i1 < 5; i1++) {
+            t0 += ((gid < (lid & t0)) ? max(9, i1) : 9);
+            t0 ^= (((float)(lid) == (float)(i1)) ? (lid >> (lid & 7)) : (gid + i0));
+        }
+    }
+    outF[gid] = (sin((f1 * inA[((gid | gid)) & 15])) + sF);
+    outI[gid] = (((((((lid & gid) <= (int)(0.5f)) ? gid : gid) < (int)(1.0f)) || ((-gid) > (gid / ((gid & 15) | 1)))) ? (lid & t0) : (2 | gid)) * ((gid % ((gid & 15) | 1)) % ((1 & 15) | 1)));
+}

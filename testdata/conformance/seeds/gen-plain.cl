@@ -1,0 +1,10 @@
+__kernel void k(__global int* inA, __global float* inB, __global float* outF, __global int* outI, int sI) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int t0 = (((lid >= ((6 >= (~gid)) ? 8 : sI)) || (1.5f != ((((6 * sI) == (int)(3.0f)) || ((lid | inA[((sI / ((inA[((int)(0.5f)) & 31] & 15) | 1))) & 31]) > ((((gid << (inA[((gid - 1)) & 31] & 7)) > min(sI, inA[(sI) & 31])) || ((int)(inB[((int)(1.0f)) & 63]) >= (sI & 5))) ? gid : 3))) ? 0.25f : 3.0f))) ? (9 * sI) : (int)(inB[(gid) & 63]));
+    float f0 = (-(inB[((sI << (1 & 7))) & 63] * inB[(((min(t0, lid) <= sI) ? gid : inA[((lid * lid)) & 31])) & 63]));
+    float f1 = (2.0f + (inB[((((min(inA[((t0 & 0)) & 31], 1) > (int)(inB[((lid << (8 & 7))) & 63])) || ((int)(inB[((-inA[(2) & 31])) & 63]) == (~gid))) ? lid : lid)) & 63] - inB[((((int)(inB[(max(inA[((((((6 & sI) == (9 << (gid & 7))) ? sI : lid) <= (((inA[(gid) & 31] & lid) == (3 ^ 8)) ? 2 : 6)) ? 1 : t0)) & 31], 2)) & 63]) >= (inA[(abs(lid)) & 31] % ((gid & 15) | 1))) ? t0 : gid)) & 63]));
+    f0 *= (floor(inB[((5 >> (2 & 7))) & 63]) + 0.5f);
+    outF[gid] = (outF[gid] + (float)(max((int)(2.0f), (~gid))));
+    outI[gid] = 2;
+}

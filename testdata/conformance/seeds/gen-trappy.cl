@@ -1,0 +1,9 @@
+__kernel void k(__global int* inA, __global float* inB, __global int* inC, __global float* outF) {
+    int gid = get_global_id(0);
+    int lid = get_local_id(0);
+    int t0 = (inC[(min(1, lid)) & 15] ^ gid);
+    float f0 = ((inB[((((int)(inB[min(3, 4)]) > (int)(0.25f)) ? gid : gid)) & 31] - inB[(t0) & 31]) - 0.25f);
+    f0 *= ((inB[((8 - inA[((t0 / ((1 & 15) | 1))) & 15])) & 31] + f0) - (float)(gid));
+    t0 -= ((t0 ^ gid) | (lid - 1));
+    outF[gid] = (outF[gid] * ((float)((5 + 9)) + ((-f0) + cos(inB[((t0 * 8)) & 31]))));
+}

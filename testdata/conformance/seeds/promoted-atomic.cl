@@ -1,0 +1,5 @@
+__kernel void h(__global int* acc, __global int* in) {
+    int gid = get_global_id(0);
+    atomic_add(&acc[0], in[gid & 31]);
+    atomic_max(&acc[1], (in[gid & 31] >> 1));
+}

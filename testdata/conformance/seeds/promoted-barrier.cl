@@ -1,0 +1,1 @@
+__kernel void r(__global float* a, __local float* s) { int l = get_local_id(0); barrier(CLK_LOCAL_MEM_FENCE); a[l] = 1.0f; }

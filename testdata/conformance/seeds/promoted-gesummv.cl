@@ -1,0 +1,8 @@
+__kernel void gesummv(__global float* A, __global float* B, __global float* x, __global float* y, float alpha, float beta, int N) {
+    int i = get_global_id(0);
+    if (i < N) {
+        float tmp = 0.0f;
+        for (int j = 0; j < N; j++) { tmp += A[i * N + j] * x[j]; }
+        y[i] = alpha * tmp;
+    }
+}

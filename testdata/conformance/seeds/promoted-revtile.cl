@@ -1,0 +1,8 @@
+__kernel void revtile(__global float* a, __global float* b, int n) {
+    __local float tile[64];
+    int l = get_local_id(0);
+    int i = get_global_id(0);
+    tile[l] = a[i] * 1.5f;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    b[i] = b[i] + tile[63 - l];
+}
