@@ -14,6 +14,17 @@
 // BENCH_4.json. Point -addr at a running dopia-serve to load a real
 // daemon; exit status is non-zero on any mismatch, request failure, or
 // contained panic reported by /metrics.
+//
+// With -cluster N the generator instead boots an in-process N-node
+// cluster (router + members, real HTTP and gossip throughout) and
+// drives the same verified load through the router. Every launch
+// carries a generator-stamped idempotency key, so a launch retried
+// across a node failover still applies exactly once — the local replay
+// replica detects any double-apply bit-wise. -chaos injects a
+// deterministic fault schedule (node kill, gossip partition, slow
+// node, cache eviction) mid-run; the run fails if the router loses a
+// session, a replica diverges from its primary, or any response
+// mismatches the in-process reference.
 package main
 
 import (
@@ -31,6 +42,7 @@ import (
 	"time"
 
 	"dopia/internal/clc"
+	"dopia/internal/cluster"
 	"dopia/internal/interp"
 	"dopia/internal/server"
 	"dopia/internal/sim"
@@ -49,12 +61,37 @@ func main() {
 		mix         = flag.String("mix", "GESUMMV,ATAX1,BICG1,MVT1,SpMV,PageRank", "comma-separated workload mix")
 		deadlineMS  = flag.Int64("deadline-ms", 0, "per-launch deadline (0 = server default)")
 		out         = flag.String("out", "", "write the JSON report here (e.g. BENCH_4.json)")
+		clusterN    = flag.Int("cluster", 0, "boot an in-process N-node cluster and load it through the router")
+		chaosSpec   = flag.String("chaos", "", "fault schedule for -cluster members, e.g. kill:n1@3s (see dopia-router)")
 	)
 	flag.Parse()
 
+	if *chaosSpec != "" && *clusterN <= 0 {
+		fail("-chaos needs -cluster members to inject into")
+	}
+	if *clusterN > 0 && *addr != "" {
+		fail("-cluster and -addr are mutually exclusive")
+	}
+
 	base := *addr
 	var embedded *server.Server
-	if base == "" {
+	var ring *cluster.Local
+	if *clusterN > 0 {
+		m, err := machineByName(*machineName)
+		if err != nil {
+			fail("%v", err)
+		}
+		ring, err = cluster.StartLocal(cluster.LocalConfig{
+			Nodes:  *clusterN,
+			Server: server.Config{Machine: m},
+			Gossip: cluster.GossipConfig{Interval: 50 * time.Millisecond, Seed: 1},
+			Router: cluster.RouterConfig{JanitorInterval: 50 * time.Millisecond},
+		})
+		if err != nil {
+			fail("local cluster: %v", err)
+		}
+		base = ring.RouterURL
+	} else if base == "" {
 		var err error
 		base, embedded, err = embedServer(*machineName)
 		if err != nil {
@@ -71,8 +108,26 @@ func main() {
 	}
 
 	client := server.NewClient(base, &http.Client{Timeout: 10 * time.Minute})
+	if ring != nil {
+		// Failovers surface as retryable 503s when the whole ring is
+		// momentarily degraded; deterministic backoff rides them out.
+		client.SetRetryPolicy(&server.RetryPolicy{
+			MaxAttempts: 8, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, Seed: 1,
+		})
+	}
 	if _, err := client.Healthz(); err != nil {
 		fail("daemon at %s not healthy: %v", base, err)
+	}
+
+	if *chaosSpec != "" {
+		events, err := cluster.ParseChaosSpec(*chaosSpec)
+		if err != nil {
+			fail("%v", err)
+		}
+		ctrl := cluster.NewChaosController(events, ring.Node, func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		})
+		go func() { _ = ctrl.Run(context.Background()) }()
 	}
 
 	// Register every program in the mix up front (dedup makes this a
@@ -109,6 +164,11 @@ func main() {
 			defer wg.Done()
 			w := mixWorkloads[worker%len(mixWorkloads)]
 			tc, err := newTenant(client, w, progIDs[w.Name], *deadlineMS)
+			if err == nil && ring != nil {
+				// Stamp idempotency keys so a launch the router retries
+				// across a failover applies exactly once end-to-end.
+				tc.idemPrefix = "w" + strconv.Itoa(worker)
+			}
 			if err != nil {
 				reqErrors.Add(1)
 				fmt.Fprintf(os.Stderr, "worker %d (%s): setup: %v\n", worker, w.Name, err)
@@ -170,6 +230,21 @@ func main() {
 	timeouts := metricValue(page, "dopia_watchdog_timeouts_total")
 	plain := metricValue(page, "dopia_fallback_plain_total")
 
+	// In cluster mode the scrape hits the router, whose page carries the
+	// ring-health counters instead of the single-daemon ones.
+	var ringStats map[string]int64
+	if ring != nil {
+		ringStats = map[string]int64{}
+		for _, name := range []string{
+			"nodes", "nodes_healthy", "failovers_total", "migrations_total",
+			"replica_rebuilds_total", "replica_divergence_total",
+			"program_repushes_total", "node_deaths_total", "drains_total",
+			"sessions_lost_total", "ring_down_total",
+		} {
+			ringStats[strings.TrimSuffix(name, "_total")] = metricValue(page, "dopia_router_"+name)
+		}
+	}
+
 	snap := latency.Snapshot()
 	report := map[string]any{
 		"bench":       "dopia-load",
@@ -207,6 +282,12 @@ func main() {
 		},
 		"health_polls_ok": healthPolls,
 	}
+	if ring != nil {
+		report["cluster"] = ringStats
+		report["chaos"] = *chaosSpec
+		report["client_retries"] = client.Retries()
+		delete(report, "server") // single-daemon counters live on the members
+	}
 	raw, _ := json.MarshalIndent(report, "", "  ")
 	fmt.Println(string(raw))
 	if *out != "" {
@@ -223,6 +304,13 @@ func main() {
 			fail("drain: %v", err)
 		}
 	}
+	if ring != nil {
+		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := ring.Shutdown(sctx); err != nil {
+			fail("cluster drain: %v", err)
+		}
+	}
 
 	switch {
 	case mismatches.Load() > 0:
@@ -233,6 +321,17 @@ func main() {
 		fail("FAIL: server contained %d panics", panics)
 	case launches.Load() == 0:
 		fail("FAIL: no launches completed")
+	case ring != nil && ringStats["sessions_lost"] != 0:
+		fail("FAIL: router lost %d sessions", ringStats["sessions_lost"])
+	case ring != nil && ringStats["replica_divergence"] != 0:
+		fail("FAIL: %d replica divergences", ringStats["replica_divergence"])
+	}
+	if ring != nil {
+		fmt.Printf("dopia-load: PASS — %d launches verified bit-identical across %d/%d healthy nodes "+
+			"(%d failovers, %d migrations, 0 sessions lost, %d client retries)\n",
+			launches.Load(), ringStats["nodes_healthy"], ringStats["nodes"],
+			ringStats["failovers"], ringStats["migrations"], client.Retries())
+		return
 	}
 	fmt.Printf("dopia-load: PASS — %d launches verified bit-identical (%d retries, %d health polls)\n",
 		launches.Load(), retries.Load(), healthPolls)
@@ -245,6 +344,10 @@ type tenant struct {
 	progID     string
 	kernel     string
 	deadlineMS int64
+	// idemPrefix, when set (cluster mode), stamps every launch with a
+	// unique idempotency key so cross-failover retries dedupe.
+	idemPrefix string
+	idemSeq    int64
 
 	// The local replica: the same kernel bound to local copies of the
 	// same buffers, stepped sequentially once per server launch.
@@ -339,6 +442,11 @@ func newTenant(c *server.Client, w *workloads.Workload, progID string, deadlineM
 // launchOnce steps the local replica once and fires the same launch at
 // the daemon.
 func (t *tenant) launchOnce() (*server.LaunchResponse, error) {
+	var idem string
+	if t.idemPrefix != "" {
+		idem = t.idemPrefix + "-" + strconv.FormatInt(t.idemSeq, 10)
+		t.idemSeq++
+	}
 	resp, err := t.client.Launch(&server.LaunchRequest{
 		SessionID: t.sid, ProgramID: t.progID, Kernel: t.kernel,
 		Args:       t.args,
@@ -346,6 +454,7 @@ func (t *tenant) launchOnce() (*server.LaunchResponse, error) {
 		Local:      t.nd.Local[:t.nd.Dims],
 		Read:       t.read,
 		DeadlineMS: t.deadlineMS,
+		IdemKey:    idem,
 	})
 	if err != nil {
 		return nil, err
@@ -416,16 +525,21 @@ func pickMix(mix string, n, wg int) ([]*workloads.Workload, error) {
 	return out, nil
 }
 
+func machineByName(name string) (*sim.Machine, error) {
+	switch name {
+	case "Kaveri", "kaveri":
+		return sim.Kaveri(), nil
+	case "Skylake", "skylake":
+		return sim.Skylake(), nil
+	}
+	return nil, fmt.Errorf("unknown machine %q", name)
+}
+
 // embedServer starts an in-process daemon on a loopback listener.
 func embedServer(machineName string) (string, *server.Server, error) {
-	var m *sim.Machine
-	switch machineName {
-	case "Kaveri", "kaveri":
-		m = sim.Kaveri()
-	case "Skylake", "skylake":
-		m = sim.Skylake()
-	default:
-		return "", nil, fmt.Errorf("unknown machine %q", machineName)
+	m, err := machineByName(machineName)
+	if err != nil {
+		return "", nil, err
 	}
 	srv, err := server.New(server.Config{Machine: m})
 	if err != nil {

@@ -1,0 +1,206 @@
+// Command dopia-router runs the cluster front door: a stateless-ish
+// routing tier that places tenant sessions on a ring of dopia-serve
+// members by consistent hashing, gossips member health, replicates
+// every session to a successor node, and fails sessions over — with
+// idempotency keys making retried launches apply exactly once — when a
+// member dies mid-launch. Clients speak the ordinary dopia-serve
+// HTTP/JSON protocol to the router; the cluster is invisible to them
+// except for surviving node failures.
+//
+// Two ways to form a ring:
+//
+//   - -local N boots N in-process member nodes on loopback listeners
+//     (the zero-setup mode: `dopia-router -local 4` is a whole cluster).
+//     -chaos injects a deterministic fault schedule against them.
+//   - -nodes id=addr,... registers externally running dopia-serve
+//     daemons started with -cluster-id, which mounts their gossip
+//     endpoint.
+//
+// SIGINT/SIGTERM drain gracefully: the router listener closes, then
+// local members (if any) drain their admitted launches.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"dopia/internal/cluster"
+	"dopia/internal/server"
+	"dopia/internal/sim"
+)
+
+func main() {
+	var (
+		addr           = flag.String("addr", "127.0.0.1:8040", "router listen address")
+		nodeSpec       = flag.String("nodes", "", "comma-separated id=addr members to register (daemons run dopia-serve -cluster-id <id>)")
+		local          = flag.Int("local", 0, "boot N in-process member nodes instead of joining external ones")
+		machineName    = flag.String("machine", "Kaveri", "machine model for -local members: Kaveri or Skylake")
+		chaosSpec      = flag.String("chaos", "", "fault schedule against -local members, e.g. kill:n1@3s,slow:n2@1s:2s:30ms")
+		vnodes         = flag.Int("vnodes", 64, "virtual nodes per ring member")
+		gossipInterval = flag.Duration("gossip-interval", 100*time.Millisecond, "heartbeat gossip period")
+		janitorEvery   = flag.Duration("janitor-interval", 100*time.Millisecond, "ring repair loop period")
+		callTimeout    = flag.Duration("call-timeout", 15*time.Second, "per-request timeout on member calls")
+		retryAfter     = flag.Duration("retry-after", time.Second, "Retry-After hint on ring-down 503s")
+		drainTimeout   = flag.Duration("drain-timeout", 60*time.Second, "bound on graceful drain after SIGTERM")
+	)
+	flag.Parse()
+
+	if *local <= 0 && *nodeSpec == "" {
+		log.Fatal("dopia-router: need members: -local N or -nodes id=addr,...")
+	}
+	if *chaosSpec != "" && *local <= 0 {
+		log.Fatal("dopia-router: -chaos needs -local members to inject into")
+	}
+
+	router := cluster.NewRouter(cluster.RouterConfig{
+		Vnodes:          *vnodes,
+		CallTimeout:     *callTimeout,
+		RetryAfter:      *retryAfter,
+		JanitorInterval: *janitorEvery,
+		Gossip:          cluster.GossipConfig{Interval: *gossipInterval},
+	})
+
+	members, err := bootLocal(*local, *machineName, *gossipInterval)
+	if err != nil {
+		log.Fatalf("dopia-router: %v", err)
+	}
+	for _, n := range members {
+		if err := router.AddNode(n.ID, n.URL); err != nil {
+			log.Fatalf("dopia-router: register %s: %v", n.ID, err)
+		}
+		log.Printf("dopia-router: member %s at %s (local)", n.ID, n.URL)
+	}
+	external, err := parseNodeSpec(*nodeSpec)
+	if err != nil {
+		log.Fatalf("dopia-router: %v", err)
+	}
+	for _, m := range external {
+		if err := router.AddNode(m.id, m.addr); err != nil {
+			log.Fatalf("dopia-router: register %s: %v", m.id, err)
+		}
+		log.Printf("dopia-router: member %s at %s", m.id, m.addr)
+	}
+	router.Start()
+
+	if *chaosSpec != "" {
+		events, err := cluster.ParseChaosSpec(*chaosSpec)
+		if err != nil {
+			log.Fatalf("dopia-router: %v", err)
+		}
+		lookup := func(id string) *cluster.Node {
+			for _, n := range members {
+				if n.ID == id {
+					return n
+				}
+			}
+			return nil
+		}
+		ctrl := cluster.NewChaosController(events, lookup, log.Printf)
+		go func() { _ = ctrl.Run(context.Background()) }()
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: router.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("dopia-router: listening on http://%s (%d members, %d vnodes)",
+			*addr, len(members)+len(external), *vnodes)
+		errCh <- hs.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("dopia-router: %v received, draining (bound %v)...", s, *drainTimeout)
+	case err := <-errCh:
+		log.Fatalf("dopia-router: listener failed: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("dopia-router: http shutdown: %v", err)
+	}
+	router.Close()
+	for _, n := range members {
+		if err := n.Shutdown(ctx); err != nil {
+			log.Printf("dopia-router: member %s drain: %v", n.ID, err)
+		}
+	}
+	log.Printf("dopia-router: drained cleanly")
+}
+
+// bootLocal starts count in-process members ("n0".."n<count-1>") and
+// joins them into one gossip mesh. Each gets a private copy of the
+// machine model (identical parameters, independent object) and serves
+// with the ALL heuristic — DoP choice never affects results, which are
+// bit-exact by construction, so local members skip model training.
+func bootLocal(count int, machineName string, gossipInterval time.Duration) ([]*cluster.Node, error) {
+	if count <= 0 {
+		return nil, nil
+	}
+	var base *sim.Machine
+	switch machineName {
+	case "Kaveri", "kaveri":
+		base = sim.Kaveri()
+	case "Skylake", "skylake":
+		base = sim.Skylake()
+	default:
+		return nil, fmt.Errorf("unknown machine %q (Kaveri or Skylake)", machineName)
+	}
+	var members []*cluster.Node
+	for i := 0; i < count; i++ {
+		m, err := base.ToJSON().Build()
+		if err != nil {
+			return nil, err
+		}
+		n, err := cluster.StartNode(cluster.NodeConfig{
+			ID:     fmt.Sprintf("n%d", i),
+			Server: server.Config{Machine: m},
+			Gossip: cluster.GossipConfig{Interval: gossipInterval, Seed: int64(i) + 1},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("member n%d: %w", i, err)
+		}
+		members = append(members, n)
+	}
+	peers := make([]string, 0, len(members))
+	for _, n := range members {
+		peers = append(peers, n.URL)
+	}
+	for _, n := range members {
+		n.Join(peers)
+	}
+	return members, nil
+}
+
+type member struct{ id, addr string }
+
+// parseNodeSpec parses "id=addr,id=addr" member lists.
+func parseNodeSpec(spec string) ([]member, error) {
+	var out []member
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -nodes entry %q: want id=addr", part)
+		}
+		if !strings.HasPrefix(addr, "http://") && !strings.HasPrefix(addr, "https://") {
+			addr = "http://" + addr
+		}
+		out = append(out, member{id: id, addr: addr})
+	}
+	return out, nil
+}

@@ -14,6 +14,12 @@
 // SIGINT/SIGTERM drain gracefully: the listener closes, admitted
 // launches finish (bounded by their deadlines, then -drain-timeout),
 // new work is refused with 503.
+//
+// With -cluster-id the daemon becomes a ring member: it mounts the
+// gossip endpoint (POST /cluster/v1/gossip) and heartbeats its health,
+// session count, and program-cache contents so a dopia-router can
+// place sessions on it and detect its failure. Register it with
+// `dopia-router -nodes <id>=<addr>`.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"dopia/internal/cluster"
 	"dopia/internal/core"
 	"dopia/internal/ml"
 	"dopia/internal/server"
@@ -47,6 +54,8 @@ func main() {
 		maxDeadline  = flag.Duration("max-deadline", 5*time.Minute, "cap on client-requested deadlines")
 		watchdog     = flag.Duration("watchdog", 0, "per-execution watchdog timeout (0 = framework default)")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "bound on graceful drain after SIGTERM")
+		clusterID    = flag.String("cluster-id", "", "ring member ID; mounts the gossip endpoint for dopia-router")
+		gossipEvery  = flag.Duration("gossip-interval", 100*time.Millisecond, "heartbeat gossip period (with -cluster-id)")
 	)
 	flag.Parse()
 
@@ -78,7 +87,23 @@ func main() {
 		log.Fatal(err)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	var agent *cluster.Agent
+	if *clusterID != "" {
+		agent = cluster.NewAgent(*clusterID, "http://"+*addr,
+			cluster.GossipConfig{Interval: *gossipEvery},
+			func() (bool, int, []string) {
+				return srv.Ready(), srv.SessionCount(), srv.ProgramIDs()
+			})
+		mux := http.NewServeMux()
+		mux.HandleFunc("POST /cluster/v1/gossip", agent.Handler())
+		mux.Handle("/", handler)
+		handler = mux
+		agent.Start()
+		log.Printf("dopia-serve: cluster member %q, gossiping every %v", *clusterID, *gossipEvery)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("dopia-serve: listening on http://%s (machine %s, model %s)",
@@ -97,9 +122,13 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	// Refuse new launches first, then stop accepting connections, then
-	// wait for everything admitted to finish.
+	// Refuse new launches first — the gossip agent keeps heartbeating
+	// through the drain, so the flipped ready bit spreads and the router
+	// migrates this member's sessions away while admitted work finishes.
 	drainErr := srv.Shutdown(ctx)
+	if agent != nil {
+		agent.Stop()
+	}
 	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("dopia-serve: http shutdown: %v", err)
 	}

@@ -1,0 +1,61 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"dopia/internal/faults"
+)
+
+func TestParseChaosSpec(t *testing.T) {
+	events, err := ParseChaosSpec("kill:n1@300ms, slow:n2@100ms:500ms:30ms,partition:n0@1s:2s,evict:n3@2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("parsed %d events, want 4", len(events))
+	}
+	want := []ChaosEvent{
+		{After: 300 * time.Millisecond, Class: faults.NodeKill, Node: "n1"},
+		{After: 100 * time.Millisecond, Class: faults.NodeSlow, Node: "n2", Duration: 500 * time.Millisecond, Latency: 30 * time.Millisecond},
+		{After: time.Second, Class: faults.NodePartition, Node: "n0", Duration: 2 * time.Second},
+		{After: 2 * time.Second, Class: faults.NodeCacheEvict, Node: "n3"},
+	}
+	for i, w := range want {
+		if events[i] != w {
+			t.Errorf("event %d = %+v, want %+v", i, events[i], w)
+		}
+	}
+}
+
+func TestParseChaosSpecDefaultsSlowLatency(t *testing.T) {
+	events, err := ParseChaosSpec("slow:n0@1s:2s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if events[0].Latency == 0 {
+		t.Error("slow event without latency got no default")
+	}
+}
+
+func TestParseChaosSpecErrors(t *testing.T) {
+	for _, bad := range []string{
+		"explode:n0@1s",       // unknown class
+		"kill:n0",             // no offset
+		"kill:@1s",            // no node
+		"kill:n0@soon",        // bad duration
+		"slow:n0@1s:2s:3s:4s", // too many fields
+		"partition:n0@1s:nope",
+	} {
+		if _, err := ParseChaosSpec(bad); err == nil {
+			t.Errorf("spec %q parsed, want error", bad)
+		}
+	}
+}
+
+func TestChaosEventString(t *testing.T) {
+	ev := ChaosEvent{After: time.Second, Class: faults.NodeSlow, Node: "n2", Duration: 2 * time.Second, Latency: 30 * time.Millisecond}
+	if got, err := ParseChaosSpec(ev.String()); err != nil || len(got) != 1 || got[0] != ev {
+		t.Errorf("String round-trip: %q -> %+v, %v", ev.String(), got, err)
+	}
+}

@@ -1,0 +1,479 @@
+package cluster
+
+// End-to-end cluster tests over real loopback HTTP: placement and
+// replication, node-kill failover mid-run, the full chaos matrix
+// (kill / partition / slow / cache-evict), and a graceful drain racing
+// concurrent launches. Bit-exactness is asserted differentially: every
+// session's final buffer state must match a standalone single-node
+// daemon fed the identical launch sequence.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dopia/internal/server"
+	"dopia/internal/sim"
+)
+
+const clusterAccSrc = `
+__kernel void acc(__global float* x, __global float* y, int n) {
+    int i = get_global_id(0);
+    if (i < n) {
+        y[i] = y[i] + x[i] + 1.0f;
+    }
+}`
+
+const bufN = 64
+
+func testGossip() GossipConfig {
+	return GossipConfig{
+		Interval:     25 * time.Millisecond,
+		SuspectAfter: 150 * time.Millisecond,
+		DeadAfter:    350 * time.Millisecond,
+		Seed:         7,
+	}
+}
+
+// harness is a cluster under test plus a standalone reference daemon.
+type harness struct {
+	t    *testing.T
+	l    *Local
+	rc   *server.Client // router client, with retry policy
+	ref  *server.Client // reference single-node daemon
+	sids []string
+	prog string
+}
+
+func newHarness(t *testing.T, nodes, sessions int) *harness {
+	t.Helper()
+	l, err := StartLocal(LocalConfig{
+		Nodes:  nodes,
+		Server: server.Config{Machine: sim.Kaveri()},
+		Gossip: testGossip(),
+		Router: RouterConfig{
+			JanitorInterval: 50 * time.Millisecond,
+			CallTimeout:     10 * time.Second,
+			Gossip:          func() GossipConfig { g := testGossip(); g.Seed = 99; return g }(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = l.Shutdown(ctx)
+	})
+
+	refSrv, err := server.New(server.Config{Machine: sim.Kaveri()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refTS := httptest.NewServer(refSrv.Handler())
+	t.Cleanup(func() {
+		refTS.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = refSrv.Shutdown(ctx)
+	})
+
+	h := &harness{t: t, l: l, rc: l.Client(), ref: server.NewClient(refTS.URL, nil)}
+	h.rc.SetRetryPolicy(&server.RetryPolicy{MaxAttempts: 6, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, Seed: 3})
+
+	for _, c := range []*server.Client{h.rc, h.ref} {
+		p, err := c.Compile(clusterAccSrc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.prog = p.ProgramID
+	}
+	for i := 0; i < sessions; i++ {
+		sid, err := h.rc.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.ref.NewSessionWithID(sid); err != nil {
+			t.Fatal(err)
+		}
+		seed := uint32(100 + i)
+		for _, c := range []*server.Client{h.rc, h.ref} {
+			if err := c.CreateBuffer(sid, &server.BufferRequest{Name: "x", Kind: "float32", Len: bufN, FillSeed: &seed}); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.CreateBuffer(sid, &server.BufferRequest{Name: "y", Kind: "float32", Len: bufN}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		h.sids = append(h.sids, sid)
+	}
+	return h
+}
+
+// launchRound applies iteration iter to every session on both the
+// cluster and the reference, comparing read-back y bit-for-bit.
+// Returns the number of mismatched responses.
+func (h *harness) launchRound(iter int) int {
+	h.t.Helper()
+	mismatches := 0
+	for _, sid := range h.sids {
+		nn := int64(bufN)
+		req := &server.LaunchRequest{
+			SessionID: sid, ProgramID: h.prog, Kernel: "acc",
+			Args:   []server.LaunchArg{{Buf: "x"}, {Buf: "y"}, {Int: &nn}},
+			Global: []int{bufN}, Local: []int{32},
+			Read:    []string{"y"},
+			IdemKey: sid + "-" + strconv.Itoa(iter),
+		}
+		got, err := h.rc.Launch(req)
+		if err != nil {
+			h.t.Fatalf("cluster launch %s iter %d: %v", sid, iter, err)
+		}
+		refReq := *req
+		refReq.IdemKey = ""
+		want, err := h.ref.Launch(&refReq)
+		if err != nil {
+			h.t.Fatalf("reference launch %s iter %d: %v", sid, iter, err)
+		}
+		if got.Buffers["y"].F32B64 != want.Buffers["y"].F32B64 {
+			mismatches++
+			h.t.Errorf("session %s iter %d: cluster y differs from reference", sid, iter)
+		}
+	}
+	return mismatches
+}
+
+// verifyFinal compares every session's final y via the router against
+// the reference daemon.
+func (h *harness) verifyFinal() {
+	h.t.Helper()
+	for _, sid := range h.sids {
+		got, err := h.rc.ReadBuffer(sid, "y")
+		if err != nil {
+			h.t.Fatalf("final read %s via router: %v", sid, err)
+		}
+		want, err := h.ref.ReadBuffer(sid, "y")
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		if got.F32B64 != want.F32B64 {
+			h.t.Errorf("session %s: final state not bit-identical to reference", sid)
+		}
+	}
+}
+
+// metric scrapes one unlabeled series from the router's /metrics.
+func (h *harness) metric(name string) int64 {
+	h.t.Helper()
+	text, err := h.rc.Metrics()
+	if err != nil {
+		h.t.Fatalf("metrics: %v", err)
+	}
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				h.t.Fatalf("metric %s: %v", name, err)
+			}
+			return v
+		}
+	}
+	h.t.Fatalf("metric %s not exposed", name)
+	return 0
+}
+
+// primaryOf reads a session's current primary from the router.
+func (h *harness) primaryOf(sid string) string {
+	h.t.Helper()
+	p, ok := h.l.Router.placement(sid)
+	if !ok {
+		h.t.Fatalf("no placement for %s", sid)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.primary
+}
+
+func TestClusterPlacementAndReplication(t *testing.T) {
+	h := newHarness(t, 4, 6)
+	for iter := 0; iter < 5; iter++ {
+		h.launchRound(iter)
+	}
+	h.verifyFinal()
+
+	// Every session has a live replica on a distinct node, and no
+	// replica response ever diverged from its primary.
+	for _, sid := range h.sids {
+		p, _ := h.l.Router.placement(sid)
+		p.mu.Lock()
+		pr, rep := p.primary, p.replica
+		p.mu.Unlock()
+		if pr == "" || rep == "" || pr == rep {
+			t.Errorf("session %s placed on (%q, %q), want two distinct members", sid, pr, rep)
+		}
+	}
+	if d := h.metric("dopia_router_replica_divergence_total"); d != 0 {
+		t.Errorf("replica divergence = %d, want 0", d)
+	}
+	if lost := h.metric("dopia_router_sessions_lost_total"); lost != 0 {
+		t.Errorf("sessions lost = %d, want 0", lost)
+	}
+}
+
+func TestClusterKillFailoverZeroLoss(t *testing.T) {
+	h := newHarness(t, 4, 8)
+	const iters = 24
+	for iter := 0; iter < iters; iter++ {
+		if iter == 8 {
+			victim := h.primaryOf(h.sids[0])
+			t.Logf("killing %s (primary of %s) mid-run", victim, h.sids[0])
+			h.l.Node(victim).Kill()
+		}
+		h.launchRound(iter)
+	}
+	h.verifyFinal()
+
+	if f := h.metric("dopia_router_failovers_total"); f < 1 {
+		t.Errorf("failovers = %d, want >= 1 after node kill", f)
+	}
+	if lost := h.metric("dopia_router_sessions_lost_total"); lost != 0 {
+		t.Errorf("sessions lost = %d, want 0", lost)
+	}
+	if d := h.metric("dopia_router_replica_divergence_total"); d != 0 {
+		t.Errorf("replica divergence = %d, want 0", d)
+	}
+}
+
+// TestClusterChaosMatrix drives load through every node-level fault
+// class; each scenario must end with zero lost sessions and every
+// session bit-identical to the reference, with the router's metrics
+// recording the recovery action taken.
+func TestClusterChaosMatrix(t *testing.T) {
+	scenarios := []struct {
+		name string
+		spec string // victim placeholder V filled with a live primary
+		// settled reports that the router visibly performed the
+		// scenario's expected recovery action; load keeps flowing until
+		// it holds (or the deadline trips).
+		settled func(h *harness) bool
+		check   func(t *testing.T, h *harness)
+	}{
+		{
+			name:    "kill",
+			spec:    "kill:V@0s",
+			settled: func(h *harness) bool { return h.metric("dopia_router_failovers_total") >= 1 },
+			check: func(t *testing.T, h *harness) {
+				if f := h.metric("dopia_router_failovers_total"); f < 1 {
+					t.Errorf("failovers = %d, want >= 1", f)
+				}
+			},
+		},
+		{
+			name: "partition",
+			spec: "partition:V@0s:1200ms",
+			// The silenced member ages to dead on the router's clock;
+			// the janitor moves its sessions even though its data path
+			// still answers.
+			settled: func(h *harness) bool { return h.metric("dopia_router_node_deaths_total") >= 1 },
+			check: func(t *testing.T, h *harness) {
+				if d := h.metric("dopia_router_node_deaths_total"); d < 1 {
+					t.Errorf("node deaths = %d, want >= 1", d)
+				}
+			},
+		},
+		{
+			name: "slow",
+			spec: "slow:V@0s:600ms:30ms",
+			// Latency under the call timeout: no failover required, the
+			// run just has to keep completing correctly while slowed.
+			settled: func(h *harness) bool { return false },
+			check:   func(t *testing.T, h *harness) {},
+		},
+		{
+			name:    "evict",
+			spec:    "evict:V@0s",
+			settled: func(h *harness) bool { return h.metric("dopia_router_program_repushes_total") >= 1 },
+			check: func(t *testing.T, h *harness) {
+				if rp := h.metric("dopia_router_program_repushes_total"); rp < 1 {
+					t.Errorf("program repushes = %d, want >= 1 after eviction", rp)
+				}
+			},
+		},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			h := newHarness(t, 4, 6)
+			victim := h.primaryOf(h.sids[0])
+			events, err := ParseChaosSpec(strings.ReplaceAll(sc.spec, "V", victim))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctrl := NewChaosController(events, h.l.Node, t.Logf)
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			chaosDone := make(chan struct{})
+			go func() {
+				defer close(chaosDone)
+				// Let a couple of clean rounds land first.
+				time.Sleep(100 * time.Millisecond)
+				_ = ctrl.Run(ctx)
+			}()
+
+			// Drive load through the fault until the recovery action is
+			// visible (slow settles on rounds alone). minRounds keeps
+			// traffic flowing past the injection point either way.
+			const minRounds = 16
+			iter := 0
+			deadline := time.Now().Add(15 * time.Second)
+			for {
+				h.launchRound(iter)
+				iter++
+				injected := false
+				select {
+				case <-chaosDone:
+					injected = true
+				default:
+				}
+				if injected && iter >= minRounds && (sc.settled(h) || sc.name == "slow") {
+					break
+				}
+				if time.Now().After(deadline) {
+					break // the check funcs will report what is missing
+				}
+			}
+			// A few post-fault rounds so recovery paths settle.
+			for i := 0; i < 4; i++ {
+				h.launchRound(iter)
+				iter++
+			}
+			h.verifyFinal()
+			if lost := h.metric("dopia_router_sessions_lost_total"); lost != 0 {
+				t.Errorf("sessions lost = %d, want 0", lost)
+			}
+			if d := h.metric("dopia_router_replica_divergence_total"); d != 0 {
+				t.Errorf("replica divergence = %d, want 0", d)
+			}
+			sc.check(t, h)
+			t.Logf("%s: %d rounds, failovers=%d migrations=%d rebuilds=%d repushes=%d",
+				sc.name, iter,
+				h.metric("dopia_router_failovers_total"),
+				h.metric("dopia_router_migrations_total"),
+				h.metric("dopia_router_replica_rebuilds_total"),
+				h.metric("dopia_router_program_repushes_total"))
+		})
+	}
+}
+
+// TestClusterDrainRaceMigration races a graceful drain against
+// concurrent in-flight launches: every launch must complete exactly
+// once (the accumulator kernel detects double-apply bit-wise), the
+// drained node's sessions migrate with zero loss.
+func TestClusterDrainRaceMigration(t *testing.T) {
+	h := newHarness(t, 4, 8)
+	const perSession = 60
+
+	victim := h.primaryOf(h.sids[0])
+	var wg sync.WaitGroup
+	errs := make(chan error, len(h.sids))
+	for _, sid := range h.sids {
+		wg.Add(1)
+		go func(sid string) {
+			defer wg.Done()
+			c := h.l.Client()
+			c.SetRetryPolicy(&server.RetryPolicy{MaxAttempts: 8, BaseDelay: 25 * time.Millisecond, MaxDelay: time.Second, Seed: 11})
+			nn := int64(bufN)
+			for i := 0; i < perSession; i++ {
+				_, err := c.Launch(&server.LaunchRequest{
+					SessionID: sid, ProgramID: h.prog, Kernel: "acc",
+					Args:   []server.LaunchArg{{Buf: "x"}, {Buf: "y"}, {Int: &nn}},
+					Global: []int{bufN}, Local: []int{32},
+					IdemKey: sid + "-race-" + strconv.Itoa(i),
+				})
+				if err != nil {
+					errs <- fmt.Errorf("session %s launch %d: %w", sid, i, err)
+					return
+				}
+			}
+		}(sid)
+	}
+
+	// Drain the victim mid-burst: it flips unready, gossip spreads the
+	// flag, and the janitor migrates its primaries while launches race.
+	time.Sleep(10 * time.Millisecond)
+	h.l.Node(victim).BeginDrain()
+
+	// The migration must land while the burst is still meaningful: wait
+	// for the janitor to move every session off the drained node before
+	// asserting, so the placement check below cannot race it.
+	waitFor(t, 10*time.Second, "drained node's primaries migrated", func() bool {
+		for _, sid := range h.sids {
+			if h.primaryOf(sid) == victim {
+				return false
+			}
+		}
+		return true
+	})
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// Reference: the same number of sequential launches per session.
+	nn := int64(bufN)
+	for _, sid := range h.sids {
+		for i := 0; i < perSession; i++ {
+			if _, err := h.ref.Launch(&server.LaunchRequest{
+				SessionID: sid, ProgramID: h.prog, Kernel: "acc",
+				Args:   []server.LaunchArg{{Buf: "x"}, {Buf: "y"}, {Int: &nn}},
+				Global: []int{bufN}, Local: []int{32},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	h.verifyFinal()
+
+	if lost := h.metric("dopia_router_sessions_lost_total"); lost != 0 {
+		t.Errorf("sessions lost = %d, want 0", lost)
+	}
+	if h.primaryOf(h.sids[0]) == victim {
+		t.Errorf("session %s still primary on drained node %s", h.sids[0], victim)
+	}
+	moves := h.metric("dopia_router_migrations_total") + h.metric("dopia_router_failovers_total")
+	if moves < 1 {
+		t.Errorf("no migrations or failovers recorded for the drained node")
+	}
+}
+
+func TestRouterRingDown(t *testing.T) {
+	h := newHarness(t, 2, 1)
+	for _, n := range h.l.Nodes {
+		n.Kill()
+	}
+	// Wait for the router to notice both members are gone.
+	waitFor(t, 5*time.Second, "ring down", func() bool {
+		_, err := h.l.Client().Readyz()
+		return err != nil
+	})
+	c := h.l.Client() // no retry policy: surface the 503
+	nn := int64(bufN)
+	_, err := c.Launch(&server.LaunchRequest{
+		SessionID: h.sids[0], ProgramID: h.prog, Kernel: "acc",
+		Args:   []server.LaunchArg{{Buf: "x"}, {Buf: "y"}, {Int: &nn}},
+		Global: []int{bufN}, Local: []int{32},
+	})
+	apiErr, ok := err.(*server.APIError)
+	if !ok || apiErr.Status != 503 {
+		t.Fatalf("launch with ring down: %v, want 503", err)
+	}
+	if apiErr.RetryAfterMS <= 0 {
+		t.Errorf("ring-down 503 carries no Retry-After hint")
+	}
+}

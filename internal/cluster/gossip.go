@@ -1,0 +1,447 @@
+package cluster
+
+// Gossip-based failure detection and state dissemination. Every node
+// (and the router) runs an Agent that keeps a view of the whole
+// membership: per-node incarnation + heartbeat counters, readiness,
+// session count, and the node's content-addressed program-cache IDs.
+// Each tick the agent bumps its own heartbeat and exchanges full views
+// with a few random peers; an entry whose (incarnation, heartbeat)
+// pair stops advancing is locally demoted alive → suspect → dead on
+// the observer's clock. No entry is ever removed: a restarted node
+// announces a higher incarnation, which trumps any stale counters (and
+// any forced-dead verdict) still circulating.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// refuteMargin is how many heartbeats past the condemned value a
+// force-dead member must advance to clear the verdict.
+const refuteMargin = 5
+
+// NodeStatus is an observer-local verdict about a member.
+type NodeStatus string
+
+const (
+	// StatusAlive: counters advanced within SuspectAfter.
+	StatusAlive NodeStatus = "alive"
+	// StatusSuspect: stale past SuspectAfter but not yet DeadAfter.
+	// Routers keep suspects in the ring (no flapping on one lost tick).
+	StatusSuspect NodeStatus = "suspect"
+	// StatusDead: stale past DeadAfter, or force-marked by MarkDead
+	// after a hard request failure. Routers fail sessions over.
+	StatusDead NodeStatus = "dead"
+)
+
+// NodeState is the gossiped per-member record.
+type NodeState struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	// Incarnation rises monotonically across restarts of one node; it
+	// dominates Heartbeat in the merge order.
+	Incarnation uint64 `json:"incarnation"`
+	// Heartbeat rises every gossip tick of the member itself.
+	Heartbeat uint64 `json:"heartbeat"`
+	// Ready mirrors the member's /readyz gate.
+	Ready bool `json:"ready"`
+	// Sessions is the member's live-session count (observability).
+	Sessions int `json:"sessions"`
+	// Programs is the member's program-cache contents, as
+	// content-addressed p-<sha256> IDs — the router's anti-entropy
+	// input for re-pushing evicted programs.
+	Programs []string `json:"programs,omitempty"`
+}
+
+// NodeView is one entry of an agent's rendered membership view.
+type NodeView struct {
+	State  NodeState  `json:"state"`
+	Status NodeStatus `json:"status"`
+	// StaleFor is how long the entry's counters have not advanced.
+	StaleFor time.Duration `json:"stale_for"`
+}
+
+// GossipConfig parameterizes an Agent.
+type GossipConfig struct {
+	// Interval between gossip rounds (default 100ms).
+	Interval time.Duration
+	// SuspectAfter demotes a silent member to suspect (default 8×Interval).
+	SuspectAfter time.Duration
+	// DeadAfter demotes a silent member to dead (default 20×Interval).
+	DeadAfter time.Duration
+	// Fanout is how many peers one round contacts (default 2).
+	Fanout int
+	// Seed drives peer selection, so a simulated cluster's gossip
+	// traffic replays deterministically.
+	Seed int64
+	// Client is the HTTP client for gossip exchanges (nil = a dedicated
+	// client with a timeout of one Interval ×4).
+	Client *http.Client
+}
+
+func (c *GossipConfig) fillDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 8 * c.Interval
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 20 * c.Interval
+	}
+	if c.DeadAfter < c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter
+	}
+	if c.Fanout <= 0 {
+		c.Fanout = 2
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 4 * c.Interval}
+	}
+}
+
+type viewEntry struct {
+	state NodeState
+	// lastAdvance is the local time the entry's (incarnation, heartbeat)
+	// last moved forward.
+	lastAdvance time.Time
+}
+
+// gossipPayload is the wire form of one exchange: the sender's full
+// view. The receiver merges it and answers with its own.
+type gossipPayload struct {
+	From  string      `json:"from"`
+	Nodes []NodeState `json:"nodes"`
+}
+
+// Agent is one member's gossip endpoint: it owns the member's
+// self-state, disseminates it, and renders a local view of everyone
+// else.
+type Agent struct {
+	cfg  GossipConfig
+	id   string
+	addr string
+
+	// stateFn samples the member's live state each tick.
+	stateFn func() (ready bool, sessions int, programs []string)
+
+	mu   sync.Mutex
+	view map[string]*viewEntry
+	// forcedDead pins a member dead, remembering the counters it was
+	// condemned at. The verdict clears on proof of life: a higher
+	// incarnation (restart), or a heartbeat advanced well past the
+	// condemned one — pre-death heartbeats still circulating in the
+	// mesh lag at most a round or two, so a margin of refuteMargin
+	// ticks separates them from a genuinely alive member (e.g. one
+	// that was only partitioned).
+	forcedDead  map[string]NodeState
+	seeds       []string
+	rng         *rand.Rand
+	partitioned bool
+	heartbeat   uint64
+	incarnation uint64
+
+	startOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewAgent creates an agent for member id reachable at addr (base URL,
+// e.g. "http://127.0.0.1:41001"). stateFn may be nil (always ready,
+// zero sessions).
+func NewAgent(id, addr string, cfg GossipConfig, stateFn func() (ready bool, sessions int, programs []string)) *Agent {
+	cfg.fillDefaults()
+	if stateFn == nil {
+		stateFn = func() (bool, int, []string) { return true, 0, nil }
+	}
+	a := &Agent{
+		cfg:         cfg,
+		id:          id,
+		addr:        addr,
+		stateFn:     stateFn,
+		view:        map[string]*viewEntry{},
+		forcedDead:  map[string]NodeState{},
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		incarnation: 1,
+		stop:        make(chan struct{}),
+		done:        make(chan struct{}),
+	}
+	a.mu.Lock()
+	a.refreshSelfLocked()
+	a.mu.Unlock()
+	return a
+}
+
+// ID returns the member ID the agent speaks for.
+func (a *Agent) ID() string { return a.id }
+
+// SeedPeers registers bootstrap addresses to gossip toward before the
+// view has learned any members.
+func (a *Agent) SeedPeers(addrs []string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, ad := range addrs {
+		if ad != "" && ad != a.addr {
+			a.seeds = append(a.seeds, ad)
+		}
+	}
+}
+
+// refreshSelfLocked advances the agent's own record one tick.
+func (a *Agent) refreshSelfLocked() {
+	ready, sessions, programs := a.stateFn()
+	a.heartbeat++
+	st := NodeState{
+		ID: a.id, Addr: a.addr,
+		Incarnation: a.incarnation, Heartbeat: a.heartbeat,
+		Ready: ready, Sessions: sessions, Programs: programs,
+	}
+	a.view[a.id] = &viewEntry{state: st, lastAdvance: time.Now()}
+}
+
+// mergeLocked folds one gossiped record into the view. Newer wins by
+// (incarnation, heartbeat); an advance refreshes the staleness clock
+// and a higher incarnation clears any forced-dead verdict.
+func (a *Agent) mergeLocked(ns NodeState) {
+	if ns.ID == "" {
+		return
+	}
+	if ns.ID == a.id {
+		// Refute a record of ourselves that outranks anything we have
+		// announced (a previous life of this ID): jump our incarnation
+		// above it so the mesh converges on the living copy. Echoes of
+		// our own gossip (equal incarnation, heartbeat at or behind our
+		// current one) are not conflicts and must not trigger this, or a
+		// mere exchange would resurrect a stopped member.
+		if ns.Incarnation > a.incarnation ||
+			(ns.Incarnation == a.incarnation && ns.Heartbeat > a.heartbeat) {
+			a.incarnation = ns.Incarnation + 1
+			a.refreshSelfLocked()
+		}
+		return
+	}
+	if f, ok := a.forcedDead[ns.ID]; ok {
+		if ns.Incarnation > f.Incarnation ||
+			(ns.Incarnation == f.Incarnation && ns.Heartbeat > f.Heartbeat+refuteMargin) {
+			delete(a.forcedDead, ns.ID)
+		}
+	}
+	cur, ok := a.view[ns.ID]
+	if !ok {
+		a.view[ns.ID] = &viewEntry{state: ns, lastAdvance: time.Now()}
+		return
+	}
+	if ns.Incarnation > cur.state.Incarnation ||
+		(ns.Incarnation == cur.state.Incarnation && ns.Heartbeat > cur.state.Heartbeat) {
+		cur.state = ns
+		cur.lastAdvance = time.Now()
+	}
+}
+
+// Observe primes the view with a directly probed record (e.g. the
+// router's readyz check at AddNode), bypassing the mesh.
+func (a *Agent) Observe(ns NodeState) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.mergeLocked(ns)
+}
+
+// MarkDead pins a member dead at its current incarnation — the router
+// calls this on hard request failure so the next placement skips the
+// node immediately instead of waiting out DeadAfter.
+func (a *Agent) MarkDead(id string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if id == a.id {
+		return
+	}
+	var at NodeState
+	if cur, ok := a.view[id]; ok {
+		at = cur.state
+	}
+	a.forcedDead[id] = at
+}
+
+// SetPartitioned toggles a simulated network partition: a partitioned
+// agent neither sends nor accepts gossip, so the rest of the mesh ages
+// it into suspect and then dead.
+func (a *Agent) SetPartitioned(p bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.partitioned = p
+}
+
+// statusLocked renders the observer-local verdict for an entry.
+func (a *Agent) statusLocked(id string, e *viewEntry, now time.Time) NodeStatus {
+	if _, forced := a.forcedDead[id]; forced {
+		return StatusDead
+	}
+	if id == a.id {
+		return StatusAlive
+	}
+	stale := now.Sub(e.lastAdvance)
+	switch {
+	case stale > a.cfg.DeadAfter:
+		return StatusDead
+	case stale > a.cfg.SuspectAfter:
+		return StatusSuspect
+	default:
+		return StatusAlive
+	}
+}
+
+// View renders the current membership view.
+func (a *Agent) View() map[string]NodeView {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := time.Now()
+	out := make(map[string]NodeView, len(a.view))
+	for id, e := range a.view {
+		out[id] = NodeView{
+			State:    e.state,
+			Status:   a.statusLocked(id, e, now),
+			StaleFor: now.Sub(e.lastAdvance),
+		}
+	}
+	return out
+}
+
+// Healthy reports whether id should receive routed work: alive (not
+// suspect, not dead) and ready.
+func (a *Agent) Healthy(id string) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e, ok := a.view[id]
+	if !ok {
+		return false
+	}
+	return a.statusLocked(id, e, time.Now()) == StatusAlive && e.state.Ready
+}
+
+// Handler returns the agent's gossip endpoint (mount at
+// POST /cluster/v1/gossip): merge the caller's view, answer with ours.
+func (a *Agent) Handler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var in gossipPayload
+		if err := json.NewDecoder(r.Body).Decode(&in); err != nil {
+			http.Error(w, "bad gossip payload", http.StatusBadRequest)
+			return
+		}
+		a.mu.Lock()
+		if a.partitioned {
+			a.mu.Unlock()
+			http.Error(w, "partitioned", http.StatusServiceUnavailable)
+			return
+		}
+		for _, ns := range in.Nodes {
+			a.mergeLocked(ns)
+		}
+		out := a.digestLocked()
+		a.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	}
+}
+
+func (a *Agent) digestLocked() gossipPayload {
+	out := gossipPayload{From: a.id, Nodes: make([]NodeState, 0, len(a.view))}
+	for _, e := range a.view {
+		out.Nodes = append(out.Nodes, e.state)
+	}
+	return out
+}
+
+// GossipNow runs one synchronous round: refresh self, pick up to
+// Fanout peers, exchange views.
+func (a *Agent) GossipNow() {
+	a.mu.Lock()
+	if a.partitioned {
+		a.refreshSelfLocked() // keep our own clock moving for after the heal
+		a.mu.Unlock()
+		return
+	}
+	a.refreshSelfLocked()
+	payload := a.digestLocked()
+
+	// Candidate targets: every known address plus the bootstrap seeds.
+	addrSet := map[string]struct{}{}
+	for id, e := range a.view {
+		if id != a.id && e.state.Addr != "" {
+			addrSet[e.state.Addr] = struct{}{}
+		}
+	}
+	for _, s := range a.seeds {
+		addrSet[s] = struct{}{}
+	}
+	addrs := make([]string, 0, len(addrSet))
+	for ad := range addrSet {
+		addrs = append(addrs, ad)
+	}
+	// Deterministic selection order under the seeded rng.
+	sort.Strings(addrs)
+	a.rng.Shuffle(len(addrs), func(i, j int) { addrs[i], addrs[j] = addrs[j], addrs[i] })
+	if len(addrs) > a.cfg.Fanout {
+		addrs = addrs[:a.cfg.Fanout]
+	}
+	a.mu.Unlock()
+
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return
+	}
+	for _, ad := range addrs {
+		resp, err := a.cfg.Client.Post(ad+"/cluster/v1/gossip", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			continue
+		}
+		var back gossipPayload
+		derr := json.NewDecoder(resp.Body).Decode(&back)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || derr != nil {
+			continue
+		}
+		a.mu.Lock()
+		if !a.partitioned {
+			for _, ns := range back.Nodes {
+				a.mergeLocked(ns)
+			}
+		}
+		a.mu.Unlock()
+	}
+}
+
+// Start launches the periodic gossip loop.
+func (a *Agent) Start() {
+	a.startOnce.Do(func() {
+		go func() {
+			defer close(a.done)
+			tick := time.NewTicker(a.cfg.Interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					a.GossipNow()
+				case <-a.stop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Stop halts the gossip loop. Safe to call more than once, including
+// on a never-started agent.
+func (a *Agent) Stop() {
+	select {
+	case <-a.stop:
+	default:
+		close(a.stop)
+	}
+	a.startOnce.Do(func() { close(a.done) })
+	<-a.done
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// startAgents boots n agents on loopback httptest servers, each serving
+// only the gossip endpoint, fully seeded with each other's addresses.
+func startAgents(t *testing.T, n int, cfg GossipConfig) []*Agent {
+	t.Helper()
+	agents := make([]*Agent, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("a%d", i)
+		mux := http.NewServeMux()
+		ts := httptest.NewServer(mux)
+		t.Cleanup(ts.Close)
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)
+		a := NewAgent(id, ts.URL, c, nil)
+		mux.HandleFunc("POST /cluster/v1/gossip", a.Handler())
+		agents[i], addrs[i] = a, ts.URL
+	}
+	for _, a := range agents {
+		a.SeedPeers(addrs)
+		t.Cleanup(a.Stop)
+	}
+	return agents
+}
+
+// waitFor polls cond until it holds or the deadline lapses.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func fastGossip() GossipConfig {
+	return GossipConfig{
+		Interval:     20 * time.Millisecond,
+		SuspectAfter: 120 * time.Millisecond,
+		DeadAfter:    300 * time.Millisecond,
+		Seed:         1,
+	}
+}
+
+func TestGossipConvergence(t *testing.T) {
+	agents := startAgents(t, 4, fastGossip())
+	for _, a := range agents {
+		a.Start()
+	}
+	waitFor(t, 5*time.Second, "full views on every agent", func() bool {
+		for _, a := range agents {
+			view := a.View()
+			if len(view) != 4 {
+				return false
+			}
+			for _, v := range view {
+				if v.Status != StatusAlive {
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+func TestGossipFailureDetection(t *testing.T) {
+	agents := startAgents(t, 3, fastGossip())
+	for _, a := range agents {
+		a.Start()
+	}
+	waitFor(t, 5*time.Second, "initial convergence", func() bool {
+		return len(agents[0].View()) == 3
+	})
+	// Silence a1: its counters stop advancing in everyone else's view.
+	agents[1].Stop()
+	waitFor(t, 5*time.Second, "a1 suspected then dead on a0", func() bool {
+		return agents[0].View()["a1"].Status == StatusDead
+	})
+	if agents[0].Healthy("a1") {
+		t.Error("dead member reported healthy")
+	}
+	if !agents[0].Healthy("a2") {
+		t.Error("live member not healthy")
+	}
+}
+
+func TestGossipPartitionAndHeal(t *testing.T) {
+	agents := startAgents(t, 3, fastGossip())
+	for _, a := range agents {
+		a.Start()
+	}
+	waitFor(t, 5*time.Second, "initial convergence", func() bool {
+		return len(agents[0].View()) == 3 && len(agents[2].View()) == 3
+	})
+	agents[2].SetPartitioned(true)
+	waitFor(t, 5*time.Second, "partitioned member aged to dead", func() bool {
+		return agents[0].View()["a2"].Status == StatusDead
+	})
+	agents[2].SetPartitioned(false)
+	waitFor(t, 5*time.Second, "healed member back alive", func() bool {
+		return agents[0].View()["a2"].Status == StatusAlive
+	})
+}
+
+func TestGossipMarkDeadAndRefute(t *testing.T) {
+	a := NewAgent("router", "", fastGossip(), nil)
+	defer a.Stop()
+	a.Observe(NodeState{ID: "n1", Addr: "x", Incarnation: 1, Heartbeat: 10, Ready: true})
+	a.MarkDead("n1")
+	if a.View()["n1"].Status != StatusDead {
+		t.Fatal("MarkDead did not pin the member dead")
+	}
+	if a.Healthy("n1") {
+		t.Fatal("force-dead member reported healthy")
+	}
+	// Pre-death heartbeats still circulating (within the margin) do not
+	// refute the verdict.
+	a.Observe(NodeState{ID: "n1", Addr: "x", Incarnation: 1, Heartbeat: 12, Ready: true})
+	if a.View()["n1"].Status != StatusDead {
+		t.Fatal("stale heartbeat cleared a force-dead verdict")
+	}
+	// A heartbeat well past the condemned one is proof of life (the
+	// member was partitioned, not dead).
+	a.Observe(NodeState{ID: "n1", Addr: "x", Incarnation: 1, Heartbeat: 10 + refuteMargin + 1, Ready: true})
+	if a.View()["n1"].Status != StatusAlive {
+		t.Fatal("substantial heartbeat advance did not refute force-dead")
+	}
+	// A higher incarnation (restart) refutes outright.
+	a.MarkDead("n1")
+	a.Observe(NodeState{ID: "n1", Addr: "x", Incarnation: 2, Heartbeat: 1, Ready: true})
+	if a.View()["n1"].Status != StatusAlive {
+		t.Fatal("higher incarnation did not refute force-dead")
+	}
+}
+
+func TestGossipObservePrimesView(t *testing.T) {
+	a := NewAgent("router", "", fastGossip(), nil)
+	defer a.Stop()
+	a.Observe(NodeState{ID: "n0", Addr: "http://127.0.0.1:2", Incarnation: 1, Heartbeat: 1, Ready: true})
+	if !a.Healthy("n0") {
+		t.Fatal("observed ready member not healthy")
+	}
+	// Stale observations do not regress the entry.
+	a.Observe(NodeState{ID: "n0", Addr: "x", Incarnation: 1, Heartbeat: 0, Ready: false})
+	if v := a.View()["n0"]; !v.State.Ready {
+		t.Fatal("older (incarnation, heartbeat) overwrote a newer entry")
+	}
+}

@@ -1,0 +1,144 @@
+package cluster
+
+// Local boots a whole cluster in one process on loopback listeners —
+// a router plus N member nodes ("n0".."nN-1") — for tests, the
+// cluster-smoke CI job, and dopia-load's multi-node mode. Every
+// component is the real thing (real HTTP, real gossip, real daemon
+// cores); only the machine is simulated, same as single-node dopia.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"dopia/internal/server"
+)
+
+// LocalConfig parameterizes a local cluster.
+type LocalConfig struct {
+	// Nodes is the member count (default 4).
+	Nodes int
+	// Server templates each member's daemon config (Machine required).
+	Server server.Config
+	// Gossip templates each agent; per-agent seeds are derived from
+	// Gossip.Seed so the mesh's traffic replays deterministically.
+	Gossip GossipConfig
+	// Router configures the front door (Gossip inherited if zero).
+	Router RouterConfig
+}
+
+// Local is a running in-process cluster.
+type Local struct {
+	Router    *Router
+	RouterURL string
+	Nodes     []*Node
+
+	hs *http.Server
+	ln net.Listener
+}
+
+// StartLocal boots the members, joins them into one gossip mesh,
+// registers them with the router, and serves the router on loopback.
+func StartLocal(cfg LocalConfig) (*Local, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 4
+	}
+	if cfg.Router.Gossip == (GossipConfig{}) {
+		cfg.Router.Gossip = cfg.Gossip
+	}
+
+	l := &Local{}
+	for i := 0; i < cfg.Nodes; i++ {
+		g := cfg.Gossip
+		g.Seed = cfg.Gossip.Seed + int64(i) + 1
+		scfg := cfg.Server
+		// Every member gets a private Machine: identical parameters
+		// (bit-exactness needs that), independent object.
+		if scfg.Machine != nil {
+			if m, err := scfg.Machine.ToJSON().Build(); err == nil {
+				scfg.Machine = m
+			}
+		}
+		n, err := StartNode(NodeConfig{
+			ID:     fmt.Sprintf("n%d", i),
+			Server: scfg,
+			Gossip: g,
+		})
+		if err != nil {
+			l.shutdownNodes()
+			return nil, err
+		}
+		l.Nodes = append(l.Nodes, n)
+	}
+	peers := make([]string, 0, len(l.Nodes))
+	for _, n := range l.Nodes {
+		peers = append(peers, n.URL)
+	}
+	for _, n := range l.Nodes {
+		n.Join(peers)
+	}
+
+	l.Router = NewRouter(cfg.Router)
+	for _, n := range l.Nodes {
+		if err := l.Router.AddNode(n.ID, n.URL); err != nil {
+			l.shutdownNodes()
+			return nil, err
+		}
+	}
+	l.Router.Start()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		l.Router.Close()
+		l.shutdownNodes()
+		return nil, err
+	}
+	l.ln = ln
+	l.RouterURL = "http://" + ln.Addr().String()
+	l.hs = &http.Server{Handler: l.Router.Handler()}
+	go func() { _ = l.hs.Serve(ln) }()
+	return l, nil
+}
+
+// Node returns the member with the given ID (nil if unknown).
+func (l *Local) Node(id string) *Node {
+	for _, n := range l.Nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// Client returns an API client pointed at the router.
+func (l *Local) Client() *server.Client {
+	return server.NewClient(l.RouterURL, nil)
+}
+
+// Shutdown stops the router and every member. ctx bounds each
+// member's drain.
+func (l *Local) Shutdown(ctx context.Context) error {
+	if l.hs != nil {
+		_ = l.hs.Close()
+	}
+	if l.Router != nil {
+		l.Router.Close()
+	}
+	var firstErr error
+	for _, n := range l.Nodes {
+		if err := n.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (l *Local) shutdownNodes() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, n := range l.Nodes {
+		_ = n.Shutdown(ctx)
+	}
+}

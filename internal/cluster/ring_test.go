@@ -1,0 +1,107 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingPlacementDeterministic(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("s-%d", i)
+		a := r.Place(key, 2, nil)
+		b := r.Place(key, 2, nil)
+		if len(a) != 2 || len(b) != 2 || a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("placement of %q not deterministic: %v vs %v", key, a, b)
+		}
+		if a[0] == a[1] {
+			t.Fatalf("placement of %q repeats a member: %v", key, a)
+		}
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(64)
+	members := []string{"n0", "n1", "n2", "n3"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	counts := map[string]int{}
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		p := r.Place(fmt.Sprintf("sess-%d", i), 1, nil)
+		if len(p) != 1 {
+			t.Fatalf("no placement for key %d", i)
+		}
+		counts[p[0]]++
+	}
+	for _, m := range members {
+		frac := float64(counts[m]) / keys
+		if frac < 0.10 || frac > 0.45 {
+			t.Errorf("member %s serves %.1f%% of keys — virtual nodes not spreading (%v)", m, 100*frac, counts)
+		}
+	}
+}
+
+func TestRingRemovalStability(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	const keys = 1000
+	before := make([]string, keys)
+	for i := range before {
+		before[i] = r.Place(fmt.Sprintf("k-%d", i), 1, nil)[0]
+	}
+	r.Remove("n2")
+	moved := 0
+	for i := range before {
+		after := r.Place(fmt.Sprintf("k-%d", i), 1, nil)[0]
+		if after == "n2" {
+			t.Fatalf("key k-%d placed on removed member", i)
+		}
+		if before[i] != "n2" && after != before[i] {
+			moved++
+		}
+	}
+	// Consistent hashing: only keys owned by the removed member move.
+	if moved > 0 {
+		t.Errorf("%d keys not owned by n2 moved after its removal", moved)
+	}
+}
+
+func TestRingHealthyFilter(t *testing.T) {
+	r := NewRing(32)
+	for i := 0; i < 4; i++ {
+		r.Add(fmt.Sprintf("n%d", i))
+	}
+	healthy := func(id string) bool { return id != "n1" }
+	for i := 0; i < 200; i++ {
+		for _, m := range r.Place(fmt.Sprintf("x-%d", i), 3, healthy) {
+			if m == "n1" {
+				t.Fatal("unhealthy member placed")
+			}
+		}
+	}
+	none := func(string) bool { return false }
+	if got := r.Place("anything", 2, none); len(got) != 0 {
+		t.Fatalf("placement with no healthy members = %v, want empty", got)
+	}
+}
+
+func TestRingPlaceBounds(t *testing.T) {
+	r := NewRing(16)
+	if got := r.Place("k", 2, nil); got != nil {
+		t.Fatalf("empty ring placed %v", got)
+	}
+	r.Add("solo")
+	if got := r.Place("k", 3, nil); len(got) != 1 || got[0] != "solo" {
+		t.Fatalf("1-member ring placed %v", got)
+	}
+	if r.Size() != 1 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+}

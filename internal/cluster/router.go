@@ -1,0 +1,1013 @@
+package cluster
+
+// Router is the cluster front door. It speaks the same HTTP/JSON
+// protocol as a single dopia-serve node, so every existing client
+// (dopia-load included) points at it unchanged; behind it, sessions
+// are placed on the ring by consistent hash, every state-changing
+// request is applied to a primary and mirrored to a replica node, and
+// node failures are absorbed by promoting the replica and retrying
+// under the same idempotency key — one logical launch applies exactly
+// once per node no matter how many times the wire saw it.
+//
+// Failure policy follows the fail-open ladder philosophy of the
+// single-node stack: any healthy node can serve any session (programs
+// are content-addressed and re-pushable, session state is replicated),
+// so the router degrades by moving work, not by refusing it. Only when
+// the whole ring is unhealthy does it answer 503 with Retry-After.
+//
+// Lock ordering: a placement's mu may be held while briefly taking
+// router.mu (node/source snapshots); never the reverse. Launches of
+// one session serialize on placement.mu, which is also what makes
+// migration atomic with respect to in-flight launches.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dopia/internal/faults"
+	"dopia/internal/server"
+)
+
+// RouterConfig parameterizes a Router.
+type RouterConfig struct {
+	// Vnodes per member on the placement ring (default 64).
+	Vnodes int
+	// CallTimeout bounds one proxied node call (default 15s).
+	CallTimeout time.Duration
+	// RetryAfter is the hint on ring-down 503s (default 1s).
+	RetryAfter time.Duration
+	// JanitorInterval paces the repair loop: dead-node failover,
+	// drain migration, program anti-entropy (default 100ms).
+	JanitorInterval time.Duration
+	// Gossip configures the router's mesh agent.
+	Gossip GossipConfig
+}
+
+func (c *RouterConfig) fillDefaults() {
+	if c.Vnodes <= 0 {
+		c.Vnodes = 64
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 15 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.JanitorInterval <= 0 {
+		c.JanitorInterval = 100 * time.Millisecond
+	}
+}
+
+// nodeRef is the router's handle on one member.
+type nodeRef struct {
+	id   string
+	addr string
+	c    *server.Client
+}
+
+// placement is one logical session's location: a primary node serving
+// it and a replica node holding a bit-identical copy. placement.mu
+// serializes launches, migration, and failover of the session.
+type placement struct {
+	mu      sync.Mutex
+	id      string
+	primary string
+	replica string
+	// lost marks a session whose primary died with no live replica —
+	// the zero-loss invariant violated. Counted, never silently dropped.
+	lost bool
+}
+
+type routerMetrics struct {
+	launches          atomic.Int64
+	launchErrors      atomic.Int64
+	failovers         atomic.Int64
+	migrations        atomic.Int64
+	replicaRebuilds   atomic.Int64
+	replicaDivergence atomic.Int64
+	programPushes     atomic.Int64
+	programRepushes   atomic.Int64
+	ringDown          atomic.Int64
+	nodeDeaths        atomic.Int64
+	drains            atomic.Int64
+	sessionsLost      atomic.Int64
+}
+
+// Router places sessions, mirrors state, and repairs the ring.
+type Router struct {
+	cfg   RouterConfig
+	ring  *Ring
+	agent *Agent
+	hc    *http.Client
+	mux   *http.ServeMux
+	start time.Time
+
+	mu         sync.Mutex
+	nodes      map[string]*nodeRef
+	placements map[string]*placement
+	sources    map[string]string // program ID -> source, for (re-)push
+	// deadHandled/drainHandled dedupe janitor reactions per node until
+	// the node returns to alive+ready.
+	deadHandled  map[string]bool
+	drainHandled map[string]bool
+
+	nextSession atomic.Int64
+	nextIdem    atomic.Int64
+	met         routerMetrics
+
+	startOnce sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+}
+
+// NewRouter builds a router with an empty ring; add members with
+// AddNode, then Start the repair loop.
+func NewRouter(cfg RouterConfig) *Router {
+	cfg.fillDefaults()
+	r := &Router{
+		cfg:          cfg,
+		ring:         NewRing(cfg.Vnodes),
+		hc:           &http.Client{Timeout: cfg.CallTimeout},
+		start:        time.Now(),
+		nodes:        map[string]*nodeRef{},
+		placements:   map[string]*placement{},
+		sources:      map[string]string{},
+		deadHandled:  map[string]bool{},
+		drainHandled: map[string]bool{},
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	r.agent = NewAgent("router", "", cfg.Gossip, func() (bool, int, []string) {
+		r.mu.Lock()
+		n := len(r.placements)
+		r.mu.Unlock()
+		return true, n, nil
+	})
+
+	m := http.NewServeMux()
+	m.HandleFunc("POST /v1/programs", r.handleProgram)
+	m.HandleFunc("POST /v1/sessions", r.handleCreateSession)
+	m.HandleFunc("DELETE /v1/sessions/{id}", r.handleCloseSession)
+	m.HandleFunc("POST /v1/sessions/{id}/buffers", r.handleCreateBuffer)
+	m.HandleFunc("GET /v1/sessions/{id}/buffers/{name}", r.handleReadBuffer)
+	m.HandleFunc("POST /v1/launch", r.handleLaunch)
+	m.HandleFunc("GET /healthz", r.handleHealthz)
+	m.HandleFunc("GET /readyz", r.handleReadyz)
+	m.HandleFunc("GET /metrics", r.handleMetrics)
+	m.HandleFunc("POST /cluster/v1/gossip", r.agent.Handler())
+	m.HandleFunc("GET /cluster/v1/ring", r.handleRing)
+	m.HandleFunc("POST /cluster/v1/drain/{id}", r.handleDrain)
+	r.mux = m
+	return r
+}
+
+// Handler returns the router's HTTP handler.
+func (r *Router) Handler() http.Handler { return r.mux }
+
+// Agent exposes the router's gossip agent (tests, observability).
+func (r *Router) Agent() *Agent { return r.agent }
+
+// AddNode registers a member: probe its readiness directly (no gossip
+// warmup gap), seed the mesh with its address, add it to the ring, and
+// push every known program so it can serve any session immediately.
+func (r *Router) AddNode(id, addr string) error {
+	if id == "" || addr == "" {
+		return fmt.Errorf("cluster: AddNode needs id and addr")
+	}
+	c := server.NewClient(addr, r.hc)
+	ready := false
+	if rr, err := c.Readyz(); err == nil && rr.Ready {
+		ready = true
+	}
+	r.agent.Observe(NodeState{ID: id, Addr: addr, Incarnation: 1, Heartbeat: 1, Ready: ready})
+	r.agent.SeedPeers([]string{addr})
+
+	r.mu.Lock()
+	r.nodes[id] = &nodeRef{id: id, addr: addr, c: c}
+	srcs := make([]string, 0, len(r.sources))
+	for _, src := range r.sources {
+		srcs = append(srcs, src)
+	}
+	r.mu.Unlock()
+	r.ring.Add(id)
+
+	for _, src := range srcs {
+		if _, err := c.Compile(src); err == nil {
+			r.met.programPushes.Add(1)
+		}
+	}
+	return nil
+}
+
+// Start launches the gossip agent and the janitor.
+func (r *Router) Start() {
+	r.startOnce.Do(func() {
+		r.agent.Start()
+		go func() {
+			defer close(r.done)
+			tick := time.NewTicker(r.cfg.JanitorInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					r.janitor()
+				case <-r.stop:
+					return
+				}
+			}
+		}()
+	})
+}
+
+// Close stops the janitor and the gossip agent.
+func (r *Router) Close() {
+	select {
+	case <-r.stop:
+	default:
+		close(r.stop)
+	}
+	r.startOnce.Do(func() { close(r.done) })
+	<-r.done
+	r.agent.Stop()
+}
+
+// healthy is the ring placement filter: alive and ready per the view.
+func (r *Router) healthy(id string) bool { return r.agent.Healthy(id) }
+
+// client returns the member's API client.
+func (r *Router) client(id string) *server.Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n, ok := r.nodes[id]; ok {
+		return n.c
+	}
+	return nil
+}
+
+func (r *Router) placement(sid string) (*placement, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.placements[sid]
+	return p, ok
+}
+
+// isNodeFailure classifies a proxied-call error: transport errors and
+// 5xx (except the request-scoped 504 deadline) mean the node cannot
+// serve the session and the router should fail over. 4xx and 429 are
+// the caller's problem and pass through.
+func isNodeFailure(err error) bool {
+	apiErr, ok := err.(*server.APIError)
+	if !ok {
+		return true // transport: connection refused/reset, timeout
+	}
+	return apiErr.Status >= 500 && apiErr.Status != http.StatusGatewayTimeout
+}
+
+// isMissingProgram detects a 404 caused by an evicted/never-pushed
+// program — repaired inline by re-pushing the stored source.
+func isMissingProgram(err error) bool {
+	apiErr, ok := err.(*server.APIError)
+	return ok && apiErr.Status == http.StatusNotFound && strings.Contains(apiErr.Message, "no program")
+}
+
+// isMissingSession detects a 404 for a session the router believes the
+// node holds — state lost on that node (restart, eviction); treated as
+// a node failure for this session.
+func isMissingSession(err error) bool {
+	apiErr, ok := err.(*server.APIError)
+	return ok && apiErr.Status == http.StatusNotFound && strings.Contains(apiErr.Message, "no session")
+}
+
+// pushProgram re-registers a stored source on one node.
+func (r *Router) pushProgram(nodeID, progID string) bool {
+	r.mu.Lock()
+	src, ok := r.sources[progID]
+	r.mu.Unlock()
+	if !ok {
+		return false
+	}
+	c := r.client(nodeID)
+	if c == nil {
+		return false
+	}
+	if _, err := c.Compile(src); err != nil {
+		return false
+	}
+	r.met.programRepushes.Add(1)
+	return true
+}
+
+// failoverLocked moves a placement off a failed node. Caller holds
+// p.mu. Returns false when the session is unrecoverable (primary dead
+// with no replica).
+func (r *Router) failoverLocked(p *placement, dead string) bool {
+	r.agent.MarkDead(dead)
+	if p.replica == dead {
+		p.replica = ""
+	}
+	if p.primary != dead {
+		return true
+	}
+	if p.replica != "" {
+		p.primary, p.replica = p.replica, ""
+		r.met.failovers.Add(1)
+		r.rebuildReplicaLocked(p)
+		return true
+	}
+	if !p.lost {
+		p.lost = true
+		r.met.sessionsLost.Add(1)
+	}
+	p.primary = ""
+	return false
+}
+
+// rebuildReplicaLocked re-establishes the second copy: snapshot the
+// primary, import on the ring successor. Best-effort — on any failure
+// the placement runs replica-less until the janitor's next pass.
+// Caller holds p.mu.
+func (r *Router) rebuildReplicaLocked(p *placement) {
+	p.replica = ""
+	if p.primary == "" {
+		return
+	}
+	var target string
+	for _, cand := range r.ring.Place(p.id, 3, r.healthy) {
+		if cand != p.primary {
+			target = cand
+			break
+		}
+	}
+	if target == "" {
+		return
+	}
+	pc, tc := r.client(p.primary), r.client(target)
+	if pc == nil || tc == nil {
+		return
+	}
+	exp, err := pc.ExportSession(p.id)
+	if err != nil {
+		return
+	}
+	if err := tc.ImportSession(exp); err != nil {
+		return
+	}
+	p.replica = target
+	r.met.replicaRebuilds.Add(1)
+}
+
+// applyReplicaLaunch mirrors a successful launch onto the replica
+// under the same idempotency key; determinism makes the copies
+// bit-identical, which the router spot-checks via the read-set.
+// Caller holds p.mu.
+func (r *Router) applyReplicaLaunch(p *placement, req *server.LaunchRequest, primary *server.LaunchResponse) {
+	if p.replica == "" {
+		return
+	}
+	c := r.client(p.replica)
+	if c == nil {
+		p.replica = ""
+		return
+	}
+	resp, err := c.Launch(req)
+	if err != nil && isMissingProgram(err) && r.pushProgram(p.replica, req.ProgramID) {
+		resp, err = c.Launch(req)
+	}
+	if err != nil {
+		// A broken mirror is repaired by re-snapshotting, not retried
+		// blind: missing session → rebuild in place; node failure →
+		// condemn the node and rebuild elsewhere.
+		if isNodeFailure(err) {
+			r.agent.MarkDead(p.replica)
+		}
+		r.rebuildReplicaLocked(p)
+		return
+	}
+	for name, want := range primary.Buffers {
+		if got, ok := resp.Buffers[name]; ok && (got.F32B64 != want.F32B64 || got.I32B64 != want.I32B64) {
+			r.met.replicaDivergence.Add(1)
+		}
+	}
+}
+
+// ---------- HTTP handlers ----------
+
+func (r *Router) writeError(w http.ResponseWriter, status int, err error) {
+	resp := server.ErrorResponse{Error: err.Error()}
+	if apiErr, ok := err.(*server.APIError); ok {
+		resp.Error, resp.Stage, resp.RetryAfterMS = apiErr.Message, apiErr.Stage, apiErr.RetryAfterMS
+	}
+	if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
+		if resp.RetryAfterMS == 0 {
+			resp.RetryAfterMS = r.cfg.RetryAfter.Milliseconds()
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(int((time.Duration(resp.RetryAfterMS)*time.Millisecond+time.Second-1)/time.Second)))
+	}
+	writeJSON(w, status, resp)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// passThrough relays a proxied-call error with its original status.
+func (r *Router) passThrough(w http.ResponseWriter, err error) {
+	if apiErr, ok := err.(*server.APIError); ok {
+		r.writeError(w, apiErr.Status, err)
+		return
+	}
+	r.writeError(w, http.StatusBadGateway, err)
+}
+
+// ringDown answers 503 + Retry-After: every member is dead or unready.
+func (r *Router) ringDown(w http.ResponseWriter) {
+	r.met.ringDown.Add(1)
+	r.writeError(w, http.StatusServiceUnavailable, faults.ErrRingDown)
+}
+
+// handleProgram registers source with the router (for re-push) and
+// pushes it to every healthy member. Succeeds if any member took it.
+func (r *Router) handleProgram(w http.ResponseWriter, req *http.Request) {
+	var pr server.ProgramRequest
+	if err := json.NewDecoder(req.Body).Decode(&pr); err != nil || pr.Source == "" {
+		r.writeError(w, http.StatusBadRequest, fmt.Errorf("bad program request"))
+		return
+	}
+	id := server.ProgramID(pr.Source)
+	r.mu.Lock()
+	_, known := r.sources[id]
+	r.sources[id] = pr.Source
+	nodes := make([]*nodeRef, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		nodes = append(nodes, n)
+	}
+	r.mu.Unlock()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].id < nodes[j].id })
+
+	var out *server.ProgramResponse
+	var lastErr error
+	for _, n := range nodes {
+		if !r.healthy(n.id) {
+			continue
+		}
+		resp, err := n.c.Compile(pr.Source)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		r.met.programPushes.Add(1)
+		if out == nil {
+			out = resp
+		}
+	}
+	if out == nil {
+		if lastErr != nil {
+			r.passThrough(w, lastErr)
+		} else {
+			r.ringDown(w)
+		}
+		return
+	}
+	out.Cached = known
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCreateSession places a new session: primary from the ring,
+// replica on the successor, both created under one global ID.
+func (r *Router) handleCreateSession(w http.ResponseWriter, req *http.Request) {
+	var sr server.SessionRequest
+	if req.ContentLength != 0 {
+		if err := json.NewDecoder(req.Body).Decode(&sr); err != nil {
+			r.writeError(w, http.StatusBadRequest, fmt.Errorf("bad session request"))
+			return
+		}
+	}
+	sid := sr.SessionID
+	if sid == "" {
+		sid = fmt.Sprintf("g-%d", r.nextSession.Add(1))
+	}
+	r.mu.Lock()
+	if _, exists := r.placements[sid]; exists {
+		r.mu.Unlock()
+		r.writeError(w, http.StatusConflict, fmt.Errorf("session %q already exists", sid))
+		return
+	}
+	total := len(r.nodes)
+	r.mu.Unlock()
+
+	p := &placement{id: sid}
+	placed := false
+	for attempt := 0; attempt <= total; attempt++ {
+		members := r.ring.Place(sid, 2, r.healthy)
+		if len(members) == 0 {
+			break
+		}
+		c := r.client(members[0])
+		if c == nil {
+			break
+		}
+		if err := c.NewSessionWithID(sid); err != nil {
+			if isNodeFailure(err) {
+				r.agent.MarkDead(members[0])
+				continue
+			}
+			r.passThrough(w, err)
+			return
+		}
+		p.primary = members[0]
+		if len(members) > 1 {
+			if rc := r.client(members[1]); rc != nil && rc.NewSessionWithID(sid) == nil {
+				p.replica = members[1]
+			}
+		}
+		placed = true
+		break
+	}
+	if !placed {
+		r.ringDown(w)
+		return
+	}
+
+	r.mu.Lock()
+	r.placements[sid] = p
+	r.mu.Unlock()
+	writeJSON(w, http.StatusOK, server.SessionResponse{SessionID: sid})
+}
+
+func (r *Router) handleCloseSession(w http.ResponseWriter, req *http.Request) {
+	sid := req.PathValue("id")
+	p, ok := r.placement(sid)
+	if !ok {
+		r.writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", sid))
+		return
+	}
+	p.mu.Lock()
+	for _, id := range []string{p.primary, p.replica} {
+		if id == "" {
+			continue
+		}
+		if c := r.client(id); c != nil {
+			_ = c.CloseSession(sid)
+		}
+	}
+	p.primary, p.replica = "", ""
+	p.mu.Unlock()
+	r.mu.Lock()
+	delete(r.placements, sid)
+	r.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"closed": sid})
+}
+
+// handleCreateBuffer applies a buffer create to the primary (with
+// failover) and mirrors it to the replica. Buffer fills are
+// deterministic (fill_seed) or literal bytes, so both copies are
+// bit-identical by construction.
+func (r *Router) handleCreateBuffer(w http.ResponseWriter, req *http.Request) {
+	sid := req.PathValue("id")
+	p, ok := r.placement(sid)
+	if !ok {
+		r.writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", sid))
+		return
+	}
+	var br server.BufferRequest
+	if err := json.NewDecoder(req.Body).Decode(&br); err != nil {
+		r.writeError(w, http.StatusBadRequest, fmt.Errorf("bad buffer request"))
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for attempt := 0; ; attempt++ {
+		if p.primary == "" || p.lost {
+			r.ringDown(w)
+			return
+		}
+		c := r.client(p.primary)
+		if c == nil {
+			r.ringDown(w)
+			return
+		}
+		err := c.CreateBuffer(sid, &br)
+		if err == nil {
+			break
+		}
+		// A failover retry can land on a replica that already applied
+		// the mirror write; the duplicate-name 400 is success then.
+		if attempt > 0 {
+			if apiErr, ok := err.(*server.APIError); ok && apiErr.Status == http.StatusBadRequest &&
+				strings.Contains(apiErr.Message, "already exists") {
+				break
+			}
+		}
+		if isNodeFailure(err) || isMissingSession(err) {
+			if !r.failoverLocked(p, p.primary) {
+				r.ringDown(w)
+				return
+			}
+			continue
+		}
+		r.passThrough(w, err)
+		return
+	}
+	if p.replica != "" {
+		if c := r.client(p.replica); c != nil {
+			if err := c.CreateBuffer(sid, &br); err != nil {
+				if isNodeFailure(err) {
+					r.agent.MarkDead(p.replica)
+				}
+				r.rebuildReplicaLocked(p)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"name": br.Name, "len": br.Len})
+}
+
+func (r *Router) handleReadBuffer(w http.ResponseWriter, req *http.Request) {
+	sid, name := req.PathValue("id"), req.PathValue("name")
+	p, ok := r.placement(sid)
+	if !ok {
+		r.writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", sid))
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		if p.primary == "" || p.lost {
+			r.ringDown(w)
+			return
+		}
+		c := r.client(p.primary)
+		if c == nil {
+			r.ringDown(w)
+			return
+		}
+		data, err := c.ReadBuffer(sid, name)
+		if err == nil {
+			writeJSON(w, http.StatusOK, data)
+			return
+		}
+		if isNodeFailure(err) || isMissingSession(err) {
+			if !r.failoverLocked(p, p.primary) {
+				r.ringDown(w)
+				return
+			}
+			continue
+		}
+		r.passThrough(w, err)
+		return
+	}
+}
+
+// handleLaunch is the hot path: stamp an idempotency key, forward to
+// the primary, fail over on node death and retry under the same key
+// (exactly-once by the per-session idem cache), then mirror onto the
+// replica. Session launches serialize on placement.mu so the replica
+// sees the identical order.
+func (r *Router) handleLaunch(w http.ResponseWriter, req *http.Request) {
+	var lr server.LaunchRequest
+	if err := json.NewDecoder(req.Body).Decode(&lr); err != nil {
+		r.writeError(w, http.StatusBadRequest, fmt.Errorf("bad launch request"))
+		return
+	}
+	p, ok := r.placement(lr.SessionID)
+	if !ok {
+		r.writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", lr.SessionID))
+		return
+	}
+	if lr.IdemKey == "" {
+		lr.IdemKey = "r-" + strconv.FormatInt(r.nextIdem.Add(1), 10)
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	pushedProgram := false
+	for {
+		if p.primary == "" || p.lost {
+			r.met.launchErrors.Add(1)
+			r.ringDown(w)
+			return
+		}
+		c := r.client(p.primary)
+		if c == nil {
+			r.met.launchErrors.Add(1)
+			r.ringDown(w)
+			return
+		}
+		resp, err := c.Launch(&lr)
+		if err == nil {
+			r.met.launches.Add(1)
+			r.applyReplicaLaunch(p, &lr, resp)
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+		if isMissingProgram(err) && !pushedProgram {
+			pushedProgram = true
+			if r.pushProgram(p.primary, lr.ProgramID) {
+				continue
+			}
+		}
+		if isNodeFailure(err) || isMissingSession(err) {
+			if !r.failoverLocked(p, p.primary) {
+				r.met.launchErrors.Add(1)
+				r.ringDown(w)
+				return
+			}
+			pushedProgram = false
+			continue
+		}
+		r.met.launchErrors.Add(1)
+		r.passThrough(w, err)
+		return
+	}
+}
+
+// ---------- repair loop ----------
+
+// janitor reacts to the gossip view: dead members are failed over,
+// alive-but-unready members are drained (sessions migrated away), and
+// members whose gossiped program-cache lost entries get them re-pushed
+// (anti-entropy against cache eviction).
+func (r *Router) janitor() {
+	view := r.agent.View()
+	r.mu.Lock()
+	ids := make([]string, 0, len(r.nodes))
+	for id := range r.nodes {
+		ids = append(ids, id)
+	}
+	r.mu.Unlock()
+	sort.Strings(ids)
+
+	for _, id := range ids {
+		v, ok := view[id]
+		if !ok {
+			continue
+		}
+		switch {
+		case v.Status == StatusDead:
+			r.mu.Lock()
+			handled := r.deadHandled[id]
+			r.deadHandled[id] = true
+			r.mu.Unlock()
+			if !handled {
+				r.met.nodeDeaths.Add(1)
+				r.failoverNode(id)
+			}
+		case v.Status == StatusAlive && !v.State.Ready:
+			r.mu.Lock()
+			handled := r.drainHandled[id]
+			r.drainHandled[id] = true
+			r.mu.Unlock()
+			if !handled {
+				r.met.drains.Add(1)
+				r.drainNode(id)
+			}
+		case v.Status == StatusAlive && v.State.Ready:
+			r.mu.Lock()
+			delete(r.deadHandled, id)
+			delete(r.drainHandled, id)
+			missing := make([]string, 0)
+			if v.State.Programs != nil || len(r.sources) > 0 {
+				have := make(map[string]bool, len(v.State.Programs))
+				for _, pid := range v.State.Programs {
+					have[pid] = true
+				}
+				for pid := range r.sources {
+					if !have[pid] {
+						missing = append(missing, pid)
+					}
+				}
+			}
+			r.mu.Unlock()
+			for _, pid := range missing {
+				r.pushProgram(id, pid)
+			}
+		}
+	}
+}
+
+// failoverNode moves every placement that touches a dead node:
+// primaries promote their replica, orphaned replicas are rebuilt.
+func (r *Router) failoverNode(dead string) {
+	for _, p := range r.snapshotPlacements() {
+		p.mu.Lock()
+		if p.primary == dead {
+			r.failoverLocked(p, dead)
+		} else if p.replica == dead {
+			p.replica = ""
+			r.rebuildReplicaLocked(p)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// drainNode migrates sessions off an alive-but-unready member via
+// export → import to the ring successor: zero-loss handoff while the
+// member still serves. Each migration holds placement.mu, so it is
+// atomic against in-flight launches of that session.
+func (r *Router) drainNode(id string) {
+	for _, p := range r.snapshotPlacements() {
+		p.mu.Lock()
+		if p.primary == id {
+			r.migrateLocked(p, id)
+		} else if p.replica == id {
+			p.replica = ""
+			r.rebuildReplicaLocked(p)
+		}
+		p.mu.Unlock()
+	}
+}
+
+// migrateLocked moves a primary off a still-serving node. Falls back
+// to replica promotion when the export path fails. Caller holds p.mu.
+func (r *Router) migrateLocked(p *placement, from string) {
+	var target string
+	for _, cand := range r.ring.Place(p.id, 3, r.healthy) {
+		if cand != from {
+			target = cand
+			break
+		}
+	}
+	fc := r.client(from)
+	tc := r.client(target)
+	if target == "" || fc == nil || tc == nil {
+		r.failoverLocked(p, from)
+		return
+	}
+	exp, err := fc.ExportSession(p.id)
+	if err != nil {
+		r.failoverLocked(p, from)
+		return
+	}
+	if err := tc.ImportSession(exp); err != nil {
+		r.failoverLocked(p, from)
+		return
+	}
+	oldReplica := p.replica
+	p.primary = target
+	if oldReplica == target || oldReplica == from || oldReplica == "" {
+		r.rebuildReplicaLocked(p)
+	}
+	_ = fc.CloseSession(p.id)
+	r.met.migrations.Add(1)
+}
+
+func (r *Router) snapshotPlacements() []*placement {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*placement, 0, len(r.placements))
+	for _, p := range r.placements {
+		out = append(out, p)
+	}
+	return out
+}
+
+// ---------- observability ----------
+
+// healthyCount tallies routable members.
+func (r *Router) healthyCount() (healthy, total int) {
+	r.mu.Lock()
+	ids := make([]string, 0, len(r.nodes))
+	for id := range r.nodes {
+		ids = append(ids, id)
+	}
+	r.mu.Unlock()
+	for _, id := range ids {
+		if r.healthy(id) {
+			healthy++
+		}
+	}
+	return healthy, len(ids)
+}
+
+// RouterHealth is the router's /healthz body (key-compatible with the
+// node HealthResponse where it overlaps).
+type RouterHealth struct {
+	Status       string  `json:"status"`
+	Ready        bool    `json:"ready"`
+	UptimeSec    float64 `json:"uptime_sec"`
+	Nodes        int     `json:"nodes"`
+	HealthyNodes int     `json:"healthy_nodes"`
+	Sessions     int     `json:"sessions"`
+	Launches     int64   `json:"launches_total"`
+}
+
+func (r *Router) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	healthy, total := r.healthyCount()
+	r.mu.Lock()
+	sessions := len(r.placements)
+	r.mu.Unlock()
+	status := "ok"
+	if healthy == 0 {
+		status = "ring-down"
+	} else if healthy < total {
+		status = "degraded"
+	}
+	writeJSON(w, http.StatusOK, RouterHealth{
+		Status: status, Ready: healthy > 0,
+		UptimeSec: time.Since(r.start).Seconds(),
+		Nodes:     total, HealthyNodes: healthy,
+		Sessions: sessions, Launches: r.met.launches.Load(),
+	})
+}
+
+func (r *Router) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	healthy, _ := r.healthyCount()
+	if healthy == 0 {
+		r.writeError(w, http.StatusServiceUnavailable, faults.ErrRingDown)
+		return
+	}
+	writeJSON(w, http.StatusOK, server.ReadyResponse{Ready: true, Status: "ready"})
+}
+
+// handleRing dumps placement + membership state for debugging and the
+// load generator's failover assertions.
+func (r *Router) handleRing(w http.ResponseWriter, req *http.Request) {
+	type placementInfo struct {
+		Primary string `json:"primary"`
+		Replica string `json:"replica,omitempty"`
+		Lost    bool   `json:"lost,omitempty"`
+	}
+	view := r.agent.View()
+	delete(view, "router")
+	placements := map[string]placementInfo{}
+	for _, p := range r.snapshotPlacements() {
+		p.mu.Lock()
+		placements[p.id] = placementInfo{Primary: p.primary, Replica: p.replica, Lost: p.lost}
+		p.mu.Unlock()
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"members":    r.ring.Members(),
+		"view":       view,
+		"placements": placements,
+	})
+}
+
+// handleDrain triggers migration off a member (the operator's
+// pre-shutdown step; the member should already be unready).
+func (r *Router) handleDrain(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	if r.client(id) == nil {
+		r.writeError(w, http.StatusNotFound, fmt.Errorf("no node %q", id))
+		return
+	}
+	r.met.drains.Add(1)
+	r.drainNode(id)
+	writeJSON(w, http.StatusOK, map[string]string{"drained": id})
+}
+
+func (r *Router) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	healthy, total := r.healthyCount()
+	r.mu.Lock()
+	sessions := len(r.placements)
+	r.mu.Unlock()
+
+	gauge("dopia_router_nodes", "Registered ring members.", int64(total))
+	gauge("dopia_router_nodes_healthy", "Members currently alive and ready.", int64(healthy))
+	gauge("dopia_router_sessions", "Placed logical sessions.", int64(sessions))
+	counter("dopia_router_launches_total", "Launches proxied successfully.", r.met.launches.Load())
+	counter("dopia_router_launch_errors_total", "Launches that failed through the router.", r.met.launchErrors.Load())
+	counter("dopia_router_failovers_total", "Primary promotions after node failure.", r.met.failovers.Load())
+	counter("dopia_router_migrations_total", "Zero-loss session migrations (drain path).", r.met.migrations.Load())
+	counter("dopia_router_replica_rebuilds_total", "Replica re-establishments via export/import.", r.met.replicaRebuilds.Load())
+	counter("dopia_router_replica_divergence_total", "Replica responses that differed bit-wise from the primary.", r.met.replicaDivergence.Load())
+	counter("dopia_router_program_pushes_total", "Program registrations pushed to members.", r.met.programPushes.Load())
+	counter("dopia_router_program_repushes_total", "Programs re-pushed after loss or eviction.", r.met.programRepushes.Load())
+	counter("dopia_router_ring_down_total", "Requests refused because no member was healthy.", r.met.ringDown.Load())
+	counter("dopia_router_node_deaths_total", "Members declared dead.", r.met.nodeDeaths.Load())
+	counter("dopia_router_drains_total", "Member drains executed.", r.met.drains.Load())
+	counter("dopia_router_sessions_lost_total", "Sessions lost with no live replica (zero-loss violations).", r.met.sessionsLost.Load())
+
+	fmt.Fprintf(&b, "# HELP dopia_router_node_healthy Per-member health (1 alive+ready, 0 otherwise).\n# TYPE dopia_router_node_healthy gauge\n")
+	r.mu.Lock()
+	ids := make([]string, 0, len(r.nodes))
+	for id := range r.nodes {
+		ids = append(ids, id)
+	}
+	r.mu.Unlock()
+	sort.Strings(ids)
+	for _, id := range ids {
+		hv := 0
+		if r.healthy(id) {
+			hv = 1
+		}
+		fmt.Fprintf(&b, "dopia_router_node_healthy{node=%q} %d\n", id, hv)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = w.Write([]byte(b.String()))
+}

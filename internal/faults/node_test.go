@@ -1,0 +1,45 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNodeFaultClasses(t *testing.T) {
+	classes := NodeFaultClasses()
+	if len(classes) != 4 {
+		t.Fatalf("NodeFaultClasses() = %v, want 4 classes", classes)
+	}
+	seen := map[NodeFaultClass]bool{}
+	for _, c := range classes {
+		if seen[c] {
+			t.Errorf("duplicate class %q", c)
+		}
+		seen[c] = true
+		if c == "" {
+			t.Error("empty class name")
+		}
+	}
+	for _, want := range []NodeFaultClass{NodeKill, NodePartition, NodeSlow, NodeCacheEvict} {
+		if !seen[want] {
+			t.Errorf("class %q missing from NodeFaultClasses()", want)
+		}
+	}
+}
+
+func TestClusterSentinels(t *testing.T) {
+	wrapped := Wrap(StageCluster, fmt.Errorf("launch on n2: %w", ErrNodeDown))
+	if !IsNodeDown(wrapped) {
+		t.Error("IsNodeDown lost through Wrap")
+	}
+	if IsRingDown(wrapped) {
+		t.Error("IsRingDown matched a node-down error")
+	}
+	if StageOf(wrapped) != StageCluster {
+		t.Errorf("StageOf = %q, want %q", StageOf(wrapped), StageCluster)
+	}
+	ring := Wrap(StageCluster, ErrRingDown)
+	if !IsRingDown(ring) || IsNodeDown(ring) {
+		t.Error("ring-down classification wrong")
+	}
+}

@@ -38,9 +38,38 @@ type ProgramResponse struct {
 	Cached bool `json:"cached"`
 }
 
+// SessionRequest optionally names the session to create. A plain
+// client leaves it empty and lets the node assign s-<n>; the cluster
+// router names sessions explicitly so primary and replica nodes agree
+// on one global ID.
+type SessionRequest struct {
+	SessionID string `json:"session_id,omitempty"`
+}
+
 // SessionResponse identifies a newly created tenant session.
 type SessionResponse struct {
 	SessionID string `json:"session_id"`
+}
+
+// IdemEntry is one completed launch in a session's idempotency cache:
+// the key it was applied under and the response it produced. Exported
+// with the session so a migrated session still deduplicates retries of
+// launches it already applied.
+type IdemEntry struct {
+	Key  string          `json:"key"`
+	Resp *LaunchResponse `json:"resp"`
+}
+
+// SessionExport is a full session snapshot — the unit of replication
+// and migration. Everything a successor node needs to continue serving
+// the session bit-identically: named buffer contents, the tenant's
+// launch count, and the idempotency entries that make retried launches
+// apply exactly once.
+type SessionExport struct {
+	SessionID string                `json:"session_id"`
+	Launches  int64                 `json:"launches"`
+	Buffers   map[string]BufferData `json:"buffers"`
+	Idem      []IdemEntry           `json:"idem,omitempty"`
 }
 
 // BufferRequest creates a named buffer inside a session. Exactly one
@@ -97,6 +126,11 @@ type LaunchRequest struct {
 	// DeadlineMS bounds queue wait + execution (0 = server default).
 	// The deadline clock starts at admission.
 	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// IdemKey makes the launch idempotent per session: a retry carrying
+	// the key of an already-applied launch returns the stored response
+	// instead of executing again. The cluster router stamps every
+	// launch so failover retries apply exactly once.
+	IdemKey string `json:"idem_key,omitempty"`
 }
 
 // DecisionInfo reports Dopia's DoP selection for a launch.
@@ -143,6 +177,10 @@ type LaunchResponse struct {
 	// time of this request.
 	QueueMS float64 `json:"queue_ms"`
 	ExecMS  float64 `json:"exec_ms"`
+	// Replayed marks a response served from the idempotency cache: the
+	// launch had already been applied under this idem_key and was not
+	// re-executed.
+	Replayed bool `json:"replayed,omitempty"`
 }
 
 // ErrorResponse carries a request failure. RetryAfterMS is set on 429
@@ -153,9 +191,17 @@ type ErrorResponse struct {
 	RetryAfterMS int64  `json:"retry_after_ms,omitempty"`
 }
 
-// HealthResponse is the /healthz body.
+// ReadyResponse is the /readyz body.
+type ReadyResponse struct {
+	Ready  bool   `json:"ready"`
+	Status string `json:"status"` // "ready", "not-ready", or "draining"
+}
+
+// HealthResponse is the /healthz body. /healthz is liveness only — it
+// answers 200 even while draining; readiness lives at /readyz.
 type HealthResponse struct {
-	Status        string  `json:"status"` // "ok" or "draining"
+	Status        string  `json:"status"` // "ok", "draining", or "not-ready"
+	Ready         bool    `json:"ready"`
 	UptimeSec     float64 `json:"uptime_sec"`
 	QueueDepth    int     `json:"queue_depth"`
 	QueueCapacity int     `json:"queue_capacity"`

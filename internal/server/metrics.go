@@ -79,6 +79,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		draining = 1
 	}
 	m.gaugeInt("dopia_draining", "1 while the daemon refuses new work and drains.", draining)
+	ready := int64(0)
+	if s.Ready() {
+		ready = 1
+	}
+	m.gaugeInt("dopia_ready", "1 while /readyz reports ready (joined and not draining).", ready)
 
 	s.mu.Lock()
 	nSessions := int64(len(s.sessions))
@@ -89,6 +94,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.counter("dopia_sessions_closed_total", "Sessions explicitly closed.", s.met.sessionsClosed.Load())
 	m.gaugeInt("dopia_programs_registered", "Distinct programs in the registry.", nPrograms)
 	m.counter("dopia_program_builds_total", "Program builds performed by this daemon.", s.met.programBuilds.Load())
+	m.counter("dopia_program_evictions_total", "Program registry entries evicted (chaos or admin).", s.met.programEvictions.Load())
+
+	// ---- cluster tier ----
+	m.counter("dopia_sessions_exported_total", "Session snapshots served for replication/migration.", s.met.sessionsExported.Load())
+	m.counter("dopia_sessions_imported_total", "Session snapshots imported from a peer.", s.met.sessionsImported.Load())
+	m.counter("dopia_idem_replays_total", "Launches answered from the idempotency cache without re-execution.", s.met.idemReplays.Load())
 
 	// ---- request outcomes ----
 	m.counter("dopia_launches_total", "Launches completed successfully.", s.met.launchesOK.Load())

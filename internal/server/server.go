@@ -62,6 +62,13 @@ type Config struct {
 	MaxSourceBytes int64
 	// WatchdogTimeout is passed to the framework (0 = its default).
 	WatchdogTimeout time.Duration
+	// StartUnready makes the daemon report not-ready on /readyz until
+	// SetReady(true) — cluster members stay out of routing until they
+	// have joined the gossip mesh. Standalone daemons are born ready.
+	StartUnready bool
+	// IdemCacheSize bounds the per-session idempotency cache (default
+	// 128 completed launches).
+	IdemCacheSize int
 }
 
 func (c *Config) fillDefaults() error {
@@ -89,6 +96,9 @@ func (c *Config) fillDefaults() error {
 	if c.MaxSourceBytes <= 0 {
 		c.MaxSourceBytes = 1 << 20
 	}
+	if c.IdemCacheSize <= 0 {
+		c.IdemCacheSize = 128
+	}
 	return nil
 }
 
@@ -110,6 +120,10 @@ type Server struct {
 	// pending.Wait can never race an in-flight pending.Add.
 	admitMu  sync.Mutex
 	draining atomic.Bool
+	// ready gates /readyz: a draining or not-yet-joined node reports
+	// unready so routers pull it from the ring before it refuses work.
+	// Liveness (/healthz) is independent and stays 200 throughout.
+	ready    atomic.Bool
 	inflight atomic.Int64
 
 	mu          sync.Mutex // guards sessions and programs
@@ -156,6 +170,13 @@ type metrics struct {
 	programBuilds   atomic.Int64
 	simTimeNanos    atomic.Int64 // accumulated simulated seconds, in ns
 
+	// Cluster-tier counters: replication/migration traffic and
+	// idempotent launch replays served from the per-session cache.
+	sessionsExported atomic.Int64
+	sessionsImported atomic.Int64
+	idemReplays      atomic.Int64
+	programEvictions atomic.Int64
+
 	queueWait *stats.Histogram // admission-queue wait, seconds
 	exec      *stats.Histogram // execution (session-lock to response), seconds
 	total     *stats.Histogram // admission to completion, seconds
@@ -184,14 +205,18 @@ func New(cfg Config) (*Server, error) {
 			total:     stats.NewLatencyHistogram(),
 		},
 	}
+	s.ready.Store(!cfg.StartUnready)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/programs", s.handleProgram)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleCloseSession)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/buffers", s.handleCreateBuffer)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/buffers/{name}", s.handleReadBuffer)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/export", s.handleExportSession)
+	s.mux.HandleFunc("POST /v1/sessions/import", s.handleImportSession)
 	s.mux.HandleFunc("POST /v1/launch", s.handleLaunch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 
 	for i := 0; i < cfg.Workers; i++ {
@@ -207,6 +232,52 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Framework exposes the shared framework (stats, caches) for
 // observability and tests.
 func (s *Server) Framework() *core.Framework { return s.fw }
+
+// SetReady flips the readiness gate. Cluster members call
+// SetReady(true) once joined to the gossip mesh and SetReady(false) to
+// begin a drain; /readyz reflects it immediately.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// Ready reports whether the daemon is accepting routed work: ready and
+// not draining.
+func (s *Server) Ready() bool { return s.ready.Load() && !s.draining.Load() }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// ProgramIDs lists the content-addressed IDs in the program registry,
+// sorted. Gossiped as the node's program-cache contents so routers can
+// re-push anything missing.
+func (s *Server) ProgramIDs() []string {
+	s.mu.Lock()
+	ids := make([]string, 0, len(s.programs))
+	for id := range s.programs {
+		ids = append(ids, id)
+	}
+	s.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// SessionCount reports the number of live sessions (for gossip).
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// EvictPrograms drops every entry from the program registry and
+// returns how many were evicted. Launches referencing an evicted
+// p-<sha256> ID fail with 404 until the source is re-registered — the
+// cache-eviction fault class of the cluster chaos controller.
+func (s *Server) EvictPrograms() int {
+	s.mu.Lock()
+	n := len(s.programs)
+	s.programs = map[string]*program{}
+	s.mu.Unlock()
+	s.met.programEvictions.Add(int64(n))
+	return n
+}
 
 // Shutdown drains the daemon: new launches are refused with 503,
 // everything already admitted runs to completion (bounded by each
@@ -328,6 +399,17 @@ func (s *Server) execLaunch(t *task) (*LaunchResponse, error) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 
+	// Idempotency: a launch replayed with the key of an already-applied
+	// launch (router failover retry, replica re-apply) returns the
+	// stored response without re-executing, so one logical launch
+	// mutates session state exactly once per node.
+	if req.IdemKey != "" {
+		if stored, ok := sess.idem.get(req.IdemKey); ok {
+			s.met.idemReplays.Add(1)
+			return stored, nil
+		}
+	}
+
 	kern, err := t.prog.prog.CreateKernel(req.Kernel)
 	if err != nil {
 		return nil, err
@@ -420,6 +502,9 @@ func (s *Server) execLaunch(t *task) (*LaunchResponse, error) {
 			resp.Buffers[name] = bufferData(b)
 		}
 	}
+	if req.IdemKey != "" {
+		sess.idem.put(req.IdemKey, resp)
+	}
 	return resp, nil
 }
 
@@ -448,8 +533,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	resp := ErrorResponse{Error: err.Error(), Stage: stageOf(err)}
-	if status == http.StatusTooManyRequests {
-		// Retry after roughly one in-flight batch has cleared.
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		// Retry after roughly one in-flight batch has cleared (429), or
+		// long enough for a router to notice the drain and move the
+		// session (503).
 		retry := time.Second
 		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds())))
 		resp.RetryAfterMS = retry.Milliseconds()
@@ -529,7 +616,23 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("draining"))
 		return
 	}
-	id := fmt.Sprintf("s-%d", s.nextSession.Add(1))
+	// The body is optional; a router places sessions under one global ID
+	// on primary and replica nodes by naming it explicitly.
+	var req SessionRequest
+	if r.ContentLength != 0 {
+		if !decodeBody(w, r, 4096, &req) {
+			s.met.badRequests.Add(1)
+			return
+		}
+	}
+	id := req.SessionID
+	if id == "" {
+		id = fmt.Sprintf("s-%d", s.nextSession.Add(1))
+	} else if len(id) > maxBufferName {
+		s.met.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("session id longer than %d characters", maxBufferName))
+		return
+	}
 	sess := s.newSession(id)
 
 	s.mu.Lock()
@@ -540,10 +643,80 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("session limit of %d reached", s.cfg.MaxSessions))
 		return
 	}
+	if _, exists := s.sessions[id]; exists {
+		s.mu.Unlock()
+		s.met.badRequests.Add(1)
+		s.writeError(w, http.StatusConflict, fmt.Errorf("session %q already exists", id))
+		return
+	}
 	s.sessions[id] = sess
 	s.mu.Unlock()
 	s.met.sessionsCreated.Add(1)
 	writeJSON(w, http.StatusOK, SessionResponse{SessionID: id})
+}
+
+// handleExportSession snapshots a session — buffers, launch count,
+// idempotency entries — for replication or migration. Export stays
+// available while draining: drain migration is exactly when it runs.
+func (s *Server) handleExportSession(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(r.PathValue("id"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", r.PathValue("id")))
+		return
+	}
+	sess.mu.Lock()
+	exp := sess.export()
+	sess.mu.Unlock()
+	s.met.sessionsExported.Add(1)
+	writeJSON(w, http.StatusOK, exp)
+}
+
+// handleImportSession materializes a session from an export, replacing
+// any existing session with the same ID (migration overwrites stale
+// replicas). Refused while draining: a draining node must shed
+// sessions, not gain them.
+func (s *Server) handleImportSession(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("draining"))
+		return
+	}
+	var exp SessionExport
+	if !decodeBody(w, r, s.cfg.MaxBufferBytes*4+(1<<20), &exp) {
+		s.met.badRequests.Add(1)
+		return
+	}
+	if exp.SessionID == "" || len(exp.SessionID) > maxBufferName {
+		s.met.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("import: session id required"))
+		return
+	}
+	sess := s.newSession(exp.SessionID)
+	if err := sess.restore(&exp, s.cfg.MaxBufferBytes); err != nil {
+		s.met.badRequests.Add(1)
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	s.mu.Lock()
+	_, replaced := s.sessions[exp.SessionID]
+	if !replaced && len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.met.rejected.Add(1)
+		s.writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("session limit of %d reached", s.cfg.MaxSessions))
+		return
+	}
+	s.sessions[exp.SessionID] = sess
+	s.mu.Unlock()
+	s.met.sessionsImported.Add(1)
+	if !replaced {
+		s.met.sessionsCreated.Add(1)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"session_id": exp.SessionID,
+		"buffers":    len(exp.Buffers),
+		"replaced":   replaced,
+	})
 }
 
 func (s *Server) session(id string) (*session, bool) {
@@ -665,18 +838,24 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, out.status, out.resp)
 }
 
+// handleHealthz is pure liveness: it answers 200 whenever the process
+// can serve HTTP at all, even while draining or unready — routing
+// decisions belong to /readyz. The body still names the state so
+// operators see "draining" at a glance.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
-	code := http.StatusOK
-	if s.draining.Load() {
+	switch {
+	case s.draining.Load():
 		status = "draining"
-		code = http.StatusServiceUnavailable
+	case !s.ready.Load():
+		status = "not-ready"
 	}
 	s.mu.Lock()
 	nSessions := len(s.sessions)
 	s.mu.Unlock()
-	writeJSON(w, code, HealthResponse{
+	writeJSON(w, http.StatusOK, HealthResponse{
 		Status:        status,
+		Ready:         s.Ready(),
 		UptimeSec:     time.Since(s.start).Seconds(),
 		QueueDepth:    len(s.queue),
 		QueueCapacity: cap(s.queue),
@@ -684,4 +863,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Sessions:      nSessions,
 		Launches:      s.met.launchesOK.Load(),
 	})
+}
+
+// handleReadyz is the routing gate: 503 while draining or not yet
+// joined, 200 once the node should receive work. Load balancers and
+// the cluster router key on this, pulling a node from the ring before
+// it starts refusing launches.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ready := s.Ready()
+	status := "ready"
+	code := http.StatusOK
+	if !ready {
+		code = http.StatusServiceUnavailable
+		if s.draining.Load() {
+			status = "draining"
+		} else {
+			status = "not-ready"
+		}
+	}
+	writeJSON(w, code, ReadyResponse{Ready: ready, Status: status})
 }

@@ -454,9 +454,18 @@ func TestGracefulDrain(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// Liveness stays up while draining; readiness drops.
 	h, err := c.Healthz()
-	if err == nil {
-		t.Fatalf("draining healthz succeeded: %+v", h)
+	if err != nil {
+		t.Fatalf("draining healthz failed: %v", err)
+	}
+	if h.Status != "draining" || h.Ready {
+		t.Errorf("draining healthz = %+v, want status=draining ready=false", h)
+	}
+	if _, err := c.Readyz(); err == nil {
+		t.Fatal("draining readyz succeeded, want 503")
+	} else if apiErr, ok := err.(*APIError); !ok || apiErr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("draining readyz error = %v, want 503", err)
 	}
 	a, n := 1.0, int64(64)
 	_, err = c.Launch(&LaunchRequest{

@@ -35,6 +35,11 @@ type session struct {
 	queue *ocl.CommandQueue
 	bufs  map[string]*ocl.Buffer
 
+	// idem remembers recently applied launches by idempotency key so a
+	// failover retry returns the stored response instead of executing
+	// twice. Guarded by mu.
+	idem *idemCache
+
 	launches atomic.Int64
 }
 
@@ -49,7 +54,95 @@ func (s *Server) newSession(id string) *session {
 		ctx:     ctx,
 		queue:   ctx.CreateCommandQueue(s.platform.Device(ocl.DeviceCPU)),
 		bufs:    map[string]*ocl.Buffer{},
+		idem:    newIdemCache(s.cfg.IdemCacheSize),
 	}
+}
+
+// idemCache is a bounded FIFO of completed launches keyed by
+// idempotency key. Entries are stored and returned as copies so a
+// caller mutating the wall-clock fields of a response (QueueMS/ExecMS)
+// never races a later replay.
+type idemCache struct {
+	max   int
+	order []string
+	m     map[string]*LaunchResponse
+}
+
+func newIdemCache(max int) *idemCache {
+	return &idemCache{max: max, m: map[string]*LaunchResponse{}}
+}
+
+// copyResponse clones the mutable shell of a response. The payload
+// pointers' contents (decision, result, buffer base64 strings) are
+// written once and then read-only, so sharing them is safe; only the
+// top-level struct fields get stamped per request.
+func copyResponse(r *LaunchResponse) *LaunchResponse {
+	cp := *r
+	return &cp
+}
+
+func (c *idemCache) get(key string) (*LaunchResponse, bool) {
+	r, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	cp := copyResponse(r)
+	cp.Replayed = true
+	return cp, true
+}
+
+func (c *idemCache) put(key string, resp *LaunchResponse) {
+	if _, exists := c.m[key]; exists {
+		return
+	}
+	for len(c.order) >= c.max {
+		delete(c.m, c.order[0])
+		c.order = c.order[1:]
+	}
+	c.m[key] = copyResponse(resp)
+	c.order = append(c.order, key)
+}
+
+// entries snapshots the cache in insertion order for export.
+func (c *idemCache) entries() []IdemEntry {
+	out := make([]IdemEntry, 0, len(c.order))
+	for _, k := range c.order {
+		out = append(out, IdemEntry{Key: k, Resp: copyResponse(c.m[k])})
+	}
+	return out
+}
+
+// export snapshots the session for replication/migration. Callers hold
+// sess.mu.
+func (sess *session) export() *SessionExport {
+	exp := &SessionExport{
+		SessionID: sess.id,
+		Launches:  sess.launches.Load(),
+		Buffers:   make(map[string]BufferData, len(sess.bufs)),
+		Idem:      sess.idem.entries(),
+	}
+	for name, b := range sess.bufs {
+		exp.Buffers[name] = bufferData(b)
+	}
+	return exp
+}
+
+// restore fills a fresh session from an export. The session is not yet
+// published, so no lock is needed.
+func (sess *session) restore(exp *SessionExport, maxBytes int64) error {
+	for name, data := range exp.Buffers {
+		req := &BufferRequest{Name: name, Kind: data.Kind, F32B64: data.F32B64, I32B64: data.I32B64}
+		if _, err := sess.createBuffer(req, maxBytes); err != nil {
+			return fmt.Errorf("import %s: %w", exp.SessionID, err)
+		}
+	}
+	for _, e := range exp.Idem {
+		if e.Key != "" && e.Resp != nil {
+			sess.idem.put(e.Key, e.Resp)
+		}
+	}
+	sess.launches.Store(exp.Launches)
+	return nil
 }
 
 // maxBufferName bounds buffer name length (they appear in URLs).
