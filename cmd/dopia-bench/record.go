@@ -8,6 +8,7 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"net"
 	"os"
 	"runtime"
 	"testing"
@@ -19,6 +20,7 @@ import (
 	"dopia/internal/interp"
 	"dopia/internal/ml"
 	"dopia/internal/sched"
+	"dopia/internal/server"
 	"dopia/internal/sim"
 	"dopia/internal/transform"
 	"dopia/internal/workloads"
@@ -228,6 +230,84 @@ func frontEndBench() (func(b *testing.B), string, error) {
 	}, "none", nil
 }
 
+// servingBinaryBench measures the serving fast path end to end: one
+// steady-state launch over the binary wire protocol against an
+// in-process daemon on a loopback TCP listener. After warmup the
+// launch's key hits the completed-launch memo, so the measurement is
+// pure serving overhead — framing, admission, memo lookup,
+// copy-on-read-back — and its allocs/op is the alloc-regression gate
+// for the pooled-arena discipline.
+func servingBinaryBench() (func(b *testing.B), string, error) {
+	srv, err := server.New(server.Config{Machine: sim.Kaveri()})
+	if err != nil {
+		return nil, "", err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, "", err
+	}
+	ms := server.NewMixedServer(srv)
+	go func() { _ = ms.Serve(ln) }()
+	bc, err := server.DialBin(ln.Addr().String(), 5*time.Second)
+	if err != nil {
+		return nil, "", err
+	}
+	progID, _, _, err := bc.Compile(gesummvSrc)
+	if err != nil {
+		return nil, "", err
+	}
+	sid, err := bc.NewSession("")
+	if err != nil {
+		return nil, "", err
+	}
+	n := 256
+	fill := func(name string, elems int, seed int) error {
+		xs := make([]float32, elems)
+		for i := range xs {
+			xs[i] = float32((i+seed)%11) * 0.125
+		}
+		raw := make([]byte, 4*elems)
+		server.F32ToLE(raw, xs)
+		return bc.CreateBufferRaw(sid, name, 'f', raw)
+	}
+	for _, bspec := range []struct {
+		name  string
+		elems int
+	}{{"A", n * n}, {"B", n * n}, {"x", n}} {
+		if err := fill(bspec.name, bspec.elems, len(bspec.name)); err != nil {
+			return nil, "", err
+		}
+	}
+	if err := bc.CreateBufferZero(sid, "y", 'f', n); err != nil {
+		return nil, "", err
+	}
+	alpha, beta, nn := 1.0, 1.0, int64(n)
+	req := &server.BinLaunch{
+		SessionID: sid, ProgramID: progID, Kernel: "gesummv",
+		Args: []server.LaunchArg{
+			{Buf: "A"}, {Buf: "B"}, {Buf: "x"}, {Buf: "y"},
+			{Float: &alpha}, {Float: &beta}, {Int: &nn},
+		},
+		Global: []int{n}, Local: []int{64},
+		Read:   []string{"y"},
+	}
+	// Two warmup launches: the first executes over y=0, the second over
+	// the overwritten y; from the third on, the content key is stable
+	// and every launch is a memo replay.
+	for i := 0; i < 3; i++ {
+		if _, err := bc.Launch(req); err != nil {
+			return nil, "", err
+		}
+	}
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bc.Launch(req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}, "none", nil
+}
+
 // writeBenchReport runs the tier-1 component benchmarks and writes the
 // JSON report to path.
 func writeBenchReport(path string) error {
@@ -241,6 +321,7 @@ func writeBenchReport(path string) error {
 		{"MalleableTransform", transformBench},
 		{"ModelInference44Configs", inferenceBench},
 		{"FrontEndCompile", frontEndBench},
+		{"ServingBinaryLaunch", servingBinaryBench},
 	}
 	rep := benchReport{
 		Date:        time.Now().UTC().Format("2006-01-02"),

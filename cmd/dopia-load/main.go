@@ -4,10 +4,16 @@
 // workload (Polybench / SpMV / PageRank), and launches in a closed loop
 // for -duration. Every response is verified BIT-IDENTICAL against a
 // direct in-process sequential execution of the same kernel on the same
-// inputs: the client replays each launch through the interpreter
-// locally and compares the returned base64 buffer bytes, so any
-// cross-tenant leak, cache corruption, or nondeterministic sharding in
-// the serving path fails the run.
+// inputs: a shared per-workload oracle replays the launch sequence
+// through the interpreter once, memoizing each launch's output bytes,
+// and every tenant compares its returned buffer bytes against the memo
+// — so any cross-tenant leak, cache corruption, or nondeterministic
+// sharding in the serving path fails the run.
+//
+// -binary switches the wire from HTTP/JSON to the length-prefixed
+// binary protocol (one connection per worker, raw little-endian buffer
+// payloads, no base64); results are verified the same way, so the run
+// doubles as a cross-protocol conformance check.
 //
 // With -addr "" (the default) the generator embeds the server in
 // process on a loopback listener — the zero-setup mode used to produce
@@ -28,7 +34,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -63,6 +71,7 @@ func main() {
 		out         = flag.String("out", "", "write the JSON report here (e.g. BENCH_4.json)")
 		clusterN    = flag.Int("cluster", 0, "boot an in-process N-node cluster and load it through the router")
 		chaosSpec   = flag.String("chaos", "", "fault schedule for -cluster members, e.g. kill:n1@3s (see dopia-router)")
+		binaryMode  = flag.Bool("binary", false, "drive the binary wire protocol (one connection per worker) instead of HTTP/JSON")
 	)
 	flag.Parse()
 
@@ -72,9 +81,13 @@ func main() {
 	if *clusterN > 0 && *addr != "" {
 		fail("-cluster and -addr are mutually exclusive")
 	}
+	if *binaryMode && *clusterN > 0 {
+		fail("-binary loads a daemon directly; the router speaks HTTP/JSON only")
+	}
 
 	base := *addr
 	var embedded *server.Server
+	var mixed *server.MixedServer
 	var ring *cluster.Local
 	if *clusterN > 0 {
 		m, err := machineByName(*machineName)
@@ -93,7 +106,7 @@ func main() {
 		base = ring.RouterURL
 	} else if base == "" {
 		var err error
-		base, embedded, err = embedServer(*machineName)
+		base, embedded, mixed, err = embedServer(*machineName)
 		if err != nil {
 			fail("embedded server: %v", err)
 		}
@@ -101,6 +114,9 @@ func main() {
 	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
 		base = "http://" + base
 	}
+	// The binary protocol shares the HTTP listener; dial the bare
+	// host:port.
+	binAddr := strings.TrimPrefix(base, "http://")
 
 	mixWorkloads, err := pickMix(*mix, *size, *wgSize)
 	if err != nil {
@@ -131,14 +147,23 @@ func main() {
 	}
 
 	// Register every program in the mix up front (dedup makes this a
-	// no-op for workloads sharing one source).
+	// no-op for workloads sharing one source), and build one shared
+	// reference oracle per workload.
 	progIDs := make(map[string]string, len(mixWorkloads))
+	oracles := make(map[string]*refOracle, len(mixWorkloads))
 	for _, w := range mixWorkloads {
 		resp, err := client.Compile(w.Source)
 		if err != nil {
 			fail("compile %s: %v", w.Name, err)
 		}
 		progIDs[w.Name] = resp.ProgramID
+		if _, ok := oracles[w.Name]; !ok {
+			o, err := newRefOracle(w)
+			if err != nil {
+				fail("reference oracle %s: %v", w.Name, err)
+			}
+			oracles[w.Name] = o
+		}
 	}
 
 	var (
@@ -146,6 +171,7 @@ func main() {
 		mismatches atomic.Int64
 		reqErrors  atomic.Int64
 		retries    atomic.Int64
+		coalesced  atomic.Int64
 		rungs      sync.Map // rung string -> *atomic.Int64
 		latency    = stats.NewLatencyHistogram()
 	)
@@ -154,8 +180,12 @@ func main() {
 		v.(*atomic.Int64).Add(1)
 	}
 
-	fmt.Printf("dopia-load: %d workers, %v, mix=%s, target %s\n",
-		*concurrency, *duration, *mix, base)
+	protocol := "json"
+	if *binaryMode {
+		protocol = "binary"
+	}
+	fmt.Printf("dopia-load: %d workers, %v, mix=%s, protocol=%s, target %s\n",
+		*concurrency, *duration, *mix, protocol, base)
 	stop := time.Now().Add(*duration)
 	var wg sync.WaitGroup
 	for i := 0; i < *concurrency; i++ {
@@ -163,13 +193,26 @@ func main() {
 		go func(worker int) {
 			defer wg.Done()
 			w := mixWorkloads[worker%len(mixWorkloads)]
-			tc, err := newTenant(client, w, progIDs[w.Name], *deadlineMS)
+			var bin *server.BinClient
+			if *binaryMode {
+				var err error
+				bin, err = server.DialBin(binAddr, 10*time.Minute)
+				if err != nil {
+					reqErrors.Add(1)
+					fmt.Fprintf(os.Stderr, "worker %d (%s): dial: %v\n", worker, w.Name, err)
+					return
+				}
+			}
+			tc, err := newTenant(client, bin, w, progIDs[w.Name], oracles[w.Name], *deadlineMS)
 			if err == nil && ring != nil {
 				// Stamp idempotency keys so a launch the router retries
 				// across a failover applies exactly once end-to-end.
 				tc.idemPrefix = "w" + strconv.Itoa(worker)
 			}
 			if err != nil {
+				if bin != nil {
+					_ = bin.Close()
+				}
 				reqErrors.Add(1)
 				fmt.Fprintf(os.Stderr, "worker %d (%s): setup: %v\n", worker, w.Name, err)
 				return
@@ -177,11 +220,17 @@ func main() {
 			defer tc.close()
 			for time.Now().Before(stop) {
 				t0 := time.Now()
-				resp, err := tc.launchOnce()
+				res, mismatch, err := tc.launchOnce()
 				if err != nil {
+					var retryMS int64 = -1
 					if apiErr, ok := err.(*server.APIError); ok && apiErr.IsRetryable() {
+						retryMS = apiErr.RetryAfterMS
+					} else if binErr, ok := err.(*server.BinError); ok && binErr.IsRetryable() {
+						retryMS = binErr.RetryAfterMS
+					}
+					if retryMS >= 0 {
 						retries.Add(1)
-						time.Sleep(time.Duration(apiErr.RetryAfterMS) * time.Millisecond)
+						time.Sleep(time.Duration(retryMS) * time.Millisecond)
 						continue
 					}
 					reqErrors.Add(1)
@@ -190,10 +239,13 @@ func main() {
 				}
 				latency.Record(time.Since(t0).Seconds())
 				launches.Add(1)
-				bumpRung(resp.Rung)
-				if ok, detail := tc.verify(resp); !ok {
+				bumpRung(res.rung)
+				if res.coalesced {
+					coalesced.Add(1)
+				}
+				if mismatch != "" {
 					mismatches.Add(1)
-					fmt.Fprintf(os.Stderr, "worker %d (%s): MISMATCH: %s\n", worker, w.Name, detail)
+					fmt.Fprintf(os.Stderr, "worker %d (%s): MISMATCH: %s\n", worker, w.Name, mismatch)
 					return
 				}
 			}
@@ -229,6 +281,9 @@ func main() {
 	panics := metricValue(page, "dopia_panics_contained_total")
 	timeouts := metricValue(page, "dopia_watchdog_timeouts_total")
 	plain := metricValue(page, "dopia_fallback_plain_total")
+	coalescedSrv := metricValue(page, "dopia_coalesced_launches_total")
+	bytesIn := metricValue(page, "dopia_server_bytes_in_total")
+	bytesOut := metricValue(page, "dopia_server_bytes_out_total")
 
 	// In cluster mode the scrape hits the router, whose page carries the
 	// ring-health counters instead of the single-daemon ones.
@@ -256,10 +311,12 @@ func main() {
 		"mix":            strings.Split(*mix, ","),
 		"n":              *size,
 		"wg":             *wgSize,
+		"protocol":       protocol,
 		"launches":       launches.Load(),
 		"request_errors": reqErrors.Load(),
 		"retries":        retries.Load(),
 		"mismatches":     mismatches.Load(),
+		"coalesced":      coalesced.Load(),
 		"throughput_rps": float64(launches.Load()) / duration.Seconds(),
 		"latency_ms": map[string]float64{
 			"p50":  snap.P50() * 1e3,
@@ -276,9 +333,12 @@ func main() {
 			return out
 		}(),
 		"server": map[string]int64{
-			"panics_contained":  panics,
-			"watchdog_timeouts": timeouts,
-			"fallback_plain":    plain,
+			"panics_contained":   panics,
+			"watchdog_timeouts":  timeouts,
+			"fallback_plain":     plain,
+			"coalesced_launches": coalescedSrv,
+			"bytes_in":           bytesIn,
+			"bytes_out":          bytesOut,
 		},
 		"health_polls_ok": healthPolls,
 	}
@@ -303,6 +363,7 @@ func main() {
 		if err := embedded.Shutdown(sctx); err != nil {
 			fail("drain: %v", err)
 		}
+		_ = mixed.Shutdown(sctx)
 	}
 	if ring != nil {
 		sctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -337,32 +398,21 @@ func main() {
 		launches.Load(), retries.Load(), healthPolls)
 }
 
-// tenant is one worker's session plus its local bit-exact replica.
-type tenant struct {
-	client     *server.Client
-	sid        string
-	progID     string
-	kernel     string
-	deadlineMS int64
-	// idemPrefix, when set (cluster mode), stamps every launch with a
-	// unique idempotency key so cross-failover retries dedupe.
-	idemPrefix string
-	idemSeq    int64
-
-	// The local replica: the same kernel bound to local copies of the
-	// same buffers, stepped sequentially once per server launch.
+// refOracle is the shared, memoized sequential reference for one
+// workload. Every tenant of a workload replays the identical launch
+// sequence over the identical deterministic inputs, so the expected
+// output bytes of launch k are a pure function of (workload, k) — the
+// oracle computes each launch's outputs once on its private in-process
+// executor and serves every tenant from the memo, instead of each
+// tenant re-running the whole sequential replay.
+type refOracle struct {
+	mu      sync.Mutex
 	exec    *interp.Exec
-	inst    *workloads.Instance
-	nd      interp.NDRange
-	args    []server.LaunchArg
-	read    []string // buffer names in the launch's Read set
-	outputs map[string]*interp.Buffer
+	outputs map[string]*interp.Buffer // live local buffers, by wire name
+	steps   []map[string][]byte       // per launch index: name -> raw LE bytes
 }
 
-// newTenant creates the session, uploads the workload's deterministic
-// inputs, and prepares the in-process reference executor on identical
-// local copies.
-func newTenant(c *server.Client, w *workloads.Workload, progID string, deadlineMS int64) (*tenant, error) {
+func newRefOracle(w *workloads.Workload) (*refOracle, error) {
 	inst, err := w.Setup()
 	if err != nil {
 		return nil, err
@@ -385,16 +435,89 @@ func newTenant(c *server.Client, w *workloads.Workload, progID string, deadlineM
 	if err := ex.Launch(inst.ND); err != nil {
 		return nil, err
 	}
+	o := &refOracle{exec: ex, outputs: map[string]*interp.Buffer{}}
+	for _, i := range inst.OutputArgs {
+		o.outputs[fmt.Sprintf("b%d", i)] = inst.Args[i].Buf
+	}
+	return o, nil
+}
 
-	sid, err := c.NewSession()
+// get returns the expected output bytes after launch idx (0-based),
+// extending the replay as needed. The returned maps are immutable.
+func (o *refOracle) get(idx int) (map[string][]byte, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	for len(o.steps) <= idx {
+		if err := o.exec.Run(); err != nil {
+			return nil, fmt.Errorf("reference replay step %d: %w", len(o.steps), err)
+		}
+		snap := make(map[string][]byte, len(o.outputs))
+		for name, b := range o.outputs {
+			var raw []byte
+			if b.F32 != nil {
+				raw = make([]byte, 4*len(b.F32))
+				server.F32ToLE(raw, b.F32)
+			} else {
+				raw = make([]byte, 4*len(b.I32))
+				server.I32ToLE(raw, b.I32)
+			}
+			snap[name] = raw
+		}
+		o.steps = append(o.steps, snap)
+	}
+	return o.steps[idx], nil
+}
+
+// tenant is one worker's session, verified against the shared oracle.
+type tenant struct {
+	client     *server.Client    // JSON mode
+	bin        *server.BinClient // binary mode
+	sid        string
+	progID     string
+	kernel     string
+	deadlineMS int64
+	// idemPrefix, when set (cluster mode), stamps every launch with a
+	// unique idempotency key so cross-failover retries dedupe.
+	idemPrefix string
+	idemSeq    int64
+
+	oracle    *refOracle
+	launchIdx int
+
+	nd   interp.NDRange
+	args []server.LaunchArg
+	read []string // buffer names in the launch's Read set
+}
+
+// newTenant creates the session and uploads the workload's
+// deterministic inputs — base64 over JSON, raw little-endian bytes over
+// the binary protocol.
+func newTenant(c *server.Client, bin *server.BinClient, w *workloads.Workload, progID string, oracle *refOracle, deadlineMS int64) (*tenant, error) {
+	inst, err := w.Setup()
+	if err != nil {
+		return nil, err
+	}
+	prog, err := clc.Compile(w.Source)
+	if err != nil {
+		return nil, err
+	}
+	k := prog.Kernel(w.Kernel)
+	if k == nil {
+		return nil, fmt.Errorf("kernel %q missing", w.Kernel)
+	}
+
+	var sid string
+	if bin != nil {
+		sid, err = bin.NewSession("")
+	} else {
+		sid, err = c.NewSession()
+	}
 	if err != nil {
 		return nil, err
 	}
 	t := &tenant{
-		client: c, sid: sid, progID: progID, kernel: w.Kernel,
-		deadlineMS: deadlineMS,
-		exec:       ex, inst: inst, nd: inst.ND,
-		outputs: map[string]*interp.Buffer{},
+		client: c, bin: bin, sid: sid, progID: progID, kernel: w.Kernel,
+		deadlineMS: deadlineMS, oracle: oracle, nd: inst.ND,
 	}
 
 	isOutput := map[int]bool{}
@@ -416,37 +539,96 @@ func newTenant(c *server.Client, w *workloads.Workload, progID string, deadlineM
 			continue
 		}
 		name := fmt.Sprintf("b%d", i)
-		req := &server.BufferRequest{Name: name}
-		switch {
-		case a.Buf.F32 != nil:
-			req.Kind = "float32"
-			req.F32B64 = server.EncodeF32(a.Buf.F32)
-		case a.Buf.I32 != nil:
-			req.Kind = "int32"
-			req.I32B64 = server.EncodeI32(a.Buf.I32)
-		default:
-			return nil, fmt.Errorf("arg %d: unsupported buffer element type", i)
-		}
-		if err := c.CreateBuffer(sid, req); err != nil {
-			return nil, err
+		if err := t.uploadBuffer(name, a.Buf); err != nil {
+			return nil, fmt.Errorf("arg %d: %w", i, err)
 		}
 		t.args = append(t.args, server.LaunchArg{Buf: name})
 		if isOutput[i] {
 			t.read = append(t.read, name)
-			t.outputs[name] = a.Buf
 		}
 	}
 	return t, nil
 }
 
-// launchOnce steps the local replica once and fires the same launch at
-// the daemon.
-func (t *tenant) launchOnce() (*server.LaunchResponse, error) {
+func (t *tenant) uploadBuffer(name string, b *interp.Buffer) error {
+	if t.bin != nil {
+		var raw []byte
+		kind := byte('f')
+		if b.F32 != nil {
+			raw = make([]byte, 4*len(b.F32))
+			server.F32ToLE(raw, b.F32)
+		} else {
+			kind = 'i'
+			raw = make([]byte, 4*len(b.I32))
+			server.I32ToLE(raw, b.I32)
+		}
+		return t.bin.CreateBufferRaw(t.sid, name, kind, raw)
+	}
+	req := &server.BufferRequest{Name: name}
+	switch {
+	case b.F32 != nil:
+		req.Kind = "float32"
+		req.F32B64 = server.EncodeF32(b.F32)
+	case b.I32 != nil:
+		req.Kind = "int32"
+		req.I32B64 = server.EncodeI32(b.I32)
+	default:
+		return fmt.Errorf("unsupported buffer element type")
+	}
+	return t.client.CreateBuffer(t.sid, req)
+}
+
+// launchResult is the protocol-neutral slice of a launch outcome the
+// load loop cares about.
+type launchResult struct {
+	rung      string
+	coalesced bool
+}
+
+// launchOnce fires one launch and verifies its outputs bit-identical
+// against the shared oracle. mismatch is non-empty on a verification
+// failure; err reports request failures (possibly retryable).
+func (t *tenant) launchOnce() (res launchResult, mismatch string, err error) {
 	var idem string
 	if t.idemPrefix != "" {
 		idem = t.idemPrefix + "-" + strconv.FormatInt(t.idemSeq, 10)
 		t.idemSeq++
 	}
+	if t.bin != nil {
+		resp, err := t.bin.Launch(&server.BinLaunch{
+			SessionID: t.sid, ProgramID: t.progID, Kernel: t.kernel,
+			Args:       t.args,
+			Global:     t.nd.Global[:t.nd.Dims],
+			Local:      t.nd.Local[:t.nd.Dims],
+			Read:       t.read,
+			DeadlineMS: uint32(t.deadlineMS),
+			IdemKey:    idem,
+		})
+		if err != nil {
+			return launchResult{}, "", err
+		}
+		want, err := t.oracle.get(t.launchIdx)
+		if err != nil {
+			return launchResult{}, "", err
+		}
+		t.launchIdx++
+		got := map[string][]byte{}
+		for _, bv := range resp.Bufs {
+			got[bv.Name] = bv.Raw
+		}
+		for name, w := range want {
+			g, ok := got[name]
+			if !ok {
+				return launchResult{}, fmt.Sprintf("response missing buffer %q", name), nil
+			}
+			if !bytes.Equal(g, w) {
+				return launchResult{}, fmt.Sprintf("buffer %q differs from reference (rung %s, engine %s)",
+					name, resp.Rung, resp.Engine), nil
+			}
+		}
+		return launchResult{rung: resp.Rung, coalesced: resp.Coalesced}, "", nil
+	}
+
 	resp, err := t.client.Launch(&server.LaunchRequest{
 		SessionID: t.sid, ProgramID: t.progID, Kernel: t.kernel,
 		Args:       t.args,
@@ -457,43 +639,41 @@ func (t *tenant) launchOnce() (*server.LaunchResponse, error) {
 		IdemKey:    idem,
 	})
 	if err != nil {
-		return nil, err
+		return launchResult{}, "", err
 	}
-	// Step the local replica only after the server launch succeeded, so
-	// a retried 429 doesn't desynchronize accumulating kernels.
-	if err := t.exec.Run(); err != nil {
-		return nil, fmt.Errorf("local reference: %w", err)
+	// Advance the oracle only after the server launch succeeded, so a
+	// retried 429 doesn't desynchronize accumulating kernels.
+	want, err := t.oracle.get(t.launchIdx)
+	if err != nil {
+		return launchResult{}, "", err
 	}
-	return resp, nil
-}
-
-// verify compares every output buffer in the response against the local
-// replica, bit for bit (via the canonical base64 encoding).
-func (t *tenant) verify(resp *server.LaunchResponse) (bool, string) {
-	for name, local := range t.outputs {
+	t.launchIdx++
+	for name, w := range want {
 		remote, ok := resp.Buffers[name]
 		if !ok {
-			return false, fmt.Sprintf("response missing buffer %q", name)
+			return launchResult{}, fmt.Sprintf("response missing buffer %q", name), nil
 		}
-		var want string
-		if local.F32 != nil {
-			want = server.EncodeF32(local.F32)
-			if remote.F32B64 == want {
-				continue
-			}
-		} else {
-			want = server.EncodeI32(local.I32)
-			if remote.I32B64 == want {
-				continue
-			}
+		b64 := remote.F32B64
+		if b64 == "" {
+			b64 = remote.I32B64
 		}
-		return false, fmt.Sprintf("buffer %q differs from in-process reference (rung %s, engine %s)",
-			name, resp.Rung, resp.Engine)
+		g, derr := base64.StdEncoding.DecodeString(b64)
+		if derr != nil || !bytes.Equal(g, w) {
+			return launchResult{}, fmt.Sprintf("buffer %q differs from reference (rung %s, engine %s)",
+				name, resp.Rung, resp.Engine), nil
+		}
 	}
-	return true, ""
+	return launchResult{rung: resp.Rung, coalesced: resp.Coalesced}, "", nil
 }
 
-func (t *tenant) close() { _ = t.client.CloseSession(t.sid) }
+func (t *tenant) close() {
+	if t.bin != nil {
+		_ = t.bin.CloseSession(t.sid)
+		_ = t.bin.Close()
+		return
+	}
+	_ = t.client.CloseSession(t.sid)
+}
 
 // pickMix resolves the workload names against the real-workload table.
 func pickMix(mix string, n, wg int) ([]*workloads.Workload, error) {
@@ -535,22 +715,25 @@ func machineByName(name string) (*sim.Machine, error) {
 	return nil, fmt.Errorf("unknown machine %q", name)
 }
 
-// embedServer starts an in-process daemon on a loopback listener.
-func embedServer(machineName string) (string, *server.Server, error) {
+// embedServer starts an in-process daemon on a loopback listener. The
+// mixed server sniffs each connection's first byte, so the same port
+// serves both HTTP/JSON and the binary protocol.
+func embedServer(machineName string) (string, *server.Server, *server.MixedServer, error) {
 	m, err := machineByName(machineName)
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
 	srv, err := server.New(server.Config{Machine: m})
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return "", nil, err
+		return "", nil, nil, err
 	}
-	go func() { _ = http.Serve(ln, srv.Handler()) }()
-	return "http://" + ln.Addr().String(), srv, nil
+	ms := server.NewMixedServer(srv)
+	go func() { _ = ms.Serve(ln) }()
+	return "http://" + ln.Addr().String(), srv, ms, nil
 }
 
 // metricValue extracts one un-labeled sample from a text metrics page.

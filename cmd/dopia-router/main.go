@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -51,6 +52,7 @@ func main() {
 		callTimeout    = flag.Duration("call-timeout", 15*time.Second, "per-request timeout on member calls")
 		retryAfter     = flag.Duration("retry-after", time.Second, "Retry-After hint on ring-down 503s")
 		drainTimeout   = flag.Duration("drain-timeout", 60*time.Second, "bound on graceful drain after SIGTERM")
+		pprofOn        = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -108,7 +110,19 @@ func main() {
 		go func() { _ = ctrl.Run(context.Background()) }()
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: router.Handler()}
+	handler := router.Handler()
+	if *pprofOn {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/", handler)
+		handler = mux
+		log.Printf("dopia-router: pprof mounted at /debug/pprof/")
+	}
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() {
 		log.Printf("dopia-router: listening on http://%s (%d members, %d vnodes)",

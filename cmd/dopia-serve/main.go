@@ -27,7 +27,9 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -56,6 +58,7 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "bound on graceful drain after SIGTERM")
 		clusterID    = flag.String("cluster-id", "", "ring member ID; mounts the gossip endpoint for dopia-router")
 		gossipEvery  = flag.Duration("gossip-interval", 100*time.Millisecond, "heartbeat gossip period (with -cluster-id)")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -89,26 +92,39 @@ func main() {
 
 	handler := srv.Handler()
 	var agent *cluster.Agent
-	if *clusterID != "" {
-		agent = cluster.NewAgent(*clusterID, "http://"+*addr,
-			cluster.GossipConfig{Interval: *gossipEvery},
-			func() (bool, int, []string) {
-				return srv.Ready(), srv.SessionCount(), srv.ProgramIDs()
-			})
+	if *clusterID != "" || *pprofOn {
 		mux := http.NewServeMux()
-		mux.HandleFunc("POST /cluster/v1/gossip", agent.Handler())
+		if *clusterID != "" {
+			agent = cluster.NewAgent(*clusterID, "http://"+*addr,
+				cluster.GossipConfig{Interval: *gossipEvery},
+				func() (bool, int, []string) {
+					return srv.Ready(), srv.SessionCount(), srv.ProgramIDs()
+				})
+			mux.HandleFunc("POST /cluster/v1/gossip", agent.Handler())
+			agent.Start()
+			log.Printf("dopia-serve: cluster member %q, gossiping every %v", *clusterID, *gossipEvery)
+		}
+		if *pprofOn {
+			mountPprof(mux)
+			log.Printf("dopia-serve: pprof mounted at /debug/pprof/")
+		}
 		mux.Handle("/", handler)
 		handler = mux
-		agent.Start()
-		log.Printf("dopia-serve: cluster member %q, gossiping every %v", *clusterID, *gossipEvery)
 	}
 
-	hs := &http.Server{Addr: *addr, Handler: handler}
+	// One listener serves both protocols: the first byte of each
+	// connection routes it to the binary handler or the HTTP server.
+	ms := server.NewMixedServer(srv)
+	ms.HTTPServer().Handler = handler
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("dopia-serve: listen: %v", err)
+	}
 	errCh := make(chan error, 1)
 	go func() {
-		log.Printf("dopia-serve: listening on http://%s (machine %s, model %s)",
+		log.Printf("dopia-serve: listening on %s (HTTP/JSON + binary; machine %s, model %s)",
 			*addr, m.Name, modelDesc(model))
-		errCh <- hs.ListenAndServe()
+		errCh <- ms.Serve(ln)
 	}()
 
 	sig := make(chan os.Signal, 1)
@@ -129,13 +145,23 @@ func main() {
 	if agent != nil {
 		agent.Stop()
 	}
-	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("dopia-serve: http shutdown: %v", err)
+	if err := ms.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("dopia-serve: shutdown: %v", err)
 	}
 	if drainErr != nil {
 		log.Fatalf("dopia-serve: %v", drainErr)
 	}
 	log.Printf("dopia-serve: drained cleanly; final ladder: %s", srv.Framework().Stats.Snapshot())
+}
+
+// mountPprof registers the net/http/pprof handlers on mux — opt-in
+// (behind -pprof) so the profiling surface is never exposed by default.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // loadModel loads or trains the DoP-selection model. limit == 0 and no

@@ -23,6 +23,7 @@ package cluster
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"sort"
 	"strconv"
@@ -367,7 +368,7 @@ func (r *Router) rebuildReplicaLocked(p *placement) {
 // under the same idempotency key; determinism makes the copies
 // bit-identical, which the router spot-checks via the read-set.
 // Caller holds p.mu.
-func (r *Router) applyReplicaLaunch(p *placement, req *server.LaunchRequest, primary *server.LaunchResponse) {
+func (r *Router) applyReplicaLaunch(p *placement, req *server.LaunchRequest, raw []byte, primary *server.LaunchResponse) {
 	if p.replica == "" {
 		return
 	}
@@ -376,9 +377,11 @@ func (r *Router) applyReplicaLaunch(p *placement, req *server.LaunchRequest, pri
 		p.replica = ""
 		return
 	}
-	resp, err := c.Launch(req)
+	// raw carries the idem-key-stamped launch encoded once by
+	// handleLaunch — the same bytes the primary saw, no re-encode.
+	resp, err := c.LaunchRaw(raw)
 	if err != nil && isMissingProgram(err) && r.pushProgram(p.replica, req.ProgramID) {
-		resp, err = c.Launch(req)
+		resp, err = c.LaunchRaw(raw)
 	}
 	if err != nil {
 		// A broken mirror is repaired by re-snapshotting, not retried
@@ -672,8 +675,13 @@ func (r *Router) handleReadBuffer(w http.ResponseWriter, req *http.Request) {
 // replica. Session launches serialize on placement.mu so the replica
 // sees the identical order.
 func (r *Router) handleLaunch(w http.ResponseWriter, req *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(req.Body, 1<<20))
+	if err != nil {
+		r.writeError(w, http.StatusBadRequest, fmt.Errorf("bad launch request"))
+		return
+	}
 	var lr server.LaunchRequest
-	if err := json.NewDecoder(req.Body).Decode(&lr); err != nil {
+	if err := json.Unmarshal(body, &lr); err != nil {
 		r.writeError(w, http.StatusBadRequest, fmt.Errorf("bad launch request"))
 		return
 	}
@@ -682,8 +690,18 @@ func (r *Router) handleLaunch(w http.ResponseWriter, req *http.Request) {
 		r.writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", lr.SessionID))
 		return
 	}
+	// Encode the forwarded launch exactly once per logical request: a
+	// client-stamped idem key lets the incoming bytes pass through
+	// verbatim; otherwise the router stamps a key and re-encodes here,
+	// and the same bytes then serve the primary, every failover retry,
+	// and the replica mirror.
+	raw := body
 	if lr.IdemKey == "" {
 		lr.IdemKey = "r-" + strconv.FormatInt(r.nextIdem.Add(1), 10)
+		if raw, err = json.Marshal(&lr); err != nil {
+			r.writeError(w, http.StatusInternalServerError, err)
+			return
+		}
 	}
 
 	p.mu.Lock()
@@ -701,10 +719,10 @@ func (r *Router) handleLaunch(w http.ResponseWriter, req *http.Request) {
 			r.ringDown(w)
 			return
 		}
-		resp, err := c.Launch(&lr)
+		resp, err := c.LaunchRaw(raw)
 		if err == nil {
 			r.met.launches.Add(1)
-			r.applyReplicaLaunch(p, &lr, resp)
+			r.applyReplicaLaunch(p, &lr, raw, resp)
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}

@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"dopia/internal/faults"
 )
@@ -181,6 +182,10 @@ type LaunchResponse struct {
 	// launch had already been applied under this idem_key and was not
 	// re-executed.
 	Replayed bool `json:"replayed,omitempty"`
+	// Coalesced marks a launch that shared another identical launch's
+	// execution — as an in-flight follower or from the launch memo —
+	// and had the outputs applied to its own session without executing.
+	Coalesced bool `json:"coalesced,omitempty"`
 }
 
 // ErrorResponse carries a request failure. RetryAfterMS is set on 429
@@ -218,53 +223,158 @@ func stageOf(err error) string {
 	return string(faults.StageOf(err))
 }
 
+// scratchPool recycles the raw byte staging area the base64 codecs need
+// between the element slices and the encoded text. A pooled slab turns
+// each Encode/Decode from two allocations (raw bytes + result) into at
+// most one (the result the caller keeps), and the *Into variants into
+// zero.
+var scratchPool = sync.Pool{New: func() any { return new([]byte) }}
+
+// getScratch leases a byte slab of at least n bytes. Callers must hand
+// the pointer back via putScratch.
+func getScratch(n int) (*[]byte, []byte) {
+	p := scratchPool.Get().(*[]byte)
+	if cap(*p) < n {
+		*p = make([]byte, n)
+	}
+	return p, (*p)[:n]
+}
+
+func putScratch(p *[]byte) { scratchPool.Put(p) }
+
+// F32ToLE serializes float32 elements into dst as little-endian raw
+// bytes, preserving exact bit patterns. dst must hold 4*len(xs) bytes.
+func F32ToLE(dst []byte, xs []float32) {
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(dst[4*i:], math.Float32bits(x))
+	}
+}
+
+// LEToF32 reverses F32ToLE into dst; raw must be 4*len(dst) bytes.
+func LEToF32(dst []float32, raw []byte) {
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+}
+
+// I32ToLE serializes int32 elements into dst as little-endian raw bytes.
+func I32ToLE(dst []byte, xs []int32) {
+	for i, x := range xs {
+		binary.LittleEndian.PutUint32(dst[4*i:], uint32(x))
+	}
+}
+
+// LEToI32 reverses I32ToLE into dst; raw must be 4*len(dst) bytes.
+func LEToI32(dst []int32, raw []byte) {
+	for i := range dst {
+		dst[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+}
+
 // EncodeF32 encodes float32 elements as base64 little-endian bytes,
 // preserving exact bit patterns.
 func EncodeF32(xs []float32) string {
-	raw := make([]byte, 4*len(xs))
-	for i, x := range xs {
-		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(x))
-	}
+	p, raw := getScratch(4 * len(xs))
+	defer putScratch(p)
+	F32ToLE(raw, xs)
 	return base64.StdEncoding.EncodeToString(raw)
+}
+
+// b64Elems reports how many 4-byte elements the base64 text s decodes
+// to, or an error when the decoded byte count cannot be a whole number
+// of elements. Exact for standard (padded) base64.
+func b64Elems(s string) (int, error) {
+	n := base64.StdEncoding.DecodedLen(len(s))
+	if len(s) >= 1 && s[len(s)-1] == '=' {
+		n--
+		if len(s) >= 2 && s[len(s)-2] == '=' {
+			n--
+		}
+	}
+	if n%4 != 0 {
+		return 0, fmt.Errorf("server: payload of %d bytes is not a multiple of 4", n)
+	}
+	return n / 4, nil
+}
+
+// decodeB64 decodes s into a leased scratch slab without allocating,
+// returning the pool token, the decoded bytes, and any error (token
+// already returned to the pool on error).
+func decodeB64(s string) (*[]byte, []byte, error) {
+	// base64.Decode wants a byte source; stage the string through the
+	// scratch slab so neither the source copy nor the output allocate.
+	p, buf := getScratch(len(s) + base64.StdEncoding.DecodedLen(len(s)))
+	src := buf[:len(s)]
+	copy(src, s)
+	n, err := base64.StdEncoding.Decode(buf[len(s):], src)
+	if err != nil {
+		putScratch(p)
+		return nil, nil, err
+	}
+	return p, buf[len(s) : len(s)+n], nil
+}
+
+// DecodeF32Into decodes base64 little-endian float32 data into dst,
+// which must already have the exact decoded element count (see
+// b64Elems). No allocation on the happy path.
+func DecodeF32Into(dst []float32, s string) error {
+	p, raw, err := decodeB64(s)
+	if err != nil {
+		return fmt.Errorf("server: bad f32 base64: %w", err)
+	}
+	defer putScratch(p)
+	if len(raw) != 4*len(dst) {
+		return fmt.Errorf("server: f32 payload is %d bytes, want %d", len(raw), 4*len(dst))
+	}
+	LEToF32(dst, raw)
+	return nil
 }
 
 // DecodeF32 reverses EncodeF32.
 func DecodeF32(s string) ([]float32, error) {
-	raw, err := base64.StdEncoding.DecodeString(s)
+	n, err := b64Elems(s)
 	if err != nil {
 		return nil, fmt.Errorf("server: bad f32 base64: %w", err)
 	}
-	if len(raw)%4 != 0 {
-		return nil, fmt.Errorf("server: f32 payload of %d bytes is not a multiple of 4", len(raw))
-	}
-	out := make([]float32, len(raw)/4)
-	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	out := make([]float32, n)
+	if err := DecodeF32Into(out, s); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // EncodeI32 encodes int32 elements as base64 little-endian bytes.
 func EncodeI32(xs []int32) string {
-	raw := make([]byte, 4*len(xs))
-	for i, x := range xs {
-		binary.LittleEndian.PutUint32(raw[4*i:], uint32(x))
-	}
+	p, raw := getScratch(4 * len(xs))
+	defer putScratch(p)
+	I32ToLE(raw, xs)
 	return base64.StdEncoding.EncodeToString(raw)
+}
+
+// DecodeI32Into decodes base64 little-endian int32 data into dst, which
+// must already have the exact decoded element count.
+func DecodeI32Into(dst []int32, s string) error {
+	p, raw, err := decodeB64(s)
+	if err != nil {
+		return fmt.Errorf("server: bad i32 base64: %w", err)
+	}
+	defer putScratch(p)
+	if len(raw) != 4*len(dst) {
+		return fmt.Errorf("server: i32 payload is %d bytes, want %d", len(raw), 4*len(dst))
+	}
+	LEToI32(dst, raw)
+	return nil
 }
 
 // DecodeI32 reverses EncodeI32.
 func DecodeI32(s string) ([]int32, error) {
-	raw, err := base64.StdEncoding.DecodeString(s)
+	n, err := b64Elems(s)
 	if err != nil {
 		return nil, fmt.Errorf("server: bad i32 base64: %w", err)
 	}
-	if len(raw)%4 != 0 {
-		return nil, fmt.Errorf("server: i32 payload of %d bytes is not a multiple of 4", len(raw))
-	}
-	out := make([]int32, len(raw)/4)
-	for i := range out {
-		out[i] = int32(binary.LittleEndian.Uint32(raw[4*i:]))
+	out := make([]int32, n)
+	if err := DecodeI32Into(out, s); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

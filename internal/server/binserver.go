@@ -1,0 +1,760 @@
+package server
+
+// The server side of the binary protocol, and the mixed listener that
+// lets it share one TCP port with HTTP/JSON.
+//
+// MixedServer sniffs the first byte of every accepted connection:
+// binMagic selects the binary handler, anything else is replayed (via
+// prefixConn) into an in-process net.Listener that feeds a standard
+// http.Server. HTTP clients see an unmodified daemon; binary clients
+// skip HTTP framing, JSON, and base64 entirely.
+//
+// A binary connection is strictly sequential (one request, one
+// response), which is what makes aggressive reuse safe: the frame
+// payload slab, the response build buffer, the LaunchRequest with its
+// argument backing arrays, and the task struct all live on the
+// connection and are recycled every request — after the hello, a
+// steady-state launch performs near zero allocations on the server.
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MixedServer serves HTTP/JSON and the binary protocol on one listener.
+type MixedServer struct {
+	s    *Server
+	http *http.Server
+	pl   *pipeListener
+
+	mu     sync.Mutex
+	ln     net.Listener
+	conns  map[net.Conn]struct{} // live binary connections
+	closed bool
+	wg     sync.WaitGroup // accept loop + binary connection handlers
+}
+
+// NewMixedServer wraps s for protocol-sniffed serving.
+func NewMixedServer(s *Server) *MixedServer {
+	return &MixedServer{
+		s:     s,
+		http:  &http.Server{Handler: s.Handler()},
+		conns: map[net.Conn]struct{}{},
+	}
+}
+
+// HTTPServer exposes the embedded http.Server (timeouts, error logs).
+func (m *MixedServer) HTTPServer() *http.Server { return m.http }
+
+// Serve accepts on ln, dispatching each connection by its first byte.
+// It returns after Shutdown closes the listener.
+func (m *MixedServer) Serve(ln net.Listener) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return net.ErrClosed
+	}
+	m.ln = ln
+	m.pl = newPipeListener(ln.Addr())
+	m.mu.Unlock()
+
+	httpDone := make(chan error, 1)
+	go func() { httpDone <- m.http.Serve(m.pl) }()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			m.mu.Lock()
+			closed := m.closed
+			m.mu.Unlock()
+			m.pl.Close()
+			<-httpDone
+			if closed {
+				return http.ErrServerClosed
+			}
+			return err
+		}
+		m.wg.Add(1)
+		go m.sniff(conn)
+	}
+}
+
+// sniff reads the first byte of a fresh connection and routes it.
+func (m *MixedServer) sniff(conn net.Conn) {
+	defer m.wg.Done()
+	var first [1]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		conn.Close()
+		return
+	}
+	pc := &prefixConn{Conn: conn, pfx: first[:]}
+	if first[0] != binMagic {
+		// HTTP: hand the replayed connection to the embedded server.
+		if !m.pl.deliver(pc) {
+			conn.Close()
+		}
+		return
+	}
+	if !m.track(pc) {
+		conn.Close()
+		return
+	}
+	defer m.untrack(pc)
+	m.s.serveBinaryConn(pc)
+}
+
+func (m *MixedServer) track(c net.Conn) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return false
+	}
+	m.conns[c] = struct{}{}
+	return true
+}
+
+func (m *MixedServer) untrack(c net.Conn) {
+	m.mu.Lock()
+	delete(m.conns, c)
+	m.mu.Unlock()
+}
+
+// Shutdown stops accepting, shuts the HTTP side down gracefully, and
+// waits for in-flight binary connections until ctx expires (then closes
+// them). Callers typically drain the Server itself first.
+func (m *MixedServer) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	ln := m.ln
+	m.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	httpErr := m.http.Shutdown(ctx)
+
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		m.mu.Lock()
+		for c := range m.conns {
+			c.Close()
+		}
+		m.mu.Unlock()
+		<-done
+	}
+	return httpErr
+}
+
+// prefixConn replays already-sniffed bytes before reading from the
+// underlying connection.
+type prefixConn struct {
+	net.Conn
+	pfx []byte
+}
+
+func (c *prefixConn) Read(p []byte) (int, error) {
+	if len(c.pfx) > 0 {
+		n := copy(p, c.pfx)
+		c.pfx = c.pfx[n:]
+		return n, nil
+	}
+	return c.Conn.Read(p)
+}
+
+// pipeListener is an in-process net.Listener fed by the sniffer; the
+// embedded http.Server accepts from it exactly as it would from a TCP
+// listener.
+type pipeListener struct {
+	ch   chan net.Conn
+	done chan struct{}
+	once sync.Once
+	addr net.Addr
+}
+
+func newPipeListener(addr net.Addr) *pipeListener {
+	return &pipeListener{ch: make(chan net.Conn), done: make(chan struct{}), addr: addr}
+}
+
+// deliver hands a sniffed connection to Accept, failing once closed.
+func (p *pipeListener) deliver(c net.Conn) bool {
+	select {
+	case p.ch <- c:
+		return true
+	case <-p.done:
+		return false
+	}
+}
+
+func (p *pipeListener) Accept() (net.Conn, error) {
+	select {
+	case c := <-p.ch:
+		return c, nil
+	case <-p.done:
+		return nil, net.ErrClosed
+	}
+}
+
+func (p *pipeListener) Close() error {
+	p.once.Do(func() { close(p.done) })
+	return nil
+}
+
+func (p *pipeListener) Addr() net.Addr { return p.addr }
+
+// ---------- binary connection handler ----------
+
+// binConn is the per-connection state of one binary client: buffered,
+// byte-counted I/O plus every reusable slab the hot path needs.
+type binConn struct {
+	s  *Server
+	br *bufio.Reader
+	bw *bufio.Writer
+
+	payload []byte // request frame payload slab
+	out     []byte // response payload build buffer (metadata only)
+
+	// intern maps wire names (sessions, programs, kernels, buffers) to
+	// stable strings so repeated launches never re-allocate them.
+	intern map[string]string
+
+	// Reused launch machinery: the request, scalar backing arrays
+	// (pointers into these go into LaunchArg), the task, its outcome
+	// channel, and the rawOut backing. All safe because requests on one
+	// connection are strictly sequential.
+	lr        LaunchRequest
+	argInts   []int64
+	argFloats []float64
+	task      task
+	done      chan taskOutcome
+	rawSpare  []rawBuf
+}
+
+// maxInternEntries bounds the per-connection intern table; a client
+// cycling through unbounded name sets falls back to per-request
+// allocation instead of growing the map forever.
+const maxInternEntries = 4096
+
+func (bc *binConn) internB(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	if s, ok := bc.intern[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(bc.intern) < maxInternEntries {
+		bc.intern[s] = s
+	}
+	return s
+}
+
+// maxFrame bounds a single frame payload: the largest legal payload is
+// a raw buffer create (MaxBufferBytes) or a program compile
+// (MaxSourceBytes), plus framing slack.
+func (s *Server) maxFrame() int64 {
+	n := s.cfg.MaxBufferBytes
+	if s.cfg.MaxSourceBytes > n {
+		n = s.cfg.MaxSourceBytes
+	}
+	return n + (64 << 10)
+}
+
+// serveBinaryConn handles one sniffed binary connection until EOF or a
+// protocol error. conn's first byte (binMagic) is still unread in the
+// prefix, so the byte counters see the full stream.
+func (s *Server) serveBinaryConn(conn net.Conn) {
+	defer conn.Close()
+	bc := &binConn{
+		s:      s,
+		br:     bufio.NewReaderSize(&countingConnReader{r: conn, n: &s.met.bytesIn}, 64<<10),
+		bw:     bufio.NewWriterSize(&countingConnWriter{w: conn, n: &s.met.bytesOut}, 64<<10),
+		intern: map[string]string{},
+		done:   make(chan taskOutcome, 1),
+	}
+
+	// Hello: [binMagic]['d']['p'][version].
+	var hello [binHelloLen]byte
+	if _, err := io.ReadFull(bc.br, hello[:]); err != nil {
+		return
+	}
+	if hello[0] != binMagic || hello[1] != 'd' || hello[2] != 'p' {
+		return
+	}
+	if hello[3] != binVersion {
+		_ = bc.writeErr(http.StatusHTTPVersionNotSupported,
+			fmt.Errorf("binary protocol version %d not supported (want %d)", hello[3], binVersion))
+		_ = bc.bw.Flush()
+		return
+	}
+	if _, err := bc.bw.Write([]byte{binMagic, binVersion}); err != nil {
+		return
+	}
+	if err := bc.bw.Flush(); err != nil {
+		return
+	}
+
+	maxFrame := s.maxFrame()
+	for {
+		op, n, err := readFrameHeader(bc.br, maxFrame)
+		if err != nil {
+			return // EOF is the normal close
+		}
+		if cap(bc.payload) < n {
+			bc.payload = make([]byte, n)
+		}
+		p := bc.payload[:n]
+		if _, err := io.ReadFull(bc.br, p); err != nil {
+			return
+		}
+		if err := bc.dispatch(op, p); err != nil {
+			return
+		}
+		if err := bc.bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// countingConnReader / countingConnWriter feed the wire-byte counters
+// shared with the HTTP protocol.
+type countingConnReader struct {
+	r io.Reader
+	n *atomic.Int64
+}
+
+func (c *countingConnReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+type countingConnWriter struct {
+	w io.Writer
+	n *atomic.Int64
+}
+
+func (c *countingConnWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+// dispatch routes one decoded frame. A returned error tears the
+// connection down (protocol-level corruption); request-level failures
+// become opError frames and keep the connection alive.
+func (bc *binConn) dispatch(op byte, p []byte) error {
+	switch op {
+	case opCompile:
+		return bc.opCompile(p)
+	case opNewSession:
+		return bc.opNewSession(p)
+	case opCloseSession:
+		return bc.opCloseSession(p)
+	case opCreateBuffer:
+		return bc.opCreateBuffer(p)
+	case opReadBuffer:
+		return bc.opReadBuffer(p)
+	case opLaunch:
+		return bc.opLaunch(p)
+	default:
+		return fmt.Errorf("binproto: unknown op 0x%02x", op)
+	}
+}
+
+func (bc *binConn) writeFrame(op byte, payload []byte) error {
+	if err := writeFrameHeader(bc.bw, op, len(payload)); err != nil {
+		return err
+	}
+	_, err := bc.bw.Write(payload)
+	return err
+}
+
+func (bc *binConn) writeErr(status int, err error) error {
+	b := bc.out[:0]
+	b = appendU16(b, uint16(status))
+	b = appendStr(b, err.Error())
+	b = appendStr(b, stageOf(err))
+	retry := uint32(0)
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		retry = 1000
+	}
+	b = appendU32(b, retry)
+	bc.out = b
+	return bc.writeFrame(opError, b)
+}
+
+var errTruncated = errors.New("binproto: malformed frame payload")
+
+func (bc *binConn) opCompile(p []byte) error {
+	cur := wireCursor{b: p}
+	source := cur.str()
+	if !cur.done() {
+		bc.s.met.badRequests.Add(1)
+		return bc.writeErr(http.StatusBadRequest, errTruncated)
+	}
+	prog, cached, status, err := bc.s.registerProgram(source)
+	if err != nil {
+		return bc.writeErr(status, err)
+	}
+	b := bc.out[:0]
+	b = appendStr(b, prog.id)
+	b = appendU32(b, uint32(len(prog.kernels)))
+	for _, k := range prog.kernels {
+		b = appendStr(b, k)
+	}
+	var c byte
+	if cached {
+		c = 1
+	}
+	b = append(b, c)
+	bc.out = b
+	return bc.writeFrame(opCompile|binOKBit, b)
+}
+
+func (bc *binConn) opNewSession(p []byte) error {
+	cur := wireCursor{b: p}
+	want := cur.str()
+	if !cur.done() {
+		bc.s.met.badRequests.Add(1)
+		return bc.writeErr(http.StatusBadRequest, errTruncated)
+	}
+	id, status, err := bc.s.createSession(want)
+	if err != nil {
+		return bc.writeErr(status, err)
+	}
+	b := appendStr(bc.out[:0], id)
+	bc.out = b
+	return bc.writeFrame(opNewSession|binOKBit, b)
+}
+
+func (bc *binConn) opCloseSession(p []byte) error {
+	cur := wireCursor{b: p}
+	id := bc.internB(cur.strBytes())
+	if !cur.done() {
+		bc.s.met.badRequests.Add(1)
+		return bc.writeErr(http.StatusBadRequest, errTruncated)
+	}
+	if status, err := bc.s.closeSession(id); err != nil {
+		return bc.writeErr(status, err)
+	}
+	return bc.writeFrame(opCloseSession|binOKBit, nil)
+}
+
+func (bc *binConn) opCreateBuffer(p []byte) error {
+	cur := wireCursor{b: p}
+	sid := bc.internB(cur.strBytes())
+	name := bc.internB(cur.strBytes())
+	kind := cur.u8()
+	elems := int(cur.u32())
+	content := cur.u8()
+	var seed uint32
+	var mod int32
+	var raw []byte
+	switch content {
+	case binContentFill:
+		seed = cur.u32()
+		mod = int32(cur.u32())
+	case binContentRaw:
+		raw = cur.take(cur.rest())
+	}
+	if !cur.done() {
+		bc.s.met.badRequests.Add(1)
+		return bc.writeErr(http.StatusBadRequest, errTruncated)
+	}
+	sess, ok := bc.s.session(sid)
+	if !ok {
+		return bc.writeErr(http.StatusNotFound, fmt.Errorf("no session %q", sid))
+	}
+	sess.mu.Lock()
+	b, err := sess.createBufferBin(name, kind, elems, content, seed, mod, raw, bc.s.cfg.MaxBufferBytes)
+	sess.mu.Unlock()
+	if err != nil {
+		bc.s.met.badRequests.Add(1)
+		return bc.writeErr(http.StatusBadRequest, err)
+	}
+	out := appendU32(bc.out[:0], uint32(b.Len()))
+	bc.out = out
+	return bc.writeFrame(opCreateBuffer|binOKBit, out)
+}
+
+func (bc *binConn) opReadBuffer(p []byte) error {
+	cur := wireCursor{b: p}
+	sid := bc.internB(cur.strBytes())
+	name := bc.internB(cur.strBytes())
+	if !cur.done() {
+		bc.s.met.badRequests.Add(1)
+		return bc.writeErr(http.StatusBadRequest, errTruncated)
+	}
+	sess, ok := bc.s.session(sid)
+	if !ok {
+		return bc.writeErr(http.StatusNotFound, fmt.Errorf("no session %q", sid))
+	}
+
+	// Copy-on-read-back: snapshot the content into a pooled slab under
+	// the session lock, serialize to the socket after it is released.
+	sess.mu.Lock()
+	sb, ok := sess.bufs[name]
+	var (
+		pool  *[]byte
+		raw   []byte
+		kind  byte
+		elems int
+	)
+	if ok {
+		elems = sb.b.Len()
+		pool, raw = getScratch(4 * elems)
+		if f := sb.b.Float32(); f != nil {
+			kind = 'f'
+			F32ToLE(raw, f)
+		} else {
+			kind = 'i'
+			I32ToLE(raw, sb.b.Int32())
+		}
+	}
+	sess.mu.Unlock()
+	if !ok {
+		return bc.writeErr(http.StatusNotFound, fmt.Errorf("no buffer %q in session %s", name, sid))
+	}
+	defer putScratch(pool)
+
+	if err := writeFrameHeader(bc.bw, opReadBuffer|binOKBit, 1+4+len(raw)); err != nil {
+		return err
+	}
+	if err := bc.bw.WriteByte(kind); err != nil {
+		return err
+	}
+	var u [4]byte
+	leU32(u[:], uint32(elems))
+	if _, err := bc.bw.Write(u[:]); err != nil {
+		return err
+	}
+	_, err := bc.bw.Write(raw)
+	return err
+}
+
+// opLaunch is the hot path: decode into the reused request, run through
+// the same admission/worker/coalescing machinery as JSON launches (with
+// wantRaw set so the read-set comes back as pooled raw slabs), and
+// stream the response straight from those slabs.
+func (bc *binConn) opLaunch(p []byte) error {
+	s := bc.s
+	decodeStart := time.Now()
+	lr := &bc.lr
+	cur := wireCursor{b: p}
+	lr.SessionID = bc.internB(cur.strBytes())
+	lr.ProgramID = bc.internB(cur.strBytes())
+	lr.Kernel = bc.internB(cur.strBytes())
+	// Idempotency keys are unique per logical launch; interning them
+	// would grow the table without ever hitting.
+	lr.IdemKey = string(cur.strBytes())
+	lr.DeadlineMS = int64(cur.u32())
+	dims := int(cur.u8())
+	if cur.err == nil && (dims < 1 || dims > 3) {
+		cur.fail()
+	}
+	lr.Global = lr.Global[:0]
+	lr.Local = lr.Local[:0]
+	for i := 0; i < dims && cur.err == nil; i++ {
+		lr.Global = append(lr.Global, int(cur.u32()))
+	}
+	for i := 0; i < dims && cur.err == nil; i++ {
+		lr.Local = append(lr.Local, int(cur.u32()))
+	}
+	nargs := int(cur.u16())
+	if nargs > 1024 {
+		cur.fail()
+	}
+	if cur.err == nil {
+		if cap(bc.argInts) < nargs {
+			bc.argInts = make([]int64, nargs)
+			bc.argFloats = make([]float64, nargs)
+		}
+		bc.argInts = bc.argInts[:cap(bc.argInts)]
+		bc.argFloats = bc.argFloats[:cap(bc.argFloats)]
+	}
+	lr.Args = lr.Args[:0]
+	for i := 0; i < nargs && cur.err == nil; i++ {
+		switch cur.u8() {
+		case 'b':
+			lr.Args = append(lr.Args, LaunchArg{Buf: bc.internB(cur.strBytes())})
+		case 'i':
+			bc.argInts[i] = cur.i64()
+			lr.Args = append(lr.Args, LaunchArg{Int: &bc.argInts[i]})
+		case 'f':
+			bc.argFloats[i] = cur.f64()
+			lr.Args = append(lr.Args, LaunchArg{Float: &bc.argFloats[i]})
+		default:
+			cur.fail()
+		}
+	}
+	nread := int(cur.u16())
+	if nread > 1024 {
+		cur.fail()
+	}
+	lr.Read = lr.Read[:0]
+	for i := 0; i < nread && cur.err == nil; i++ {
+		lr.Read = append(lr.Read, bc.internB(cur.strBytes()))
+	}
+	if !cur.done() {
+		s.met.badRequests.Add(1)
+		return bc.writeErr(http.StatusBadRequest, errTruncated)
+	}
+	s.met.stages.Record(stageDecode, time.Since(decodeStart).Seconds())
+
+	sess, ok := s.session(lr.SessionID)
+	if !ok {
+		s.met.badRequests.Add(1)
+		return bc.writeErr(http.StatusNotFound, fmt.Errorf("no session %q", lr.SessionID))
+	}
+	s.mu.Lock()
+	prog, ok := s.programs[lr.ProgramID]
+	s.mu.Unlock()
+	if !ok {
+		s.met.badRequests.Add(1)
+		return bc.writeErr(http.StatusNotFound, fmt.Errorf("no program %q", lr.ProgramID))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), s.launchDeadline(lr.DeadlineMS))
+	t := &bc.task
+	*t = task{
+		req:      lr,
+		sess:     sess,
+		prog:     prog,
+		ctx:      ctx,
+		cancel:   cancel,
+		admitted: time.Now(),
+		done:     bc.done,
+		wantRaw:  true,
+		rawOut:   bc.rawSpare[:0],
+	}
+	if status := s.admit(t); status != 0 {
+		cancel()
+		s.met.rejected.Add(1)
+		return bc.writeErr(status, fmt.Errorf("admission queue full (%d deep)", s.cfg.QueueDepth))
+	}
+	out := <-t.done
+
+	encodeStart := time.Now()
+	var err error
+	if out.err != nil {
+		err = bc.writeErr(out.status, out.err)
+	} else {
+		err = bc.writeLaunchResponse(out.resp, t.rawOut)
+	}
+	t.releaseRaw()
+	bc.rawSpare = t.rawOut
+	if err == nil {
+		s.met.stages.Record(stageEncode, time.Since(encodeStart).Seconds())
+	}
+	return err
+}
+
+// writeLaunchResponse streams one opLaunch|OK frame: metadata built in
+// the reusable buffer, buffer contents written directly from the pooled
+// read-set slabs.
+func (bc *binConn) writeLaunchResponse(resp *LaunchResponse, raws []rawBuf) error {
+	b := bc.out[:0]
+	b = appendStr(b, resp.Rung)
+	b = appendStr(b, resp.Engine)
+	var flags byte
+	if resp.Decision != nil {
+		flags |= binFlagDecision
+	}
+	if resp.Result != nil {
+		flags |= binFlagResult
+	}
+	if resp.Replayed {
+		flags |= binFlagReplayed
+	}
+	if resp.Coalesced {
+		flags |= binFlagCoalesced
+	}
+	b = append(b, flags)
+	if d := resp.Decision; d != nil {
+		b = appendU32(b, uint32(d.CPUCores))
+		b = appendF64(b, d.GPUFrac)
+		b = appendF64(b, d.Predicted)
+		b = appendU32(b, uint32(d.Evaluated))
+		var disc byte
+		if d.ModelDiscarded {
+			disc = 1
+		}
+		b = append(b, disc)
+		b = appendF64(b, d.InferUS)
+	}
+	if r := resp.Result; r != nil {
+		b = appendF64(b, r.SimTimeSec)
+		b = appendU32(b, uint32(r.WGsCPU))
+		b = appendU32(b, uint32(r.WGsGPU))
+		b = appendU32(b, uint32(r.GPUChunks))
+	}
+	fb := resp.Fallback
+	if fb == nil {
+		fb = &FallbackDelta{}
+	}
+	b = appendI64(b, fb.Managed)
+	b = appendI64(b, fb.CoExecAll)
+	b = appendI64(b, fb.Plain)
+	b = appendI64(b, fb.ModelDiscards)
+	b = appendI64(b, fb.Panics)
+	b = appendI64(b, fb.Timeouts)
+	b = appendF64(b, resp.QueueMS)
+	b = appendF64(b, resp.ExecMS)
+	b = appendU16(b, uint16(len(raws)))
+	bc.out = b
+
+	total := len(b)
+	for i := range raws {
+		total += 4 + len(raws[i].name) + 1 + 4 + len(raws[i].raw)
+	}
+	if err := writeFrameHeader(bc.bw, opLaunch|binOKBit, total); err != nil {
+		return err
+	}
+	if _, err := bc.bw.Write(b); err != nil {
+		return err
+	}
+	var u [4]byte
+	for i := range raws {
+		rb := &raws[i]
+		leU32(u[:], uint32(len(rb.name)))
+		if _, err := bc.bw.Write(u[:]); err != nil {
+			return err
+		}
+		if _, err := bc.bw.WriteString(rb.name); err != nil {
+			return err
+		}
+		if err := bc.bw.WriteByte(rb.kind); err != nil {
+			return err
+		}
+		leU32(u[:], uint32(rb.elems))
+		if _, err := bc.bw.Write(u[:]); err != nil {
+			return err
+		}
+		if _, err := bc.bw.Write(rb.raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// leU32 writes v little-endian into b[:4].
+func leU32(b []byte, v uint32) {
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+}

@@ -137,6 +137,13 @@ func (c *Client) do(method, path string, body, out any) error {
 			return fmt.Errorf("client: encoding %s %s: %w", method, path, err)
 		}
 	}
+	return c.doRaw(method, path, raw, out)
+}
+
+// doRaw sends pre-encoded JSON bytes (retrying per the policy). Callers
+// that forward one logical request to several nodes (the cluster
+// router's primary + replica mirror) encode once and reuse the bytes.
+func (c *Client) doRaw(method, path string, raw []byte, out any) error {
 	for attempt := 0; ; attempt++ {
 		err := c.doOnce(method, path, raw, out)
 		if err == nil {
@@ -266,6 +273,17 @@ func (c *Client) ImportSession(exp *SessionExport) error {
 func (c *Client) Launch(req *LaunchRequest) (*LaunchResponse, error) {
 	var out LaunchResponse
 	if err := c.do("POST", "/v1/launch", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// LaunchRaw enqueues a launch from pre-encoded JSON bytes, skipping the
+// per-hop re-encode. The body must already carry the idempotency key if
+// the caller intends to reuse it across nodes.
+func (c *Client) LaunchRaw(body []byte) (*LaunchResponse, error) {
+	var out LaunchResponse
+	if err := c.doRaw("POST", "/v1/launch", body, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -70,8 +70,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 	// ---- daemon ----
 	m.gauge("dopia_uptime_seconds", "Seconds since the daemon started.", time.Since(s.start).Seconds())
-	m.gaugeInt("dopia_queue_depth", "Launches waiting in the admission queue.", int64(len(s.queue)))
-	m.gaugeInt("dopia_queue_capacity", "Capacity of the admission queue.", int64(cap(s.queue)))
+	m.gaugeInt("dopia_queue_depth", "Launches waiting across the per-worker admission queues.", int64(s.queueLen()))
+	m.gaugeInt("dopia_queue_capacity", "Total capacity of the per-worker admission queues.", int64(s.queueCap()))
 	m.gaugeInt("dopia_inflight", "Launches currently executing on workers.", s.inflight.Load())
 	m.gaugeInt("dopia_workers", "Size of the launch worker pool.", int64(s.cfg.Workers))
 	draining := int64(0)
@@ -109,10 +109,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.counter("dopia_bad_requests_total", "Malformed or invalid requests.", s.met.badRequests.Load())
 	m.gauge("dopia_sim_time_seconds_total", "Accumulated simulated co-execution seconds.", float64(s.met.simTimeNanos.Load())/1e9)
 
+	// ---- serving fast path ----
+	m.counter("dopia_server_bytes_in_total", "Request bytes read off the wire (JSON and binary protocols).", s.met.bytesIn.Load())
+	m.counter("dopia_server_bytes_out_total", "Response bytes written to the wire (JSON and binary protocols).", s.met.bytesOut.Load())
+	coalesced := s.met.coalescedFollowers.Load() + s.met.coalescedMemo.Load()
+	m.counter("dopia_coalesced_launches_total", "Launches that shared an identical launch's execution (followers + memo replays).", coalesced)
+	m.counter("dopia_coalesced_followers_total", "Launches that joined an in-flight identical execution.", s.met.coalescedFollowers.Load())
+	m.counter("dopia_launch_memo_hits_total", "Launches replayed from the completed-launch memo.", s.met.coalescedMemo.Load())
+	memoEntries, memoBytes := s.coal.stats()
+	m.gaugeInt("dopia_launch_memo_entries", "Entries in the completed-launch memo.", int64(memoEntries))
+	m.gaugeInt("dopia_launch_memo_bytes", "Bytes held by the completed-launch memo.", memoBytes)
+
 	// ---- latency ----
 	m.histogram("dopia_queue_wait_seconds", "Admission-queue wait per launch.", s.met.queueWait.Snapshot())
 	m.histogram("dopia_exec_seconds", "Execution time per launch (session lock to response).", s.met.exec.Snapshot())
 	m.histogram("dopia_request_seconds", "End-to-end time per launch, admission to completion.", s.met.total.Snapshot())
+	fmt.Fprintf(&m.b, "# HELP dopia_stage_seconds Per-stage request latency (decode, queue, exec, encode).\n# TYPE dopia_stage_seconds summary\n")
+	s.met.stages.Each(func(stage string, snap stats.HistSnapshot) {
+		if snap.Total > 0 {
+			for _, q := range []float64{0.5, 0.95, 0.99} {
+				fmt.Fprintf(&m.b, "dopia_stage_seconds{stage=%q,quantile=%q} %g\n", stage, fmt.Sprintf("%g", q), snap.Quantile(q))
+			}
+		}
+		fmt.Fprintf(&m.b, "dopia_stage_seconds_sum{stage=%q} %g\ndopia_stage_seconds_count{stage=%q} %d\n", stage, snap.Sum, stage, snap.Total)
+	})
 
 	// ---- fail-open ladder ----
 	fb := s.fw.Stats.Snapshot()

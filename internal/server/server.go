@@ -69,6 +69,11 @@ type Config struct {
 	// IdemCacheSize bounds the per-session idempotency cache (default
 	// 128 completed launches).
 	IdemCacheSize int
+	// LaunchMemoBytes bounds the completed-launch memo that answers
+	// identical launches without re-executing (see coalesce.go).
+	// 0 = default 64 MiB; negative disables the memo (in-flight
+	// coalescing of concurrent identical launches stays on).
+	LaunchMemoBytes int64
 }
 
 func (c *Config) fillDefaults() error {
@@ -99,6 +104,9 @@ func (c *Config) fillDefaults() error {
 	if c.IdemCacheSize <= 0 {
 		c.IdemCacheSize = 128
 	}
+	if c.LaunchMemoBytes == 0 {
+		c.LaunchMemoBytes = 64 << 20
+	}
 	return nil
 }
 
@@ -111,7 +119,12 @@ type Server struct {
 	mux      *http.ServeMux
 	start    time.Time
 
-	queue       chan *task
+	// queues holds one bounded channel per worker. Launches are pinned
+	// to a worker by session-ID hash (session affinity), so one
+	// session's launches stay ordered on one goroutine and its
+	// compile/prediction cache touches stay core-hot; total capacity
+	// approximates Config.QueueDepth.
+	queues      []chan *task
 	stopWorkers chan struct{}
 	workersDone sync.WaitGroup
 	// pending counts admitted-but-unfinished tasks for graceful drain.
@@ -130,6 +143,14 @@ type Server struct {
 	sessions    map[string]*session
 	programs    map[string]*program
 	nextSession atomic.Int64
+
+	// coal merges identical launches (in-flight coalitions + completed
+	// memo); see coalesce.go.
+	coal *coalescer
+	// testHookLeader, when set, runs while a coalition leader holds its
+	// session lock just before executing — tests use it to hold the
+	// leader in place while followers pile on. Set before traffic only.
+	testHookLeader func()
 
 	met metrics
 }
@@ -150,6 +171,33 @@ type task struct {
 	cancel   context.CancelFunc
 	admitted time.Time
 	done     chan taskOutcome
+
+	// wantRaw asks for the read-set as raw little-endian bytes in
+	// rawOut (the binary protocol's zero-base64 path) instead of
+	// base64 in resp.Buffers. The slabs behind rawOut come from the
+	// scratch pool; the response writer returns them via releaseRaw.
+	wantRaw bool
+	rawOut  []rawBuf
+}
+
+// rawBuf is one captured read-set buffer: content copied under the
+// session lock into a pooled slab (copy-on-read-back), serialized to
+// the socket after the lock is released.
+type rawBuf struct {
+	name  string
+	kind  byte // 'f' float32, 'i' int32
+	elems int
+	pool  *[]byte
+	raw   []byte
+}
+
+// releaseRaw hands the captured slabs back to the scratch pool.
+func (t *task) releaseRaw() {
+	for i := range t.rawOut {
+		putScratch(t.rawOut[i].pool)
+		t.rawOut[i].pool, t.rawOut[i].raw = nil, nil
+	}
+	t.rawOut = t.rawOut[:0]
 }
 
 type taskOutcome struct {
@@ -177,10 +225,26 @@ type metrics struct {
 	idemReplays      atomic.Int64
 	programEvictions atomic.Int64
 
+	// Fast-path counters: wire bytes in/out (both protocols) and
+	// launches answered by sharing another launch's execution.
+	bytesIn            atomic.Int64
+	bytesOut           atomic.Int64
+	coalescedFollowers atomic.Int64 // joined an in-flight identical launch
+	coalescedMemo      atomic.Int64 // replayed a completed identical launch
+
 	queueWait *stats.Histogram // admission-queue wait, seconds
 	exec      *stats.Histogram // execution (session-lock to response), seconds
 	total     *stats.Histogram // admission to completion, seconds
+	stages    *stats.StageSet  // decode/queue/exec/encode stage latency
 }
+
+// Stage indexes of metrics.stages.
+const (
+	stageDecode = iota
+	stageQueue
+	stageExec
+	stageEncode
+)
 
 // New builds a Server. It does not listen; mount it with Handler (or
 // use cmd/dopia-serve).
@@ -195,15 +259,21 @@ func New(cfg Config) (*Server, error) {
 		fw:          fw,
 		platform:    ocl.NewPlatform(cfg.Machine),
 		start:       time.Now(),
-		queue:       make(chan *task, cfg.QueueDepth),
 		stopWorkers: make(chan struct{}),
 		sessions:    map[string]*session{},
 		programs:    map[string]*program{},
+		coal:        newCoalescer(cfg.LaunchMemoBytes),
 		met: metrics{
 			queueWait: stats.NewLatencyHistogram(),
 			exec:      stats.NewLatencyHistogram(),
 			total:     stats.NewLatencyHistogram(),
+			stages:    stats.NewStageSet("decode", "queue", "exec", "encode"),
 		},
+	}
+	perWorker := (cfg.QueueDepth + cfg.Workers - 1) / cfg.Workers
+	s.queues = make([]chan *task, cfg.Workers)
+	for i := range s.queues {
+		s.queues[i] = make(chan *task, perWorker)
 	}
 	s.ready.Store(!cfg.StartUnready)
 	s.mux = http.NewServeMux()
@@ -221,13 +291,49 @@ func New(cfg Config) (*Server, error) {
 
 	for i := 0; i < cfg.Workers; i++ {
 		s.workersDone.Add(1)
-		go s.worker()
+		go s.worker(i)
 	}
 	return s, nil
 }
 
-// Handler returns the daemon's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the daemon's HTTP handler, instrumented with the
+// wire-byte counters shared with the binary protocol.
+func (s *Server) Handler() http.Handler { return &countingHandler{s: s} }
+
+// countingHandler feeds request/response byte totals into
+// dopia_server_bytes_{in,out}_total for the HTTP/JSON protocol.
+type countingHandler struct{ s *Server }
+
+func (h *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Body != nil {
+		r.Body = &countingReader{rc: r.Body, n: &h.s.met.bytesIn}
+	}
+	h.s.mux.ServeHTTP(&countingResponseWriter{ResponseWriter: w, n: &h.s.met.bytesOut}, r)
+}
+
+type countingReader struct {
+	rc io.ReadCloser
+	n  *atomic.Int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.rc.Read(p)
+	c.n.Add(int64(n))
+	return n, err
+}
+
+func (c *countingReader) Close() error { return c.rc.Close() }
+
+type countingResponseWriter struct {
+	http.ResponseWriter
+	n *atomic.Int64
+}
+
+func (c *countingResponseWriter) Write(p []byte) (int, error) {
+	n, err := c.ResponseWriter.Write(p)
+	c.n.Add(int64(n))
+	return n, err
+}
 
 // Framework exposes the shared framework (stats, caches) for
 // observability and tests.
@@ -307,16 +413,45 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // ---------- admission and execution ----------
 
-// admit places t in the bounded queue. It returns an HTTP status:
-// 0 (admitted), 503 (draining), or 429 (queue full).
+// workerOf pins a session to a worker by FNV-1a hash of its ID, so all
+// of one session's launches run on one goroutine.
+func (s *Server) workerOf(sessionID string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(sessionID); i++ {
+		h = (h ^ uint32(sessionID[i])) * 16777619
+	}
+	return int(h % uint32(len(s.queues)))
+}
+
+// queueLen sums the depth of every per-worker queue.
+func (s *Server) queueLen() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// queueCap sums the capacity of every per-worker queue.
+func (s *Server) queueCap() int {
+	n := 0
+	for _, q := range s.queues {
+		n += cap(q)
+	}
+	return n
+}
+
+// admit places t in its session's per-worker queue. It returns an HTTP
+// status: 0 (admitted), 503 (draining), or 429 (queue full).
 func (s *Server) admit(t *task) int {
+	q := s.queues[s.workerOf(t.req.SessionID)]
 	s.admitMu.Lock()
 	defer s.admitMu.Unlock()
 	if s.draining.Load() {
 		return http.StatusServiceUnavailable
 	}
 	select {
-	case s.queue <- t:
+	case q <- t:
 		s.pending.Add(1)
 		return 0
 	default:
@@ -324,17 +459,18 @@ func (s *Server) admit(t *task) int {
 	}
 }
 
-func (s *Server) worker() {
+func (s *Server) worker(i int) {
 	defer s.workersDone.Done()
+	q := s.queues[i]
 	for {
 		select {
-		case t := <-s.queue:
+		case t := <-q:
 			s.runTask(t)
 		case <-s.stopWorkers:
 			// Drain anything still queued (Shutdown waits on pending).
 			for {
 				select {
-				case t := <-s.queue:
+				case t := <-q:
 					s.runTask(t)
 				default:
 					return
@@ -353,6 +489,7 @@ func (s *Server) runTask(t *task) {
 
 	queued := time.Since(t.admitted)
 	s.met.queueWait.Record(queued.Seconds())
+	s.met.stages.Record(stageQueue, queued.Seconds())
 
 	outcome := func(status int, resp *LaunchResponse, err error) {
 		s.met.total.Record(time.Since(t.admitted).Seconds())
@@ -370,7 +507,9 @@ func (s *Server) runTask(t *task) {
 
 	execStart := time.Now()
 	resp, err := s.execLaunch(t)
-	s.met.exec.Record(time.Since(execStart).Seconds())
+	execDur := time.Since(execStart)
+	s.met.exec.Record(execDur.Seconds())
+	s.met.stages.Record(stageExec, execDur.Seconds())
 
 	switch {
 	case err == nil:
@@ -387,7 +526,16 @@ func (s *Server) runTask(t *task) {
 	}
 }
 
-// execLaunch performs the launch under the session lock.
+// readEntry is one resolved read-set buffer, in request order.
+type readEntry struct {
+	name string
+	sb   *sessionBuffer
+}
+
+// execLaunch performs the launch under the session lock: idempotency
+// replay, argument binding, then either sharing an identical launch's
+// execution (memo hit or in-flight coalition) or running the kernel and
+// publishing the outputs for others.
 func (s *Server) execLaunch(t *task) (*LaunchResponse, error) {
 	req, sess := t.req, t.sess
 
@@ -406,6 +554,11 @@ func (s *Server) execLaunch(t *task) (*LaunchResponse, error) {
 	if req.IdemKey != "" {
 		if stored, ok := sess.idem.get(req.IdemKey); ok {
 			s.met.idemReplays.Add(1)
+			if t.wantRaw {
+				if err := s.rawFromResponse(t, stored); err != nil {
+					return nil, err
+				}
+			}
 			return stored, nil
 		}
 	}
@@ -417,14 +570,16 @@ func (s *Server) execLaunch(t *task) (*LaunchResponse, error) {
 	if len(req.Args) != kern.NumArgs() {
 		return nil, fmt.Errorf("kernel %s takes %d arguments, got %d", req.Kernel, kern.NumArgs(), len(req.Args))
 	}
+	bufArgs := make([]*sessionBuffer, len(req.Args))
 	for i, a := range req.Args {
 		switch {
 		case a.Buf != "":
-			b, ok := sess.bufs[a.Buf]
+			sb, ok := sess.bufs[a.Buf]
 			if !ok {
 				return nil, fmt.Errorf("argument %d: no buffer %q in session %s", i, a.Buf, sess.id)
 			}
-			err = kern.SetArg(i, b)
+			bufArgs[i] = sb
+			err = kern.SetArg(i, sb.b)
 		case a.Int != nil:
 			err = kern.SetArg(i, *a.Int)
 		case a.Float != nil:
@@ -438,19 +593,100 @@ func (s *Server) execLaunch(t *task) (*LaunchResponse, error) {
 	}
 
 	// Resolve read-set up front so a bad name fails before execution.
-	readBufs := make(map[string]*ocl.Buffer, len(req.Read))
+	readSet := make([]readEntry, 0, len(req.Read))
 	for _, name := range req.Read {
-		b, ok := sess.bufs[name]
+		sb, ok := sess.bufs[name]
 		if !ok {
 			return nil, fmt.Errorf("read: no buffer %q in session %s", name, sess.id)
 		}
-		readBufs[name] = b
+		dup := false
+		for _, e := range readSet {
+			if e.name == name {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			readSet = append(readSet, readEntry{name: name, sb: sb})
+		}
 	}
 
+	// Coalescing: identical launches (same program, kernel, geometry,
+	// scalars, buffer contents, and aliasing) share one execution.
+	var (
+		co       *coalition
+		lead     bool
+		keyBytes []byte
+	)
+	if s.coal.on() && len(req.Args) <= 64 {
+		kp, kb := s.coal.keyFor(t.prog.id, req, nd, bufArgs)
+		defer putScratch(kp)
+		keyBytes = kb
+		if res := s.coal.memoGet(kb); res != nil {
+			s.met.coalescedMemo.Add(1)
+			return s.finishShared(t, sess, res, bufArgs, readSet)
+		}
+		co, lead = s.coal.join(kb)
+		if !lead {
+			// Follower: park on the leader's coalition while holding our
+			// own session lock (intra-session order is preserved; the
+			// leader never waits on another session's lock, so there is
+			// no cycle), watching our own deadline only.
+			select {
+			case <-co.done:
+			case <-t.ctx.Done():
+				// Canceled follower: 504 with the session untouched; the
+				// leader's execution is not disturbed.
+				return nil, fmt.Errorf("deadline expired while coalesced behind an identical launch: %w", t.ctx.Err())
+			}
+			if res := co.res; res != nil {
+				s.met.coalescedFollowers.Add(1)
+				return s.finishShared(t, sess, res, bufArgs, readSet)
+			}
+			// The leader failed; fall through and execute independently
+			// (without publishing — each follower re-runs its own copy).
+		} else if s.testHookLeader != nil {
+			s.testHookLeader()
+		}
+	}
+
+	resp, err := s.runKernel(t, sess, kern, nd, bufArgs)
+	if lead {
+		if err != nil {
+			s.coal.abort(keyBytes, co)
+		} else {
+			mask, known := writeMaskOf(s, kern)
+			s.coal.publish(keyBytes, co, buildShared(resp, bufArgs, mask, known))
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.captureReadSet(t, readSet, resp)
+	if req.IdemKey != "" {
+		sess.idem.put(req.IdemKey, resp)
+	}
+	return resp, nil
+}
+
+// runKernel executes the bound kernel on the session queue and builds
+// the response shell (no read-set capture). Callers hold sess.mu.
+func (s *Server) runKernel(t *task, sess *session, kern *ocl.Kernel, nd interp.NDRange, bufArgs []*sessionBuffer) (*LaunchResponse, error) {
 	q := sess.queue
 	q.SetExecContext(t.ctx)
 	defer q.SetExecContext(nil)
 	q.LastLaunch = nil
+
+	// The execution may rewrite any buffer the kernel's write set
+	// names; their cached digests go stale either way (even a failed
+	// rung is rolled back to identical bytes, but touching is cheap and
+	// unconditionally safe).
+	mask, known := writeMaskOf(s, kern)
+	for i, sb := range bufArgs {
+		if sb != nil && (!known || mask&(1<<uint(i)) != 0) {
+			sb.touch()
+		}
+	}
 
 	before := sess.fallbackSnapshot()
 	simBefore := q.SimTime
@@ -496,16 +732,132 @@ func (s *Server) execLaunch(t *task) (*LaunchResponse, error) {
 			GPUChunks:  r.GPUChunks,
 		}
 	}
-	if len(readBufs) > 0 {
-		resp.Buffers = make(map[string]BufferData, len(readBufs))
-		for name, b := range readBufs {
-			resp.Buffers[name] = bufferData(b)
+	return resp, nil
+}
+
+// finishShared applies a shared execution's outputs to this session's
+// own argument buffers, then finishes the response exactly like a real
+// execution (read-set capture, idempotency entry, launch count).
+// Copying is exact: the coalescing key pins each argument's length and
+// content, so leader and follower buffers are structurally identical.
+// Callers hold sess.mu.
+func (s *Server) finishShared(t *task, sess *session, res *sharedResult, bufArgs []*sessionBuffer, readSet []readEntry) (*LaunchResponse, error) {
+	for _, o := range res.outs {
+		sb := bufArgs[o.argIdx]
+		if o.f32 != nil {
+			copy(sb.b.Float32(), o.f32)
+		} else {
+			copy(sb.b.Int32(), o.i32)
 		}
+		sb.touch()
 	}
-	if req.IdemKey != "" {
-		sess.idem.put(req.IdemKey, resp)
+	sess.launches.Add(1)
+	resp := new(LaunchResponse)
+	*resp = res.resp
+	resp.Coalesced = true
+	s.captureReadSet(t, readSet, resp)
+	if t.req.IdemKey != "" {
+		sess.idem.put(t.req.IdemKey, resp)
 	}
 	return resp, nil
+}
+
+// writeMaskOf returns a bitmask of the argument slots the kernel's
+// static analysis marks as written (stores plus atomic targets).
+// known == false means the analysis is unavailable or the kernel has
+// too many parameters for the mask; callers must then treat every
+// buffer argument as written.
+func writeMaskOf(s *Server, kern *ocl.Kernel) (mask uint64, known bool) {
+	ck := kern.Compiled()
+	if ck == nil || len(ck.Params) > 64 {
+		return 0, false
+	}
+	res, err := s.fw.Analysis(ck)
+	if err != nil || res == nil {
+		return 0, false
+	}
+	for _, site := range res.Sites {
+		if site.Write && site.ArgIndex >= 0 && site.ArgIndex < 64 {
+			mask |= 1 << uint(site.ArgIndex)
+		}
+	}
+	for _, ai := range res.AtomicArgs {
+		if ai >= 0 && ai < 64 {
+			mask |= 1 << uint(ai)
+		}
+	}
+	return mask, true
+}
+
+// captureReadSet snapshots the requested read-set under the session
+// lock — base64 into resp.Buffers for JSON clients, raw little-endian
+// bytes into pooled slabs for binary clients (copy-on-read-back: the
+// socket write happens after the lock is gone, so the copy is what
+// keeps a concurrent launch from racing the serialization).
+func (s *Server) captureReadSet(t *task, readSet []readEntry, resp *LaunchResponse) {
+	if len(readSet) == 0 {
+		return
+	}
+	if t.wantRaw {
+		for _, e := range readSet {
+			n := e.sb.b.Len()
+			p, raw := getScratch(4 * n)
+			kind := byte('i')
+			if f := e.sb.b.Float32(); f != nil {
+				kind = 'f'
+				F32ToLE(raw, f)
+			} else {
+				I32ToLE(raw, e.sb.b.Int32())
+			}
+			t.rawOut = append(t.rawOut, rawBuf{name: e.name, kind: kind, elems: n, pool: p, raw: raw})
+		}
+		// Idempotent binary launches also store base64 content so a
+		// replay from the idem cache can reconstruct the raw frames.
+		if t.req.IdemKey == "" {
+			return
+		}
+	}
+	resp.Buffers = make(map[string]BufferData, len(readSet))
+	for _, e := range readSet {
+		resp.Buffers[e.name] = bufferData(e.sb.b)
+	}
+}
+
+// rawFromResponse rebuilds raw read-set frames from a stored (idem
+// cache) response's base64 buffers, in name-sorted order.
+func (s *Server) rawFromResponse(t *task, resp *LaunchResponse) error {
+	if len(resp.Buffers) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(resp.Buffers))
+	for name := range resp.Buffers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bd := resp.Buffers[name]
+		p, raw := getScratch(4 * bd.Len)
+		kind := byte('f')
+		var err error
+		if bd.Kind == "float32" {
+			var tmp []float32
+			if tmp, err = DecodeF32(bd.F32B64); err == nil {
+				F32ToLE(raw, tmp)
+			}
+		} else {
+			kind = 'i'
+			var tmp []int32
+			if tmp, err = DecodeI32(bd.I32B64); err == nil {
+				I32ToLE(raw, tmp)
+			}
+		}
+		if err != nil {
+			putScratch(p)
+			return err
+		}
+		t.rawOut = append(t.rawOut, rawBuf{name: name, kind: kind, elems: bd.Len, pool: p, raw: raw})
+	}
+	return nil
 }
 
 // ndOf validates the request geometry into an NDRange.
@@ -554,30 +906,25 @@ func decodeBody(w http.ResponseWriter, r *http.Request, limit int64, v any) bool
 	return true
 }
 
-func (s *Server) handleProgram(w http.ResponseWriter, r *http.Request) {
-	var req ProgramRequest
-	if !decodeBody(w, r, s.cfg.MaxSourceBytes+4096, &req) {
+// registerProgram validates, dedups, and compiles source, shared by the
+// JSON and binary protocols. It returns the program, whether it was
+// already registered, and an HTTP-status-shaped error.
+func (s *Server) registerProgram(source string) (p *program, cached bool, status int, err error) {
+	if source == "" {
 		s.met.badRequests.Add(1)
-		return
+		return nil, false, http.StatusBadRequest, fmt.Errorf("empty program source")
 	}
-	if req.Source == "" {
+	if int64(len(source)) > s.cfg.MaxSourceBytes {
 		s.met.badRequests.Add(1)
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("empty program source"))
-		return
+		return nil, false, http.StatusBadRequest, fmt.Errorf("program source of %d bytes exceeds the %d-byte limit",
+			len(source), s.cfg.MaxSourceBytes)
 	}
-	if int64(len(req.Source)) > s.cfg.MaxSourceBytes {
-		s.met.badRequests.Add(1)
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("program source of %d bytes exceeds the %d-byte limit",
-			len(req.Source), s.cfg.MaxSourceBytes))
-		return
-	}
-	id := ProgramID(req.Source)
+	id := ProgramID(source)
 
 	s.mu.Lock()
 	if p, ok := s.programs[id]; ok {
 		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, ProgramResponse{ProgramID: p.id, Kernels: p.kernels, Cached: true})
-		return
+		return p, true, http.StatusOK, nil
 	}
 	s.mu.Unlock()
 
@@ -587,11 +934,10 @@ func (s *Server) handleProgram(w http.ResponseWriter, r *http.Request) {
 	// one source are interchangeable.
 	bctx := s.platform.CreateContext()
 	s.fw.Attach(bctx) // warm the analysis caches at build time
-	prog := bctx.CreateProgramWithSource(req.Source)
+	prog := bctx.CreateProgramWithSource(source)
 	if err := prog.Build(); err != nil {
 		s.met.badRequests.Add(1)
-		s.writeError(w, http.StatusBadRequest, err)
-		return
+		return nil, false, http.StatusBadRequest, err
 	}
 	s.met.programBuilds.Add(1)
 	var kernels []string
@@ -599,7 +945,7 @@ func (s *Server) handleProgram(w http.ResponseWriter, r *http.Request) {
 		kernels = append(kernels, k.Name)
 	}
 	sort.Strings(kernels)
-	p := &program{id: id, prog: prog, kernels: kernels}
+	p = &program{id: id, prog: prog, kernels: kernels}
 
 	s.mu.Lock()
 	if prev, ok := s.programs[id]; ok {
@@ -608,14 +954,57 @@ func (s *Server) handleProgram(w http.ResponseWriter, r *http.Request) {
 		s.programs[id] = p
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, ProgramResponse{ProgramID: p.id, Kernels: p.kernels, Cached: false})
+	return p, false, http.StatusOK, nil
+}
+
+func (s *Server) handleProgram(w http.ResponseWriter, r *http.Request) {
+	var req ProgramRequest
+	if !decodeBody(w, r, s.cfg.MaxSourceBytes+4096, &req) {
+		s.met.badRequests.Add(1)
+		return
+	}
+	p, cached, status, err := s.registerProgram(req.Source)
+	if err != nil {
+		s.writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ProgramResponse{ProgramID: p.id, Kernels: p.kernels, Cached: cached})
+}
+
+// createSession makes a tenant session (id == "" assigns s-<n>), shared
+// by the JSON and binary protocols. It returns the assigned ID and an
+// HTTP-status-shaped error.
+func (s *Server) createSession(id string) (string, int, error) {
+	if s.draining.Load() {
+		return "", http.StatusServiceUnavailable, fmt.Errorf("draining")
+	}
+	if id == "" {
+		id = fmt.Sprintf("s-%d", s.nextSession.Add(1))
+	} else if len(id) > maxBufferName {
+		s.met.badRequests.Add(1)
+		return "", http.StatusBadRequest, fmt.Errorf("session id longer than %d characters", maxBufferName)
+	}
+	sess := s.newSession(id)
+
+	s.mu.Lock()
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.met.rejected.Add(1)
+		return "", http.StatusTooManyRequests,
+			fmt.Errorf("session limit of %d reached", s.cfg.MaxSessions)
+	}
+	if _, exists := s.sessions[id]; exists {
+		s.mu.Unlock()
+		s.met.badRequests.Add(1)
+		return "", http.StatusConflict, fmt.Errorf("session %q already exists", id)
+	}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	s.met.sessionsCreated.Add(1)
+	return id, http.StatusOK, nil
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		s.writeError(w, http.StatusServiceUnavailable, fmt.Errorf("draining"))
-		return
-	}
 	// The body is optional; a router places sessions under one global ID
 	// on primary and replica nodes by naming it explicitly.
 	var req SessionRequest
@@ -625,33 +1014,11 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	id := req.SessionID
-	if id == "" {
-		id = fmt.Sprintf("s-%d", s.nextSession.Add(1))
-	} else if len(id) > maxBufferName {
-		s.met.badRequests.Add(1)
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("session id longer than %d characters", maxBufferName))
+	id, status, err := s.createSession(req.SessionID)
+	if err != nil {
+		s.writeError(w, status, err)
 		return
 	}
-	sess := s.newSession(id)
-
-	s.mu.Lock()
-	if len(s.sessions) >= s.cfg.MaxSessions {
-		s.mu.Unlock()
-		s.met.rejected.Add(1)
-		s.writeError(w, http.StatusTooManyRequests,
-			fmt.Errorf("session limit of %d reached", s.cfg.MaxSessions))
-		return
-	}
-	if _, exists := s.sessions[id]; exists {
-		s.mu.Unlock()
-		s.met.badRequests.Add(1)
-		s.writeError(w, http.StatusConflict, fmt.Errorf("session %q already exists", id))
-		return
-	}
-	s.sessions[id] = sess
-	s.mu.Unlock()
-	s.met.sessionsCreated.Add(1)
 	writeJSON(w, http.StatusOK, SessionResponse{SessionID: id})
 }
 
@@ -726,20 +1093,27 @@ func (s *Server) session(id string) (*session, bool) {
 	return sess, ok
 }
 
-func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
+// closeSession unpublishes a session, shared by both protocols.
+// In-flight launches of the session hold sess.mu and finish normally;
+// the session just stops being addressable.
+func (s *Server) closeSession(id string) (int, error) {
 	s.mu.Lock()
-	sess, ok := s.sessions[id]
+	_, ok := s.sessions[id]
 	delete(s.sessions, id)
 	s.mu.Unlock()
 	if !ok {
-		s.writeError(w, http.StatusNotFound, fmt.Errorf("no session %q", id))
+		return http.StatusNotFound, fmt.Errorf("no session %q", id)
+	}
+	s.met.sessionsClosed.Add(1)
+	return http.StatusOK, nil
+}
+
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if status, err := s.closeSession(id); err != nil {
+		s.writeError(w, status, err)
 		return
 	}
-	// In-flight launches of the session hold sess.mu and finish
-	// normally; the session just stops being addressable.
-	_ = sess
-	s.met.sessionsClosed.Add(1)
 	writeJSON(w, http.StatusOK, map[string]string{"closed": id})
 }
 
@@ -773,10 +1147,10 @@ func (s *Server) handleReadBuffer(w http.ResponseWriter, r *http.Request) {
 	}
 	name := r.PathValue("name")
 	sess.mu.Lock()
-	b, ok := sess.bufs[name]
+	sb, ok := sess.bufs[name]
 	var data BufferData
 	if ok {
-		data = bufferData(b)
+		data = bufferData(sb.b)
 	}
 	sess.mu.Unlock()
 	if !ok {
@@ -786,12 +1160,27 @@ func (s *Server) handleReadBuffer(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, data)
 }
 
+// launchDeadline clamps a request's deadline_ms to the configured
+// bounds (0 = server default).
+func (s *Server) launchDeadline(ms int64) time.Duration {
+	deadline := s.cfg.DefaultDeadline
+	if ms > 0 {
+		deadline = time.Duration(ms) * time.Millisecond
+		if deadline > s.cfg.MaxDeadline {
+			deadline = s.cfg.MaxDeadline
+		}
+	}
+	return deadline
+}
+
 func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
+	decodeStart := time.Now()
 	var req LaunchRequest
 	if !decodeBody(w, r, 1<<20, &req) {
 		s.met.badRequests.Add(1)
 		return
 	}
+	s.met.stages.Record(stageDecode, time.Since(decodeStart).Seconds())
 	sess, ok := s.session(req.SessionID)
 	if !ok {
 		s.met.badRequests.Add(1)
@@ -807,14 +1196,7 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	deadline := s.cfg.DefaultDeadline
-	if req.DeadlineMS > 0 {
-		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
-		if deadline > s.cfg.MaxDeadline {
-			deadline = s.cfg.MaxDeadline
-		}
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), deadline)
+	ctx, cancel := context.WithTimeout(context.Background(), s.launchDeadline(req.DeadlineMS))
 	t := &task{
 		req:      &req,
 		sess:     sess,
@@ -831,11 +1213,13 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := <-t.done
+	encodeStart := time.Now()
 	if out.err != nil {
 		s.writeError(w, out.status, out.err)
 		return
 	}
 	writeJSON(w, out.status, out.resp)
+	s.met.stages.Record(stageEncode, time.Since(encodeStart).Seconds())
 }
 
 // handleHealthz is pure liveness: it answers 200 whenever the process
@@ -857,8 +1241,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Status:        status,
 		Ready:         s.Ready(),
 		UptimeSec:     time.Since(s.start).Seconds(),
-		QueueDepth:    len(s.queue),
-		QueueCapacity: cap(s.queue),
+		QueueDepth:    s.queueLen(),
+		QueueCapacity: s.queueCap(),
 		InFlight:      int(s.inflight.Load()),
 		Sessions:      nSessions,
 		Launches:      s.met.launchesOK.Load(),

@@ -344,12 +344,12 @@ func TestQueueFull(t *testing.T) {
 	}
 	// Wait until one launch occupies the worker and one sits queued.
 	deadline := time.Now().Add(5 * time.Second)
-	for (s.inflight.Load() != 1 || len(s.queue) != 1) && time.Now().Before(deadline) {
+	for (s.inflight.Load() != 1 || s.queueLen() != 1) && time.Now().Before(deadline) {
 		time.Sleep(time.Millisecond)
 	}
-	if s.inflight.Load() != 1 || len(s.queue) != 1 {
+	if s.inflight.Load() != 1 || s.queueLen() != 1 {
 		sess.mu.Unlock()
-		t.Fatalf("worker/queue never saturated: inflight=%d queued=%d", s.inflight.Load(), len(s.queue))
+		t.Fatalf("worker/queue never saturated: inflight=%d queued=%d", s.inflight.Load(), s.queueLen())
 	}
 	_, err = launch()
 	apiErr, ok := err.(*APIError)

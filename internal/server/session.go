@@ -10,6 +10,7 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,7 +34,7 @@ type session struct {
 	mu    sync.Mutex
 	ctx   *ocl.Context
 	queue *ocl.CommandQueue
-	bufs  map[string]*ocl.Buffer
+	bufs  map[string]*sessionBuffer
 
 	// idem remembers recently applied launches by idempotency key so a
 	// failover retry returns the stored response instead of executing
@@ -41,6 +42,67 @@ type session struct {
 	idem *idemCache
 
 	launches atomic.Int64
+}
+
+// sessionBuffer wraps an ocl.Buffer with a content version counter and
+// a lazily computed 128-bit content digest. The digest feeds the
+// launch-coalescing key: two launches are mergeable only when every
+// buffer argument carries identical content, and hashing is amortized
+// by recomputing only after the version moved (every code path that may
+// mutate the buffer bumps it via touch). All fields are guarded by the
+// owning session's mu.
+type sessionBuffer struct {
+	b      *ocl.Buffer
+	ver    uint64
+	digVer uint64 // version the cached digest was computed at (ver+1 offset)
+	dig    [2]uint64
+}
+
+// touch marks the buffer content as possibly changed, invalidating the
+// cached digest.
+func (sb *sessionBuffer) touch() { sb.ver++ }
+
+// digest returns the buffer's 128-bit content digest, recomputing it
+// only when the content version moved since the last call.
+func (sb *sessionBuffer) digest() [2]uint64 {
+	if sb.digVer == sb.ver+1 {
+		return sb.dig
+	}
+	sb.dig = hashBufferContent(sb.b)
+	sb.digVer = sb.ver + 1
+	return sb.dig
+}
+
+// hashBufferContent computes two independent 64-bit multiply-xor hashes
+// over the buffer's element bit patterns (seeded differently, folded
+// with kind and length), giving a 128-bit digest whose accidental
+// collision probability is negligible at serving scale.
+func hashBufferContent(b *ocl.Buffer) [2]uint64 {
+	const (
+		p1 = 0x100000001b3        // FNV-64 prime
+		p2 = 0x9e3779b97f4a7c15   // golden-ratio odd constant
+		s1 = 0xcbf29ce484222325   // FNV-64 offset basis
+		s2 = 0x6a09e667f3bcc909   // sqrt(2) fraction
+	)
+	h1, h2 := uint64(s1), uint64(s2)
+	mix := func(w uint64) {
+		h1 = (h1 ^ w) * p1
+		h2 = (h2 ^ (w + p2)) * p2
+		h2 ^= h2 >> 29
+	}
+	if f := b.Float32(); f != nil {
+		mix(uint64(len(f)))
+		for _, x := range f {
+			mix(uint64(math.Float32bits(x)))
+		}
+	} else {
+		xs := b.Int32()
+		mix(0xf00d ^ uint64(len(xs)))
+		for _, x := range xs {
+			mix(uint64(uint32(x)))
+		}
+	}
+	return [2]uint64{h1, h2}
 }
 
 // newSession creates a tenant session on the server's platform with the
@@ -53,7 +115,7 @@ func (s *Server) newSession(id string) *session {
 		created: time.Now(),
 		ctx:     ctx,
 		queue:   ctx.CreateCommandQueue(s.platform.Device(ocl.DeviceCPU)),
-		bufs:    map[string]*ocl.Buffer{},
+		bufs:    map[string]*sessionBuffer{},
 		idem:    newIdemCache(s.cfg.IdemCacheSize),
 	}
 }
@@ -121,8 +183,8 @@ func (sess *session) export() *SessionExport {
 		Buffers:   make(map[string]BufferData, len(sess.bufs)),
 		Idem:      sess.idem.entries(),
 	}
-	for name, b := range sess.bufs {
-		exp.Buffers[name] = bufferData(b)
+	for name, sb := range sess.bufs {
+		exp.Buffers[name] = bufferData(sb.b)
 	}
 	return exp
 }
@@ -148,8 +210,11 @@ func (sess *session) restore(exp *SessionExport, maxBytes int64) error {
 // maxBufferName bounds buffer name length (they appear in URLs).
 const maxBufferName = 128
 
-// createBuffer materializes a named buffer from a BufferRequest.
-// Callers hold sess.mu.
+// createBuffer materializes a named buffer from a BufferRequest. The
+// content source is validated first, then the buffer is allocated at
+// its final size and filled in place — base64 payloads decode straight
+// into the buffer's element storage through a pooled scratch slab, with
+// no intermediate element slice. Callers hold sess.mu.
 func (sess *session) createBuffer(req *BufferRequest, maxBytes int64) (*ocl.Buffer, error) {
 	if req.Name == "" || len(req.Name) > maxBufferName {
 		return nil, fmt.Errorf("buffer name must be 1..%d characters", maxBufferName)
@@ -157,115 +222,167 @@ func (sess *session) createBuffer(req *BufferRequest, maxBytes int64) (*ocl.Buff
 	if _, exists := sess.bufs[req.Name]; exists {
 		return nil, fmt.Errorf("buffer %q already exists in session %s", req.Name, sess.id)
 	}
+	n, err := contentLen(req)
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("buffer %q: positive len (or data) required", req.Name)
+	}
+	if int64(n)*4 > maxBytes {
+		return nil, fmt.Errorf("buffer %q: %d bytes exceeds the per-buffer limit of %d", req.Name, int64(n)*4, maxBytes)
+	}
 
+	var b *ocl.Buffer
 	switch req.Kind {
 	case "float32":
-		data, err := f32Content(req)
-		if err != nil {
-			return nil, err
-		}
-		n := req.Len
-		if data != nil {
-			if n != 0 && n != len(data) {
-				return nil, fmt.Errorf("buffer %q: len %d contradicts %d data elements", req.Name, n, len(data))
+		b = sess.ctx.CreateFloatBuffer(n)
+		switch {
+		case req.F32B64 != "":
+			if err := DecodeF32Into(b.Float32(), req.F32B64); err != nil {
+				return nil, err
 			}
-			n = len(data)
-		}
-		if err := checkBufLen(req.Name, n, maxBytes); err != nil {
-			return nil, err
-		}
-		b := sess.ctx.CreateFloatBuffer(n)
-		if data != nil {
-			copy(b.Float32(), data)
-		} else if req.FillSeed != nil {
+		case req.F32 != nil:
+			copy(b.Float32(), req.F32)
+		case req.FillSeed != nil:
 			workloads.FillFloats(b.Raw(), *req.FillSeed)
 		}
-		sess.bufs[req.Name] = b
-		return b, nil
-
 	case "int32":
-		data, err := i32Content(req)
-		if err != nil {
-			return nil, err
-		}
-		n := req.Len
-		if data != nil {
-			if n != 0 && n != len(data) {
-				return nil, fmt.Errorf("buffer %q: len %d contradicts %d data elements", req.Name, n, len(data))
+		b = sess.ctx.CreateIntBuffer(n)
+		switch {
+		case req.I32B64 != "":
+			if err := DecodeI32Into(b.Int32(), req.I32B64); err != nil {
+				return nil, err
 			}
-			n = len(data)
-		}
-		if err := checkBufLen(req.Name, n, maxBytes); err != nil {
-			return nil, err
-		}
-		b := sess.ctx.CreateIntBuffer(n)
-		if data != nil {
-			copy(b.Int32(), data)
-		} else if req.FillSeed != nil {
+		case req.I32 != nil:
+			copy(b.Int32(), req.I32)
+		case req.FillSeed != nil:
 			workloads.FillInts(b.Raw(), *req.FillSeed, req.FillMod)
 		}
-		sess.bufs[req.Name] = b
-		return b, nil
-
 	default:
 		return nil, fmt.Errorf("buffer %q: unsupported kind %q (float32 or int32)", req.Name, req.Kind)
 	}
+	sess.bufs[req.Name] = &sessionBuffer{b: b}
+	return b, nil
 }
 
-func checkBufLen(name string, n int, maxBytes int64) error {
+// Binary-protocol buffer content tags.
+const (
+	binContentZero = 0 // allocate zeroed
+	binContentFill = 1 // deterministic server-side fill (seed, mod)
+	binContentRaw  = 2 // raw little-endian element bytes follow
+)
+
+// createBufferBin materializes a named buffer from binary-protocol
+// fields: kind 'f'/'i', element count, and a content tag (zero, fill,
+// or raw little-endian bytes decoded in place — the zero-copy
+// counterpart of the base64 path). Callers hold sess.mu.
+func (sess *session) createBufferBin(name string, kind byte, n int, content byte, seed uint32, mod int32, raw []byte, maxBytes int64) (*ocl.Buffer, error) {
+	if name == "" || len(name) > maxBufferName {
+		return nil, fmt.Errorf("buffer name must be 1..%d characters", maxBufferName)
+	}
+	if _, exists := sess.bufs[name]; exists {
+		return nil, fmt.Errorf("buffer %q already exists in session %s", name, sess.id)
+	}
 	if n <= 0 {
-		return fmt.Errorf("buffer %q: positive len (or data) required", name)
+		return nil, fmt.Errorf("buffer %q: positive element count required", name)
 	}
 	if int64(n)*4 > maxBytes {
-		return fmt.Errorf("buffer %q: %d bytes exceeds the per-buffer limit of %d", name, int64(n)*4, maxBytes)
+		return nil, fmt.Errorf("buffer %q: %d bytes exceeds the per-buffer limit of %d", name, int64(n)*4, maxBytes)
 	}
-	return nil
+	if content == binContentRaw && len(raw) != 4*n {
+		return nil, fmt.Errorf("buffer %q: raw payload is %d bytes, want %d", name, len(raw), 4*n)
+	}
+
+	var b *ocl.Buffer
+	switch kind {
+	case 'f':
+		b = sess.ctx.CreateFloatBuffer(n)
+		switch content {
+		case binContentRaw:
+			LEToF32(b.Float32(), raw)
+		case binContentFill:
+			workloads.FillFloats(b.Raw(), seed)
+		case binContentZero:
+		default:
+			return nil, fmt.Errorf("buffer %q: unknown content tag %d", name, content)
+		}
+	case 'i':
+		b = sess.ctx.CreateIntBuffer(n)
+		switch content {
+		case binContentRaw:
+			LEToI32(b.Int32(), raw)
+		case binContentFill:
+			workloads.FillInts(b.Raw(), seed, mod)
+		case binContentZero:
+		default:
+			return nil, fmt.Errorf("buffer %q: unknown content tag %d", name, content)
+		}
+	default:
+		return nil, fmt.Errorf("buffer %q: unsupported kind %q ('f' or 'i')", name, kind)
+	}
+	sess.bufs[name] = &sessionBuffer{b: b}
+	return b, nil
 }
 
-func f32Content(req *BufferRequest) ([]float32, error) {
-	sources := 0
-	if req.F32B64 != "" {
+// contentLen validates that at most one content source is present and
+// kind-compatible, and resolves the buffer's element count.
+func contentLen(req *BufferRequest) (int, error) {
+	sources, n := 0, req.Len
+	countData := func(elems int) error {
 		sources++
+		if req.Len != 0 && req.Len != elems {
+			return fmt.Errorf("buffer %q: len %d contradicts %d data elements", req.Name, req.Len, elems)
+		}
+		n = elems
+		return nil
 	}
-	if req.F32 != nil {
-		sources++
-	}
-	if req.FillSeed != nil {
-		sources++
+	isFloat := req.Kind == "float32"
+	if req.F32B64 != "" || req.F32 != nil {
+		if !isFloat && req.Kind == "int32" {
+			return 0, fmt.Errorf("buffer %q: float data for an int32 buffer", req.Name)
+		}
 	}
 	if req.I32B64 != "" || req.I32 != nil {
-		return nil, fmt.Errorf("buffer %q: int data for a float32 buffer", req.Name)
-	}
-	if sources > 1 {
-		return nil, fmt.Errorf("buffer %q: more than one content source", req.Name)
+		if isFloat {
+			return 0, fmt.Errorf("buffer %q: int data for a float32 buffer", req.Name)
+		}
 	}
 	if req.F32B64 != "" {
-		return DecodeF32(req.F32B64)
+		elems, err := b64Elems(req.F32B64)
+		if err != nil {
+			return 0, fmt.Errorf("server: bad f32 base64: %w", err)
+		}
+		if err := countData(elems); err != nil {
+			return 0, err
+		}
 	}
-	return req.F32, nil
-}
-
-func i32Content(req *BufferRequest) ([]int32, error) {
-	sources := 0
+	if req.F32 != nil {
+		if err := countData(len(req.F32)); err != nil {
+			return 0, err
+		}
+	}
 	if req.I32B64 != "" {
-		sources++
+		elems, err := b64Elems(req.I32B64)
+		if err != nil {
+			return 0, fmt.Errorf("server: bad i32 base64: %w", err)
+		}
+		if err := countData(elems); err != nil {
+			return 0, err
+		}
 	}
 	if req.I32 != nil {
-		sources++
+		if err := countData(len(req.I32)); err != nil {
+			return 0, err
+		}
 	}
 	if req.FillSeed != nil {
 		sources++
 	}
-	if req.F32B64 != "" || req.F32 != nil {
-		return nil, fmt.Errorf("buffer %q: float data for an int32 buffer", req.Name)
-	}
 	if sources > 1 {
-		return nil, fmt.Errorf("buffer %q: more than one content source", req.Name)
+		return 0, fmt.Errorf("buffer %q: more than one content source", req.Name)
 	}
-	if req.I32B64 != "" {
-		return DecodeI32(req.I32B64)
-	}
-	return req.I32, nil
+	return n, nil
 }
 
 // bufferData snapshots a buffer's content for the wire. Callers hold

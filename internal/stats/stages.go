@@ -1,0 +1,53 @@
+package stats
+
+// StageSet is a fixed set of named latency histograms — one per
+// pipeline stage — recorded by index so the hot path never hashes a
+// stage name. The serving layer uses one to break request latency into
+// decode / queue / exec / encode.
+
+// StageSet holds one latency histogram per named stage.
+type StageSet struct {
+	names []string
+	hists []*Histogram
+}
+
+// NewStageSet builds a set with one NewLatencyHistogram per name.
+func NewStageSet(names ...string) *StageSet {
+	s := &StageSet{names: append([]string(nil), names...)}
+	s.hists = make([]*Histogram, len(s.names))
+	for i := range s.hists {
+		s.hists[i] = NewLatencyHistogram()
+	}
+	return s
+}
+
+// Record adds one observation (seconds) to stage i. Safe for concurrent
+// use; out-of-range indexes are ignored.
+func (s *StageSet) Record(i int, v float64) {
+	if i < 0 || i >= len(s.hists) {
+		return
+	}
+	s.hists[i].Record(v)
+}
+
+// Len returns the number of stages.
+func (s *StageSet) Len() int { return len(s.names) }
+
+// Name returns stage i's name.
+func (s *StageSet) Name(i int) string { return s.names[i] }
+
+// Histogram returns stage i's histogram (nil if out of range).
+func (s *StageSet) Histogram(i int) *Histogram {
+	if i < 0 || i >= len(s.hists) {
+		return nil
+	}
+	return s.hists[i]
+}
+
+// Each visits every stage in declaration order with a consistent
+// snapshot of its histogram.
+func (s *StageSet) Each(f func(name string, snap HistSnapshot)) {
+	for i, h := range s.hists {
+		f(s.names[i], h.Snapshot())
+	}
+}
