@@ -27,9 +27,27 @@ func compareReports(oldPath, newPath string, thresholdPct float64, allowMissing 
 	if err != nil {
 		return err
 	}
+	// Records match on (name, lane_width); when either side predates the
+	// lane dimension (lane_width 0 everywhere for that name), fall back
+	// to name-only so old baselines stay comparable.
+	type benchKey struct {
+		name  string
+		lanes int
+	}
+	newByKey := make(map[benchKey]benchRecord, len(newRep.Benchmarks))
 	newByName := make(map[string]benchRecord, len(newRep.Benchmarks))
 	for _, b := range newRep.Benchmarks {
-		newByName[b.Name] = b
+		newByKey[benchKey{b.Name, b.LaneWidth}] = b
+		if _, dup := newByName[b.Name]; !dup {
+			newByName[b.Name] = b
+		}
+	}
+	lookup := func(ob benchRecord) (benchRecord, bool) {
+		if nb, ok := newByKey[benchKey{ob.Name, ob.LaneWidth}]; ok {
+			return nb, true
+		}
+		nb, ok := newByName[ob.Name]
+		return nb, ok
 	}
 
 	fmt.Printf("old: %s (%s, %d cpu, gomaxprocs %d)\n",
@@ -44,7 +62,7 @@ func compareReports(oldPath, newPath string, thresholdPct float64, allowMissing 
 	seen := make(map[string]bool, len(oldRep.Benchmarks))
 	for _, ob := range oldRep.Benchmarks {
 		seen[ob.Name] = true
-		nb, ok := newByName[ob.Name]
+		nb, ok := lookup(ob)
 		if !ok {
 			if allowMissing {
 				fmt.Printf("%-26s %14.0f %14s\n", ob.Name, ob.NsPerOp, "(waived)")

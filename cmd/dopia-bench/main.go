@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"dopia/internal/experiments"
+	"dopia/internal/interp"
 )
 
 func main() {
@@ -44,8 +45,25 @@ func main() {
 		allowMiss  = flag.Bool("allow-missing", false, "with -compare, waive benchmarks missing from the new report instead of failing (for CI runs that exclude suites)")
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = flag.String("memprofile", "", "write a heap profile at exit to this file")
+		opProfile  = flag.String("opprofile", "", "enable opcode n-gram profiling and write the histogram JSON (dopia-superopt input) to this file at exit")
 	)
 	flag.Parse()
+
+	if *opProfile != "" {
+		interp.EnableOpProfiling()
+		path := *opProfile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			if err := interp.WriteOpProfile(f, 128); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	if *compare {
 		if flag.NArg() != 2 {

@@ -36,6 +36,11 @@ type benchRecord struct {
 	// ("bytecode", "closures", possibly with a fallback note), or
 	// "none" for benchmarks that never execute kernels.
 	Engine string `json:"engine"`
+	// LaneWidth is the resolved interpreter lane width the benchmark's
+	// kernels ran at (0 for benchmarks that never execute kernels).
+	// Compare matches records on (name, lane_width), falling back to
+	// name-only for reports that predate the field.
+	LaneWidth int `json:"lane_width,omitempty"`
 }
 
 // benchReport captures the effective execution environment alongside
@@ -67,68 +72,75 @@ const gesummvSrc = `__kernel void gesummv(__global float* A, __global float* B,
     }
 }`
 
-func interpreterBench() (func(b *testing.B), string, error) {
-	prog, err := clc.Compile(gesummvSrc)
-	if err != nil {
-		return nil, "", err
-	}
-	n := 256
-	ex, err := interp.NewExec(prog.Kernels[0])
-	if err != nil {
-		return nil, "", err
-	}
-	A := interp.NewFloatBuffer(n * n)
-	B := interp.NewFloatBuffer(n * n)
-	x := interp.NewFloatBuffer(n)
-	y := interp.NewFloatBuffer(n)
-	if err := ex.Bind(interp.BufArg(A), interp.BufArg(B), interp.BufArg(x), interp.BufArg(y),
-		interp.FloatArg(1), interp.FloatArg(1), interp.IntArg(int64(n))); err != nil {
-		return nil, "", err
-	}
-	if err := ex.Launch(interp.ND1(n, 64)); err != nil {
-		return nil, "", err
-	}
-	eng, fallback := ex.EngineUsed()
-	engineStr := eng.String()
-	if fallback != "" {
-		engineStr += " (fallback: " + fallback + ")"
-	}
-	return func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if err := ex.Run(); err != nil {
-				b.Fatal(err)
-			}
+// interpreterBench measures the gesummv kernel on the bytecode engine.
+// lanes is the requested lane width (0 = the process default); the
+// record carries the width actually resolved at launch.
+func interpreterBench(lanes int) func() (func(b *testing.B), string, int, error) {
+	return func() (func(b *testing.B), string, int, error) {
+		prog, err := clc.Compile(gesummvSrc)
+		if err != nil {
+			return nil, "", 0, err
 		}
-	}, engineStr, nil
+		n := 256
+		ex, err := interp.NewExec(prog.Kernels[0])
+		if err != nil {
+			return nil, "", 0, err
+		}
+		ex.LaneWidth = lanes
+		A := interp.NewFloatBuffer(n * n)
+		B := interp.NewFloatBuffer(n * n)
+		x := interp.NewFloatBuffer(n)
+		y := interp.NewFloatBuffer(n)
+		if err := ex.Bind(interp.BufArg(A), interp.BufArg(B), interp.BufArg(x), interp.BufArg(y),
+			interp.FloatArg(1), interp.FloatArg(1), interp.IntArg(int64(n))); err != nil {
+			return nil, "", 0, err
+		}
+		if err := ex.Launch(interp.ND1(n, 64)); err != nil {
+			return nil, "", 0, err
+		}
+		eng, fallback := ex.EngineUsed()
+		engineStr := eng.String()
+		if fallback != "" {
+			engineStr += " (fallback: " + fallback + ")"
+		}
+		width, _ := ex.LanesUsed()
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if err := ex.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}, engineStr, width, nil
+	}
 }
 
-func heatmapBench() (func(b *testing.B), string, error) {
+func heatmapBench() (func(b *testing.B), string, int, error) {
 	ws, err := workloads.RealWorkloads(512, 256)
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	w := ws[8] // GESUMMV
 	k, err := w.CompileKernel()
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	ex, err := sched.NewExecutor(sim.Kaveri(), k, nil)
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	ex.AssumeMalleable = true
 	inst, err := w.Setup()
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	if err := ex.Bind(inst.Args...); err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	if err := ex.Launch(inst.ND); err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	if _, err := ex.Model(); err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	m := sim.Kaveri()
 	return func(b *testing.B) {
@@ -139,10 +151,10 @@ func heatmapBench() (func(b *testing.B), string, error) {
 				}
 			}
 		}
-	}, interp.DefaultEngine().String(), nil
+	}, interp.DefaultEngine().String(), 0, nil
 }
 
-func analysisBench() (func(b *testing.B), string, error) {
+func analysisBench() (func(b *testing.B), string, int, error) {
 	prog, err := clc.Compile(`__kernel void ex(__global float* A, __global float* B,
         __global float* C, __global float* D, __global int* Bi, int c1, int N, int M) {
         for (int i = 0; i < N; i++) {
@@ -152,7 +164,7 @@ func analysisBench() (func(b *testing.B), string, error) {
         }
     }`)
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	return func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -160,17 +172,17 @@ func analysisBench() (func(b *testing.B), string, error) {
 				b.Fatal(err)
 			}
 		}
-	}, "none", nil
+	}, "none", 0, nil
 }
 
-func transformBench() (func(b *testing.B), string, error) {
+func transformBench() (func(b *testing.B), string, int, error) {
 	prog, err := clc.Compile(`__kernel void sum3(__global float* A, __global float* B,
         __global float* C, int n) {
         int i = get_global_id(0);
         if (i < n) { C[i] = A[i] + B[i] + C[i]; }
     }`)
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	return func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -178,13 +190,13 @@ func transformBench() (func(b *testing.B), string, error) {
 				b.Fatal(err)
 			}
 		}
-	}, "none", nil
+	}, "none", 0, nil
 }
 
-func inferenceBench() (func(b *testing.B), string, error) {
+func inferenceBench() (func(b *testing.B), string, int, error) {
 	grid, err := workloads.SyntheticGrid()
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	var sub []*workloads.Workload
 	for i := 0; i < len(grid) && len(sub) < 40; i += len(grid) / 40 {
@@ -192,11 +204,11 @@ func inferenceBench() (func(b *testing.B), string, error) {
 	}
 	evals, err := core.EvaluateAll(sim.Kaveri(), sub, 0)
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	dt, err := ml.TreeTrainer{}.Fit(core.BuildDataset(sim.Kaveri(), evals))
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	m := sim.Kaveri()
 	var base ml.Features
@@ -209,10 +221,10 @@ func inferenceBench() (func(b *testing.B), string, error) {
 				_ = dt.Predict(core.WithConfig(base, m, cfg))
 			}
 		}
-	}, "none", nil
+	}, "none", 0, nil
 }
 
-func frontEndBench() (func(b *testing.B), string, error) {
+func frontEndBench() (func(b *testing.B), string, int, error) {
 	src := `__kernel void conv2d(__global float* A, __global float* B, int NI, int NJ) {
         int j = get_global_id(0);
         int i = get_global_id(1);
@@ -227,7 +239,7 @@ func frontEndBench() (func(b *testing.B), string, error) {
 				b.Fatal(err)
 			}
 		}
-	}, "none", nil
+	}, "none", 0, nil
 }
 
 // servingBinaryBench measures the serving fast path end to end: one
@@ -237,28 +249,28 @@ func frontEndBench() (func(b *testing.B), string, error) {
 // pure serving overhead — framing, admission, memo lookup,
 // copy-on-read-back — and its allocs/op is the alloc-regression gate
 // for the pooled-arena discipline.
-func servingBinaryBench() (func(b *testing.B), string, error) {
+func servingBinaryBench() (func(b *testing.B), string, int, error) {
 	srv, err := server.New(server.Config{Machine: sim.Kaveri()})
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	ms := server.NewMixedServer(srv)
 	go func() { _ = ms.Serve(ln) }()
 	bc, err := server.DialBin(ln.Addr().String(), 5*time.Second)
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	progID, _, _, err := bc.Compile(gesummvSrc)
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	sid, err := bc.NewSession("")
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	n := 256
 	fill := func(name string, elems int, seed int) error {
@@ -275,11 +287,11 @@ func servingBinaryBench() (func(b *testing.B), string, error) {
 		elems int
 	}{{"A", n * n}, {"B", n * n}, {"x", n}} {
 		if err := fill(bspec.name, bspec.elems, len(bspec.name)); err != nil {
-			return nil, "", err
+			return nil, "", 0, err
 		}
 	}
 	if err := bc.CreateBufferZero(sid, "y", 'f', n); err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	alpha, beta, nn := 1.0, 1.0, int64(n)
 	req := &server.BinLaunch{
@@ -296,7 +308,7 @@ func servingBinaryBench() (func(b *testing.B), string, error) {
 	// and every launch is a memo replay.
 	for i := 0; i < 3; i++ {
 		if _, err := bc.Launch(req); err != nil {
-			return nil, "", err
+			return nil, "", 0, err
 		}
 	}
 	return func(b *testing.B) {
@@ -305,7 +317,7 @@ func servingBinaryBench() (func(b *testing.B), string, error) {
 				b.Fatal(err)
 			}
 		}
-	}, "none", nil
+	}, "none", 0, nil
 }
 
 // writeBenchReport runs the tier-1 component benchmarks and writes the
@@ -313,9 +325,10 @@ func servingBinaryBench() (func(b *testing.B), string, error) {
 func writeBenchReport(path string) error {
 	set := []struct {
 		name string
-		mk   func() (func(b *testing.B), string, error)
+		mk   func() (func(b *testing.B), string, int, error)
 	}{
-		{"InterpreterGesummv", interpreterBench},
+		{"InterpreterGesummv", interpreterBench(0)},
+		{"InterpreterGesummvScalar", interpreterBench(1)},
 		{"Fig1Heatmap", heatmapBench},
 		{"StaticAnalysis", analysisBench},
 		{"MalleableTransform", transformBench},
@@ -332,7 +345,7 @@ func writeBenchReport(path string) error {
 		Engine:      interp.DefaultEngine().String(),
 	}
 	for _, s := range set {
-		fn, engine, err := s.mk()
+		fn, engine, lanes, err := s.mk()
 		if err != nil {
 			return fmt.Errorf("%s: %w", s.name, err)
 		}
@@ -340,9 +353,13 @@ func writeBenchReport(path string) error {
 			b.ReportAllocs()
 			fn(b)
 		})
+		note := engine
+		if lanes > 0 {
+			note = fmt.Sprintf("%s, lanes=%d", engine, lanes)
+		}
 		fmt.Printf("%-26s %12.0f ns/op %10d B/op %8d allocs/op  [%s]\n",
 			s.name, float64(res.T.Nanoseconds())/float64(res.N),
-			res.AllocedBytesPerOp(), res.AllocsPerOp(), engine)
+			res.AllocedBytesPerOp(), res.AllocsPerOp(), note)
 		rep.Benchmarks = append(rep.Benchmarks, benchRecord{
 			Name:        s.name,
 			N:           res.N,
@@ -350,6 +367,7 @@ func writeBenchReport(path string) error {
 			BytesPerOp:  res.AllocedBytesPerOp(),
 			AllocsPerOp: res.AllocsPerOp(),
 			Engine:      engine,
+			LaneWidth:   lanes,
 		})
 	}
 	data, err := json.MarshalIndent(&rep, "", "  ")

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"dopia/internal/conformance"
+	"dopia/internal/interp"
 )
 
 func main() {
@@ -31,6 +32,7 @@ func main() {
 		cases       = flag.Int("cases", 0, "number of cases to run (0: use -duration)")
 		duration    = flag.Duration("duration", 0, "wall-clock bound (0 with -cases 0: 30s)")
 		shards      = flag.String("shards", "", "comma-separated shard counts (default 1,3,GOMAXPROCS)")
+		lanes       = flag.String("lanes", "", "comma-separated bytecode lane widths (default 1,4,8)")
 		rungs       = flag.Bool("rungs", true, "run ladder-rung legs (managed / co-exec ALL / plain)")
 		serving     = flag.Bool("serving", true, "run the dopiad round-trip leg via an embedded server")
 		shrink      = flag.Bool("shrink", true, "shrink divergent cases before dumping")
@@ -40,8 +42,13 @@ func main() {
 		maxCrashers = flag.Int("max-crashers", 5, "stop after this many divergent cases")
 		replay      = flag.String("replay", "", "replay a crasher repro file or directory instead of fuzzing")
 		quiet       = flag.Bool("q", false, "suppress per-progress output")
+		opProfile   = flag.String("opprofile", "", "enable opcode n-gram profiling and write the histogram JSON (dopia-superopt input) to this file at exit")
 	)
 	flag.Parse()
+
+	if *opProfile != "" {
+		interp.EnableOpProfiling()
+	}
 
 	opts := conformance.Options{Rungs: *rungs}
 	if *shards != "" {
@@ -51,6 +58,15 @@ func main() {
 				fail("bad -shards entry %q", f)
 			}
 			opts.Shards = append(opts.Shards, n)
+		}
+	}
+	if *lanes != "" {
+		for _, f := range strings.Split(*lanes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				fail("bad -lanes entry %q", f)
+			}
+			opts.Lanes = append(opts.Lanes, n)
 		}
 	}
 	if *serving {
@@ -63,7 +79,9 @@ func main() {
 	}
 
 	if *replay != "" {
-		os.Exit(replayPath(*replay, opts))
+		code := replayPath(*replay, opts)
+		dumpOpProfile(*opProfile)
+		os.Exit(code)
 	}
 
 	cfg := conformance.FuzzConfig{
@@ -98,8 +116,25 @@ func main() {
 	for _, p := range res.Crashers {
 		fmt.Printf("crasher: %s\n", p)
 	}
+	dumpOpProfile(*opProfile)
 	if res.Divergent > 0 {
 		os.Exit(1)
+	}
+}
+
+// dumpOpProfile writes the opcode n-gram histograms gathered during the
+// run ("" = profiling was not requested).
+func dumpOpProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	if err := interp.WriteOpProfile(f, 128); err != nil {
+		fail("%v", err)
 	}
 }
 

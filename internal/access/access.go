@@ -84,6 +84,28 @@ func (c *Classifier) Observe(deltaElems int64) {
 	}
 }
 
+// ObserveRun records count consecutive occurrences of the same delta,
+// exactly as count successive Observe(deltaElems) calls would. The
+// interpreter's fused-loop superinstructions batch their constant-stride
+// runs through this entry point instead of per-access Observe calls; the
+// resulting classifier state is bit-identical because a single repeated
+// delta touches one counter (or one stride bin, preserving
+// first-observed order).
+func (c *Classifier) ObserveRun(deltaElems, count int64) {
+	if count <= 0 {
+		return
+	}
+	c.n += count
+	switch deltaElems {
+	case 0:
+		c.constN += count
+	case 1:
+		c.contN += count
+	default:
+		c.addStride(deltaElems, count)
+	}
+}
+
 // addStride credits count occurrences of a distinct stride, preserving
 // first-observed order.
 func (c *Classifier) addStride(delta, count int64) {

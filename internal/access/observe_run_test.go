@@ -1,0 +1,77 @@
+package access
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestObserveRunEquivalence proves ObserveRun(d, n) leaves the
+// classifier in the bit-identical state of n successive Observe(d)
+// calls — the contract the interpreter's fused-loop superinstructions
+// rely on when they batch constant-stride runs.
+func TestObserveRunEquivalence(t *testing.T) {
+	// Streams of (delta, runLength) covering the counter specials (0,
+	// 1), the inlined stride bins, the overflow spill, and interleaved
+	// revisits of earlier strides.
+	streams := [][][2]int64{
+		{{1, 1000}},
+		{{0, 3}, {1, 7}, {0, 2}},
+		{{4, 10}, {-96, 1}, {4, 10}, {-96, 1}},
+		{{7, 5}, {13, 5}, {29, 5}, {41, 5}, {7, 2}, {29, 9}},
+		{{-3, 1}, {0, 1}, {1, 1}, {-3, 4}, {1000000007, 6}},
+	}
+	for si, stream := range streams {
+		var loop, run Classifier
+		for _, d := range stream {
+			for i := int64(0); i < d[1]; i++ {
+				loop.Observe(d[0])
+			}
+			run.ObserveRun(d[0], d[1])
+		}
+		if !reflect.DeepEqual(loop, run) {
+			t.Errorf("stream %d: classifier states differ:\n  loop: %+v\n  run:  %+v", si, loop, run)
+		}
+		lp, ls := loop.Pattern()
+		rp, rs := run.Pattern()
+		if lp != rp || ls != rs {
+			t.Errorf("stream %d: patterns differ: %v/%d vs %v/%d", si, lp, ls, rp, rs)
+		}
+	}
+
+	// Non-positive counts are no-ops.
+	var c, zero Classifier
+	c.ObserveRun(5, 0)
+	c.ObserveRun(5, -2)
+	if !reflect.DeepEqual(c, zero) {
+		t.Errorf("non-positive counts mutated the classifier: %+v", c)
+	}
+}
+
+// TestObserveRunMerge proves batched observation composes with Merge
+// the same way per-delta observation does (shard-order merging stays
+// exact when shards used ObserveRun internally).
+func TestObserveRunMerge(t *testing.T) {
+	var a1, a2, b1, b2 Classifier
+	feed := func(c *Classifier, batched bool, deltas [][2]int64) {
+		for _, d := range deltas {
+			if batched {
+				c.ObserveRun(d[0], d[1])
+				continue
+			}
+			for i := int64(0); i < d[1]; i++ {
+				c.Observe(d[0])
+			}
+		}
+	}
+	s1 := [][2]int64{{4, 6}, {1, 3}, {9, 2}}
+	s2 := [][2]int64{{9, 4}, {4, 1}, {0, 5}}
+	feed(&a1, false, s1)
+	feed(&a2, false, s2)
+	feed(&b1, true, s1)
+	feed(&b2, true, s2)
+	a1.Merge(&a2)
+	b1.Merge(&b2)
+	if !reflect.DeepEqual(a1, b1) {
+		t.Errorf("merged states differ:\n  loop: %+v\n  run:  %+v", a1, b1)
+	}
+}

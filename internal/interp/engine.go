@@ -45,6 +45,47 @@ var (
 	defaultEngineOnce sync.Once
 )
 
+// maxLaneWidth bounds Exec.LaneWidth / DOPIA_LANES. Lane scratch is
+// allocated per runState at this granularity, so the cap keeps worst-case
+// memory bounded; widths beyond the host's SIMD-ish sweet spot stop
+// paying anyway.
+const maxLaneWidth = 16
+
+var (
+	defaultLanes     int
+	defaultLanesOnce sync.Once
+)
+
+// DefaultLaneWidth returns the lane width used by Execs whose LaneWidth
+// field is zero: the DOPIA_LANES environment variable when set to a
+// positive integer (clamped to maxLaneWidth), else 8. Lane width 1 is
+// the scalar reference path. The environment is read once per process.
+func DefaultLaneWidth() int {
+	defaultLanesOnce.Do(func() {
+		defaultLanes = 8
+		if s := os.Getenv("DOPIA_LANES"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n > 0 {
+				defaultLanes = n
+			}
+		}
+		if defaultLanes > maxLaneWidth {
+			defaultLanes = maxLaneWidth
+		}
+	})
+	return defaultLanes
+}
+
+// clampLaneWidth normalizes a requested lane width to [1, maxLaneWidth].
+func clampLaneWidth(w int) int {
+	if w < 1 {
+		return 1
+	}
+	if w > maxLaneWidth {
+		return maxLaneWidth
+	}
+	return w
+}
+
 // DefaultEngine returns the engine used by Execs whose Engine field is
 // EngineAuto: the DOPIA_ENGINE environment variable when set to
 // "bytecode" or "closures", else EngineBytecode. The environment is read

@@ -29,7 +29,7 @@ import (
 // runOnEngine executes one workload instance on a fresh Exec pinned to
 // the given engine and returns the executor for stats/buffer checks.
 func runOnEngine(t *testing.T, k *clc.Kernel, inst *workloads.Instance,
-	engine interp.Engine, parallelism int, sink interp.TraceSink) *interp.Exec {
+	engine interp.Engine, parallelism, lanes int, sink interp.TraceSink) *interp.Exec {
 	t.Helper()
 	ex, err := interp.NewExec(k)
 	if err != nil {
@@ -37,6 +37,7 @@ func runOnEngine(t *testing.T, k *clc.Kernel, inst *workloads.Instance,
 	}
 	ex.Engine = engine
 	ex.Parallelism = parallelism
+	ex.LaneWidth = lanes
 	ex.Sink = sink
 	if err := ex.Bind(inst.Args...); err != nil {
 		t.Fatalf("Bind: %v", err)
@@ -60,10 +61,10 @@ func sameProfileModuloEngine(a, b *interp.Profile) bool {
 
 // TestEngineDifferentialRealWorkloads runs every real workload kernel on
 // the closure engine (sequential reference) and on the bytecode engine
-// at shard counts 1 and 4, demanding bit-identical buffers, profiles,
-// and trace streams. It also asserts that the bytecode engine actually
-// ran (no silent fallback) for every real kernel, so the differential
-// coverage is not vacuous.
+// across the shard counts {1, 4} × lane widths {1, 4, 8} cross-product,
+// demanding bit-identical buffers, profiles, and trace streams. It also
+// asserts that the bytecode engine actually ran (no silent fallback) for
+// every real kernel, so the differential coverage is not vacuous.
 func TestEngineDifferentialRealWorkloads(t *testing.T) {
 	ws, err := workloads.RealWorkloads(128, 32)
 	if err != nil {
@@ -81,29 +82,31 @@ func TestEngineDifferentialRealWorkloads(t *testing.T) {
 				t.Fatalf("Setup: %v", err)
 			}
 			refSink := &conformance.RecordingSink{}
-			ref := runOnEngine(t, k, refInst, interp.EngineClosures, 1, refSink)
+			ref := runOnEngine(t, k, refInst, interp.EngineClosures, 1, 1, refSink)
 			refObs := observe("closures/shards=1", refInst, ref, refSink)
 
 			for _, par := range []int{1, 4} {
-				inst, err := w.Setup()
-				if err != nil {
-					t.Fatalf("Setup: %v", err)
+				for _, lanes := range []int{1, 4, 8} {
+					inst, err := w.Setup()
+					if err != nil {
+						t.Fatalf("Setup: %v", err)
+					}
+					var sink *conformance.RecordingSink
+					if par == 1 {
+						sink = &conformance.RecordingSink{}
+					}
+					var ts interp.TraceSink
+					if sink != nil {
+						ts = sink
+					}
+					ex := runOnEngine(t, k, inst, interp.EngineBytecode, par, lanes, ts)
+					eng, reason := ex.EngineUsed()
+					if eng != interp.EngineBytecode {
+						t.Fatalf("par=%d: fell back to %v (%s); real kernels must lower", par, eng, reason)
+					}
+					conformance.AssertIdentical(t, refObs,
+						observe(fmt.Sprintf("bytecode/shards=%d/lanes=%d", par, lanes), inst, ex, sink))
 				}
-				var sink *conformance.RecordingSink
-				if par == 1 {
-					sink = &conformance.RecordingSink{}
-				}
-				var ts interp.TraceSink
-				if sink != nil {
-					ts = sink
-				}
-				ex := runOnEngine(t, k, inst, interp.EngineBytecode, par, ts)
-				eng, reason := ex.EngineUsed()
-				if eng != interp.EngineBytecode {
-					t.Fatalf("par=%d: fell back to %v (%s); real kernels must lower", par, eng, reason)
-				}
-				conformance.AssertIdentical(t, refObs,
-					observe(fmt.Sprintf("bytecode/shards=%d", par), inst, ex, sink))
 			}
 		})
 	}
@@ -187,7 +190,7 @@ func synthesizeArgs(k *clc.Kernel, n int) []interp.Arg {
 // returns the full observation: buffer byte images, profile, trace, and
 // run error (nil for success).
 func runKernelOn(t *testing.T, k *clc.Kernel, engine interp.Engine,
-	parallelism, n int) *conformance.Observation {
+	parallelism, lanes, n int) *conformance.Observation {
 	t.Helper()
 	ex, err := interp.NewExec(k)
 	if err != nil {
@@ -195,6 +198,7 @@ func runKernelOn(t *testing.T, k *clc.Kernel, engine interp.Engine,
 	}
 	ex.Engine = engine
 	ex.Parallelism = parallelism
+	ex.LaneWidth = lanes
 	sink := &conformance.RecordingSink{}
 	ex.Sink = sink
 	args := synthesizeArgs(k, n)
@@ -232,13 +236,17 @@ func runKernelOn(t *testing.T, k *clc.Kernel, engine interp.Engine,
 // legitimate data race under sharding for either engine (and trips the
 // race detector regardless of the comparison). The real-workload
 // differential test covers the multi-shard path with kernels that are
-// race-free by construction.
+// race-free by construction. Lane width is pinned to 1 for the same
+// reason: lockstep lanes reorder effects within a work-group, which is
+// only equivalence-preserving for kernels that honour the data-parallel
+// contract (no intra-group ordering dependence outside barriers) —
+// arbitrary corpus kernels do not.
 func TestEngineDifferentialFuzzCorpus(t *testing.T) {
 	for _, k := range corpusKernels(t) {
 		k := k
 		t.Run(k.Name, func(t *testing.T) {
-			cObs := runKernelOn(t, k, interp.EngineClosures, 1, 64)
-			bObs := runKernelOn(t, k, interp.EngineBytecode, 1, 64)
+			cObs := runKernelOn(t, k, interp.EngineClosures, 1, 1, 64)
+			bObs := runKernelOn(t, k, interp.EngineBytecode, 1, 1, 64)
 			conformance.AssertIdentical(t, cObs, bObs)
 		})
 	}
@@ -267,7 +275,9 @@ var trapKernels = []struct{ name, src string }{
 
 // TestEngineDifferentialTraps compiles each trap kernel and verifies
 // both engines produce the same error text and the same trap-time
-// statistics totals.
+// statistics totals — at lane width 1 (scalar dispatch) and lane width
+// 8, where the trapping batch must roll back and replay to reproduce
+// the exact sequential partial effects and error.
 func TestEngineDifferentialTraps(t *testing.T) {
 	for _, tk := range trapKernels {
 		tk := tk
@@ -277,12 +287,14 @@ func TestEngineDifferentialTraps(t *testing.T) {
 				t.Fatalf("compile: %v", err)
 			}
 			k := prog.Kernels[0]
-			cObs := runKernelOn(t, k, interp.EngineClosures, 1, 64)
-			bObs := runKernelOn(t, k, interp.EngineBytecode, 1, 64)
-			if cObs.Err == nil || bObs.Err == nil {
-				t.Fatalf("expected traps, got closures=%v bytecode=%v", cObs.Err, bObs.Err)
+			cObs := runKernelOn(t, k, interp.EngineClosures, 1, 1, 64)
+			for _, lanes := range []int{1, 8} {
+				bObs := runKernelOn(t, k, interp.EngineBytecode, 1, lanes, 64)
+				if cObs.Err == nil || bObs.Err == nil {
+					t.Fatalf("lanes=%d: expected traps, got closures=%v bytecode=%v", lanes, cObs.Err, bObs.Err)
+				}
+				conformance.AssertIdentical(t, cObs, bObs)
 			}
-			conformance.AssertIdentical(t, cObs, bObs)
 		})
 	}
 }

@@ -81,6 +81,18 @@ type Exec struct {
 	// across engines.
 	Engine Engine
 
+	// LaneWidth selects the bytecode engine's vector lane width: work-
+	// items execute in lockstep batches of this many lanes through
+	// structure-of-arrays register files, with one opcode dispatch
+	// amortized over the batch and divergent control flow handled by
+	// per-lane masking. 0 uses DefaultLaneWidth() (DOPIA_LANES, else 8);
+	// 1 forces the scalar reference path. Results — buffers, statistics,
+	// traces, traps — are bit-identical at every width. Kernels with
+	// atomics, barrier-divergent control flow, or intra-group local-
+	// memory dependences are pinned to width 1 (the reason is recorded
+	// in RunStats.LanePinReason). The closure engine always runs width 1.
+	LaneWidth int
+
 	// AccessSampleRate enables sampled access-pattern profiling: a
 	// deterministic, hash-chosen fraction of work-groups (by linear
 	// group id) runs the per-access classifier, the rest skip it.
@@ -102,6 +114,8 @@ type Exec struct {
 	prog           *bcProgram
 	engineUsed     Engine
 	fallbackReason string
+	laneWidth      int
+	lanePinReason  string
 
 	seq     *runState   // shard-0 / sequential execution state
 	workers []*runState // extra shard workers, grown lazily
@@ -175,6 +189,8 @@ func (ex *Exec) ResetStats() {
 	ex.stats = newRunStats(ex.ck)
 	ex.stats.EngineUsed = ex.engineUsed
 	ex.stats.FallbackReason = ex.fallbackReason
+	ex.stats.LaneWidth = ex.laneWidth
+	ex.stats.LanePinReason = ex.lanePinReason
 }
 
 // newRunStats allocates run statistics with per-site metadata resolved
@@ -309,6 +325,79 @@ func (ex *Exec) resolveEngine() {
 	}
 	ex.stats.EngineUsed = ex.engineUsed
 	ex.stats.FallbackReason = ex.fallbackReason
+	ex.resolveLanes()
+}
+
+// resolveLanes resolves the lane width for the current launch. The
+// closure engine is always scalar; bytecode programs run the requested
+// width unless the lowering-time scan pinned them (atomics, barrier-
+// divergent control flow, intra-group local dependences) or opcode
+// profiling is on (the vector engine dispatches per batch, which would
+// undercount per-item n-grams).
+func (ex *Exec) resolveLanes() {
+	ex.laneWidth, ex.lanePinReason = 1, ""
+	if ex.prog == nil {
+		ex.stats.LaneWidth, ex.stats.LanePinReason = 1, ""
+		return
+	}
+	lw := ex.LaneWidth
+	if lw == 0 {
+		lw = DefaultLaneWidth()
+	}
+	lw = clampLaneWidth(lw)
+	if lw > 1 {
+		switch {
+		case ex.prog.lanePin != "":
+			ex.lanePinReason = ex.prog.lanePin
+		case opProfileEnabled():
+			ex.lanePinReason = "opcode profiling"
+		default:
+			if r := ex.laneAliasHazard(); r != "" {
+				ex.lanePinReason = r
+			} else {
+				ex.laneWidth = lw
+			}
+		}
+	}
+	ex.stats.LaneWidth = ex.laneWidth
+	ex.stats.LanePinReason = ex.lanePinReason
+}
+
+// laneAliasHazard checks the actual launch bindings against the
+// program's load/store slot masks: when a buffer the kernel stores to
+// is also one it loads from (by slot, or the same buffer bound to two
+// slots), the kernel can carry an intra-group global read-after-write
+// whose sequential order is observable, so lanes must not reorder it.
+// Distinct buffers — the common produce/consume pattern — stay laned.
+func (ex *Exec) laneAliasHazard() string {
+	p := ex.prog
+	if p.storeSlots == 0 || p.loadSlots == 0 {
+		return ""
+	}
+	for s := 0; s < len(ex.bufs); s++ {
+		if p.storeSlots>>uint(s)&1 == 0 || ex.bufs[s] == nil {
+			continue
+		}
+		for l := 0; l < len(ex.bufs); l++ {
+			if p.loadSlots>>uint(l)&1 == 0 {
+				continue
+			}
+			if ex.bufs[l] == ex.bufs[s] {
+				return "global load/store aliasing"
+			}
+		}
+	}
+	return ""
+}
+
+// LanesUsed reports the lane width resolved at Launch and, when a wider
+// width was requested but the kernel was pinned to the scalar path, the
+// reason. Before the first Launch it reports 1.
+func (ex *Exec) LanesUsed() (int, string) {
+	if ex.laneWidth == 0 {
+		return 1, ""
+	}
+	return ex.laneWidth, ex.lanePinReason
 }
 
 // lowerCached returns the bytecode program for k, memoized — including
@@ -406,6 +495,10 @@ type runState struct {
 	irScratch [][]int64
 	frScratch [][]float64
 
+	// Lane-engine batch state (SoA register files, per-lane statistics
+	// and trace logs, the store-undo log): see bytecode_lanes.go.
+	lanes laneBatch
+
 	// Access-sampling decision inputs, resolved by prepare.
 	sampleThresh uint64
 	sampleSeed   uint64
@@ -456,6 +549,9 @@ func (rs *runState) prepare(stats *RunStats, sink TraceSink) {
 			rs.frScratch[i] = make([]float64, prog.numF)
 		}
 	}
+	if ex.prog != nil && ex.laneWidth > 1 {
+		rs.lanes.prepare(ex, sink != nil)
+	}
 	rate, seed := ex.AccessSampleRate, ex.AccessSampleSeed
 	if rate == 0 {
 		rate, seed = DefaultAccessSampling()
@@ -476,6 +572,9 @@ func (rs *runState) prepare(stats *RunStats, sink TraceSink) {
 // call happens on a shard worker goroutine.
 func (rs *runState) runGroup(linear int) (err error) {
 	if rs.ex.prog != nil {
+		if rs.ex.laneWidth > 1 {
+			return rs.runGroupBCLanes(linear)
+		}
 		return rs.runGroupBC(linear)
 	}
 	defer func() {

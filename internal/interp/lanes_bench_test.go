@@ -1,0 +1,48 @@
+package interp
+
+import (
+	"testing"
+
+	"dopia/internal/clc"
+)
+
+// benchGesummv builds the flagship gesummv executor at the given lane
+// width (0 = process default) on the bytecode engine.
+func benchGesummv(b *testing.B, lanes int) *Exec {
+	b.Helper()
+	prog, err := clc.Compile(gesummvSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex, err := NewExec(prog.Kernels[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex.Engine = EngineBytecode
+	ex.LaneWidth = lanes
+	n := 256
+	A, B := NewFloatBuffer(n*n), NewFloatBuffer(n*n)
+	x, y := NewFloatBuffer(n), NewFloatBuffer(n)
+	if err := ex.Bind(BufArg(A), BufArg(B), BufArg(x), BufArg(y),
+		FloatArg(1), FloatArg(1), IntArg(int64(n))); err != nil {
+		b.Fatal(err)
+	}
+	if err := ex.Launch(ND1(n, 64)); err != nil {
+		b.Fatal(err)
+	}
+	return ex
+}
+
+func runGesummvBench(b *testing.B, lanes int) {
+	ex := benchGesummv(b, lanes)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ex.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGesummvLanesDefault(b *testing.B) { runGesummvBench(b, 0) }
+func BenchmarkGesummvLanes1(b *testing.B)      { runGesummvBench(b, 1) }

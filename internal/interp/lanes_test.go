@@ -1,0 +1,169 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+)
+
+// runLaned binds, launches, and runs a kernel with the bytecode engine
+// at the requested lane width, returning the resolved width and pin
+// reason.
+func runLaned(t *testing.T, ex *Exec, lanes int, args []Arg, nd NDRange) (int, string) {
+	t.Helper()
+	ex.Engine = EngineBytecode
+	ex.LaneWidth = lanes
+	if err := ex.Bind(args...); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Launch(nd); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng, _ := ex.EngineUsed(); eng != EngineBytecode {
+		t.Fatalf("engine used = %v, want bytecode", eng)
+	}
+	return ex.LanesUsed()
+}
+
+const atomicPinSrc = `
+__kernel void hist(__global int* h, __global int* d, int n) {
+    int i = get_global_id(0);
+    if (i < n) atomic_add(h, 1);
+}`
+
+const divergePinSrc = `
+__kernel void diverge(__global int* out) {
+    int i = get_global_id(0);
+    if (i % 3 == 0) return;
+    barrier(CLK_LOCAL_MEM_FENCE);
+    out[i] = i;
+}`
+
+const localDepPinSrc = `
+__kernel void localdep(__global int* out) {
+    __local int tmp[16];
+    int l = get_local_id(0);
+    tmp[l] = l * 2;
+    out[get_global_id(0)] = tmp[15 - l];
+}`
+
+// TestLanePinning proves order-sensitive kernels are pinned to scalar
+// execution with the documented reason, surfaced both by LanesUsed and
+// in the run statistics.
+func TestLanePinning(t *testing.T) {
+	n := 64
+	cases := []struct {
+		name, src, kernel, reason string
+		args                      func() []Arg
+	}{
+		{"global-atomics", atomicPinSrc, "hist", "global atomics", func() []Arg {
+			h, d := NewIntBuffer(8), NewIntBuffer(n)
+			for i := range d.I32 {
+				d.I32[i] = int32(i * 5)
+			}
+			return []Arg{BufArg(h), BufArg(d), IntArg(int64(n))}
+		}},
+		{"barrier-divergence", divergePinSrc, "diverge", "barrier-divergent control flow", func() []Arg {
+			return []Arg{BufArg(NewIntBuffer(n))}
+		}},
+		{"local-dependence", localDepPinSrc, "localdep", "intra-group local-memory dependence", func() []Arg {
+			return []Arg{BufArg(NewIntBuffer(n))}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ex := newExec(t, tc.src, tc.kernel)
+			w, reason := runLaned(t, ex, 8, tc.args(), ND1(n, 16))
+			if w != 1 || reason != tc.reason {
+				t.Fatalf("LanesUsed() = (%d, %q), want (1, %q)", w, reason, tc.reason)
+			}
+			p := ex.Stats()
+			if p.LaneWidth != 1 || p.LanePinReason != tc.reason {
+				t.Fatalf("stats lanes = (%d, %q), want (1, %q)", p.LaneWidth, p.LanePinReason, tc.reason)
+			}
+		})
+	}
+}
+
+// TestLaneAliasPin proves the launch-time aliasing check: the same vadd
+// program runs laned with distinct buffers but is pinned when the
+// stored buffer is also bound to a loaded slot (an intra-group global
+// read-after-write whose sequential order is observable).
+func TestLaneAliasPin(t *testing.T) {
+	n := 64
+
+	ex := newExec(t, vaddSrc, "vadd")
+	a, b, c := NewFloatBuffer(n), NewFloatBuffer(n), NewFloatBuffer(n)
+	w, reason := runLaned(t, ex, 8, []Arg{BufArg(a), BufArg(b), BufArg(c), IntArg(int64(n))}, ND1(n, 16))
+	if w != 8 || reason != "" {
+		t.Fatalf("distinct buffers: LanesUsed() = (%d, %q), want (8, \"\")", w, reason)
+	}
+
+	// c := a + b with c aliased to a: lanes must not run this.
+	ex2 := newExec(t, vaddSrc, "vadd")
+	w, reason = runLaned(t, ex2, 8, []Arg{BufArg(a), BufArg(b), BufArg(a), IntArg(int64(n))}, ND1(n, 16))
+	if w != 1 || reason != "global load/store aliasing" {
+		t.Fatalf("aliased binding: LanesUsed() = (%d, %q), want (1, \"global load/store aliasing\")", w, reason)
+	}
+
+	// Re-binding distinct buffers lifts the pin on the next launch: the
+	// decision is per launch, not per program.
+	if err := ex2.Bind(BufArg(a), BufArg(b), BufArg(c), IntArg(int64(n))); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex2.Launch(ND1(n, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if w, reason = ex2.LanesUsed(); w != 8 || reason != "" {
+		t.Fatalf("after rebind: LanesUsed() = (%d, %q), want (8, \"\")", w, reason)
+	}
+}
+
+// TestLaneWidthClamp proves out-of-range widths are clamped rather than
+// rejected.
+func TestLaneWidthClamp(t *testing.T) {
+	n := 64
+	ex := newExec(t, vaddSrc, "vadd")
+	a, b, c := NewFloatBuffer(n), NewFloatBuffer(n), NewFloatBuffer(n)
+	w, reason := runLaned(t, ex, 1000, []Arg{BufArg(a), BufArg(b), BufArg(c), IntArg(int64(n))}, ND1(n, 16))
+	if w != maxLaneWidth || reason != "" {
+		t.Fatalf("LanesUsed() = (%d, %q), want (%d, \"\")", w, reason, maxLaneWidth)
+	}
+}
+
+// TestFusedLoopPresent proves the mined peephole actually fires on the
+// flagship workload: gesummv's inner loop must lower to a fused
+// opFMALoopF32 head.
+func TestFusedLoopPresent(t *testing.T) {
+	n := 48
+	ex := newExec(t, gesummvSrc, "gesummv")
+	A, B := NewFloatBuffer(n*n), NewFloatBuffer(n*n)
+	x, y := NewFloatBuffer(n), NewFloatBuffer(n)
+	args := []Arg{BufArg(A), BufArg(B), BufArg(x), BufArg(y),
+		FloatArg(1.5), FloatArg(0.5), IntArg(int64(n))}
+	if w, reason := runLaned(t, ex, 8, args, ND1(n, 16)); w != 8 || reason != "" {
+		t.Fatalf("LanesUsed() = (%d, %q), want (8, \"\")", w, reason)
+	}
+	if ex.prog == nil {
+		t.Fatal("no bytecode program after launch")
+	}
+	fused := 0
+	for _, code := range ex.prog.segments {
+		for i := range code {
+			if code[i].op == opFMALoopF32 {
+				fused++
+			}
+		}
+	}
+	if fused == 0 {
+		var ops []string
+		for _, code := range ex.prog.segments {
+			for i := range code {
+				ops = append(ops, opName(code[i].op))
+			}
+		}
+		t.Fatalf("gesummv lowered without a fused FMA loop:\n%s", strings.Join(ops, " "))
+	}
+}

@@ -414,6 +414,13 @@ func lowerKernel(k *clc.Kernel, ck *compiled) (prog *bcProgram, err error) {
 			p.paramI = append(p.paramI, pc)
 		}
 	}
+	// Mined peephole: fuse hot sequences from the generated
+	// superinstruction table. Skipped in opcode-profiling mode so the
+	// n-gram histograms show the base instruction stream being mined.
+	if !opProfileEnabled() {
+		applyMinedSuperinstructions(p)
+	}
+	p.lanePin = scanLanePin(p)
 	return p, nil
 }
 

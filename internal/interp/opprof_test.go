@@ -1,0 +1,91 @@
+package interp
+
+import "testing"
+
+// grams indexes an n-gram list by its space-joined sequence.
+func grams(list []OpNGram) map[string]uint64 {
+	out := make(map[string]uint64, len(list))
+	for _, g := range list {
+		key := ""
+		for i, s := range g.Seq {
+			if i > 0 {
+				key += " "
+			}
+			key += s
+		}
+		out[key] = g.Count
+	}
+	return out
+}
+
+// TestOpProfiler proves the opcode n-gram profiler observes the base
+// (unfused) instruction stream, counts exactly, and merges race-free
+// across shard workers. It flips the process-global switch directly and
+// restores it, so the rest of the suite keeps its lane behaviour.
+func TestOpProfiler(t *testing.T) {
+	enableOpProfiling()
+	ResetOpProfile()
+	defer func() {
+		opProfOn = false
+		ResetOpProfile()
+	}()
+
+	n := 48
+	ex := newExec(t, gesummvSrc, "gesummv")
+	ex.Engine = EngineBytecode
+	ex.LaneWidth = 8
+	ex.Parallelism = 4 // shard workers share the atomic tables
+	A, B := NewFloatBuffer(n*n), NewFloatBuffer(n*n)
+	x, y := NewFloatBuffer(n), NewFloatBuffer(n)
+	if err := ex.Bind(BufArg(A), BufArg(B), BufArg(x), BufArg(y),
+		FloatArg(1.5), FloatArg(0.5), IntArg(int64(n))); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Launch(ND1(n, 16)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Profiling mode pins lanes so n-grams are per-item streams.
+	if w, reason := ex.LanesUsed(); w != 1 || reason != "opcode profiling" {
+		t.Fatalf("LanesUsed() = (%d, %q), want (1, \"opcode profiling\")", w, reason)
+	}
+
+	if err := ex.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	p := CurrentOpProfile(64)
+	if p.Dispatches == 0 {
+		t.Fatal("profiler recorded no dispatches")
+	}
+	ops := grams(p.Ops)
+	// The profile sees the base stream: two FMA load-pairs per inner
+	// iteration, never the fused head.
+	wantFMA := uint64(2 * n * n)
+	if got := ops["FMALd2MAF32"]; got != wantFMA {
+		t.Fatalf("FMALd2MAF32 count = %d, want %d", got, wantFMA)
+	}
+	if got := ops["FMALoopF32"]; got != 0 {
+		t.Fatalf("profile contains %d fused dispatches; profiling must disable the peephole", got)
+	}
+	pairs := grams(p.Pairs)
+	if got := pairs["FMALd2MAF32 IncJCmpI"]; got == 0 {
+		t.Fatal("loop back-edge pair missing from profile")
+	}
+	tris := grams(p.Trigrams)
+	if got := tris["FMALd2MAF32 FMALd2MAF32 IncJCmpI"]; got != uint64(n*n) {
+		t.Fatalf("loop trigram count = %d, want %d", got, n*n)
+	}
+
+	// A second identical run must double the merged counters exactly.
+	if err := ex.Launch(ND1(n, 16)); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Run(); err != nil {
+		t.Fatal(err)
+	}
+	p2 := CurrentOpProfile(64)
+	if got := grams(p2.Ops)["FMALd2MAF32"]; got != 2*wantFMA {
+		t.Fatalf("after second run FMALd2MAF32 count = %d, want %d", got, 2*wantFMA)
+	}
+}

@@ -30,6 +30,14 @@ type RunStats struct {
 	EngineUsed     Engine
 	FallbackReason string
 
+	// LaneWidth is the vector lane width the bytecode engine ran with
+	// (1 = scalar); LanePinReason is non-empty when a wider width was
+	// requested but the kernel was pinned to width 1 (atomics,
+	// barrier-divergent control flow, ...). Launch metadata, like
+	// EngineUsed.
+	LaneWidth     int
+	LanePinReason string
+
 	sites []siteState
 }
 
@@ -138,6 +146,13 @@ type Profile struct {
 	// the closure engine (empty otherwise).
 	Engine         Engine
 	FallbackReason string
+
+	// LaneWidth is the bytecode engine's vector lane width (1 = scalar,
+	// also for the closure engine); LanePinReason records why a wider
+	// request was pinned to 1. Like Engine, launch metadata: profiles
+	// are bit-identical across lane widths.
+	LaneWidth     int
+	LanePinReason string
 }
 
 // TotalBytes returns the total bytes moved (loads + stores).
@@ -262,6 +277,8 @@ func (s *RunStats) Summarize() *Profile {
 		ItemsRun:       s.ItemsRun,
 		Engine:         s.EngineUsed,
 		FallbackReason: s.FallbackReason,
+		LaneWidth:      s.LaneWidth,
+		LanePinReason:  s.LanePinReason,
 	}
 	for i := range s.sites {
 		st := &s.sites[i]
