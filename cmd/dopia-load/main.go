@@ -43,6 +43,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -51,7 +52,11 @@ import (
 
 	"dopia/internal/clc"
 	"dopia/internal/cluster"
+	"dopia/internal/core"
+	"dopia/internal/experiments"
 	"dopia/internal/interp"
+	"dopia/internal/ml"
+	"dopia/internal/online"
 	"dopia/internal/server"
 	"dopia/internal/sim"
 	"dopia/internal/stats"
@@ -72,6 +77,17 @@ func main() {
 		clusterN    = flag.Int("cluster", 0, "boot an in-process N-node cluster and load it through the router")
 		chaosSpec   = flag.String("chaos", "", "fault schedule for -cluster members, e.g. kill:n1@3s (see dopia-router)")
 		binaryMode  = flag.Bool("binary", false, "drive the binary wire protocol (one connection per worker) instead of HTTP/JSON")
+
+		mixSchedule = flag.String("mix-schedule", "",
+			"piecewise drifting mix: name@offsetMS segments, e.g. poly@0,spmv@2000 "+
+				"(aliases poly/spmv; join explicit names with +). Tenants keep their sessions across shifts.")
+		trainLimit = flag.Int("train", 0,
+			"train a local model on N synthetic workloads: it boots the embedded server and is the frozen "+
+				"baseline of the decision-quality trace (0 = off)")
+		modelFamily = flag.String("model", "DT", "model family for -train: LIN, SVR, DT, RF")
+		onlineOn    = flag.Bool("online", false, "enable the embedded server's closed-loop online learner")
+		onlineEps   = flag.Float64("online-epsilon", 0.05, "embedded learner exploration rate")
+		onlineEvery = flag.Int("online-retrain-every", 8, "embedded learner retrain cadence (new-signature launches)")
 	)
 	flag.Parse()
 
@@ -84,19 +100,35 @@ func main() {
 	if *binaryMode && *clusterN > 0 {
 		fail("-binary loads a daemon directly; the router speaks HTTP/JSON only")
 	}
+	if *onlineOn && (*clusterN > 0 || *addr != "") {
+		fail("-online configures the embedded server; point -addr at a dopia-serve -online daemon instead")
+	}
+
+	machine, err := machineByName(*machineName)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	// -train builds the same deterministic model dopia-serve -train N
+	// -model F would: it boots the embedded server and anchors the
+	// frozen-baseline side of the decision-quality trace.
+	var localModel ml.Model
+	if *trainLimit > 0 {
+		var err error
+		localModel, err = trainLocalModel(machine, *modelFamily, *trainLimit)
+		if err != nil {
+			fail("train: %v", err)
+		}
+	}
 
 	base := *addr
 	var embedded *server.Server
 	var mixed *server.MixedServer
 	var ring *cluster.Local
 	if *clusterN > 0 {
-		m, err := machineByName(*machineName)
-		if err != nil {
-			fail("%v", err)
-		}
 		ring, err = cluster.StartLocal(cluster.LocalConfig{
 			Nodes:  *clusterN,
-			Server: server.Config{Machine: m},
+			Server: server.Config{Machine: machine},
 			Gossip: cluster.GossipConfig{Interval: 50 * time.Millisecond, Seed: 1},
 			Router: cluster.RouterConfig{JanitorInterval: 50 * time.Millisecond},
 		})
@@ -105,8 +137,11 @@ func main() {
 		}
 		base = ring.RouterURL
 	} else if base == "" {
-		var err error
-		base, embedded, mixed, err = embedServer(*machineName)
+		scfg := server.Config{Machine: machine, Model: localModel}
+		if *onlineOn {
+			scfg.Online = &online.Config{Epsilon: *onlineEps, RetrainEvery: *onlineEvery}
+		}
+		base, embedded, mixed, err = embedServer(scfg)
 		if err != nil {
 			fail("embedded server: %v", err)
 		}
@@ -118,10 +153,11 @@ func main() {
 	// host:port.
 	binAddr := strings.TrimPrefix(base, "http://")
 
-	mixWorkloads, err := pickMix(*mix, *size, *wgSize)
+	schedule, err := buildSchedule(*mix, *mixSchedule, *size, *wgSize)
 	if err != nil {
 		fail("%v", err)
 	}
+	uniqueWL := schedule.unique()
 
 	client := server.NewClient(base, &http.Client{Timeout: 10 * time.Minute})
 	if ring != nil {
@@ -149,9 +185,9 @@ func main() {
 	// Register every program in the mix up front (dedup makes this a
 	// no-op for workloads sharing one source), and build one shared
 	// reference oracle per workload.
-	progIDs := make(map[string]string, len(mixWorkloads))
-	oracles := make(map[string]*refOracle, len(mixWorkloads))
-	for _, w := range mixWorkloads {
+	progIDs := make(map[string]string, len(uniqueWL))
+	oracles := make(map[string]*refOracle, len(uniqueWL))
+	for _, w := range uniqueWL {
 		resp, err := client.Compile(w.Source)
 		if err != nil {
 			fail("compile %s: %v", w.Name, err)
@@ -185,40 +221,74 @@ func main() {
 		protocol = "binary"
 	}
 	fmt.Printf("dopia-load: %d workers, %v, mix=%s, protocol=%s, target %s\n",
-		*concurrency, *duration, *mix, protocol, base)
-	stop := time.Now().Add(*duration)
+		*concurrency, *duration, schedule, protocol, base)
+	begin := time.Now()
+	stop := begin.Add(*duration)
+	traces := make([][]experiments.TraceStep, *concurrency)
 	var wg sync.WaitGroup
 	for i := 0; i < *concurrency; i++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			w := mixWorkloads[worker%len(mixWorkloads)]
 			var bin *server.BinClient
 			if *binaryMode {
 				var err error
 				bin, err = server.DialBin(binAddr, 10*time.Minute)
 				if err != nil {
 					reqErrors.Add(1)
-					fmt.Fprintf(os.Stderr, "worker %d (%s): dial: %v\n", worker, w.Name, err)
+					fmt.Fprintf(os.Stderr, "worker %d: dial: %v\n", worker, err)
 					return
 				}
+				defer bin.Close()
 			}
-			tc, err := newTenant(client, bin, w, progIDs[w.Name], oracles[w.Name], *deadlineMS)
-			if err == nil && ring != nil {
-				// Stamp idempotency keys so a launch the router retries
-				// across a failover applies exactly once end-to-end.
-				tc.idemPrefix = "w" + strconv.Itoa(worker)
+			// One session per worker for the whole run: when the mix
+			// shifts, the tenant keeps its session (and its online model)
+			// and its new workload's buffers join under a name prefix —
+			// that continuity is what makes drift detectable per tenant.
+			var sid string
+			var err error
+			if bin != nil {
+				sid, err = bin.NewSession("")
+			} else {
+				sid, err = client.NewSession()
 			}
 			if err != nil {
-				if bin != nil {
-					_ = bin.Close()
-				}
 				reqErrors.Add(1)
-				fmt.Fprintf(os.Stderr, "worker %d (%s): setup: %v\n", worker, w.Name, err)
+				fmt.Fprintf(os.Stderr, "worker %d: session: %v\n", worker, err)
 				return
 			}
-			defer tc.close()
+			defer func() {
+				if bin != nil {
+					_ = bin.CloseSession(sid)
+				} else {
+					_ = client.CloseSession(sid)
+				}
+			}()
+			tenants := map[string]*tenant{}
+			tenantFor := func(w *workloads.Workload) (*tenant, error) {
+				if tc, ok := tenants[w.Name]; ok {
+					return tc, nil
+				}
+				tc, err := newTenant(client, bin, w, progIDs[w.Name], oracles[w.Name], *deadlineMS, sid)
+				if err != nil {
+					return nil, err
+				}
+				if ring != nil {
+					// Stamp idempotency keys so a launch the router retries
+					// across a failover applies exactly once end-to-end.
+					tc.idemPrefix = "w" + strconv.Itoa(worker) + w.Name
+				}
+				tenants[w.Name] = tc
+				return tc, nil
+			}
 			for time.Now().Before(stop) {
+				w := schedule.at(time.Since(begin), worker)
+				tc, err := tenantFor(w)
+				if err != nil {
+					reqErrors.Add(1)
+					fmt.Fprintf(os.Stderr, "worker %d (%s): setup: %v\n", worker, w.Name, err)
+					return
+				}
 				t0 := time.Now()
 				res, mismatch, err := tc.launchOnce()
 				if err != nil {
@@ -243,6 +313,12 @@ func main() {
 				if res.coalesced {
 					coalesced.Add(1)
 				}
+				step := experiments.TraceStep{Workload: w.Name, Chosen: machine.AllResources()}
+				if d := res.decision; d != nil {
+					step.Chosen = sim.Config{CPUCores: d.CPUCores, GPUFrac: d.GPUFrac}
+					step.Explored = d.Explored
+				}
+				traces[worker] = append(traces[worker], step)
 				if mismatch != "" {
 					mismatches.Add(1)
 					fmt.Fprintf(os.Stderr, "worker %d (%s): MISMATCH: %s\n", worker, w.Name, mismatch)
@@ -300,6 +376,29 @@ func main() {
 		}
 	}
 
+	// Decision-quality trace: score every launch's chosen DoP against
+	// the exhaustive oracle and against what the frozen local model
+	// would have picked (the BENCH_7 closed-loop-vs-frozen comparison).
+	var quality *experiments.RegretReport
+	if *trainLimit > 0 {
+		var trace []experiments.TraceStep
+		for _, ts := range traces {
+			trace = append(trace, ts...)
+		}
+		if len(trace) > 0 {
+			evals, err := core.EvaluateAll(machine, uniqueWL, 0)
+			if err != nil {
+				fail("oracle eval: %v", err)
+			}
+			quality, err = experiments.EvalTrace(machine, evals, localModel, trace)
+			if err != nil {
+				fail("quality trace: %v", err)
+			}
+			fmt.Printf("dopia-load: decision quality %.4f (frozen %.4f, gap closed %.2f%%, %d explored)\n",
+				quality.MeanQuality, quality.FrozenQuality, 100*quality.GapClosed, quality.Explored)
+		}
+	}
+
 	snap := latency.Snapshot()
 	report := map[string]any{
 		"bench":       "dopia-load",
@@ -341,6 +440,20 @@ func main() {
 			"bytes_out":          bytesOut,
 		},
 		"health_polls_ok": healthPolls,
+	}
+	if *mixSchedule != "" {
+		report["mix_schedule"] = *mixSchedule
+	}
+	if *onlineOn {
+		report["online"] = map[string]int64{
+			"swaps":        metricValue(page, "dopia_online_swaps_total"),
+			"retrains":     metricValue(page, "dopia_online_retrains_total"),
+			"explorations": metricValue(page, "dopia_online_explorations_total"),
+			"drifts":       metricValue(page, "dopia_online_drift_detections_total"),
+		}
+	}
+	if quality != nil {
+		report["quality"] = quality
 	}
 	if ring != nil {
 		report["cluster"] = ringStats
@@ -468,11 +581,15 @@ func (o *refOracle) get(idx int) (map[string][]byte, error) {
 	return o.steps[idx], nil
 }
 
-// tenant is one worker's session, verified against the shared oracle.
+// tenant is one worker's view of one workload inside a shared session,
+// verified against the shared oracle. A worker whose mix drifts holds
+// several tenants over one session: each workload's buffers live under
+// a "<workload>-" name prefix so they coexist.
 type tenant struct {
 	client     *server.Client    // JSON mode
 	bin        *server.BinClient // binary mode
 	sid        string
+	prefix     string // buffer-name prefix inside the shared session
 	progID     string
 	kernel     string
 	deadlineMS int64
@@ -486,13 +603,13 @@ type tenant struct {
 
 	nd   interp.NDRange
 	args []server.LaunchArg
-	read []string // buffer names in the launch's Read set
+	read []string // buffer names in the launch's Read set (prefixed)
 }
 
-// newTenant creates the session and uploads the workload's
-// deterministic inputs — base64 over JSON, raw little-endian bytes over
-// the binary protocol.
-func newTenant(c *server.Client, bin *server.BinClient, w *workloads.Workload, progID string, oracle *refOracle, deadlineMS int64) (*tenant, error) {
+// newTenant uploads the workload's deterministic inputs into the shared
+// session sid — base64 over JSON, raw little-endian bytes over the
+// binary protocol.
+func newTenant(c *server.Client, bin *server.BinClient, w *workloads.Workload, progID string, oracle *refOracle, deadlineMS int64, sid string) (*tenant, error) {
 	inst, err := w.Setup()
 	if err != nil {
 		return nil, err
@@ -505,18 +622,8 @@ func newTenant(c *server.Client, bin *server.BinClient, w *workloads.Workload, p
 	if k == nil {
 		return nil, fmt.Errorf("kernel %q missing", w.Kernel)
 	}
-
-	var sid string
-	if bin != nil {
-		sid, err = bin.NewSession("")
-	} else {
-		sid, err = c.NewSession()
-	}
-	if err != nil {
-		return nil, err
-	}
 	t := &tenant{
-		client: c, bin: bin, sid: sid, progID: progID, kernel: w.Kernel,
+		client: c, bin: bin, sid: sid, prefix: w.Name + "-", progID: progID, kernel: w.Kernel,
 		deadlineMS: deadlineMS, oracle: oracle, nd: inst.ND,
 	}
 
@@ -538,7 +645,7 @@ func newTenant(c *server.Client, bin *server.BinClient, w *workloads.Workload, p
 			t.args = append(t.args, wa)
 			continue
 		}
-		name := fmt.Sprintf("b%d", i)
+		name := fmt.Sprintf("%sb%d", t.prefix, i)
 		if err := t.uploadBuffer(name, a.Buf); err != nil {
 			return nil, fmt.Errorf("arg %d: %w", i, err)
 		}
@@ -583,6 +690,7 @@ func (t *tenant) uploadBuffer(name string, b *interp.Buffer) error {
 type launchResult struct {
 	rung      string
 	coalesced bool
+	decision  *server.DecisionInfo
 }
 
 // launchOnce fires one launch and verifies its outputs bit-identical
@@ -617,16 +725,16 @@ func (t *tenant) launchOnce() (res launchResult, mismatch string, err error) {
 			got[bv.Name] = bv.Raw
 		}
 		for name, w := range want {
-			g, ok := got[name]
+			g, ok := got[t.prefix+name]
 			if !ok {
-				return launchResult{}, fmt.Sprintf("response missing buffer %q", name), nil
+				return launchResult{}, fmt.Sprintf("response missing buffer %q", t.prefix+name), nil
 			}
 			if !bytes.Equal(g, w) {
 				return launchResult{}, fmt.Sprintf("buffer %q differs from reference (rung %s, engine %s)",
-					name, resp.Rung, resp.Engine), nil
+					t.prefix+name, resp.Rung, resp.Engine), nil
 			}
 		}
-		return launchResult{rung: resp.Rung, coalesced: resp.Coalesced}, "", nil
+		return launchResult{rung: resp.Rung, coalesced: resp.Coalesced, decision: resp.Decision}, "", nil
 	}
 
 	resp, err := t.client.Launch(&server.LaunchRequest{
@@ -649,9 +757,9 @@ func (t *tenant) launchOnce() (res launchResult, mismatch string, err error) {
 	}
 	t.launchIdx++
 	for name, w := range want {
-		remote, ok := resp.Buffers[name]
+		remote, ok := resp.Buffers[t.prefix+name]
 		if !ok {
-			return launchResult{}, fmt.Sprintf("response missing buffer %q", name), nil
+			return launchResult{}, fmt.Sprintf("response missing buffer %q", t.prefix+name), nil
 		}
 		b64 := remote.F32B64
 		if b64 == "" {
@@ -660,23 +768,34 @@ func (t *tenant) launchOnce() (res launchResult, mismatch string, err error) {
 		g, derr := base64.StdEncoding.DecodeString(b64)
 		if derr != nil || !bytes.Equal(g, w) {
 			return launchResult{}, fmt.Sprintf("buffer %q differs from reference (rung %s, engine %s)",
-				name, resp.Rung, resp.Engine), nil
+				t.prefix+name, resp.Rung, resp.Engine), nil
 		}
 	}
-	return launchResult{rung: resp.Rung, coalesced: resp.Coalesced}, "", nil
+	return launchResult{rung: resp.Rung, coalesced: resp.Coalesced, decision: resp.Decision}, "", nil
 }
 
-func (t *tenant) close() {
-	if t.bin != nil {
-		_ = t.bin.CloseSession(t.sid)
-		_ = t.bin.Close()
-		return
-	}
-	_ = t.client.CloseSession(t.sid)
+// mixSched is the piecewise workload mix of a run: segments ordered by
+// activation offset. With a single segment it reduces to the classic
+// fixed -mix behavior.
+type mixSched []mixSegment
+
+type mixSegment struct {
+	atMS  int64
+	names []string
+	wls   []*workloads.Workload
 }
 
-// pickMix resolves the workload names against the real-workload table.
-func pickMix(mix string, n, wg int) ([]*workloads.Workload, error) {
+// mixAliases are the drifting-mix shorthands of the headline scenario:
+// a Polybench-heavy phase and an irregular SpMV/PageRank-heavy phase.
+var mixAliases = map[string]string{
+	"poly": "GESUMMV+ATAX1+BICG1+MVT1",
+	"spmv": "SpMV+PageRank",
+}
+
+// buildSchedule resolves -mix / -mix-schedule into a schedule. spec
+// segments look like "poly@0,spmv@2000": alias-or-name@offsetMS, with
+// explicit multi-workload segments joined by '+'.
+func buildSchedule(mix, spec string, n, wg int) (mixSched, error) {
 	all, err := workloads.RealWorkloads(n, wg)
 	if err != nil {
 		return nil, err
@@ -687,22 +806,140 @@ func pickMix(mix string, n, wg int) ([]*workloads.Workload, error) {
 		byName[d.Name] = all[i]
 		names = append(names, d.Name)
 	}
-	var out []*workloads.Workload
-	for _, name := range strings.Split(mix, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
+	resolve := func(joined string) ([]string, []*workloads.Workload, error) {
+		var segNames []string
+		var wls []*workloads.Workload
+		for _, name := range strings.FieldsFunc(joined, func(r rune) bool { return r == '+' || r == ',' }) {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			w, ok := byName[name]
+			if !ok {
+				return nil, nil, fmt.Errorf("unknown workload %q; available: %s", name, strings.Join(names, ", "))
+			}
+			segNames = append(segNames, name)
+			wls = append(wls, w)
+		}
+		if len(wls) == 0 {
+			return nil, nil, fmt.Errorf("empty workload mix")
+		}
+		return segNames, wls, nil
+	}
+
+	if spec == "" {
+		segNames, wls, err := resolve(mix)
+		if err != nil {
+			return nil, err
+		}
+		return mixSched{{names: segNames, wls: wls}}, nil
+	}
+	var sched mixSched
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
 			continue
 		}
-		w, ok := byName[name]
+		token, at, ok := strings.Cut(part, "@")
 		if !ok {
-			return nil, fmt.Errorf("unknown workload %q; available: %s", name, strings.Join(names, ", "))
+			return nil, fmt.Errorf("mix-schedule segment %q: want name@offsetMS", part)
 		}
-		out = append(out, w)
+		ms, err := strconv.ParseInt(strings.TrimSpace(at), 10, 64)
+		if err != nil || ms < 0 {
+			return nil, fmt.Errorf("mix-schedule segment %q: bad offset %q", part, at)
+		}
+		if alias, ok := mixAliases[strings.ToLower(strings.TrimSpace(token))]; ok {
+			token = alias
+		}
+		segNames, wls, err := resolve(token)
+		if err != nil {
+			return nil, err
+		}
+		sched = append(sched, mixSegment{atMS: ms, names: segNames, wls: wls})
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("empty workload mix")
+	if len(sched) == 0 {
+		return nil, fmt.Errorf("empty -mix-schedule")
 	}
-	return out, nil
+	sort.Slice(sched, func(i, j int) bool { return sched[i].atMS < sched[j].atMS })
+	if sched[0].atMS != 0 {
+		return nil, fmt.Errorf("-mix-schedule must have a segment at offset 0 (first is at %dms)", sched[0].atMS)
+	}
+	return sched, nil
+}
+
+// at returns worker's workload under the segment active at elapsed.
+func (s mixSched) at(elapsed time.Duration, worker int) *workloads.Workload {
+	cur := s[0]
+	el := elapsed.Milliseconds()
+	for _, seg := range s[1:] {
+		if el < seg.atMS {
+			break
+		}
+		cur = seg
+	}
+	return cur.wls[worker%len(cur.wls)]
+}
+
+// unique lists each distinct workload once, in first-use order.
+func (s mixSched) unique() []*workloads.Workload {
+	seen := map[string]bool{}
+	var out []*workloads.Workload
+	for _, seg := range s {
+		for _, w := range seg.wls {
+			if !seen[w.Name] {
+				seen[w.Name] = true
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+func (s mixSched) String() string {
+	var parts []string
+	for _, seg := range s {
+		p := strings.Join(seg.names, "+")
+		if len(s) > 1 {
+			p += fmt.Sprintf("@%dms", seg.atMS)
+		}
+		parts = append(parts, p)
+	}
+	return strings.Join(parts, ",")
+}
+
+// trainLocalModel mirrors dopia-serve's -train path exactly — same
+// synthetic grid subsample, same trainer — so the generator-side frozen
+// baseline is the very model an embedded or identically configured
+// daemon serves with.
+func trainLocalModel(m *sim.Machine, family string, limit int) (ml.Model, error) {
+	trainer, err := core.TrainerByName(family)
+	if err != nil {
+		return nil, err
+	}
+	grid, err := workloads.SyntheticGrid()
+	if err != nil {
+		return nil, err
+	}
+	if limit < len(grid) {
+		stride := len(grid) / limit
+		var sub []*workloads.Workload
+		for i := 0; i < len(grid) && len(sub) < limit; i += stride {
+			sub = append(sub, grid[i])
+		}
+		grid = sub
+	}
+	t0 := time.Now()
+	evals, err := core.EvaluateAll(m, grid, 0)
+	if err != nil {
+		return nil, err
+	}
+	model, err := trainer.Fit(core.BuildDataset(m, evals))
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("dopia-load: trained %s on %d synthetic workloads in %v\n",
+		model.Name(), len(grid), time.Since(t0).Round(time.Millisecond))
+	return model, nil
 }
 
 func machineByName(name string) (*sim.Machine, error) {
@@ -718,12 +955,8 @@ func machineByName(name string) (*sim.Machine, error) {
 // embedServer starts an in-process daemon on a loopback listener. The
 // mixed server sniffs each connection's first byte, so the same port
 // serves both HTTP/JSON and the binary protocol.
-func embedServer(machineName string) (string, *server.Server, *server.MixedServer, error) {
-	m, err := machineByName(machineName)
-	if err != nil {
-		return "", nil, nil, err
-	}
-	srv, err := server.New(server.Config{Machine: m})
+func embedServer(cfg server.Config) (string, *server.Server, *server.MixedServer, error) {
+	srv, err := server.New(cfg)
 	if err != nil {
 		return "", nil, nil, err
 	}

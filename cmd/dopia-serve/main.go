@@ -38,6 +38,7 @@ import (
 	"dopia/internal/cluster"
 	"dopia/internal/core"
 	"dopia/internal/ml"
+	"dopia/internal/online"
 	"dopia/internal/server"
 	"dopia/internal/sim"
 	"dopia/internal/workloads"
@@ -59,6 +60,13 @@ func main() {
 		clusterID    = flag.String("cluster-id", "", "ring member ID; mounts the gossip endpoint for dopia-router")
 		gossipEvery  = flag.Duration("gossip-interval", 100*time.Millisecond, "heartbeat gossip period (with -cluster-id)")
 		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+
+		onlineOn     = flag.Bool("online", false, "enable the closed-loop online learner (per-tenant incremental models, hot swap)")
+		onlinePolicy = flag.String("online-policy", online.PolicyEpsilon, "exploration policy: off, epsilon, or ucb")
+		onlineEps    = flag.Float64("online-epsilon", 0.05, "exploration rate for eligible launches")
+		onlineBudget = flag.Float64("online-regret-budget", 2.0, "per-tenant cumulative exploration-regret budget")
+		onlineEvery  = flag.Int("online-retrain-every", 8, "retrain after this many new-signature launches since the last swap")
+		onlineWindow = flag.Int("online-window", 128, "per-tenant sliding-window size in launches")
 	)
 	flag.Parse()
 
@@ -77,7 +85,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	srv, err := server.New(server.Config{
+	scfg := server.Config{
 		Machine:         m,
 		Model:           model,
 		QueueDepth:      *queueDepth,
@@ -85,7 +93,19 @@ func main() {
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDeadline,
 		WatchdogTimeout: *watchdog,
-	})
+	}
+	if *onlineOn {
+		scfg.Online = &online.Config{
+			Policy:         *onlinePolicy,
+			Epsilon:        *onlineEps,
+			RegretBudget:   *onlineBudget,
+			RetrainEvery:   *onlineEvery,
+			WindowLaunches: *onlineWindow,
+		}
+		log.Printf("dopia-serve: online learner on (policy %s, epsilon %g, regret budget %g)",
+			*onlinePolicy, *onlineEps, *onlineBudget)
+	}
+	srv, err := server.New(scfg)
 	if err != nil {
 		log.Fatal(err)
 	}

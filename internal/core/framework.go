@@ -54,18 +54,41 @@ type Framework struct {
 	mu      sync.Mutex
 	kernels map[*clc.Kernel]*kernelInfo
 
-	// predMu guards predCache/predModel. predCache memoizes model
-	// predictions by feature vector: the decision sweep evaluates 44
-	// configurations per launch, and applications that re-launch a
+	// predMu guards predCache/predModel/predGens. predCache memoizes
+	// model predictions by feature vector: the decision sweep evaluates
+	// 44 configurations per launch, and applications that re-launch a
 	// kernel with the same geometry produce the same 44 feature vectors
 	// every time. The cache belongs to one model identity and is
-	// dropped when Model changes.
+	// dropped when Model changes. predGens holds one cache per advisor
+	// model generation (hot swap publishes a new generation, so stale
+	// cached predictions can never leak across models); generation 0 is
+	// the legacy predCache/predModel pair.
 	predMu    sync.Mutex
 	predCache map[ml.Features]float64
 	predModel ml.Model
+	predGens  map[uint64]map[ml.Features]float64
 
 	// Prediction-cache traffic, exported to /metrics via PredCacheStats.
 	predHits, predMisses atomic.Int64
+
+	// advisor is the attached online-learning layer (nil = static model
+	// only). Swapped atomically so launches never see a torn update.
+	advisor atomic.Pointer[advisorRef]
+}
+
+// maxPredGens bounds how many generation caches are retained at once.
+// Hot swaps retire generations explicitly via DropPredictionGeneration;
+// the bound is a backstop against an advisor that never retires.
+const maxPredGens = 4
+
+// DropPredictionGeneration discards the cached predictions of one model
+// generation. The online layer calls it when a hot swap retires the
+// generation; a later launch still racing on the old generation simply
+// refills a fresh (and soon unreferenced) cache.
+func (f *Framework) DropPredictionGeneration(gen uint64) {
+	f.predMu.Lock()
+	delete(f.predGens, gen)
+	f.predMu.Unlock()
 }
 
 // PredCacheStats reports prediction-cache traffic: sweeps served from
@@ -242,6 +265,12 @@ type Decision struct {
 	// for this launch (NaN/Inf/out-of-range values, inference panic, or
 	// injected fault) and the ALL configuration was used instead.
 	ModelDiscarded bool
+	// ModelGen is the generation of the model that scored this decision
+	// (0 = the framework's static Model field; advisors publish >= 1).
+	ModelGen uint64
+	// Explored reports that the online exploration policy overrode the
+	// exploited configuration for this launch.
+	Explored bool
 }
 
 // maxSanePrediction bounds the magnitude of a credible normalized-
@@ -274,20 +303,46 @@ func (f *Framework) Decide(res *analysis.Result, nd interp.NDRange) Decision {
 	return dec
 }
 
-// predictCached evaluates the model on one feature vector through the
-// per-model prediction cache. While fault injection is armed the cache is
-// bypassed, so an armed ml.predict plan observes every prediction of the
-// uncached sweep.
-func (f *Framework) predictCached(x ml.Features) (float64, error) {
+// predictCached evaluates a model on one feature vector through the
+// prediction cache of its generation. Generation 0 (the static Model
+// field) keeps the legacy identity-checked cache, so directly mutating
+// Model still invalidates it; advisor generations each own an
+// independent cache that a hot swap retires wholesale. While fault
+// injection is armed the cache is bypassed, so an armed ml.predict plan
+// observes every prediction of the uncached sweep.
+func (f *Framework) predictCached(m ml.Model, gen uint64, x ml.Features) (float64, error) {
 	if faults.Active() {
-		return predictOne(f.Model, x)
+		return predictOne(m, x)
 	}
 	f.predMu.Lock()
-	if f.predModel != f.Model || f.predCache == nil {
-		f.predModel = f.Model
-		f.predCache = map[ml.Features]float64{}
+	var cache map[ml.Features]float64
+	if gen == 0 {
+		if f.predModel != m || f.predCache == nil {
+			f.predModel = m
+			f.predCache = map[ml.Features]float64{}
+		}
+		cache = f.predCache
+	} else {
+		if f.predGens == nil {
+			f.predGens = map[uint64]map[ml.Features]float64{}
+		}
+		cache = f.predGens[gen]
+		if cache == nil {
+			if len(f.predGens) >= maxPredGens {
+				// Backstop eviction: drop the oldest generation.
+				oldest := gen
+				for g := range f.predGens {
+					if g < oldest {
+						oldest = g
+					}
+				}
+				delete(f.predGens, oldest)
+			}
+			cache = map[ml.Features]float64{}
+			f.predGens[gen] = cache
+		}
 	}
-	if v, ok := f.predCache[x]; ok {
+	if v, ok := cache[x]; ok {
 		f.predMu.Unlock()
 		f.predHits.Add(1)
 		return v, nil
@@ -297,11 +352,11 @@ func (f *Framework) predictCached(x ml.Features) (float64, error) {
 	// Infer outside the lock: model inference dominates, and concurrent
 	// sweeps over the same features would otherwise serialize. A racing
 	// duplicate inference stores the same deterministic value.
-	v, err := predictOne(f.Model, x)
+	v, err := predictOne(m, x)
 	f.predMisses.Add(1)
 	if err == nil {
 		f.predMu.Lock()
-		f.predCache[x] = v
+		cache[x] = v
 		f.predMu.Unlock()
 	}
 	return v, err
@@ -310,16 +365,25 @@ func (f *Framework) predictCached(x ml.Features) (float64, error) {
 // decide is Decide plus the cause of a model discard (nil when the model
 // was used or absent).
 func (f *Framework) decide(res *analysis.Result, nd interp.NDRange) (Decision, error) {
-	if f.Model == nil {
-		return Decision{Config: f.Machine.AllResources()}, nil
-	}
+	dec, _, err := f.decideFor("", res, nd)
+	return dec, err
+}
+
+// decideFor resolves the tenant's model once (so an in-flight launch
+// finishes on the model it started with, even across a hot swap) and
+// runs the 44-configuration argmax sweep with it.
+func (f *Framework) decideFor(tenant string, res *analysis.Result, nd interp.NDRange) (Decision, ml.Features, error) {
 	base := BaseFeatures(res, nd)
+	model, gen := f.modelFor(tenant)
+	if model == nil {
+		return Decision{Config: f.Machine.AllResources(), ModelGen: gen}, base, nil
+	}
 	start := time.Now()
 	var best sim.Config
 	bestV := 0.0
 	n := 0
 	for _, cfg := range f.Machine.Configs() {
-		v, err := f.predictCached(WithConfig(base, f.Machine, cfg))
+		v, err := f.predictCached(model, gen, WithConfig(base, f.Machine, cfg))
 		if err != nil {
 			// Model invalid: discard it for this launch and fall back to
 			// all resources (the paper's ALL baseline).
@@ -328,7 +392,8 @@ func (f *Framework) decide(res *analysis.Result, nd interp.NDRange) (Decision, e
 				InferTime:      time.Since(start),
 				Evaluated:      n,
 				ModelDiscarded: true,
-			}, err
+				ModelGen:       gen,
+			}, base, err
 		}
 		n++
 		if n == 1 || v > bestV {
@@ -340,7 +405,8 @@ func (f *Framework) decide(res *analysis.Result, nd interp.NDRange) (Decision, e
 		Predicted: bestV,
 		InferTime: time.Since(start),
 		Evaluated: n,
-	}, nil
+		ModelGen:  gen,
+	}, base, nil
 }
 
 // Execution is the result of one Dopia-managed kernel execution.
@@ -395,9 +461,20 @@ func (f *Framework) ExecuteCtx(ctx context.Context, k *clc.Kernel, args []interp
 	if err := ex.Launch(nd); err != nil {
 		return nil, err
 	}
-	dec, decErr := f.decide(ki.analysis, nd)
+	tenant := TenantFrom(ctx)
+	dec, base, decErr := f.decideFor(tenant, ki.analysis, nd)
 	if decErr != nil {
 		f.Stats.RecordModelDiscard(decErr)
+	}
+	adv := f.loadAdvisor()
+	if adv != nil && !dec.ModelDiscarded && dec.Evaluated > 0 {
+		// Exploration may pick an off-policy configuration. The override
+		// changes only which DoP executes — functional results are
+		// configuration-invariant, so exploration can never change bytes.
+		if cfg, ok := adv.Explore(tenant, k.Name, base, dec); ok {
+			dec.Config = cfg
+			dec.Explored = true
+		}
 	}
 	wctx, cancel := f.watchdog(ctx)
 	defer cancel()
@@ -409,6 +486,30 @@ func (f *Framework) ExecuteCtx(ctx context.Context, k *clc.Kernel, args []interp
 	})
 	if err != nil {
 		return nil, faults.Wrap(faults.StageExec, err)
+	}
+	if adv != nil && !faults.Active() {
+		// Feed the completed launch back as a training signal. The sweep
+		// closure reuses this executor's memoized timing-only simulations
+		// (thread-safe; the functional state is no longer touched).
+		adv.Observe(LaunchSample{
+			Tenant:       tenant,
+			Kernel:       k.Name,
+			Base:         base,
+			Decision:     dec,
+			ObservedTime: res.Time,
+			Sweep: func() ([]ConfigTime, error) {
+				cfgs := f.Machine.Configs()
+				rs, serr := ex.RunConfigs(cfgs, sched.RunOptions{Dist: sim.Dynamic})
+				if serr != nil {
+					return nil, serr
+				}
+				cts := make([]ConfigTime, len(cfgs))
+				for i, r := range rs {
+					cts[i] = ConfigTime{Config: cfgs[i], Time: r.Time}
+				}
+				return cts, nil
+			},
+		})
 	}
 	return &Execution{
 		Decision:   dec,

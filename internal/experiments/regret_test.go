@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"dopia/internal/core"
+	"dopia/internal/ml"
+	"dopia/internal/sim"
+)
+
+// fakeEval builds a WorkloadEval over the machine's real config lattice
+// with hand-picked times: `best` runs in 1.0, AllResources in 1.6, and
+// everything else in 2.0.
+func fakeEval(m *sim.Machine, name string, best sim.Config) *core.WorkloadEval {
+	we := &core.WorkloadEval{Name: name, Best: best, BestTime: 1.0}
+	for _, cfg := range m.Configs() {
+		t := 2.0
+		switch cfg {
+		case best:
+			t = 1.0
+		case m.AllResources():
+			t = 1.6
+		}
+		we.Times = append(we.Times, core.ConfigTime{Config: cfg, Time: t})
+	}
+	return we
+}
+
+func TestEvalTraceArithmetic(t *testing.T) {
+	m := sim.Kaveri()
+	cfgs := m.Configs()
+	best := cfgs[0]
+	if best == m.AllResources() {
+		best = cfgs[1]
+	}
+	we := fakeEval(m, "W", best)
+	other := m.AllResources()
+
+	// Two oracle-best launches and one explored launch at AllResources
+	// (quality 1/1.6, regret 0.6).
+	trace := []TraceStep{
+		{Workload: "W", Chosen: best},
+		{Workload: "W", Chosen: best},
+		{Workload: "W", Chosen: other, Explored: true},
+	}
+	rep, err := EvalTrace(m, []*core.WorkloadEval{we}, nil, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps = 1e-12
+	wantMean := (1.0 + 1.0 + 1.0/1.6) / 3
+	if math.Abs(rep.MeanQuality-wantMean) > eps {
+		t.Errorf("MeanQuality = %v, want %v", rep.MeanQuality, wantMean)
+	}
+	// frozen == nil scores the frozen reference at AllResources.
+	wantFrozen := 1.0 / 1.6
+	if math.Abs(rep.FrozenQuality-wantFrozen) > eps {
+		t.Errorf("FrozenQuality = %v, want %v", rep.FrozenQuality, wantFrozen)
+	}
+	wantGap := (wantMean - wantFrozen) / (1 - wantFrozen)
+	if math.Abs(rep.GapClosed-wantGap) > eps {
+		t.Errorf("GapClosed = %v, want %v", rep.GapClosed, wantGap)
+	}
+	if math.Abs(rep.CumulativeRegret-0.6) > eps {
+		t.Errorf("CumulativeRegret = %v, want 0.6", rep.CumulativeRegret)
+	}
+	if rep.Explored != 1 || math.Abs(rep.ExplorationRegret-0.6) > eps {
+		t.Errorf("Explored = %d regret %v, want 1 / 0.6", rep.Explored, rep.ExplorationRegret)
+	}
+	if rep.Launches != 3 {
+		t.Errorf("Launches = %d, want 3", rep.Launches)
+	}
+}
+
+func TestEvalTraceGapClosedAtOracle(t *testing.T) {
+	// A frozen reference already at the oracle leaves no gap to close;
+	// the report must stay NaN-free and report 0.
+	m := sim.Kaveri()
+	best := m.AllResources()
+	we := fakeEval(m, "W", best)
+	we.BestTime = 1.6 // AllResources IS the oracle here
+	for i := range we.Times {
+		if we.Times[i].Config == best {
+			we.Times[i].Time = 1.6
+		} else {
+			we.Times[i].Time = 2.0
+		}
+	}
+	rep, err := EvalTrace(m, []*core.WorkloadEval{we}, nil,
+		[]TraceStep{{Workload: "W", Chosen: best}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.GapClosed != 0 {
+		t.Errorf("GapClosed = %v, want 0", rep.GapClosed)
+	}
+	if rep.MeanQuality != 1 || rep.FrozenQuality != 1 {
+		t.Errorf("quality = %v/%v, want 1/1", rep.MeanQuality, rep.FrozenQuality)
+	}
+}
+
+type preferAllStub struct{}
+
+func (preferAllStub) Name() string { return "STUB" }
+func (preferAllStub) Predict(x ml.Features) float64 {
+	return 0.3 + 0.4*x[ml.FCPUUtil] + 0.2*x[ml.FGPUUtil]
+}
+
+func TestEvalTraceFrozenModelSelect(t *testing.T) {
+	// With a real frozen model the reference config comes from an argmax
+	// sweep over the machine's lattice; whatever it picks must be a
+	// known configuration with positive quality.
+	m := sim.Kaveri()
+	cfgs := m.Configs()
+	we := fakeEval(m, "W", cfgs[0])
+	rep, err := EvalTrace(m, []*core.WorkloadEval{we}, preferAllStub{},
+		[]TraceStep{{Workload: "W", Chosen: cfgs[0]}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FrozenQuality <= 0 || rep.FrozenQuality > 1 {
+		t.Errorf("FrozenQuality = %v, want in (0, 1]", rep.FrozenQuality)
+	}
+}
+
+func TestEvalTraceErrors(t *testing.T) {
+	m := sim.Kaveri()
+	we := fakeEval(m, "W", m.Configs()[0])
+	if _, err := EvalTrace(m, []*core.WorkloadEval{we}, nil, nil); err == nil {
+		t.Error("empty trace did not error")
+	}
+	if _, err := EvalTrace(m, []*core.WorkloadEval{we}, nil,
+		[]TraceStep{{Workload: "missing", Chosen: m.Configs()[0]}}); err == nil {
+		t.Error("unknown workload did not error")
+	}
+	if _, err := EvalTrace(m, []*core.WorkloadEval{we}, nil,
+		[]TraceStep{{Workload: "W", Chosen: sim.Config{CPUCores: 99, GPUFrac: 0.123}}}); err == nil {
+		t.Error("unknown config did not error")
+	}
+}

@@ -1,0 +1,140 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomSample(rng *rand.Rand) Sample {
+	var x Features
+	for i := range x {
+		x[i] = rng.Float64()*100 - 50
+	}
+	// A noisy linear target keeps the batch/online comparison meaningful.
+	y := 0.3*x[0] - 0.7*x[4] + 0.05*x[9] + rng.NormFloat64()*0.1
+	return Sample{X: x, Y: y}
+}
+
+// The online accumulator must reproduce the batch trainer exactly: same
+// scaler, same standardized normal equations, same ridge.
+func TestOnlineRidgeMatchesBatchFit(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	d := &Dataset{}
+	var o OnlineRidge
+	for i := 0; i < 200; i++ {
+		sm := randomSample(rng)
+		d.Samples = append(d.Samples, sm)
+		o.Observe(sm.X, sm.Y)
+	}
+	batch, err := LinearTrainer{}.Fit(d)
+	if err != nil {
+		t.Fatalf("batch fit: %v", err)
+	}
+	inc, err := o.Fit()
+	if err != nil {
+		t.Fatalf("online fit: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		x := randomSample(rng).X
+		b, n := batch.Predict(x), inc.Predict(x)
+		if math.Abs(b-n) > 1e-6*(1+math.Abs(b)) {
+			t.Fatalf("prediction diverges at probe %d: batch %v online %v", i, b, n)
+		}
+	}
+}
+
+// Observing then Forgetting a prefix must equal a batch fit of the
+// suffix: the sliding window is exact, not approximate.
+func TestOnlineRidgeForgetIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	all := make([]Sample, 120)
+	for i := range all {
+		all[i] = randomSample(rng)
+	}
+	var o OnlineRidge
+	for _, sm := range all {
+		o.Observe(sm.X, sm.Y)
+	}
+	for _, sm := range all[:60] {
+		o.Forget(sm.X, sm.Y)
+	}
+	if got, want := o.Len(), 60; got != want {
+		t.Fatalf("window length %d, want %d", got, want)
+	}
+	suffix := &Dataset{Samples: all[60:]}
+	batch, err := LinearTrainer{}.Fit(suffix)
+	if err != nil {
+		t.Fatalf("batch fit: %v", err)
+	}
+	inc, err := o.Fit()
+	if err != nil {
+		t.Fatalf("online fit: %v", err)
+	}
+	for i := 0; i < 50; i++ {
+		x := randomSample(rng).X
+		b, n := batch.Predict(x), inc.Predict(x)
+		if math.Abs(b-n) > 1e-5*(1+math.Abs(b)) {
+			t.Fatalf("windowed prediction diverges: batch %v online %v", b, n)
+		}
+	}
+}
+
+func TestOnlineRidgeTooFewSamples(t *testing.T) {
+	var o OnlineRidge
+	if _, err := o.Fit(); err == nil {
+		t.Fatal("empty fit should fail")
+	}
+	o.Observe(Features{1}, 1)
+	if _, err := o.Fit(); err == nil {
+		t.Fatal("single-sample fit should fail")
+	}
+}
+
+func TestProvenanceRoundTrip(t *testing.T) {
+	d := &Dataset{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 40; i++ {
+		d.Samples = append(d.Samples, randomSample(rng))
+	}
+	m, err := LinearTrainer{}.Fit(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Provenance{Tenant: "s-1", Generation: 7, Samples: 40, Origin: "online", Parent: "LIN"}
+	tagged := WithProvenance(m, p)
+	if got, ok := ProvenanceOf(tagged); !ok || got != p {
+		t.Fatalf("ProvenanceOf = %+v, %v; want %+v", got, ok, p)
+	}
+	// Tagging must not change predictions.
+	x := randomSample(rng).X
+	if tagged.Predict(x) != m.Predict(x) {
+		t.Fatal("provenance wrapper changed predictions")
+	}
+	// Round-trip through serialization.
+	path := t.TempDir() + "/model.json"
+	if err := SaveModelFile(path, tagged); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	back, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if got, ok := ProvenanceOf(back); !ok || got != p {
+		t.Fatalf("provenance lost in round trip: %+v, %v", got, ok)
+	}
+	if back.Predict(x) != m.Predict(x) {
+		t.Fatal("round-tripped model predicts differently")
+	}
+	// Untagged models keep loading without provenance.
+	if err := SaveModelFile(path, m); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ProvenanceOf(plain); ok {
+		t.Fatal("plain model grew provenance from nowhere")
+	}
+}

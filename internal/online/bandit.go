@@ -1,0 +1,112 @@
+package online
+
+import (
+	"math"
+
+	"dopia/internal/sim"
+)
+
+// Exploration policies over the machine's 44-configuration space.
+const (
+	PolicyOff     = "off"     // never explore
+	PolicyEpsilon = "epsilon" // epsilon-greedy: random off-policy arm at rate Epsilon
+	PolicyUCB     = "ucb"     // UCB1 over observed arm rewards, gated at rate Epsilon
+)
+
+// armStats holds the per-signature bandit state: how often each DoP
+// configuration was actually executed for this signature and the mean
+// observed reward (normalized performance, oracle-best / achieved).
+type armStats struct {
+	pulls []int
+	mean  []float64
+	total int
+}
+
+func newArmStats(n int) *armStats {
+	return &armStats{pulls: make([]int, n), mean: make([]float64, n)}
+}
+
+// observe folds one executed (arm, reward) pair into the running means.
+func (a *armStats) observe(arm int, reward float64) {
+	a.pulls[arm]++
+	a.total++
+	a.mean[arm] += (reward - a.mean[arm]) / float64(a.pulls[arm])
+}
+
+// oracleRow is the memoized ground-truth sweep of one signature: the
+// simulated time of every DoP configuration, indexed like
+// Machine.Configs(), with the best row precomputed. Rows are immutable
+// once built — the simulator is deterministic, so one sweep per
+// signature is the whole truth.
+type oracleRow struct {
+	times    []float64
+	best     int
+	bestTime float64
+}
+
+func newOracleRow(times []float64) *oracleRow {
+	r := &oracleRow{times: times, best: -1}
+	for i, t := range times {
+		if t > 0 && (r.best < 0 || t < r.bestTime) {
+			r.best, r.bestTime = i, t
+		}
+	}
+	return r
+}
+
+// reward returns the normalized performance of executing arm i
+// (oracle-best time over arm time; 1 = optimal).
+func (r *oracleRow) reward(i int) float64 {
+	if i < 0 || i >= len(r.times) || r.times[i] <= 0 || r.bestTime <= 0 {
+		return 0
+	}
+	return r.bestTime / r.times[i]
+}
+
+// regretOf returns the relative regret of executing arm i instead of
+// the oracle best: (t_i - t_best) / t_best, >= 0.
+func (r *oracleRow) regretOf(i int) float64 {
+	if i < 0 || i >= len(r.times) || r.bestTime <= 0 {
+		return math.Inf(1)
+	}
+	return (r.times[i] - r.bestTime) / r.bestTime
+}
+
+// pickUCB returns the arm with the highest UCB1 index among candidates
+// whose projected regret fits within the remaining budget, or -1.
+// Never-pulled arms rank first (infinite index), tie-broken by lowest
+// projected regret so the cheapest unknown is tried before expensive
+// ones.
+func pickUCB(arms *armStats, row *oracleRow, bonus, remaining float64, exclude int) int {
+	bestArm := -1
+	bestIdx := math.Inf(-1)
+	bestReg := math.Inf(1)
+	for i := range arms.pulls {
+		if i == exclude {
+			continue
+		}
+		reg := row.regretOf(i)
+		if reg > remaining {
+			continue
+		}
+		var idx float64
+		if arms.pulls[i] == 0 {
+			idx = math.Inf(1)
+		} else {
+			idx = arms.mean[i] + bonus*math.Sqrt(2*math.Log(float64(arms.total+1))/float64(arms.pulls[i]))
+		}
+		if idx > bestIdx || (idx == bestIdx && reg < bestReg) {
+			bestArm, bestIdx, bestReg = i, idx, reg
+		}
+	}
+	return bestArm
+}
+
+// configIndex builds the arm-index lookup for a machine's DoP space.
+func configIndex(cfgs []sim.Config) map[sim.Config]int {
+	idx := make(map[sim.Config]int, len(cfgs))
+	for i, c := range cfgs {
+		idx[c] = i
+	}
+	return idx
+}

@@ -1,0 +1,55 @@
+package online
+
+// driftWindow is a fixed-size ring of recent absolute prediction errors
+// (|predicted normalized perf - realized normalized perf|) for one
+// tenant. When the window is full and its mean error exceeds the
+// threshold, the tenant has drifted away from what its published model
+// believes and a retrain is forced. The window resets after each
+// detection so one sustained drift episode fires once per refill rather
+// than on every launch.
+type driftWindow struct {
+	errs []float64
+	n    int // valid entries (ramps up to len(errs))
+	pos  int
+	sum  float64
+}
+
+func newDriftWindow(size int) *driftWindow {
+	if size < 1 {
+		size = 1
+	}
+	return &driftWindow{errs: make([]float64, size)}
+}
+
+// push records one prediction error and reports whether the full window
+// now exceeds the threshold.
+func (d *driftWindow) push(err, threshold float64) bool {
+	if err < 0 {
+		err = -err
+	}
+	if d.n == len(d.errs) {
+		d.sum -= d.errs[d.pos]
+	} else {
+		d.n++
+	}
+	d.errs[d.pos] = err
+	d.sum += err
+	d.pos = (d.pos + 1) % len(d.errs)
+	return d.n == len(d.errs) && d.mean() > threshold
+}
+
+func (d *driftWindow) mean() float64 {
+	if d.n == 0 {
+		return 0
+	}
+	return d.sum / float64(d.n)
+}
+
+// reset empties the window (after a drift detection or a hot swap, so
+// the new model is judged on its own errors).
+func (d *driftWindow) reset() {
+	for i := range d.errs {
+		d.errs[i] = 0
+	}
+	d.n, d.pos, d.sum = 0, 0, 0
+}

@@ -1,0 +1,277 @@
+package online
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"dopia/internal/core"
+	"dopia/internal/ml"
+	"dopia/internal/sim"
+)
+
+// fakeBase is a deterministic stand-in for the global offline model.
+type fakeBase struct{ v float64 }
+
+func (f fakeBase) Name() string              { return "FAKE" }
+func (f fakeBase) Predict(ml.Features) float64 { return f.v }
+
+// testSample fabricates one launch of a synthetic signature whose
+// oracle-best configuration is cfgs[bestIdx]: config i costs
+// 1 + 0.01*|i-bestIdx| simulated seconds.
+func testSample(m *Manager, tenant, kernel string, bestIdx int, dec core.Decision) core.LaunchSample {
+	var base ml.Features
+	base[ml.FGlobalSize] = float64(1000 + len(kernel))
+	base[ml.FWorkDim] = 1
+	return core.LaunchSample{
+		Tenant:       tenant,
+		Kernel:       kernel,
+		Base:         base,
+		Decision:     dec,
+		ObservedTime: 1,
+		Sweep: func() ([]core.ConfigTime, error) {
+			cts := make([]core.ConfigTime, len(m.cfgs))
+			for i, cfg := range m.cfgs {
+				d := i - bestIdx
+				if d < 0 {
+					d = -d
+				}
+				cts[i] = core.ConfigTime{Config: cfg, Time: 1 + 0.01*float64(d)}
+			}
+			return cts, nil
+		},
+	}
+}
+
+func newTestManager(t *testing.T, cfg Config) *Manager {
+	t.Helper()
+	cfg.Machine = sim.Kaveri()
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m
+}
+
+func TestManagerRetrainsAndSwapsToOracleArgmax(t *testing.T) {
+	m := newTestManager(t, Config{
+		Base:         fakeBase{0.5},
+		RetrainEvery: 4,
+		MinLaunches:  2,
+		Policy:       PolicyOff,
+	})
+	if mdl, gen := m.ModelFor("s-1"); mdl != (fakeBase{0.5}) || gen != 1 {
+		t.Fatalf("cold tenant should get base model at gen 1, got %v gen %d", mdl, gen)
+	}
+	const bestIdx = 17
+	dec := core.Decision{Config: m.cfgs[0], Predicted: 0.5, Evaluated: len(m.cfgs), ModelGen: 1}
+	for i := 0; i < 8; i++ {
+		m.Observe(testSample(m, "s-1", "gesummv", bestIdx, dec))
+	}
+	if !m.Sync(5 * time.Second) {
+		t.Fatal("learner did not drain")
+	}
+	st := m.Status()
+	if st.Swaps < 1 || st.Retrains < 1 {
+		t.Fatalf("expected at least one retrain+swap, got %+v", st)
+	}
+	mdl, gen := m.ModelFor("s-1")
+	if gen < 2 {
+		t.Fatalf("published generation %d, want >= 2", gen)
+	}
+	// The published model must reproduce the oracle argmax for the
+	// learned signature.
+	sample := testSample(m, "s-1", "gesummv", bestIdx, dec)
+	argmax, bestV := -1, 0.0
+	for i, cfg := range m.cfgs {
+		v := mdl.Predict(core.WithConfig(sample.Base, m.machine, cfg))
+		if argmax < 0 || v > bestV {
+			argmax, bestV = i, v
+		}
+	}
+	if argmax != bestIdx {
+		t.Fatalf("published model argmax = config %d, oracle best is %d", argmax, bestIdx)
+	}
+	// Unseen feature vectors fall back toward the base model (warm
+	// start): prediction must be finite and anchored near base's value
+	// for a cold window.
+	var far ml.Features
+	far[ml.FGlobalSize] = 1e7
+	if v := mdl.Predict(far); v < -1e3 || v > 1e3 {
+		t.Fatalf("fallback prediction %v not sane", v)
+	}
+}
+
+func TestGenerationsMonotonicAcrossSwaps(t *testing.T) {
+	swapGens := make(chan uint64, 64)
+	m := newTestManager(t, Config{
+		RetrainEvery: 2,
+		MinLaunches:  1,
+		Policy:       PolicyOff,
+		OnSwap:       func(_ string, gen uint64) { swapGens <- gen },
+	})
+	dec := core.Decision{Config: m.cfgs[0], Evaluated: len(m.cfgs)}
+	for i := 0; i < 10; i++ {
+		// A fresh kernel name per pair of launches keeps pendingNew > 0,
+		// so every RetrainEvery boundary actually swaps.
+		m.Observe(testSample(m, "s-1", fmt.Sprintf("k%d", i/2), i%len(m.cfgs), dec))
+	}
+	if !m.Sync(5 * time.Second) {
+		t.Fatal("learner did not drain")
+	}
+	close(swapGens)
+	last := uint64(1)
+	n := 0
+	for g := range swapGens {
+		if g <= last {
+			t.Fatalf("generation went backwards: %d after %d", g, last)
+		}
+		last = g
+		n++
+	}
+	if n < 2 {
+		t.Fatalf("expected >= 2 swaps, got %d", n)
+	}
+}
+
+func TestExploreRespectsRegretBudget(t *testing.T) {
+	const budget = 0.25
+	m := newTestManager(t, Config{
+		Policy:       PolicyEpsilon,
+		Epsilon:      1.0, // explore every eligible launch
+		RegretBudget: budget,
+		RetrainEvery: 1000,
+		Seed:         42,
+	})
+	var base ml.Features
+	base[ml.FGlobalSize] = 1000 + float64(len("gesummv"))
+	base[ml.FWorkDim] = 1
+	dec := core.Decision{Config: m.cfgs[3], Predicted: 0.9, Evaluated: len(m.cfgs)}
+
+	// Before any sample lands, the signature has no oracle row: the
+	// bandit must refuse to explore blind.
+	if _, ok := m.Explore("s-1", "gesummv", base, dec); ok {
+		t.Fatal("explored without an oracle row")
+	}
+	m.Observe(testSample(m, "s-1", "gesummv", 7, dec))
+	if !m.Sync(5 * time.Second) {
+		t.Fatal("learner did not drain")
+	}
+	explored := 0
+	for i := 0; i < 10000; i++ {
+		if _, ok := m.Explore("s-1", "gesummv", base, dec); ok {
+			explored++
+		}
+	}
+	if explored == 0 {
+		t.Fatal("epsilon=1 with budget never explored")
+	}
+	st := m.Status()
+	if len(st.Tenants) != 1 {
+		t.Fatalf("want 1 tenant, got %+v", st.Tenants)
+	}
+	if r := st.Tenants[0].Regret; r > budget {
+		t.Fatalf("regret %v exceeded budget %v", r, budget)
+	}
+	// Budget exhausted (or no affordable arm left): exploration stops.
+	if _, ok := m.Explore("s-1", "gesummv", base, dec); ok {
+		st := m.Status()
+		if st.Tenants[0].Regret > budget {
+			t.Fatalf("post-exhaustion explore overdrew budget: %+v", st.Tenants[0])
+		}
+	}
+}
+
+func TestUCBPicksUnpulledThenBestArm(t *testing.T) {
+	row := newOracleRow([]float64{1.0, 1.1, 1.5, 2.0})
+	arms := newArmStats(4)
+	// All arms unpulled: the cheapest unknown (lowest regret, arm 0)
+	// wins; with arm 0 excluded, arm 1 is next.
+	if got := pickUCB(arms, row, 0.5, 10, -1); got != 0 {
+		t.Fatalf("unpulled pick = %d, want 0", got)
+	}
+	if got := pickUCB(arms, row, 0.5, 10, 0); got != 1 {
+		t.Fatalf("unpulled pick excluding 0 = %d, want 1", got)
+	}
+	// Once every arm has pulls, the highest mean + bonus wins.
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 5; j++ {
+			arms.observe(i, row.reward(i))
+		}
+	}
+	if got := pickUCB(arms, row, 0.01, 10, -1); got != 0 {
+		t.Fatalf("converged pick = %d, want best arm 0", got)
+	}
+	// The regret guard filters arms the budget cannot afford: only arm
+	// 0 (regret 0) and arm 1 (regret 0.1) fit a 0.2 budget.
+	if got := pickUCB(arms, row, 10, 0.2, 0); got != 1 {
+		t.Fatalf("budget-guarded pick = %d, want 1", got)
+	}
+}
+
+func TestDriftDetectionForcesRetrain(t *testing.T) {
+	m := newTestManager(t, Config{
+		RetrainEvery:   1000, // never retrain on cadence
+		MinLaunches:    1,
+		DriftWindow:    4,
+		DriftThreshold: 0.2,
+		Policy:         PolicyOff,
+	})
+	// The decision claims 0.1 normalized perf but executes the oracle
+	// best (realized 1.0): a sustained 0.9 error is drift.
+	dec := core.Decision{Config: m.cfgs[9], Predicted: 0.1, Evaluated: len(m.cfgs)}
+	for i := 0; i < 4; i++ {
+		m.Observe(testSample(m, "s-1", "atax", 9, dec))
+	}
+	if !m.Sync(5 * time.Second) {
+		t.Fatal("learner did not drain")
+	}
+	st := m.Status()
+	if st.DriftDetections < 1 {
+		t.Fatalf("no drift detected: %+v", st)
+	}
+	if st.Swaps < 1 {
+		t.Fatalf("drift did not force a swap: %+v", st)
+	}
+	if st.Tenants[0].SwapReason != "drift" {
+		t.Fatalf("swap reason %q, want drift", st.Tenants[0].SwapReason)
+	}
+}
+
+func TestCollectorNeverBlocksLaunchPath(t *testing.T) {
+	m := newTestManager(t, Config{QueueDepth: 2, Policy: PolicyOff})
+	gate := make(chan struct{})
+	blocked := core.LaunchSample{
+		Tenant: "s-1", Kernel: "slow",
+		Decision: core.Decision{Config: m.cfgs[0]},
+		Sweep: func() ([]core.ConfigTime, error) {
+			<-gate
+			return nil, fmt.Errorf("aborted")
+		},
+	}
+	m.Observe(blocked) // learner picks this up and parks in Sweep
+	deadline := time.Now().Add(2 * time.Second)
+	for m.ingested.Load() > 0 && m.ch != nil && len(m.ch) > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Saturate the queue; every further Observe must return immediately
+	// and count a drop.
+	start := time.Now()
+	for i := 0; i < 50; i++ {
+		m.Observe(blocked)
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("Observe blocked the launch path for %v", el)
+	}
+	if m.dropped.Load() == 0 {
+		t.Fatal("saturated collector did not drop samples")
+	}
+	close(gate)
+	if !m.Sync(5 * time.Second) {
+		t.Fatal("learner did not drain after unblocking")
+	}
+	if m.Status().SweepErrors == 0 {
+		t.Fatal("aborted sweeps were not counted")
+	}
+}

@@ -22,6 +22,8 @@ import (
 	"sync"
 
 	"dopia/internal/faults"
+	"dopia/internal/ml"
+	"dopia/internal/online"
 )
 
 // ProgramRequest registers OpenCL C source with the daemon.
@@ -142,6 +144,23 @@ type DecisionInfo struct {
 	Evaluated      int     `json:"evaluated"`
 	ModelDiscarded bool    `json:"model_discarded,omitempty"`
 	InferUS        float64 `json:"infer_us"`
+	// ModelGen is the generation of the model that scored this decision
+	// (0 = static framework model, 1 = shared base under the online
+	// learner, >= 2 = hot-swapped per-tenant models).
+	ModelGen uint64 `json:"model_gen,omitempty"`
+	// Explored marks a launch whose DoP was chosen by the online
+	// exploration policy instead of the model argmax.
+	Explored bool `json:"explored,omitempty"`
+}
+
+// ModelsResponse is the /v1/models introspection payload: the static
+// model the daemon booted with plus, when the online learner is
+// enabled, its full per-tenant status.
+type ModelsResponse struct {
+	StaticModel string         `json:"static_model,omitempty"`
+	Provenance  *ml.Provenance `json:"provenance,omitempty"`
+	Online      bool           `json:"online"`
+	Learner     *online.Status `json:"learner,omitempty"`
 }
 
 // ResultInfo reports the simulated co-execution outcome.

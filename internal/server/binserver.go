@@ -642,6 +642,20 @@ func (bc *binConn) opLaunch(p []byte) error {
 		rawOut:   bc.rawSpare[:0],
 	}
 	if status := s.admit(t); status != 0 {
+		if status == http.StatusTooManyRequests {
+			if resp, lerr, ok := s.tryMemoBypass(t); ok {
+				cancel()
+				var werr error
+				if lerr != nil {
+					werr = bc.writeErr(http.StatusBadRequest, lerr)
+				} else {
+					werr = bc.writeLaunchResponse(resp, t.rawOut)
+				}
+				t.releaseRaw()
+				bc.rawSpare = t.rawOut
+				return werr
+			}
+		}
 		cancel()
 		s.met.rejected.Add(1)
 		return bc.writeErr(status, fmt.Errorf("admission queue full (%d deep)", s.cfg.QueueDepth))

@@ -209,6 +209,23 @@ func (cl *coalescer) abort(key []byte, co *coalition) {
 	close(co.done)
 }
 
+// invalidate drops every completed-launch memo entry (in-flight
+// coalitions are untouched) and reports how many were dropped. The
+// online learner triggers this on every model hot swap: a memoized
+// response embeds the DoP decision made when it first executed, and a
+// replay after the swap would keep reporting the superseded model's
+// choice indefinitely. Result bytes are decision-invariant, so dropping
+// entries trades one re-execution per entry for fresh decisions only.
+func (cl *coalescer) invalidate() int {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	n := len(cl.memo)
+	cl.memo = map[string]*sharedResult{}
+	cl.order = cl.order[:0]
+	cl.memBytes = 0
+	return n
+}
+
 // stats snapshots memo occupancy for /metrics.
 func (cl *coalescer) stats() (entries int, bytes int64) {
 	cl.mu.Lock()

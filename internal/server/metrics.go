@@ -119,6 +119,39 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	memoEntries, memoBytes := s.coal.stats()
 	m.gaugeInt("dopia_launch_memo_entries", "Entries in the completed-launch memo.", int64(memoEntries))
 	m.gaugeInt("dopia_launch_memo_bytes", "Bytes held by the completed-launch memo.", memoBytes)
+	m.counter("dopia_memo_bypass_total", "429-rejected launches answered from the launch memo instead.", s.met.memoBypass.Load())
+	m.counter("dopia_memo_invalidated_total", "Launch-memo entries dropped by model hot swaps.", s.met.memoInvalidated.Load())
+
+	// ---- online learner ----
+	online := int64(0)
+	if s.learner != nil {
+		online = 1
+	}
+	m.gaugeInt("dopia_online_enabled", "1 while the closed-loop online learner is running.", online)
+	if s.learner != nil {
+		st := s.learner.Status()
+		m.counter("dopia_online_samples_ingested_total", "Launch samples accepted by the streaming collector.", st.SamplesIngested)
+		m.counter("dopia_online_samples_dropped_total", "Launch samples dropped because the collector queue was full.", st.SamplesDropped)
+		m.gaugeInt("dopia_online_samples_pending", "Samples queued but not yet folded into a window.", st.SamplesPending)
+		m.counter("dopia_online_sweeps_total", "Oracle configuration sweeps performed by the learner.", st.Sweeps)
+		m.counter("dopia_online_sweep_errors_total", "Oracle sweeps that failed.", st.SweepErrors)
+		m.counter("dopia_online_retrains_total", "Incremental retrains performed.", st.Retrains)
+		m.counter("dopia_online_swaps_total", "Hot model swaps published into the decision path.", st.Swaps)
+		m.counter("dopia_online_explorations_total", "Launches whose DoP came from the bandit instead of the model.", st.Explorations)
+		m.counter("dopia_online_drift_detections_total", "Prediction-drift events that forced a retrain.", st.DriftDetections)
+		m.gaugeInt("dopia_online_model_generation", "Highest model generation published so far.", int64(st.Generation))
+		m.gaugeInt("dopia_online_tenants", "Tenants with live learner state.", int64(len(st.Tenants)))
+		if len(st.Tenants) > 0 {
+			fmt.Fprintf(&m.b, "# HELP dopia_online_tenant_regret Cumulative exploration regret charged per tenant.\n# TYPE dopia_online_tenant_regret gauge\n")
+			for _, ts := range st.Tenants {
+				fmt.Fprintf(&m.b, "dopia_online_tenant_regret{tenant=%q} %g\n", ts.Tenant, ts.Regret)
+			}
+			fmt.Fprintf(&m.b, "# HELP dopia_online_tenant_generation Published model generation per tenant.\n# TYPE dopia_online_tenant_generation gauge\n")
+			for _, ts := range st.Tenants {
+				fmt.Fprintf(&m.b, "dopia_online_tenant_generation{tenant=%q} %d\n", ts.Tenant, ts.Generation)
+			}
+		}
+	}
 
 	// ---- latency ----
 	m.histogram("dopia_queue_wait_seconds", "Admission-queue wait per launch.", s.met.queueWait.Snapshot())

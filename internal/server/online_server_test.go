@@ -1,0 +1,402 @@
+package server
+
+// Tests of the closed-loop serving path: the 64-session hot-swap-under-
+// fire stress (zero failed launches, zero byte mismatches against the
+// sequential reference, monotonically non-decreasing model generation
+// per session), the coalescing-aware 429 memo bypass, and the /v1/models
+// and dopia_online_* observability surface.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dopia/internal/ml"
+	"dopia/internal/online"
+)
+
+// swapStub is a deterministic static model for online tests: it prefers
+// balanced configurations, stays inside (0, 1), and never discards.
+type swapStub struct{}
+
+func (swapStub) Name() string { return "STUB" }
+func (swapStub) Predict(x ml.Features) float64 {
+	return 0.3 + 0.4*x[ml.FCPUUtil] + 0.2*x[ml.FGPUUtil]
+}
+
+// TestOnlineHotSwapUnderFire drives 64 concurrent sessions against a
+// daemon whose learner swaps aggressively (retrain after every new
+// signature). Every session uses private data (no cross-session
+// coalescing) and the launch memo is disabled, so every response carries
+// a live decision. The run must finish with zero failed launches, every
+// output bit-identical to the sequential reference, the model
+// generation non-decreasing within each session, and at least one hot
+// swap actually performed.
+func TestOnlineHotSwapUnderFire(t *testing.T) {
+	const nSessions = 64
+	const perSession = 12
+	s, _, c := newTestServer(t, func(cfg *Config) {
+		cfg.Model = swapStub{}
+		cfg.LaunchMemoBytes = -1 // live decisions: no memo replays
+		cfg.QueueDepth = 4 * nSessions
+		cfg.Online = &online.Config{
+			RetrainEvery:   1,
+			MinLaunches:    1,
+			WarmupLaunches: 4,
+			Policy:         online.PolicyEpsilon,
+			Epsilon:        0.2,
+			RegretBudget:   5,
+			Seed:           7,
+		}
+	})
+	prog, err := c.Compile(scaleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three geometries per session: distinct global sizes are distinct
+	// decision signatures, so each tenant keeps seeing "new" work and the
+	// RetrainEvery=1 cadence keeps publishing fresh generations.
+	sizes := []int{64, 128, 256}
+
+	var failures atomic.Int64
+	errCh := make(chan error, nSessions)
+	var wg sync.WaitGroup
+	for w := 0; w < nSessions; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			report := func(format string, args ...any) {
+				failures.Add(1)
+				select {
+				case errCh <- fmt.Errorf("session %d: "+format, append([]any{w}, args...)...):
+				default:
+				}
+			}
+			sid, err := c.NewSession()
+			if err != nil {
+				report("create: %v", err)
+				return
+			}
+			seed := uint32(1000 + w) // private data: no cross-session sharing
+			a := 1.0 + float64(w)*0.125
+			want := map[int][]float32{}
+			for _, n := range sizes {
+				fs := seed + uint32(n)
+				if err := c.CreateBuffer(sid, &BufferRequest{
+					Name: fmt.Sprintf("x%d", n), Kind: "float32", Len: n, FillSeed: &fs,
+				}); err != nil {
+					report("buffer x%d: %v", n, err)
+					return
+				}
+				if err := c.CreateBuffer(sid, &BufferRequest{
+					Name: fmt.Sprintf("y%d", n), Kind: "float32", Len: n,
+				}); err != nil {
+					report("buffer y%d: %v", n, err)
+					return
+				}
+				want[n] = scaleReference(t, n, fs, a)
+			}
+			lastGen := uint64(0)
+			for i := 0; i < perSession; i++ {
+				n := sizes[i%len(sizes)]
+				ai := int64(n)
+				resp, err := c.Launch(&LaunchRequest{
+					SessionID: sid, ProgramID: prog.ProgramID, Kernel: "scale",
+					Args: []LaunchArg{
+						{Buf: fmt.Sprintf("x%d", n)}, {Buf: fmt.Sprintf("y%d", n)},
+						{Float: &a}, {Int: &ai},
+					},
+					Global: []int{n}, Local: []int{64},
+					Read: []string{fmt.Sprintf("y%d", n)},
+				})
+				if err != nil {
+					report("launch %d: %v", i, err)
+					return
+				}
+				got, err := DecodeF32(resp.Buffers[fmt.Sprintf("y%d", n)].F32B64)
+				if err != nil {
+					report("launch %d decode: %v", i, err)
+					return
+				}
+				for j := range want[n] {
+					if got[j] != want[n][j] {
+						report("launch %d: y%d[%d] = %v, want %v (swap changed result bytes)",
+							i, n, j, got[j], want[n][j])
+						return
+					}
+				}
+				if d := resp.Decision; d != nil {
+					if d.ModelGen < lastGen {
+						report("launch %d: model generation went backwards: %d after %d",
+							i, d.ModelGen, lastGen)
+						return
+					}
+					lastGen = d.ModelGen
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d sessions failed", n)
+	}
+
+	if !s.Learner().Sync(10 * time.Second) {
+		t.Fatal("learner did not drain")
+	}
+	st := s.Learner().Status()
+	if st.Swaps < 1 {
+		t.Fatalf("no hot swaps under fire: %+v", st)
+	}
+	if st.Generation < 2 {
+		t.Fatalf("generation %d, want >= 2", st.Generation)
+	}
+}
+
+// TestMemoBypassUnderSaturation verifies the coalescing-aware admission
+// path: with the one-deep queue saturated behind a stalled execution, a
+// launch whose response is already memoized is served 200 from the memo
+// instead of 429, while a genuinely new launch still gets the 429.
+func TestMemoBypassUnderSaturation(t *testing.T) {
+	var blocked atomic.Bool
+	entered := make(chan struct{}, 8)
+	gate := make(chan struct{})
+	s, _, c := newTestServer(t, func(cfg *Config) {
+		cfg.Workers = 1
+		cfg.QueueDepth = 1
+	})
+	s.testHookLeader = func() {
+		if blocked.Load() {
+			entered <- struct{}{}
+			<-gate
+		}
+	}
+
+	prog, err := c.Compile(scaleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newSess := func(seed uint32) string {
+		t.Helper()
+		sid, err := c.NewSession()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs := seed
+		if err := c.CreateBuffer(sid, &BufferRequest{Name: "x", Kind: "float32", Len: 128, FillSeed: &fs}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.CreateBuffer(sid, &BufferRequest{Name: "y", Kind: "float32", Len: 128}); err != nil {
+			t.Fatal(err)
+		}
+		return sid
+	}
+	launch := func(sid string, a float64) (*LaunchResponse, error) {
+		ai := int64(128)
+		return c.Launch(&LaunchRequest{
+			SessionID: sid, ProgramID: prog.ProgramID, Kernel: "scale",
+			Args:   []LaunchArg{{Buf: "x"}, {Buf: "y"}, {Float: &a}, {Int: &ai}},
+			Global: []int{128}, Local: []int{64},
+			Read: []string{"y"},
+		})
+	}
+
+	// Populate the memo on session A. The second identical launch keys on
+	// y's post-first-launch content, and that is the state every later
+	// identical launch (and the bypass probe) will see.
+	sidA := newSess(11)
+	if _, err := launch(sidA, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := launch(sidA, 2.0); err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturate: session B's launch parks inside the leader hook (the one
+	// worker is now stuck), and a second B launch fills the one-deep
+	// queue.
+	blocked.Store(true)
+	defer func() {
+		blocked.Store(false)
+		select {
+		case <-gate:
+		default:
+			close(gate)
+		}
+	}()
+	sidB := newSess(22)
+	var bg sync.WaitGroup
+	bg.Add(2)
+	go func() {
+		defer bg.Done()
+		if _, err := launch(sidB, 3.0); err != nil {
+			t.Errorf("stalled leader launch: %v", err)
+		}
+	}()
+	<-entered // the worker is inside the hook
+	go func() {
+		defer bg.Done()
+		if _, err := launch(sidB, 4.0); err != nil {
+			t.Errorf("queued launch: %v", err)
+		}
+	}()
+	// Wait until the queued launch occupies the admission queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queueLen() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if s.queueLen() == 0 {
+		t.Fatal("queue never filled")
+	}
+
+	// Memoized launch: served 200 through the bypass, marked coalesced.
+	resp, err := launch(sidA, 2.0)
+	if err != nil {
+		t.Fatalf("memoized launch under saturation: %v", err)
+	}
+	if !resp.Coalesced {
+		t.Error("bypass response not marked coalesced")
+	}
+	want := scaleReference(t, 128, 11, 2.0)
+	got, err := DecodeF32(resp.Buffers["y"].F32B64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bypass y[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if n := s.met.memoBypass.Load(); n != 1 {
+		t.Errorf("memoBypass = %d, want 1", n)
+	}
+
+	// A non-memoized launch still gets the honest 429.
+	if _, err := launch(sidA, 9.5); err == nil {
+		t.Error("new launch under saturation did not 429")
+	} else if apiErr, ok := err.(*APIError); !ok || apiErr.Status != http.StatusTooManyRequests {
+		t.Errorf("new launch error = %v, want 429", err)
+	}
+
+	close(gate)
+	blocked.Store(false)
+	bg.Wait()
+}
+
+// TestModelsEndpointAndOnlineMetrics covers the observability surface:
+// GET /v1/models reports the learner's per-tenant state, and /metrics
+// exposes the dopia_online_* counter family.
+func TestModelsEndpointAndOnlineMetrics(t *testing.T) {
+	s, ts, c := newTestServer(t, func(cfg *Config) {
+		cfg.Model = swapStub{}
+		cfg.Online = &online.Config{
+			RetrainEvery: 1,
+			MinLaunches:  1,
+			Policy:       online.PolicyOff,
+		}
+	})
+	prog, err := c.Compile(scaleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sid, err := c.NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := uint32(5)
+	if err := c.CreateBuffer(sid, &BufferRequest{Name: "x", Kind: "float32", Len: 128, FillSeed: &fs}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateBuffer(sid, &BufferRequest{Name: "y", Kind: "float32", Len: 128}); err != nil {
+		t.Fatal(err)
+	}
+	a, ai := 1.5, int64(128)
+	for i := 0; i < 3; i++ {
+		if _, err := c.Launch(&LaunchRequest{
+			SessionID: sid, ProgramID: prog.ProgramID, Kernel: "scale",
+			Args:   []LaunchArg{{Buf: "x"}, {Buf: "y"}, {Float: &a}, {Int: &ai}},
+			Global: []int{128}, Local: []int{64},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !s.Learner().Sync(10 * time.Second) {
+		t.Fatal("learner did not drain")
+	}
+
+	hres, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hres.Body.Close()
+	var models ModelsResponse
+	if err := json.NewDecoder(hres.Body).Decode(&models); err != nil {
+		t.Fatal(err)
+	}
+	if !models.Online || models.Learner == nil {
+		t.Fatalf("/v1/models = %+v, want online learner status", models)
+	}
+	if models.StaticModel != "STUB" {
+		t.Errorf("static model %q, want STUB", models.StaticModel)
+	}
+	if models.Learner.Swaps < 1 {
+		t.Errorf("learner swaps = %d, want >= 1", models.Learner.Swaps)
+	}
+	found := false
+	for _, ten := range models.Learner.Tenants {
+		if ten.Tenant == sid && ten.Generation >= 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("tenant %s with generation >= 2 missing from %+v", sid, models.Learner.Tenants)
+	}
+
+	page, err := c.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"dopia_online_enabled 1",
+		"dopia_online_samples_ingested_total",
+		"dopia_online_sweeps_total",
+		"dopia_online_retrains_total",
+		"dopia_online_swaps_total",
+		"dopia_online_explorations_total",
+		"dopia_online_drift_detections_total",
+		"dopia_online_model_generation",
+		"dopia_memo_bypass_total",
+		"dopia_memo_invalidated_total",
+	} {
+		if !strings.Contains(page, name) {
+			t.Errorf("/metrics missing %q", name)
+		}
+	}
+	if v := metricOf(t, page, "dopia_online_swaps_total"); v < 1 {
+		t.Errorf("dopia_online_swaps_total = %g, want >= 1", v)
+	}
+}
+
+// metricOf extracts one un-labeled sample value from a metrics page.
+func metricOf(t *testing.T, page, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(page, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err == nil {
+				return v
+			}
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}

@@ -36,6 +36,7 @@ import (
 	"dopia/internal/interp"
 	"dopia/internal/ml"
 	"dopia/internal/ocl"
+	"dopia/internal/online"
 	"dopia/internal/sim"
 	"dopia/internal/stats"
 )
@@ -74,6 +75,11 @@ type Config struct {
 	// 0 = default 64 MiB; negative disables the memo (in-flight
 	// coalescing of concurrent identical launches stays on).
 	LaunchMemoBytes int64
+	// Online, when non-nil, enables the closed-loop learner: live
+	// launches stream into per-tenant incremental models (tenant ==
+	// session) that hot-swap into the decision path without downtime.
+	// Machine and Base are filled from Machine/Model when unset.
+	Online *online.Config
 }
 
 func (c *Config) fillDefaults() error {
@@ -147,6 +153,9 @@ type Server struct {
 	// coal merges identical launches (in-flight coalitions + completed
 	// memo); see coalesce.go.
 	coal *coalescer
+	// learner is the online closed-loop manager (nil unless Config.Online
+	// is set); it observes live launches and hot-swaps per-tenant models.
+	learner *online.Manager
 	// testHookLeader, when set, runs while a coalition leader holds its
 	// session lock just before executing — tests use it to hold the
 	// leader in place while followers pile on. Set before traffic only.
@@ -178,7 +187,18 @@ type task struct {
 	// scratch pool; the response writer returns them via releaseRaw.
 	wantRaw bool
 	rawOut  []rawBuf
+
+	// memoOnly restricts execLaunch to replay paths that never run the
+	// kernel (idempotency cache or completed-launch memo); anything else
+	// fails with errNotMemoized. The 429 bypass path uses it: memo hits
+	// cost no engine work, so serving them under overload cannot deepen
+	// the overload.
+	memoOnly bool
 }
+
+// errNotMemoized reports that a memo-only launch found no stored
+// response to replay.
+var errNotMemoized = fmt.Errorf("launch is not memoized")
 
 // rawBuf is one captured read-set buffer: content copied under the
 // session lock into a pooled slab (copy-on-read-back), serialized to
@@ -231,6 +251,8 @@ type metrics struct {
 	bytesOut           atomic.Int64
 	coalescedFollowers atomic.Int64 // joined an in-flight identical launch
 	coalescedMemo      atomic.Int64 // replayed a completed identical launch
+	memoBypass         atomic.Int64 // 429-rejected launches answered from the memo
+	memoInvalidated    atomic.Int64 // memo entries dropped by model hot swaps
 
 	queueWait *stats.Histogram // admission-queue wait, seconds
 	exec      *stats.Histogram // execution (session-lock to response), seconds
@@ -270,6 +292,31 @@ func New(cfg Config) (*Server, error) {
 			stages:    stats.NewStageSet("decode", "queue", "exec", "encode"),
 		},
 	}
+	if cfg.Online != nil {
+		oc := *cfg.Online
+		if oc.Machine == nil {
+			oc.Machine = cfg.Machine
+		}
+		if oc.Base == nil {
+			oc.Base = cfg.Model
+		}
+		// A hot swap drops the launch memo: memoized responses carry the
+		// decision of the model that executed them, and replaying those
+		// after the swap would pin every hot launch to the stale choice.
+		userSwap := oc.OnSwap
+		oc.OnSwap = func(tenant string, gen uint64) {
+			s.met.memoInvalidated.Add(int64(s.coal.invalidate()))
+			if userSwap != nil {
+				userSwap(tenant, gen)
+			}
+		}
+		learner, err := online.New(oc)
+		if err != nil {
+			return nil, err
+		}
+		learner.Attach(fw)
+		s.learner = learner
+	}
 	perWorker := (cfg.QueueDepth + cfg.Workers - 1) / cfg.Workers
 	s.queues = make([]chan *task, cfg.Workers)
 	for i := range s.queues {
@@ -285,6 +332,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/sessions/{id}/export", s.handleExportSession)
 	s.mux.HandleFunc("POST /v1/sessions/import", s.handleImportSession)
 	s.mux.HandleFunc("POST /v1/launch", s.handleLaunch)
+	s.mux.HandleFunc("GET /v1/models", s.handleModels)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -408,8 +456,18 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		close(s.stopWorkers)
 	}
 	s.workersDone.Wait()
+	if s.learner != nil {
+		// Workers are stopped: give the learner a moment to drain what the
+		// last launches streamed in, then shut it down (idempotent).
+		s.learner.Sync(2 * time.Second)
+		s.learner.Close()
+	}
 	return nil
 }
+
+// Learner exposes the online manager (nil when -online is off) for
+// observability and tests.
+func (s *Server) Learner() *online.Manager { return s.learner }
 
 // ---------- admission and execution ----------
 
@@ -457,6 +515,43 @@ func (s *Server) admit(t *task) int {
 	default:
 		return http.StatusTooManyRequests
 	}
+}
+
+// tryMemoBypass gives a launch that admission control just rejected
+// (429) one chance to be answered from the completed-launch memo or the
+// idempotency cache, inline on the handler goroutine. Replays cost no
+// engine work, so serving them under overload cannot deepen the
+// overload — identical hot launches keep flowing at full rate while the
+// queue sheds genuinely new work. The probe still registers with
+// pending under admitMu so Shutdown's drain accounting stays exact.
+// ok reports whether the launch was handled here; !ok means the caller
+// must send the original rejection.
+func (s *Server) tryMemoBypass(t *task) (resp *LaunchResponse, err error, ok bool) {
+	if !s.coal.on() {
+		return nil, nil, false
+	}
+	s.admitMu.Lock()
+	if s.draining.Load() {
+		s.admitMu.Unlock()
+		return nil, nil, false
+	}
+	s.pending.Add(1)
+	s.admitMu.Unlock()
+	defer s.pending.Done()
+
+	t.memoOnly = true
+	resp, err = s.execLaunch(t)
+	t.memoOnly = false
+	if err == errNotMemoized {
+		return nil, nil, false
+	}
+	s.met.memoBypass.Add(1)
+	if err == nil {
+		s.met.launchesOK.Add(1)
+	} else {
+		s.met.launchErrors.Add(1)
+	}
+	return resp, err, true
 }
 
 func (s *Server) worker(i int) {
@@ -544,7 +639,17 @@ func (s *Server) execLaunch(t *task) (*LaunchResponse, error) {
 		return nil, err
 	}
 
-	sess.mu.Lock()
+	if t.memoOnly {
+		// A memo-only probe runs inline on the handler goroutine while
+		// the server is saturated; the session lock may be held by a
+		// wedged launch for arbitrarily long, and a replay is only
+		// worth serving if it is cheap right now — so never wait for it.
+		if !sess.mu.TryLock() {
+			return nil, errNotMemoized
+		}
+	} else {
+		sess.mu.Lock()
+	}
 	defer sess.mu.Unlock()
 
 	// Idempotency: a launch replayed with the key of an already-applied
@@ -626,6 +731,11 @@ func (s *Server) execLaunch(t *task) (*LaunchResponse, error) {
 			s.met.coalescedMemo.Add(1)
 			return s.finishShared(t, sess, res, bufArgs, readSet)
 		}
+		if t.memoOnly {
+			// A memo-only probe must never park as a coalition follower
+			// (that waits on real execution) or lead one.
+			return nil, errNotMemoized
+		}
 		co, lead = s.coal.join(kb)
 		if !lead {
 			// Follower: park on the leader's coalition while holding our
@@ -648,6 +758,11 @@ func (s *Server) execLaunch(t *task) (*LaunchResponse, error) {
 		} else if s.testHookLeader != nil {
 			s.testHookLeader()
 		}
+	}
+
+	if t.memoOnly {
+		// Coalescing disabled or kernel too wide to key: nothing to replay.
+		return nil, errNotMemoized
 	}
 
 	resp, err := s.runKernel(t, sess, kern, nd, bufArgs)
@@ -673,7 +788,9 @@ func (s *Server) execLaunch(t *task) (*LaunchResponse, error) {
 // the response shell (no read-set capture). Callers hold sess.mu.
 func (s *Server) runKernel(t *task, sess *session, kern *ocl.Kernel, nd interp.NDRange, bufArgs []*sessionBuffer) (*LaunchResponse, error) {
 	q := sess.queue
-	q.SetExecContext(t.ctx)
+	// The session ID doubles as the online learner's tenant key: each
+	// session gets its own incrementally trained model.
+	q.SetExecContext(core.WithTenant(t.ctx, sess.id))
 	defer q.SetExecContext(nil)
 	q.LastLaunch = nil
 
@@ -721,6 +838,8 @@ func (s *Server) runKernel(t *task, sess *session, kern *ocl.Kernel, nd interp.N
 				Evaluated:      d.Evaluated,
 				ModelDiscarded: d.ModelDiscarded,
 				InferUS:        float64(d.InferTime) / float64(time.Microsecond),
+				ModelGen:       d.ModelGen,
+				Explored:       d.Explored,
 			}
 		}
 	}
@@ -1207,6 +1326,17 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		done:     make(chan taskOutcome, 1),
 	}
 	if status := s.admit(t); status != 0 {
+		if status == http.StatusTooManyRequests {
+			if resp, err, ok := s.tryMemoBypass(t); ok {
+				cancel()
+				if err != nil {
+					s.writeError(w, http.StatusBadRequest, err)
+					return
+				}
+				writeJSON(w, http.StatusOK, resp)
+				return
+			}
+		}
 		cancel()
 		s.met.rejected.Add(1)
 		s.writeError(w, status, fmt.Errorf("admission queue full (%d deep)", s.cfg.QueueDepth))
@@ -1220,6 +1350,24 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, out.status, out.resp)
 	s.met.stages.Record(stageEncode, time.Since(encodeStart).Seconds())
+}
+
+// handleModels reports which models are making decisions: the static
+// model the daemon booted with and, when the online learner is on, the
+// full per-tenant learner status (generations, regret, provenance).
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	resp := ModelsResponse{Online: s.learner != nil}
+	if s.cfg.Model != nil {
+		resp.StaticModel = s.cfg.Model.Name()
+		if p, ok := ml.ProvenanceOf(s.cfg.Model); ok {
+			resp.Provenance = &p
+		}
+	}
+	if s.learner != nil {
+		st := s.learner.Status()
+		resp.Learner = &st
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz is pure liveness: it answers 200 whenever the process
