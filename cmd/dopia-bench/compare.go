@@ -9,6 +9,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
+
+	"dopia/internal/sim"
 )
 
 // compareReports loads two -out reports and prints per-benchmark ns/op
@@ -27,23 +30,32 @@ func compareReports(oldPath, newPath string, thresholdPct float64, allowMissing 
 	if err != nil {
 		return err
 	}
-	// Records match on (name, lane_width); when either side predates the
-	// lane dimension (lane_width 0 everywhere for that name), fall back
-	// to name-only so old baselines stay comparable.
+	// Records match on (name, machine, lane_width); when either side
+	// predates a dimension (machine "" or lane_width 0 everywhere for
+	// that name), fall back to coarser keys so old baselines stay
+	// comparable.
 	type benchKey struct {
-		name  string
-		lanes int
+		name    string
+		machine string
+		lanes   int
 	}
 	newByKey := make(map[benchKey]benchRecord, len(newRep.Benchmarks))
+	newByLanes := make(map[benchKey]benchRecord, len(newRep.Benchmarks))
 	newByName := make(map[string]benchRecord, len(newRep.Benchmarks))
 	for _, b := range newRep.Benchmarks {
-		newByKey[benchKey{b.Name, b.LaneWidth}] = b
+		newByKey[benchKey{b.Name, b.Machine, b.LaneWidth}] = b
+		if _, dup := newByLanes[benchKey{name: b.Name, lanes: b.LaneWidth}]; !dup {
+			newByLanes[benchKey{name: b.Name, lanes: b.LaneWidth}] = b
+		}
 		if _, dup := newByName[b.Name]; !dup {
 			newByName[b.Name] = b
 		}
 	}
 	lookup := func(ob benchRecord) (benchRecord, bool) {
-		if nb, ok := newByKey[benchKey{ob.Name, ob.LaneWidth}]; ok {
+		if nb, ok := newByKey[benchKey{ob.Name, ob.Machine, ob.LaneWidth}]; ok {
+			return nb, true
+		}
+		if nb, ok := newByLanes[benchKey{name: ob.Name, lanes: ob.LaneWidth}]; ok {
 			return nb, true
 		}
 		nb, ok := newByName[ob.Name]
@@ -90,10 +102,17 @@ func compareReports(oldPath, newPath string, thresholdPct float64, allowMissing 
 				ob.Name, allocDelta, ob.AllocsPerOp, nb.AllocsPerOp, thresholdPct))
 		}
 	}
+	added := 0
 	for _, nb := range newRep.Benchmarks {
 		if !seen[nb.Name] {
-			fmt.Printf("%-26s %14s %14.0f   (new)\n", nb.Name, "-", nb.NsPerOp)
+			added++
+			if added <= 20 {
+				fmt.Printf("%-26s %14s %14.0f   (new)\n", nb.Name, "-", nb.NsPerOp)
+			}
 		}
+	}
+	if added > 20 {
+		fmt.Printf("  ... and %d more new benchmark(s)\n", added-20)
 	}
 	if len(failures) > 0 {
 		for _, f := range failures {
@@ -135,4 +154,77 @@ func loadBenchReport(path string) (*benchReport, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	return &rep, nil
+}
+
+// checkSchedGate loads a -out report and enforces the policy-sweep
+// acceptance criterion on its SchedSweep records: on every machine
+// beyond the paper's Kaveri and Skylake, at least one workload must run
+// faster under an adaptive scheduler (dynamic or hguided) than under
+// the best static split. It fails too when a zoo machine has no sweep
+// records at all, so a silently skipped sweep cannot pass the gate.
+func checkSchedGate(path string) error {
+	rep, err := loadBenchReport(path)
+	if err != nil {
+		return err
+	}
+	// machine -> workload -> sched -> simulated ns
+	times := map[string]map[string]map[string]float64{}
+	for _, b := range rep.Benchmarks {
+		if !strings.HasPrefix(b.Name, "SchedSweep/") {
+			continue
+		}
+		parts := strings.SplitN(strings.TrimPrefix(b.Name, "SchedSweep/"), "/", 3)
+		if len(parts) != 3 {
+			return fmt.Errorf("%s: malformed sweep record name %q", path, b.Name)
+		}
+		mach, wl, sched := parts[0], parts[1], parts[2]
+		if times[mach] == nil {
+			times[mach] = map[string]map[string]float64{}
+		}
+		if times[mach][wl] == nil {
+			times[mach][wl] = map[string]float64{}
+		}
+		times[mach][wl][sched] = b.NsPerOp
+	}
+	base := map[string]bool{sim.Kaveri().Name: true, sim.Skylake().Name: true}
+	var failures []string
+	for _, m := range sim.Zoo() {
+		wl := times[m.Name]
+		if len(wl) == 0 {
+			failures = append(failures,
+				fmt.Sprintf("%s: no SchedSweep records in %s", m.Name, path))
+			continue
+		}
+		if base[m.Name] {
+			continue
+		}
+		best := ""
+		bestGain := 0.0
+		for name, ts := range wl {
+			static, ok := ts["static"]
+			if !ok {
+				return fmt.Errorf("%s/%s: sweep record missing static policy", m.Name, name)
+			}
+			for _, p := range []string{"dynamic", "hguided"} {
+				if t, ok := ts[p]; ok && t < static && static-t > bestGain {
+					best = fmt.Sprintf("%s %s %.3gms < static-best %.3gms", name, p, t/1e6, static/1e6)
+					bestGain = static - t
+				}
+			}
+		}
+		if best == "" {
+			failures = append(failures, fmt.Sprintf(
+				"%s: no workload where dynamic or hguided beats the best static split", m.Name))
+			continue
+		}
+		fmt.Printf("%-14s OK: %s\n", m.Name, best)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "FAIL:", f)
+		}
+		return fmt.Errorf("scheduler sweep gate failed on %d machine(s)", len(failures))
+	}
+	fmt.Println("OK: adaptive schedulers beat best-static on every zoo machine")
+	return nil
 }

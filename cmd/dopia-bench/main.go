@@ -28,6 +28,7 @@ import (
 
 	"dopia/internal/experiments"
 	"dopia/internal/interp"
+	"dopia/internal/sim"
 )
 
 func main() {
@@ -40,6 +41,9 @@ func main() {
 		seed       = flag.Int64("seed", 1, "random seed for fold shuffling")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		out        = flag.String("out", "", "run the tier-1 component benchmarks and write ns/op + allocs/op JSON to this file, then exit")
+		machine    = flag.String("machine", "Kaveri", "simulated machine for the machine-bound -out benchmarks (any zoo machine)")
+		sched      = flag.String("sched", "alg1", "co-execution scheduler for the -out heatmap benchmark: alg1, static, dynamic, or hguided")
+		checkSched = flag.String("check-sched", "", "verify the SchedSweep records of a -out report: every zoo machine must have a workload where an adaptive scheduler beats the best static split; exit non-zero otherwise")
 		compare    = flag.Bool("compare", false, "compare two -out reports (old.json new.json): print ns/op + allocs/op deltas and exit non-zero on regressions above -threshold")
 		threshold  = flag.Float64("threshold", 25, "regression threshold in percent for -compare")
 		allowMiss  = flag.Bool("allow-missing", false, "with -compare, waive benchmarks missing from the new report instead of failing (for CI runs that exclude suites)")
@@ -108,8 +112,26 @@ func main() {
 		}()
 	}
 
+	if *checkSched != "" {
+		if err := checkSchedGate(*checkSched); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *out != "" {
-		if err := writeBenchReport(*out); err != nil {
+		m, err := sim.MachineByName(*machine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		dist, err := sim.ParseDistribution(*sched)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := writeBenchReport(*out, m, dist); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -17,6 +17,7 @@ import (
 	"dopia/internal/analysis"
 	"dopia/internal/clc"
 	"dopia/internal/core"
+	"dopia/internal/experiments"
 	"dopia/internal/interp"
 	"dopia/internal/ml"
 	"dopia/internal/sched"
@@ -38,9 +39,14 @@ type benchRecord struct {
 	Engine string `json:"engine"`
 	// LaneWidth is the resolved interpreter lane width the benchmark's
 	// kernels ran at (0 for benchmarks that never execute kernels).
-	// Compare matches records on (name, lane_width), falling back to
-	// name-only for reports that predate the field.
+	// Compare matches records on (name, machine, lane_width), falling
+	// back to coarser keys for reports that predate either field.
 	LaneWidth int `json:"lane_width,omitempty"`
+	// Machine is the simulated machine the benchmark ran on (empty for
+	// benchmarks that never touch a machine model). Reports written
+	// before the machine zoo lack the field; -compare falls back to
+	// machine-less matching for those.
+	Machine string `json:"machine,omitempty"`
 }
 
 // benchReport captures the effective execution environment alongside
@@ -114,44 +120,45 @@ func interpreterBench(lanes int) func() (func(b *testing.B), string, int, error)
 	}
 }
 
-func heatmapBench() (func(b *testing.B), string, int, error) {
-	ws, err := workloads.RealWorkloads(512, 256)
-	if err != nil {
-		return nil, "", 0, err
-	}
-	w := ws[8] // GESUMMV
-	k, err := w.CompileKernel()
-	if err != nil {
-		return nil, "", 0, err
-	}
-	ex, err := sched.NewExecutor(sim.Kaveri(), k, nil)
-	if err != nil {
-		return nil, "", 0, err
-	}
-	ex.AssumeMalleable = true
-	inst, err := w.Setup()
-	if err != nil {
-		return nil, "", 0, err
-	}
-	if err := ex.Bind(inst.Args...); err != nil {
-		return nil, "", 0, err
-	}
-	if err := ex.Launch(inst.ND); err != nil {
-		return nil, "", 0, err
-	}
-	if _, err := ex.Model(); err != nil {
-		return nil, "", 0, err
-	}
-	m := sim.Kaveri()
-	return func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			for _, cfg := range m.Configs() {
-				if _, err := ex.Run(cfg, sched.RunOptions{Dist: sim.Dynamic}); err != nil {
-					b.Fatal(err)
+func heatmapBench(m *sim.Machine, dist sim.Distribution) func() (func(b *testing.B), string, int, error) {
+	return func() (func(b *testing.B), string, int, error) {
+		ws, err := workloads.RealWorkloads(512, 256)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		w := ws[8] // GESUMMV
+		k, err := w.CompileKernel()
+		if err != nil {
+			return nil, "", 0, err
+		}
+		ex, err := sched.NewExecutor(m, k, nil)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		ex.AssumeMalleable = true
+		inst, err := w.Setup()
+		if err != nil {
+			return nil, "", 0, err
+		}
+		if err := ex.Bind(inst.Args...); err != nil {
+			return nil, "", 0, err
+		}
+		if err := ex.Launch(inst.ND); err != nil {
+			return nil, "", 0, err
+		}
+		if _, err := ex.Model(); err != nil {
+			return nil, "", 0, err
+		}
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, cfg := range m.Configs() {
+					if _, err := ex.Run(cfg, sched.RunOptions{Dist: dist}); err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
-		}
-	}, interp.DefaultEngine().String(), 0, nil
+		}, interp.DefaultEngine().String(), 0, nil
+	}
 }
 
 func analysisBench() (func(b *testing.B), string, int, error) {
@@ -193,35 +200,36 @@ func transformBench() (func(b *testing.B), string, int, error) {
 	}, "none", 0, nil
 }
 
-func inferenceBench() (func(b *testing.B), string, int, error) {
-	grid, err := workloads.SyntheticGrid()
-	if err != nil {
-		return nil, "", 0, err
-	}
-	var sub []*workloads.Workload
-	for i := 0; i < len(grid) && len(sub) < 40; i += len(grid) / 40 {
-		sub = append(sub, grid[i])
-	}
-	evals, err := core.EvaluateAll(sim.Kaveri(), sub, 0)
-	if err != nil {
-		return nil, "", 0, err
-	}
-	dt, err := ml.TreeTrainer{}.Fit(core.BuildDataset(sim.Kaveri(), evals))
-	if err != nil {
-		return nil, "", 0, err
-	}
-	m := sim.Kaveri()
-	var base ml.Features
-	base[ml.FGlobalSize] = 16384
-	base[ml.FLocalSize] = 256
-	base[ml.FMemContinuous] = 4
-	return func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			for _, cfg := range m.Configs() {
-				_ = dt.Predict(core.WithConfig(base, m, cfg))
-			}
+func inferenceBench(m *sim.Machine) func() (func(b *testing.B), string, int, error) {
+	return func() (func(b *testing.B), string, int, error) {
+		grid, err := workloads.SyntheticGrid()
+		if err != nil {
+			return nil, "", 0, err
 		}
-	}, "none", 0, nil
+		var sub []*workloads.Workload
+		for i := 0; i < len(grid) && len(sub) < 40; i += len(grid) / 40 {
+			sub = append(sub, grid[i])
+		}
+		evals, err := core.EvaluateAll(m, sub, 0)
+		if err != nil {
+			return nil, "", 0, err
+		}
+		dt, err := ml.TreeTrainer{}.Fit(core.BuildDataset(m, evals))
+		if err != nil {
+			return nil, "", 0, err
+		}
+		var base ml.Features
+		base[ml.FGlobalSize] = 16384
+		base[ml.FLocalSize] = 256
+		base[ml.FMemContinuous] = 4
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, cfg := range m.Configs() {
+					_ = dt.Predict(core.WithConfig(base, m, cfg))
+				}
+			}
+		}, "none", 0, nil
+	}
 }
 
 func frontEndBench() (func(b *testing.B), string, int, error) {
@@ -301,7 +309,7 @@ func servingBinaryBench() (func(b *testing.B), string, int, error) {
 			{Float: &alpha}, {Float: &beta}, {Int: &nn},
 		},
 		Global: []int{n}, Local: []int{64},
-		Read:   []string{"y"},
+		Read: []string{"y"},
 	}
 	// Two warmup launches: the first executes over y=0, the second over
 	// the overwritten y; from the third on, the content key is stable
@@ -320,21 +328,57 @@ func servingBinaryBench() (func(b *testing.B), string, int, error) {
 	}, "none", 0, nil
 }
 
-// writeBenchReport runs the tier-1 component benchmarks and writes the
-// JSON report to path.
-func writeBenchReport(path string) error {
+// schedSweepSize is the problem size and work-group size of the
+// recorded policy sweep. Simulated times are deterministic, so the
+// sweep records diff exactly between reports: any delta is a real model
+// or scheduler change, never measurement noise.
+const (
+	schedSweepN  = 2048
+	schedSweepWG = 256
+)
+
+// schedSweepRecords simulates every real workload on every zoo machine
+// under each co-execution policy and returns one record per cell, named
+// SchedSweep/<machine>/<workload>/<sched> with ns_per_op holding the
+// simulated execution time in nanoseconds.
+func schedSweepRecords() ([]benchRecord, error) {
+	rows, err := experiments.SchedSweepRows(schedSweepN, schedSweepWG)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]benchRecord, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, benchRecord{
+			Name:    fmt.Sprintf("SchedSweep/%s/%s/%s", r.Machine, r.Workload, r.Sched),
+			N:       1,
+			NsPerOp: r.Time * 1e9,
+			Engine:  "sim",
+			Machine: r.Machine,
+		})
+	}
+	return out, nil
+}
+
+// writeBenchReport runs the tier-1 component benchmarks on machine m
+// (scheduling co-execution with dist where relevant), appends the
+// cross-machine policy sweep, and writes the JSON report to path.
+func writeBenchReport(path string, m *sim.Machine, dist sim.Distribution) error {
 	set := []struct {
-		name string
-		mk   func() (func(b *testing.B), string, int, error)
+		name    string
+		machine string // simulated machine the benchmark drives ("" = none)
+		mk      func() (func(b *testing.B), string, int, error)
 	}{
-		{"InterpreterGesummv", interpreterBench(0)},
-		{"InterpreterGesummvScalar", interpreterBench(1)},
-		{"Fig1Heatmap", heatmapBench},
-		{"StaticAnalysis", analysisBench},
-		{"MalleableTransform", transformBench},
-		{"ModelInference44Configs", inferenceBench},
-		{"FrontEndCompile", frontEndBench},
-		{"ServingBinaryLaunch", servingBinaryBench},
+		{"InterpreterGesummv", "", interpreterBench(0)},
+		{"InterpreterGesummvScalar", "", interpreterBench(1)},
+		{"Fig1Heatmap", m.Name, heatmapBench(m, dist)},
+		{"StaticAnalysis", "", analysisBench},
+		{"MalleableTransform", "", transformBench},
+		{"ModelInference44Configs", m.Name, inferenceBench(m)},
+		{"FrontEndCompile", "", frontEndBench},
+		// The serving bench measures wire-protocol overhead, not the
+		// simulator; it stays pinned to the paper's default machine so
+		// its numbers compare across reports regardless of -machine.
+		{"ServingBinaryLaunch", sim.Kaveri().Name, servingBinaryBench},
 	}
 	rep := benchReport{
 		Date:        time.Now().UTC().Format("2006-01-02"),
@@ -357,6 +401,9 @@ func writeBenchReport(path string) error {
 		if lanes > 0 {
 			note = fmt.Sprintf("%s, lanes=%d", engine, lanes)
 		}
+		if s.machine != "" {
+			note = fmt.Sprintf("%s, machine=%s", note, s.machine)
+		}
 		fmt.Printf("%-26s %12.0f ns/op %10d B/op %8d allocs/op  [%s]\n",
 			s.name, float64(res.T.Nanoseconds())/float64(res.N),
 			res.AllocedBytesPerOp(), res.AllocsPerOp(), note)
@@ -368,8 +415,16 @@ func writeBenchReport(path string) error {
 			AllocsPerOp: res.AllocsPerOp(),
 			Engine:      engine,
 			LaneWidth:   lanes,
+			Machine:     s.machine,
 		})
 	}
+	sweep, err := schedSweepRecords()
+	if err != nil {
+		return fmt.Errorf("sched sweep: %w", err)
+	}
+	rep.Benchmarks = append(rep.Benchmarks, sweep...)
+	fmt.Printf("%-26s %d records (n=%d, wg=%d, simulated time as ns/op)\n",
+		"SchedSweep/*", len(sweep), schedSweepN, schedSweepWG)
 	data, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
 		return err

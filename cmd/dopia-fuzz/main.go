@@ -34,6 +34,8 @@ func main() {
 		shards      = flag.String("shards", "", "comma-separated shard counts (default 1,3,GOMAXPROCS)")
 		lanes       = flag.String("lanes", "", "comma-separated bytecode lane widths (default 1,4,8)")
 		rungs       = flag.Bool("rungs", true, "run ladder-rung legs (managed / co-exec ALL / plain)")
+		machines    = flag.String("machine", "", "comma-separated zoo machines for machine-lattice co-exec legs (\"all\" = every zoo machine, \"\" disables)")
+		scheds      = flag.String("sched", "", "comma-separated schedulers for machine-lattice legs: alg1, static, dynamic, hguided, or \"all\" (default static,dynamic,hguided when -machine is set)")
 		serving     = flag.Bool("serving", true, "run the dopiad round-trip leg via an embedded server")
 		shrink      = flag.Bool("shrink", true, "shrink divergent cases before dumping")
 		shrinkRuns  = flag.Int("shrink-runs", 300, "shrink budget (oracle re-runs) per divergence")
@@ -51,6 +53,19 @@ func main() {
 	}
 
 	opts := conformance.Options{Rungs: *rungs}
+	if *machines != "" {
+		for _, f := range strings.Split(*machines, ",") {
+			opts.Machines = append(opts.Machines, strings.TrimSpace(f))
+		}
+	}
+	if *scheds != "" {
+		for _, f := range strings.Split(*scheds, ",") {
+			opts.Scheds = append(opts.Scheds, strings.TrimSpace(f))
+		}
+		if len(opts.Machines) == 0 {
+			opts.Machines = []string{"all"}
+		}
+	}
 	if *shards != "" {
 		for _, f := range strings.Split(*shards, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(f))

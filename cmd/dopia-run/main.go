@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		machineName = flag.String("machine", "Kaveri", "machine model: Kaveri or Skylake")
+		machineName = flag.String("machine", "Kaveri", "machine model: any zoo machine (Kaveri, Skylake, BigLittle, DiscretePCIe, AppleM)")
 		kernelName  = flag.String("kernel", "GESUMMV", "kernel: one of the 14 real workloads")
 		n           = flag.Int("n", workloads.DefaultRealSize, "problem size")
 		wg          = flag.Int("wg", 256, "work-group size (64 or 256)")
@@ -33,14 +33,9 @@ func main() {
 	)
 	flag.Parse()
 
-	var m *sim.Machine
-	switch *machineName {
-	case "Kaveri", "kaveri":
-		m = sim.Kaveri()
-	case "Skylake", "skylake":
-		m = sim.Skylake()
-	default:
-		fail("unknown machine %q", *machineName)
+	m, err := sim.MachineByName(*machineName)
+	if err != nil {
+		fail("%v", err)
 	}
 
 	// Locate the requested workload.

@@ -47,7 +47,7 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8034", "listen address")
-		machineName  = flag.String("machine", "Kaveri", "machine model: Kaveri or Skylake")
+		machineName  = flag.String("machine", "Kaveri", "machine model: any zoo machine (Kaveri, Skylake, BigLittle, DiscretePCIe, AppleM)")
 		modelName    = flag.String("model", "DT", "model family trained at startup: LIN, SVR, DT, RF")
 		trainLimit   = flag.Int("train", 48, "synthetic workloads used to train the model (0 = no model, ALL heuristic)")
 		modelFile    = flag.String("model-file", "", "load a model saved by dopia-train -save-model instead of training")
@@ -70,14 +70,9 @@ func main() {
 	)
 	flag.Parse()
 
-	var m *sim.Machine
-	switch *machineName {
-	case "Kaveri", "kaveri":
-		m = sim.Kaveri()
-	case "Skylake", "skylake":
-		m = sim.Skylake()
-	default:
-		log.Fatalf("unknown machine %q (Kaveri or Skylake)", *machineName)
+	m, err := sim.MachineByName(*machineName)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	model, err := loadModel(m, *modelName, *modelFile, *trainLimit)

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		machineName = flag.String("machine", "Kaveri", "machine model: Kaveri or Skylake")
+		machineName = flag.String("machine", "Kaveri", "machine model: any zoo machine (Kaveri, Skylake, BigLittle, DiscretePCIe, AppleM)")
 		limit       = flag.Int("limit", 0, "limit the synthetic grid (0 = full 1,224)")
 		parallel    = flag.Int("parallel", 0, "characterization workers (0 = GOMAXPROCS)")
 		folds       = flag.Int("folds", 16, "cross-validation folds for the report")
@@ -42,15 +42,9 @@ func main() {
 		m, err = sim.LoadMachine(*machineFile)
 		check(err)
 	} else {
-		switch *machineName {
-		case "Kaveri", "kaveri":
-			m = sim.Kaveri()
-		case "Skylake", "skylake":
-			m = sim.Skylake()
-		default:
-			fmt.Fprintf(os.Stderr, "unknown machine %q (want Kaveri or Skylake)\n", *machineName)
-			os.Exit(1)
-		}
+		var err error
+		m, err = sim.MachineByName(*machineName)
+		check(err)
 	}
 
 	grid, err := workloads.SyntheticGrid()

@@ -35,7 +35,15 @@ func TestQuickLattice(t *testing.T) {
 	res, err := Fuzz(FuzzConfig{
 		Seed:  baseSeed(t),
 		Cases: quickCases,
-		Opts:  Options{Rungs: true, Serving: env},
+		Opts: Options{
+			Rungs:   true,
+			Serving: env,
+			// Machine×scheduler axes: every total-class case also
+			// co-executes on every zoo machine under every scheduling
+			// policy and must stay bit-identical to the reference.
+			Machines: []string{"all"},
+			Scheds:   []string{"all"},
+		},
 		Log:   t.Logf,
 	})
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"dopia/internal/faults"
 	"dopia/internal/interp"
 	"dopia/internal/ocl"
+	"dopia/internal/sched"
 	"dopia/internal/server"
 	"dopia/internal/sim"
 )
@@ -42,6 +43,16 @@ type Options struct {
 	// named leg, for self-testing the oracle and the shrinker. "" (the
 	// default) disables mutation.
 	MutateLeg string
+	// Machines lists zoo machine names for the co-execution legs: each
+	// total-class case is additionally executed through a sched.Executor
+	// on every machine × scheduler combination, and its buffers must be
+	// bit-identical to the reference. "all" (or an empty list when
+	// Scheds is set) selects the whole zoo.
+	Machines []string
+	// Scheds lists the scheduling policies of the co-execution legs
+	// (sim.ParseDistribution names). Empty with Machines set selects
+	// static, dynamic, and hguided.
+	Scheds []string
 }
 
 // defaultShards returns the default direct-leg parallelism set.
@@ -125,6 +136,30 @@ func RunCase(c *Case, opts Options) (*Report, error) {
 					continue // the reference
 				}
 				leg, err := runDirect(c, engine, par, lw, par == 1)
+				if err != nil {
+					return nil, fmt.Errorf("%s: leg %s: %w", c, leg.Leg, err)
+				}
+				addLeg(leg)
+			}
+		}
+	}
+
+	// Machine×scheduler co-execution legs (total cases only: a total-
+	// class kernel's buffers are partition-invariant, so any machine's
+	// schedule — static split, work-queue, or HGuided — must reproduce
+	// the reference bytes exactly).
+	if (len(opts.Machines) > 0 || len(opts.Scheds) > 0) && c.Class == ClassTotal {
+		machines, err := resolveMachines(opts.Machines)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c, err)
+		}
+		dists, err := resolveScheds(opts.Scheds)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", c, err)
+		}
+		for _, m := range machines {
+			for _, d := range dists {
+				leg, err := runCoexec(c, m, d)
 				if err != nil {
 					return nil, fmt.Errorf("%s: leg %s: %w", c, leg.Leg, err)
 				}
@@ -237,6 +272,88 @@ func runDirect(c *Case, engine interp.Engine, par, lanes int, trace bool) (*Obse
 	if sink != nil {
 		obs.Trace = sink.Events
 	}
+	for i := range c.Args {
+		if !c.Args[i].IsBuf() {
+			continue
+		}
+		obs.Buffers = append(obs.Buffers, BufferObs{
+			Name:  c.Args[i].Name,
+			Bytes: BufferBytes(args[i].Buf),
+		})
+	}
+	return obs, nil
+}
+
+// resolveMachines maps machine names to zoo instances; empty or "all"
+// selects the whole zoo.
+func resolveMachines(names []string) ([]*sim.Machine, error) {
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		return sim.Zoo(), nil
+	}
+	out := make([]*sim.Machine, 0, len(names))
+	for _, n := range names {
+		m, err := sim.MachineByName(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
+}
+
+// resolveScheds maps scheduler names to distributions; empty selects the
+// EngineCL trio (static, dynamic, hguided), "all" adds the paper's alg1.
+func resolveScheds(names []string) ([]sim.Distribution, error) {
+	if len(names) == 0 {
+		return []sim.Distribution{sim.Static, sim.WorkQueue, sim.HGuided}, nil
+	}
+	if len(names) == 1 && names[0] == "all" {
+		return sim.Distributions(), nil
+	}
+	out := make([]sim.Distribution, 0, len(names))
+	for _, n := range names {
+		d, err := sim.ParseDistribution(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// runCoexec executes the case through a sched.Executor on the given
+// machine under the given scheduling policy, co-executing the original
+// kernel on all resources. Only buffers are observed: the sampled model
+// build and the split schedule make profiles non-comparable by design.
+func runCoexec(c *Case, m *sim.Machine, dist sim.Distribution) (*Observation, error) {
+	obs := &Observation{Leg: fmt.Sprintf("coexec:%s/%s", m.Name, dist)}
+	prog, err := clc.Compile(c.Source)
+	if err != nil {
+		return obs, fmt.Errorf("compile: %w", err)
+	}
+	k := prog.Kernel(c.Kernel)
+	if k == nil {
+		return obs, fmt.Errorf("kernel %q not found", c.Kernel)
+	}
+	ex, err := sched.NewExecutor(m, k, nil)
+	if err != nil {
+		return obs, fmt.Errorf("NewExecutor: %w", err)
+	}
+	args := make([]interp.Arg, len(c.Args))
+	for i := range c.Args {
+		args[i] = c.Args[i].Arg()
+	}
+	if err := ex.Bind(args...); err != nil {
+		return obs, fmt.Errorf("Bind: %w", err)
+	}
+	if err := ex.Launch(c.ND); err != nil {
+		return obs, fmt.Errorf("Launch: %w", err)
+	}
+	_, obs.Err = ex.Run(m.AllResources(), sched.RunOptions{
+		Dist:       dist,
+		CPUShare:   0.5,
+		Functional: true,
+	})
 	for i := range c.Args {
 		if !c.Args[i].IsBuf() {
 			continue

@@ -80,12 +80,13 @@ func kernelModel(t *testing.T, c *Case) *sim.KernelModel {
 
 // TestCoexecPartitionCoversNDRange is the metamorphic partition
 // invariant: however the simulator splits a launch between the devices —
-// any DoP configuration, dynamic or static distribution, fixed or
-// decaying GPU chunks — the emitted spans must cover every work-group of
-// the ND-range exactly once, and the result tallies must agree with the
+// any machine of the zoo, any DoP configuration, any scheduling policy
+// (Algorithm 1 with fixed or decaying GPU chunks, static splits, the
+// work-queue scheduler at several chunk sizes, HGuided at several chunk
+// floors) — the emitted spans must cover every work-group of the
+// ND-range exactly once, and the result tallies must agree with the
 // spans.
 func TestCoexecPartitionCoversNDRange(t *testing.T) {
-	m := sim.Kaveri()
 	cases := totalCases(t, 0xc0e8, 4)
 
 	type variant struct {
@@ -94,60 +95,71 @@ func TestCoexecPartitionCoversNDRange(t *testing.T) {
 		opts sim.SimOptions
 	}
 	variants := []variant{
-		{"dynamic", sim.Dynamic, sim.SimOptions{}},
-		{"dynamic/decay", sim.Dynamic, sim.SimOptions{DecayChunks: true}},
-		{"dynamic/div4", sim.Dynamic, sim.SimOptions{GPUChunkDiv: 4}},
+		{"alg1", sim.Dynamic, sim.SimOptions{}},
+		{"alg1/decay", sim.Dynamic, sim.SimOptions{DecayChunks: true}},
+		{"alg1/div4", sim.Dynamic, sim.SimOptions{GPUChunkDiv: 4}},
 		{"static/0.3", sim.Static, sim.SimOptions{CPUShare: 0.3}},
 		{"static/0.9", sim.Static, sim.SimOptions{CPUShare: 0.9}},
-	}
-	cfgs := []sim.Config{
-		m.CPUOnly(),
-		m.GPUOnly(),
-		m.AllResources(),
-		{CPUCores: 2, GPUFrac: 0.5},
+		{"dynamic", sim.WorkQueue, sim.SimOptions{}},
+		{"dynamic/chunk2", sim.WorkQueue, sim.SimOptions{ChunkWGs: 2}},
+		{"hguided", sim.HGuided, sim.SimOptions{}},
+		{"hguided/min4", sim.HGuided, sim.SimOptions{MinChunkWGs: 4}},
 	}
 
+	type kmKey struct{ ci int }
+	models := map[kmKey]*sim.KernelModel{}
 	for ci, c := range cases {
-		km := kernelModel(t, c)
-		for _, cfg := range cfgs {
-			for _, v := range variants {
-				name := fmt.Sprintf("case%d/%s/cpu%d-gpu%.2f", ci, v.name, cfg.CPUCores, cfg.GPUFrac)
-				cover := make([]int, km.NumWGs)
-				spanCPU, spanGPU := 0, 0
-				opts := v.opts
-				opts.OnSpan = func(dev string, start, count int) error {
-					if count <= 0 || start < 0 || start+count > km.NumWGs {
-						t.Errorf("%s: span [%d,%d) outside [0,%d)", name, start, start+count, km.NumWGs)
+		models[kmKey{ci}] = kernelModel(t, c)
+	}
+	for _, m := range sim.Zoo() {
+		cfgs := []sim.Config{
+			m.CPUOnly(),
+			m.GPUOnly(),
+			m.AllResources(),
+			{CPUCores: 2, GPUFrac: 0.5},
+		}
+		for ci := range cases {
+			km := models[kmKey{ci}]
+			for _, cfg := range cfgs {
+				for _, v := range variants {
+					name := fmt.Sprintf("%s/case%d/%s/cpu%d-gpu%.2f", m.Name, ci, v.name, cfg.CPUCores, cfg.GPUFrac)
+					cover := make([]int, km.NumWGs)
+					spanCPU, spanGPU := 0, 0
+					opts := v.opts
+					opts.OnSpan = func(dev string, start, count int) error {
+						if count <= 0 || start < 0 || start+count > km.NumWGs {
+							t.Errorf("%s: span [%d,%d) outside [0,%d)", name, start, start+count, km.NumWGs)
+							return nil
+						}
+						for i := start; i < start+count; i++ {
+							cover[i]++
+						}
+						switch dev {
+						case "cpu":
+							spanCPU += count
+						case "gpu":
+							spanGPU += count
+						default:
+							t.Errorf("%s: unknown span device %q", name, dev)
+						}
 						return nil
 					}
-					for i := start; i < start+count; i++ {
-						cover[i]++
+					res, err := sim.Simulate(m, km, cfg, v.dist, opts)
+					if err != nil {
+						t.Fatalf("%s: simulate: %v", name, err)
 					}
-					switch dev {
-					case "cpu":
-						spanCPU += count
-					case "gpu":
-						spanGPU += count
-					default:
-						t.Errorf("%s: unknown span device %q", name, dev)
+					for i, n := range cover {
+						if n != 1 {
+							t.Fatalf("%s: work-group %d covered %d times", name, i, n)
+						}
 					}
-					return nil
-				}
-				res, err := sim.Simulate(m, km, cfg, v.dist, opts)
-				if err != nil {
-					t.Fatalf("%s: simulate: %v", name, err)
-				}
-				for i, n := range cover {
-					if n != 1 {
-						t.Fatalf("%s: work-group %d covered %d times", name, i, n)
+					if res.WGsCPU != spanCPU || res.WGsGPU != spanGPU {
+						t.Errorf("%s: result tallies cpu=%d gpu=%d disagree with spans cpu=%d gpu=%d",
+							name, res.WGsCPU, res.WGsGPU, spanCPU, spanGPU)
 					}
-				}
-				if res.WGsCPU != spanCPU || res.WGsGPU != spanGPU {
-					t.Errorf("%s: result tallies cpu=%d gpu=%d disagree with spans cpu=%d gpu=%d",
-						name, res.WGsCPU, res.WGsGPU, spanCPU, spanGPU)
-				}
-				if res.WGsCPU+res.WGsGPU != km.NumWGs {
-					t.Errorf("%s: tallies sum to %d, want %d", name, res.WGsCPU+res.WGsGPU, km.NumWGs)
+					if res.WGsCPU+res.WGsGPU != km.NumWGs {
+						t.Errorf("%s: tallies sum to %d, want %d", name, res.WGsCPU+res.WGsGPU, km.NumWGs)
+					}
 				}
 			}
 		}
@@ -189,14 +201,21 @@ func trainInvarianceModel(t *testing.T, m *sim.Machine, cases []*Case) ml.Model 
 	return mdl
 }
 
-// TestDecisionInvariance is the metamorphic DoP-decision invariant: the
-// configuration Decide picks must not depend on prediction-cache state —
-// cold cache, warm cache, cache cleared by a model swap, and cache
-// bypassed entirely (armed fault injection disables memoization) must
-// all yield the same decision.
+// TestDecisionInvariance is the metamorphic DoP-decision invariant,
+// checked on every machine of the zoo: the configuration Decide picks
+// must not depend on prediction-cache state — cold cache, warm cache,
+// cache cleared by a model swap, and cache bypassed entirely (armed
+// fault injection disables memoization) must all yield the same
+// decision.
 func TestDecisionInvariance(t *testing.T) {
-	m := sim.Kaveri()
 	cases := totalCases(t, 0xdec1, 3)
+	for _, m := range sim.Zoo() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) { decisionInvariance(t, m, cases) })
+	}
+}
+
+func decisionInvariance(t *testing.T, m *sim.Machine, cases []*Case) {
 	mdl := trainInvarianceModel(t, m, cases)
 	mdl2 := trainInvarianceModel(t, m, cases) // identical fit, distinct identity
 
@@ -333,5 +352,68 @@ func TestSampledClassifierAgreement(t *testing.T) {
 	}
 	if !properSubset {
 		t.Error("no case produced a proper sampled subset (sampling never engaged)")
+	}
+}
+
+// TestMachineSchedLattice is the cross-machine differential: every
+// generated total-class kernel must produce bit-identical buffers when
+// co-executed on every machine of the zoo under every scheduling policy
+// (including the paper's Algorithm 1), compared against the sequential
+// closure-engine reference.
+func TestMachineSchedLattice(t *testing.T) {
+	cases := totalCases(t, 0x1a77, 5)
+	opts := Options{
+		Shards:   []int{1},
+		Machines: []string{"all"},
+		Scheds:   []string{"all"},
+	}
+	wantCoexec := len(sim.Zoo()) * len(sim.Distributions())
+	for ci, c := range cases {
+		rep, err := RunCase(c, opts)
+		if err != nil {
+			t.Fatalf("case %d (%s): %v", ci, c, err)
+		}
+		coexec := 0
+		for _, leg := range rep.Legs {
+			if strings.HasPrefix(leg.Leg, "coexec:") {
+				coexec++
+			}
+		}
+		if coexec != wantCoexec {
+			t.Errorf("case %d: %d coexec legs, want %d", ci, coexec, wantCoexec)
+		}
+		for _, d := range rep.Divergences {
+			t.Errorf("case %d: divergence: %s\n%s", ci, d, c.Source)
+		}
+	}
+}
+
+// TestSchedulerDeterministicReplay: regenerating a case from its seed
+// and re-running the same machine/scheduler leg must reproduce the
+// observation exactly — same buffers, same error — or crasher replays
+// and CI reruns could disagree about the same seed.
+func TestSchedulerDeterministicReplay(t *testing.T) {
+	for _, m := range sim.Zoo() {
+		for _, dist := range sim.Distributions() {
+			runOnce := func() *Observation {
+				t.Helper()
+				c, err := GenerateClass(CaseSeed(0xd37e, 2), ClassTotal)
+				if err != nil {
+					t.Fatalf("generate: %v", err)
+				}
+				obs, err := runCoexec(c, m, dist)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", m.Name, dist, err)
+				}
+				return obs
+			}
+			first := runOnce()
+			for trial := 0; trial < 3; trial++ {
+				again := runOnce()
+				if ds := DiffObservations(first, again); len(ds) > 0 {
+					t.Fatalf("%s/%s trial %d: replay diverged: %v", m.Name, dist, trial, ds)
+				}
+			}
+		}
 	}
 }

@@ -47,6 +47,12 @@ type Framework struct {
 	// WatchdogTimeout bounds each managed execution (wall clock). Zero
 	// selects DefaultWatchdogTimeout; negative disables the watchdog.
 	WatchdogTimeout time.Duration
+	// Dist selects the co-execution scheduling policy for managed
+	// launches. The zero value is sim.Dynamic — the paper's Algorithm 1.
+	// The EngineCL-style alternatives (sim.Static via BestStatic,
+	// sim.WorkQueue, sim.HGuided) re-split the ND-range mid-flight; all
+	// policies execute identical work, so the choice never changes bytes.
+	Dist sim.Distribution
 
 	// mu guards kernels and the per-kernelInfo maps (analysis and
 	// malleable artifacts). Artifact generation happens outside the
@@ -271,6 +277,9 @@ type Decision struct {
 	// Explored reports that the online exploration policy overrode the
 	// exploited configuration for this launch.
 	Explored bool
+	// Sched names the co-execution scheduling policy that drove the
+	// launch ("alg1", "static", "dynamic", or "hguided").
+	Sched string
 }
 
 // maxSanePrediction bounds the magnitude of a credible normalized-
@@ -463,6 +472,7 @@ func (f *Framework) ExecuteCtx(ctx context.Context, k *clc.Kernel, args []interp
 	}
 	tenant := TenantFrom(ctx)
 	dec, base, decErr := f.decideFor(tenant, ki.analysis, nd)
+	dec.Sched = f.Dist.String()
 	if decErr != nil {
 		f.Stats.RecordModelDiscard(decErr)
 	}
@@ -479,7 +489,7 @@ func (f *Framework) ExecuteCtx(ctx context.Context, k *clc.Kernel, args []interp
 	wctx, cancel := f.watchdog(ctx)
 	defer cancel()
 	res, err := ex.Run(dec.Config, sched.RunOptions{
-		Dist:            sim.Dynamic,
+		Dist:            f.Dist,
 		Functional:      true,
 		ExtraStartupSec: dec.InferTime.Seconds(),
 		Context:         wctx,
@@ -499,7 +509,7 @@ func (f *Framework) ExecuteCtx(ctx context.Context, k *clc.Kernel, args []interp
 			ObservedTime: res.Time,
 			Sweep: func() ([]ConfigTime, error) {
 				cfgs := f.Machine.Configs()
-				rs, serr := ex.RunConfigs(cfgs, sched.RunOptions{Dist: sim.Dynamic})
+				rs, serr := ex.RunConfigs(cfgs, sched.RunOptions{Dist: f.Dist})
 				if serr != nil {
 					return nil, serr
 				}
@@ -558,7 +568,7 @@ func (f *Framework) ExecuteCoExecAllCtx(ctx context.Context, k *clc.Kernel, args
 	wctx, cancel := f.watchdog(ctx)
 	defer cancel()
 	res, err := ex.Run(f.Machine.AllResources(), sched.RunOptions{
-		Dist:       sim.Dynamic,
+		Dist:       f.Dist,
 		Functional: true,
 		Context:    wctx,
 	})
@@ -566,7 +576,7 @@ func (f *Framework) ExecuteCoExecAllCtx(ctx context.Context, k *clc.Kernel, args
 		return nil, faults.Wrap(faults.StageExec, err)
 	}
 	return &Execution{
-		Decision:   Decision{Config: f.Machine.AllResources()},
+		Decision:   Decision{Config: f.Machine.AllResources(), Sched: f.Dist.String()},
 		Result:     res,
 		KernelName: k.Name,
 		Engine:     engineString(ex),

@@ -43,8 +43,8 @@ func TestByID(t *testing.T) {
 	if _, err := ByID("nope"); err == nil {
 		t.Error("expected error for unknown experiment")
 	}
-	if len(All()) != 9 {
-		t.Errorf("%d experiments, want 9 (fig1,3,9-13 + tables 5,6)", len(All()))
+	if len(All()) != 10 {
+		t.Errorf("%d experiments, want 10 (fig1,3,9-13 + tables 5,6 + schedsweep)", len(All()))
 	}
 }
 

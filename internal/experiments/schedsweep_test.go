@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"testing"
+
+	"dopia/internal/sim"
+)
+
+// TestSchedSweepAdaptiveWins is the policy-sweep acceptance gate in
+// test form: on every machine added by the zoo (everything beyond the
+// paper's Kaveri and Skylake), at least one real workload must run
+// faster under an adaptive scheduler (work-queue or HGuided) than under
+// the best of nineteen static splits — otherwise the new schedulers
+// would be dead weight on the new machine shapes.
+func TestSchedSweepAdaptiveWins(t *testing.T) {
+	rows, err := SchedSweepRows(2048, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times := map[string]map[string]map[string]float64{} // machine -> workload -> sched
+	for _, r := range rows {
+		if r.Time <= 0 {
+			t.Errorf("%s/%s/%s: non-positive time %v", r.Machine, r.Workload, r.Sched, r.Time)
+		}
+		if times[r.Machine] == nil {
+			times[r.Machine] = map[string]map[string]float64{}
+		}
+		if times[r.Machine][r.Workload] == nil {
+			times[r.Machine][r.Workload] = map[string]float64{}
+		}
+		times[r.Machine][r.Workload][r.Sched] = r.Time
+	}
+	if want := len(sim.Zoo()); len(times) != want {
+		t.Fatalf("sweep covered %d machines, want %d", len(times), want)
+	}
+	base := map[string]bool{sim.Kaveri().Name: true, sim.Skylake().Name: true}
+	for mach, wl := range times {
+		if base[mach] {
+			continue
+		}
+		wins := 0
+		for name, ts := range wl {
+			if len(ts) != len(SchedPolicies()) {
+				t.Fatalf("%s/%s: %d policies, want %d", mach, name, len(ts), len(SchedPolicies()))
+			}
+			adaptive := ts["dynamic"]
+			if ts["hguided"] < adaptive {
+				adaptive = ts["hguided"]
+			}
+			if adaptive < ts["static"] {
+				wins++
+				t.Logf("%s: %s adaptive %.3g < static-best %.3g", mach, name, adaptive, ts["static"])
+			}
+		}
+		if wins == 0 {
+			t.Errorf("%s: no workload where dynamic or hguided beats the best static split", mach)
+		}
+	}
+}

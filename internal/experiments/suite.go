@@ -169,6 +169,7 @@ func All() []Experiment {
 		{"fig12", "Mean normalized performance per constant configuration (Figure 12)", Fig12},
 		{"table6", "Static partitionings vs Dopia (Table 6)", Table6},
 		{"fig13", "Real-world kernels: Dopia vs baselines (Figure 13)", Fig13},
+		{"schedsweep", "Co-execution policy sweep across the machine zoo", SchedSweep},
 	}
 }
 

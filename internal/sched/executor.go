@@ -59,6 +59,8 @@ type simKey struct {
 	dist     sim.Distribution
 	cpuShare float64
 	chunkDiv int
+	chunkWGs int
+	minChunk int
 	extra    float64
 	plainGPU bool
 }
@@ -232,6 +234,12 @@ type RunOptions struct {
 	ExtraStartupSec float64
 	// GPUChunkDiv overrides the dynamic GPU chunk divisor (default 10).
 	GPUChunkDiv int
+	// ChunkWGs sets the WorkQueue scheduler's fixed chunk size
+	// (0 = NumWGs/16).
+	ChunkWGs int
+	// MinChunkWGs floors the HGuided scheduler's shrinking chunks
+	// (0 = one allocation unit).
+	MinChunkWGs int
 	// Context, when non-nil, bounds the functional execution: it is
 	// polled before every span and every work-group, so a pathological
 	// ND range cannot wedge the host application past the deadline. A
@@ -277,6 +285,8 @@ func (e *Executor) Run(cfg sim.Config, opts RunOptions) (res *sim.Result, err er
 			dist:     opts.Dist,
 			cpuShare: opts.CPUShare,
 			chunkDiv: opts.GPUChunkDiv,
+			chunkWGs: opts.ChunkWGs,
+			minChunk: opts.MinChunkWGs,
 			extra:    opts.ExtraStartupSec,
 			plainGPU: e.malleable == nil && !e.AssumeMalleable,
 		}
@@ -312,6 +322,8 @@ func (e *Executor) Run(cfg sim.Config, opts RunOptions) (res *sim.Result, err er
 	res, err = sim.Simulate(e.Machine, km, cfg, opts.Dist, sim.SimOptions{
 		CPUShare:        opts.CPUShare,
 		GPUChunkDiv:     opts.GPUChunkDiv,
+		ChunkWGs:        opts.ChunkWGs,
+		MinChunkWGs:     opts.MinChunkWGs,
 		OnSpan:          onSpan,
 		ExtraStartupSec: opts.ExtraStartupSec,
 		PlainGPU:        e.malleable == nil && !e.AssumeMalleable,

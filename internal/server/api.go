@@ -151,6 +151,9 @@ type DecisionInfo struct {
 	// Explored marks a launch whose DoP was chosen by the online
 	// exploration policy instead of the model argmax.
 	Explored bool `json:"explored,omitempty"`
+	// Sched names the co-execution scheduling policy that drove the
+	// launch ("alg1", "static", "dynamic", or "hguided").
+	Sched string `json:"sched,omitempty"`
 }
 
 // ModelsResponse is the /v1/models introspection payload: the static

@@ -840,6 +840,7 @@ func (s *Server) runKernel(t *task, sess *session, kern *ocl.Kernel, nd interp.N
 				InferUS:        float64(d.InferTime) / float64(time.Microsecond),
 				ModelGen:       d.ModelGen,
 				Explored:       d.Explored,
+				Sched:          d.Sched,
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"strings"
 )
 
 // SpanFunc is an optional callback invoked for every span of work-groups
@@ -38,12 +39,59 @@ type Distribution int
 const (
 	// Dynamic is Dopia's runtime scheme (Algorithm 1): CPU threads pull
 	// single work-groups from an atomic worklist; the GPU is pushed
-	// chunks of one tenth of the work-groups.
+	// chunks of one tenth of the work-groups. Its CLI/report name is
+	// "alg1" — the EngineCL-style work-queue scheduler below owns the
+	// name "dynamic".
 	Dynamic Distribution = iota
 	// Static splits the work-groups up front: a fixed share to the CPU
 	// (divided evenly among cores) and the rest to the GPU in one chunk.
 	Static
+	// WorkQueue is the EngineCL-style dynamic scheduler: both devices
+	// pull fixed-size chunks (SimOptions.ChunkWGs) from a shared queue,
+	// so whichever device drains faster simply takes more of the range.
+	WorkQueue
+	// HGuided is EngineCL's guided scheduler: chunks shrink geometrically
+	// with the remaining work and are weighted by each device's observed
+	// throughput, so fast devices take large early chunks while the tail
+	// is split finely to minimize imbalance.
+	HGuided
 )
+
+// String returns the scheduler's CLI/report name.
+func (d Distribution) String() string {
+	switch d {
+	case Dynamic:
+		return "alg1"
+	case Static:
+		return "static"
+	case WorkQueue:
+		return "dynamic"
+	case HGuided:
+		return "hguided"
+	}
+	return fmt.Sprintf("Distribution(%d)", int(d))
+}
+
+// ParseDistribution maps a CLI/report name to a Distribution. The empty
+// string selects the paper's Algorithm 1.
+func ParseDistribution(s string) (Distribution, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "alg1", "paper":
+		return Dynamic, nil
+	case "static":
+		return Static, nil
+	case "dynamic", "workqueue":
+		return WorkQueue, nil
+	case "hguided", "h-guided":
+		return HGuided, nil
+	}
+	return 0, fmt.Errorf("sim: unknown scheduler %q (alg1, static, dynamic, hguided)", s)
+}
+
+// Distributions returns every scheduling policy.
+func Distributions() []Distribution {
+	return []Distribution{Dynamic, Static, WorkQueue, HGuided}
+}
 
 // SimOptions tune a simulation run.
 type SimOptions struct {
@@ -67,6 +115,41 @@ type SimOptions struct {
 	// ExtraStartupSec models one-time runtime overhead (e.g. Dopia's
 	// model inference) added before execution begins.
 	ExtraStartupSec float64
+	// ChunkWGs is the WorkQueue scheduler's fixed chunk size in
+	// work-groups (rounded to the allocation unit); 0 means NumWGs/16.
+	ChunkWGs int
+	// MinChunkWGs floors the HGuided scheduler's shrinking chunks;
+	// 0 means one allocation unit.
+	MinChunkWGs int
+}
+
+// HGuidedChunk is the HGuided chunk-size policy: an agent holding weight
+// w out of sumW total observed throughput takes remaining*w/(2*sumW)
+// work-groups, rounded down to the allocation unit and clamped to
+// [minChunk, remaining]. It is monotone non-decreasing in w, so faster
+// devices always take at least as much as slower ones.
+func HGuidedChunk(remaining, unit, minChunk int, w, sumW float64) int {
+	if remaining <= 0 {
+		return 0
+	}
+	if unit < 1 {
+		unit = 1
+	}
+	if minChunk < unit {
+		minChunk = unit
+	}
+	c := 0
+	if sumW > 0 && w > 0 {
+		c = int(float64(remaining) * w / (2 * sumW))
+	}
+	c = (c / unit) * unit
+	if c < minChunk {
+		c = minChunk
+	}
+	if c > remaining {
+		c = remaining
+	}
+	return c
 }
 
 // Simulate runs one kernel execution on the machine under the given DoP
@@ -109,31 +192,79 @@ func Simulate(m *Machine, km *KernelModel, cfg Config, dist Distribution, opts S
 	}
 
 	switch dist {
-	case Dynamic:
+	case Dynamic, WorkQueue, HGuided:
 		next := 0
 		chunk := km.NumWGs / opts.GPUChunkDiv
+		if dist == WorkQueue {
+			chunk = opts.ChunkWGs
+			if chunk <= 0 {
+				chunk = km.NumWGs / 16
+			}
+		}
 		if chunk < unit {
 			chunk = unit
 		}
 		chunk = (chunk / unit) * unit
+		minChunk := opts.MinChunkWGs
+		if minChunk < unit {
+			minChunk = unit
+		}
+		minChunk = (minChunk / unit) * unit
+
+		// HGuided tracks one throughput weight per agent (cores first,
+		// GPU in the last slot), seeded from the model's contention-free
+		// estimates and replaced by observed WGs/sec as spans complete.
+		// A slice (not a map) keeps the weight sum order-stable so
+		// replays are bit-identical.
+		gpuSlot := cfg.CPUCores
+		var weights []float64
+		if dist == HGuided {
+			weights = make([]float64, cfg.CPUCores+1)
+			for core := 0; core < cfg.CPUCores; core++ {
+				if t := m.scaleCoreCost(cpuCost, core).AloneTime(); t > 0 {
+					weights[core] = 1 / t
+				}
+			}
+			if gpuActive {
+				gcost, _ := m.gpuChunkCost(km, km.NumWGs, cfg, !opts.PlainGPU)
+				if t := gcost.AloneTime(); t > 0 {
+					weights[gpuSlot] = float64(km.NumWGs) / t
+				}
+			}
+		}
+		sumW := func() float64 {
+			var s float64
+			for _, w := range weights {
+				s += w
+			}
+			return s
+		}
+
 		grabCPU := func(core int) bool {
-			if next >= km.NumWGs {
+			rem := km.NumWGs - next
+			if rem <= 0 {
 				return false
 			}
 			cnt := unit
-			if next+cnt > km.NumWGs {
-				cnt = km.NumWGs - next
+			switch dist {
+			case WorkQueue:
+				cnt = chunk
+			case HGuided:
+				cnt = HGuidedChunk(rem, unit, minChunk, weights[core], sumW())
+			}
+			if cnt > rem {
+				cnt = rem
 			}
 			span := &agentState{start: next, count: cnt}
 			next += cnt
 			agents[core] = span
-			cost := cpuCost
+			cost := m.scaleCoreCost(cpuCost, core)
 			if cnt > 1 {
 				cost = TaskCost{
-					Compute:  cpuCost.Compute * float64(cnt),
-					Latency:  cpuCost.Latency * float64(cnt),
-					MemBytes: cpuCost.MemBytes * float64(cnt),
-					PeakBW:   cpuCost.PeakBW,
+					Compute:  cost.Compute * float64(cnt),
+					Latency:  cost.Latency * float64(cnt),
+					MemBytes: cost.MemBytes * float64(cnt),
+					PeakBW:   cost.PeakBW,
 				}
 			}
 			id := fl.Add(core, cost)
@@ -142,19 +273,23 @@ func Simulate(m *Machine, km *KernelModel, cfg Config, dist Distribution, opts S
 			return true
 		}
 		grabGPU := func() bool {
-			if next >= km.NumWGs {
+			rem := km.NumWGs - next
+			if rem <= 0 {
 				return false
 			}
 			count := chunk
-			if opts.DecayChunks {
-				count = (km.NumWGs - next) / opts.GPUChunkDiv
+			switch {
+			case dist == Dynamic && opts.DecayChunks:
+				count = rem / opts.GPUChunkDiv
 				count = (count / unit) * unit
 				if count < unit {
 					count = unit
 				}
+			case dist == HGuided:
+				count = HGuidedChunk(rem, unit, minChunk, weights[gpuSlot], sumW())
 			}
-			if next+count > km.NumWGs {
-				count = km.NumWGs - next
+			if count > rem {
+				count = rem
 			}
 			span := &agentState{start: next, count: count}
 			next += count
@@ -168,9 +303,11 @@ func Simulate(m *Machine, km *KernelModel, cfg Config, dist Distribution, opts S
 			agentStart[gpuAgent] = fl.Time
 			return true
 		}
-		// The GPU is dispatched first: its chunk is a tenth of the whole
-		// workload, so letting the CPU threads drain the worklist before
-		// the first push would starve the GPU on small launches.
+		// The GPU is dispatched first: under Algorithm 1 its chunk is a
+		// tenth of the whole workload, so letting the CPU threads drain
+		// the worklist before the first push would starve the GPU on
+		// small launches. The pull-based policies keep the same order for
+		// determinism.
 		if gpuActive {
 			grabGPU()
 		}
@@ -188,6 +325,13 @@ func Simulate(m *Machine, km *KernelModel, cfg Config, dist Distribution, opts S
 				span := agents[agent]
 				delete(agents, agent)
 				busy := fl.Time - agentStart[agent]
+				if dist == HGuided && busy > 0 {
+					slot := agent
+					if agent == gpuAgent {
+						slot = gpuSlot
+					}
+					weights[slot] = float64(span.count) / busy
+				}
 				if agent == gpuAgent {
 					res.WGsGPU += span.count
 					res.GPUBusy += busy
@@ -234,11 +378,12 @@ func Simulate(m *Machine, km *KernelModel, cfg Config, dist Distribution, opts S
 			if cnt == 0 {
 				continue
 			}
+			coreCost := m.scaleCoreCost(cpuCost, core)
 			cost := TaskCost{
-				Compute:  cpuCost.Compute * float64(cnt),
-				Latency:  cpuCost.Latency * float64(cnt),
-				MemBytes: cpuCost.MemBytes * float64(cnt),
-				PeakBW:   cpuCost.PeakBW,
+				Compute:  coreCost.Compute * float64(cnt),
+				Latency:  coreCost.Latency * float64(cnt),
+				MemBytes: coreCost.MemBytes * float64(cnt),
+				PeakBW:   coreCost.PeakBW,
 			}
 			agents[core] = &agentState{start: start, count: cnt}
 			id := fl.Add(core, cost)

@@ -26,6 +26,10 @@ type MachineJSON struct {
 		CacheKB  int64   `json:"cache_kb"`
 		CoreGBs  float64 `json:"core_bw_gbs"`
 		MLP      float64 `json:"mlp"`
+		// big.LITTLE asymmetry: the last little_cores cores run
+		// little_slow times slower (0 = symmetric).
+		LittleCores int     `json:"little_cores,omitempty"`
+		LittleSlow  float64 `json:"little_slow,omitempty"`
 	} `json:"cpu"`
 	GPU struct {
 		CUs            int     `json:"cus"`
@@ -40,6 +44,11 @@ type MachineJSON struct {
 		StridedPenalty float64 `json:"strided_penalty"`
 		MalleableCyc   float64 `json:"malleable_cycles"`
 		DispatchUs     float64 `json:"dispatch_us"`
+		// Discrete-GPU parameters: a non-zero local_bw_gbs marks the GPU
+		// as sitting across PCIe with private memory of that bandwidth.
+		LocalGBs  float64 `json:"local_bw_gbs,omitempty"`
+		PCIeGBs   float64 `json:"pcie_gbs,omitempty"`
+		PCIeLatUs float64 `json:"pcie_lat_us,omitempty"`
 	} `json:"gpu"`
 	Mem struct {
 		BandwidthGBs float64 `json:"bandwidth_gbs"`
@@ -98,6 +107,9 @@ func (mj MachineJSON) Build() (*Machine, error) {
 			CacheB:   defaultI(mj.CPU.CacheKB, 512) << 10,
 			CoreBWBs: defaultF(mj.CPU.CoreGBs, 4) * 1e9,
 			MLP:      defaultF(mj.CPU.MLP, 8),
+
+			LittleCores: mj.CPU.LittleCores,
+			LittleSlow:  mj.CPU.LittleSlow,
 		},
 		GPU: GPUConfig{
 			CUs:            mj.GPU.CUs,
@@ -112,6 +124,10 @@ func (mj MachineJSON) Build() (*Machine, error) {
 			StridedPenalty: defaultF(mj.GPU.StridedPenalty, 2),
 			MalleableCyc:   defaultF(mj.GPU.MalleableCyc, 8),
 			DispatchSec:    defaultF(mj.GPU.DispatchUs, 25) * 1e-6,
+
+			LocalBWBs:  mj.GPU.LocalGBs * 1e9,
+			PCIeBWBs:   mj.GPU.PCIeGBs * 1e9,
+			PCIeLatSec: mj.GPU.PCIeLatUs * 1e-6,
 		},
 		Mem: MemConfig{
 			BandwidthBs:  mj.Mem.BandwidthGBs * 1e9,
@@ -129,6 +145,16 @@ func (mj MachineJSON) Build() (*Machine, error) {
 	}
 	if len(m.GPUSteps) == 0 {
 		m.GPUSteps = gpuFractions()
+	}
+	if m.CPU.LittleCores < 0 || m.CPU.LittleCores >= m.CPU.Cores {
+		if m.CPU.LittleCores != 0 {
+			return nil, fmt.Errorf("sim: machine %s: little_cores %d out of range (need 0..%d)",
+				mj.Name, m.CPU.LittleCores, m.CPU.Cores-1)
+		}
+	}
+	if m.GPU.LocalBWBs > 0 && m.GPU.PCIeBWBs <= 0 {
+		return nil, fmt.Errorf("sim: machine %s: discrete gpu (local_bw_gbs set) needs pcie_gbs",
+			mj.Name)
 	}
 	for _, c := range m.CPUSteps {
 		if c < 0 || c > m.CPU.Cores {
@@ -154,6 +180,8 @@ func (m *Machine) ToJSON() MachineJSON {
 	mj.CPU.CacheKB = m.CPU.CacheB >> 10
 	mj.CPU.CoreGBs = m.CPU.CoreBWBs / 1e9
 	mj.CPU.MLP = m.CPU.MLP
+	mj.CPU.LittleCores = m.CPU.LittleCores
+	mj.CPU.LittleSlow = m.CPU.LittleSlow
 	mj.GPU.CUs = m.GPU.CUs
 	mj.GPU.PEsPerCU = m.GPU.PEsPerCU
 	mj.GPU.FreqGHz = m.GPU.FreqHz / 1e9
@@ -166,6 +194,9 @@ func (m *Machine) ToJSON() MachineJSON {
 	mj.GPU.StridedPenalty = m.GPU.StridedPenalty
 	mj.GPU.MalleableCyc = m.GPU.MalleableCyc
 	mj.GPU.DispatchUs = m.GPU.DispatchSec * 1e6
+	mj.GPU.LocalGBs = m.GPU.LocalBWBs / 1e9
+	mj.GPU.PCIeGBs = m.GPU.PCIeBWBs / 1e9
+	mj.GPU.PCIeLatUs = m.GPU.PCIeLatSec * 1e6
 	mj.Mem.BandwidthGBs = m.Mem.BandwidthBs / 1e9
 	mj.Mem.LatencyNs = m.Mem.LatencySec * 1e9
 	mj.Mem.SharedLLCKB = m.Mem.SharedLLCB >> 10

@@ -37,6 +37,20 @@ func (c TaskCost) AloneTime() float64 {
 	return t
 }
 
+// scaleCoreCost adjusts a per-work-group CPU cost for the core that will
+// run it: efficiency cores stretch compute and latency by the slowdown
+// factor and sustain proportionally less bandwidth.
+func (m *Machine) scaleCoreCost(c TaskCost, core int) TaskCost {
+	s := m.CoreSlow(core)
+	if s <= 1 {
+		return c
+	}
+	c.Compute *= s
+	c.Latency *= s
+	c.PeakBW /= s
+	return c
+}
+
 // llcAgents returns the number of LLC-sharing agents for cache
 // partitioning on machines with a shared last-level cache.
 func (m *Machine) llcAgents(cfg Config) float64 {
@@ -218,8 +232,44 @@ func (m *Machine) gpuChunkCost(km *KernelModel, wgs int, cfg Config, malleable b
 	if traffic < 0 {
 		traffic = 0
 	}
-	cost.MemBytes = traffic
+	if gpu.Discrete() {
+		// Discrete GPU: the kernel's DRAM traffic is served by the card's
+		// private memory (folded into compute — it does not contend with
+		// the host's shared DRAM). What the shared fluid sees instead is
+		// the chunk's buffer footprint crossing PCIe, paced by the bus,
+		// plus a fixed bus-setup latency per chunk — which makes the
+		// number of chunks a first-order scheduling cost on this machine.
+		cost.Compute += traffic/gpu.LocalBWBs + gpu.PCIeLatSec
+		cost.MemBytes = km.chunkFootprint(wgs)
+		cost.PeakBW = gpu.PCIeBWBs
+		if cost.PeakBW <= 0 || cost.PeakBW > m.Mem.BandwidthBs {
+			cost.PeakBW = m.Mem.BandwidthBs
+		}
+	} else {
+		cost.MemBytes = traffic
+	}
 	return cost, traffic / mem.LineSize
+}
+
+// chunkFootprint estimates the distinct buffer bytes a chunk of
+// work-groups touches — the data a discrete GPU must move across PCIe to
+// execute it. Shared (lane-constant) footprints are charged whole per
+// chunk: every chunk needs the broadcast data resident.
+func (km *KernelModel) chunkFootprint(wgs int) float64 {
+	var b float64
+	items := float64(wgs * km.WGSize)
+	for _, s := range km.Sites {
+		if s.SharedAcrossWI {
+			b += s.DistinctPerWI
+			continue
+		}
+		d := s.DistinctPerWI * items
+		if s.BufBytes > 0 && d > s.BufBytes {
+			d = s.BufBytes
+		}
+		b += d
+	}
+	return b
 }
 
 func minf(a, b float64) float64 {

@@ -1,6 +1,9 @@
 package sim
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // fluidTask is one in-flight unit of work inside the fluid engine.
 type fluidTask struct {
@@ -157,9 +160,16 @@ func (f *Fluid) Step() (done []int, ok bool) {
 		}
 	}
 	if math.IsInf(dt, 1) {
-		// Degenerate: tasks with memory but no bandwidth. Finish them
-		// instantly to avoid livelock (cannot happen with BW > 0).
+		// Degenerate: tasks with memory but no bandwidth (BW == 0, or a
+		// zero-rate allocation). Their bytes can never drain, so forgive
+		// them — otherwise Step would return forever without progress.
+		// The tasks still pay their compute and latency on later steps.
 		dt = 0
+		for _, t := range f.tasks {
+			if t.memB > 0 && t.rate <= 0 {
+				t.memB = 0
+			}
+		}
 	}
 
 	f.Time += dt
@@ -181,6 +191,10 @@ func (f *Fluid) Step() (done []int, ok bool) {
 			delete(f.tasks, id)
 		}
 	}
+	// Map iteration order is random; simultaneous completions must come
+	// back in a stable order (task id = insertion order) so schedules
+	// that react to completions replay deterministically.
+	sort.Ints(done)
 	return done, true
 }
 

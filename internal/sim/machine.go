@@ -25,6 +25,30 @@ type CPUConfig struct {
 	CacheB   int64   // per-core private cache (effective, bytes)
 	CoreBWBs float64 // single core's max DRAM bandwidth (bytes/s)
 	MLP      float64 // memory-level parallelism for latency overlap
+
+	// LittleCores marks the last LittleCores of Cores as efficiency
+	// cores on big.LITTLE-style asymmetric parts. A DoP configuration
+	// activates big cores first, so small CPUCores settings run on the
+	// fast cluster only.
+	LittleCores int
+	// LittleSlow is the slowdown factor of a little core relative to a
+	// big one (compute and latency stretch by it, sustainable bandwidth
+	// shrinks by it). Values <= 1 mean symmetric cores.
+	LittleSlow float64
+}
+
+// CoreSlow returns the slowdown factor of a CPU core index under the
+// big-cores-first numbering: 1 for big cores, LittleSlow for the
+// efficiency cluster.
+func (m *Machine) CoreSlow(core int) float64 {
+	cpu := m.CPU
+	if cpu.LittleCores <= 0 || cpu.LittleSlow <= 1 {
+		return 1
+	}
+	if core >= cpu.Cores-cpu.LittleCores {
+		return cpu.LittleSlow
+	}
+	return 1
 }
 
 // GPUConfig describes the GPU side.
@@ -51,7 +75,20 @@ type GPUConfig struct {
 	MalleableCyc float64
 	// DispatchSec is the host-side cost of enqueueing one kernel chunk.
 	DispatchSec float64
+
+	// LocalBWBs, when > 0, marks a discrete GPU with private device
+	// memory of this bandwidth: kernel traffic is served locally instead
+	// of from the shared DRAM, and each chunk's buffer footprint crosses
+	// PCIe instead (paced by PCIeBWBs inside the shared fluid model,
+	// plus PCIeLatSec of bus setup per chunk).
+	LocalBWBs  float64
+	PCIeBWBs   float64
+	PCIeLatSec float64
 }
+
+// Discrete reports whether the GPU sits across a PCIe bus with its own
+// device memory.
+func (g *GPUConfig) Discrete() bool { return g.LocalBWBs > 0 }
 
 // MemConfig describes the shared memory system.
 type MemConfig struct {
